@@ -1,0 +1,37 @@
+//! Ablation A1 (DESIGN.md): rankall checkpoint rate.
+//!
+//! The paper stores one rankall row every 4 elements and remarks that
+//! sparser rows trade time for space (Section III-A). This bench sweeps
+//! the rate over exact backward searches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::simulate_reads;
+use kmm_bwt::{FmBuildConfig, FmIndex};
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_rankall_rate(c: &mut Criterion) {
+    let genome = ReferenceGenome::RatChr1.generate_scaled(0.1);
+    let reads = simulate_reads(&genome, 200, 100, 7);
+    let mut rev = genome;
+    rev.reverse();
+    rev.push(0);
+    let mut group = c.benchmark_group("ablation_rankall_rate");
+    group.sample_size(10);
+    for rate in [4usize, 16, 64, 128] {
+        let fm = FmIndex::new(&rev, FmBuildConfig { occ_rate: rate, sa_rate: 16 });
+        group.bench_with_input(BenchmarkId::new("exact_count", rate), &fm, |b, fm| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for r in &reads {
+                    let rrev: Vec<u8> = r.iter().rev().copied().collect();
+                    total += fm.count(&rrev) as u64;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rankall_rate);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation A2 (DESIGN.md): the design choices of the two BWT tree
+//! searches — Algorithm A's pair-reuse hash table on/off, and the BWT
+//! baseline's φ heuristic on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::{run_method, Workload};
+use kmm_core::Method;
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_reuse(c: &mut Criterion) {
+    let w = Workload::paper(ReferenceGenome::RatChr1, 0.1, 10, 100);
+    let idx = w.index();
+    let mut group = c.benchmark_group("ablation_reuse_phi");
+    group.sample_size(10);
+    let variants: [(&str, Method); 4] = [
+        ("A_reuse_on", Method::AlgorithmA { reuse: true }),
+        ("A_reuse_off", Method::AlgorithmA { reuse: false }),
+        ("BWT_phi_on", Method::Bwt { use_phi: true }),
+        ("BWT_phi_off", Method::Bwt { use_phi: false }),
+    ];
+    for k in [2usize, 4] {
+        for (name, method) in variants {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| run_method(&idx, &w.reads, k, method).occurrences)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation A3 (DESIGN.md): index construction cost (SA-IS, BWT, rankall,
+//! suffix tree). The paper excludes construction from its timings ("once
+//! it is created, it can be repeatedly used"); this bench documents it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kmm_bwt::{FmBuildConfig, FmIndex};
+use kmm_dna::genome::ReferenceGenome;
+use kmm_suffix::{suffix_array, SuffixTree};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for scale in [0.002f64, 0.01, 0.05] {
+        let genome = ReferenceGenome::Rat.generate_scaled(scale);
+        let n = genome.len();
+        let mut text = genome.clone();
+        text.reverse();
+        text.push(0);
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::new("sais", n), &text, |b, text| {
+            b.iter(|| suffix_array(text, kmm_dna::SIGMA))
+        });
+        group.bench_with_input(BenchmarkId::new("fm_index", n), &text, |b, text| {
+            b.iter(|| FmIndex::new(text, FmBuildConfig::default()))
+        });
+        let mut fwd = genome.clone();
+        fwd.push(0);
+        group.bench_with_input(BenchmarkId::new("suffix_tree", n), &fwd, |b, fwd| {
+            b.iter(|| SuffixTree::new(fwd.clone(), kmm_dna::SIGMA))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Paper Fig. 11(a): average k-mismatch search time as a function of `k`
+//! for the four compared methods (BWT [34], Amir's, Cole's, A(·)) on the
+//! Rat genome stand-in.
+//!
+//! Criterion runs at 1:10 of the `experiments` binary's default workload
+//! so a full sweep stays in benchmark-friendly territory; the binary
+//! regenerates the figure at larger scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::{run_method, Workload};
+use kmm_core::Method;
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_fig11a(c: &mut Criterion) {
+    let w = Workload::paper(ReferenceGenome::Rat, 0.01, 10, 100);
+    let idx = w.index();
+    idx.suffix_tree(); // pre-build for Cole, matching the paper's protocol
+    let mut group = c.benchmark_group("fig11a_time_vs_k");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 4, 5] {
+        for method in Method::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), k),
+                &k,
+                |b, &k| b.iter(|| run_method(&idx, &w.reads, k, method).occurrences),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11a);
+criterion_main!(benches);

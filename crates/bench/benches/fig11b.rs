@@ -1,0 +1,31 @@
+//! Paper Fig. 11(b): average k-mismatch search time as a function of read
+//! length (k = 5) for the four compared methods on the Rat genome
+//! stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::{run_method, simulate_reads};
+use kmm_core::{KMismatchIndex, Method};
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_fig11b(c: &mut Criterion) {
+    let g = ReferenceGenome::Rat;
+    let genome = g.generate_scaled(0.01);
+    let idx = KMismatchIndex::new(genome.clone());
+    idx.suffix_tree();
+    let mut group = c.benchmark_group("fig11b_time_vs_read_len");
+    group.sample_size(10);
+    for read_len in [50usize, 100, 150, 200, 250, 300] {
+        let reads = simulate_reads(&genome, 10, read_len, g.seed() ^ 0x5eed);
+        for method in Method::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), read_len),
+                &reads,
+                |b, reads| b.iter(|| run_method(&idx, reads, 5, method).occurrences),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11b);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Reconstructed Fig. 12: the four methods across all five genome
+//! stand-ins at k = 5 (the paper's OCR truncates just as its per-genome
+//! sweep begins; DESIGN.md E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::{run_method, Workload};
+use kmm_core::Method;
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_per_genome");
+    group.sample_size(10);
+    for g in ReferenceGenome::ALL {
+        let w = Workload::paper(g, 0.01, 10, 100);
+        if w.genome.len() < 1000 {
+            continue;
+        }
+        let idx = w.index();
+        idx.suffix_tree();
+        let short = match g {
+            ReferenceGenome::Rat => "Rat",
+            ReferenceGenome::Zebrafish => "Zebrafish",
+            ReferenceGenome::RatChr1 => "RatChr1",
+            ReferenceGenome::CElegans => "CElegans",
+            ReferenceGenome::CMerolae => "CMerolae",
+        };
+        for method in Method::PAPER_SET {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), short),
+                &w.reads,
+                |b, reads| b.iter(|| run_method(&idx, reads, 5, method).occurrences),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Paper Table 2: cost of Algorithm A as k and the read length grow
+//! together (k/len = 5/50, 10/100; the 20/150 and 30/200 cells explode
+//! combinatorially and are produced by the `experiments` binary instead,
+//! which also prints the leaf counts n' the table is about).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::{run_method, simulate_reads};
+use kmm_core::{KMismatchIndex, Method};
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_table2(c: &mut Criterion) {
+    let g = ReferenceGenome::Rat;
+    let genome = g.generate_scaled(0.005);
+    let idx = KMismatchIndex::new(genome.clone());
+    let mut group = c.benchmark_group("table2_k_and_len");
+    group.sample_size(10);
+    for (k, len) in [(5usize, 50usize), (10, 100)] {
+        let reads = simulate_reads(&genome, 5, len, g.seed() ^ 0x5eed);
+        group.bench_with_input(
+            BenchmarkId::new("A", format!("{k}-{len}")),
+            &reads,
+            |b, reads| b.iter(|| run_method(&idx, reads, k, Method::ALGORITHM_A).stats.leaves),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

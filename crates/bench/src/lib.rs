@@ -1,0 +1,185 @@
+//! # kmm-bench
+//!
+//! Shared machinery for regenerating the paper's tables and figures
+//! (Section V): deterministic workload construction (genome + wgsim-style
+//! reads), timed method runs, and plain-text table formatting. The
+//! `experiments` binary and the Criterion benches are thin layers over
+//! this crate.
+
+use std::time::Instant;
+
+use kmm_core::{KMismatchIndex, Method, SearchStats};
+use kmm_dna::genome::ReferenceGenome;
+use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
+
+/// A reproducible experiment workload: one genome and a batch of reads.
+#[derive(Debug)]
+pub struct Workload {
+    /// Display name ("Rat (Rnor_6.0) @0.10" etc.).
+    pub name: String,
+    /// The encoded genome.
+    pub genome: Vec<u8>,
+    /// The encoded reads.
+    pub reads: Vec<Vec<u8>>,
+}
+
+impl Workload {
+    /// Build the paper's workload for one reference genome: `count` reads
+    /// of `read_len` bp with the wgsim default error model, genome scaled
+    /// by `scale` relative to the 1:100 sizes of DESIGN.md.
+    pub fn paper(g: ReferenceGenome, scale: f64, count: usize, read_len: usize) -> Workload {
+        let genome = g.generate_scaled(scale);
+        let reads = simulate_reads(&genome, count, read_len, g.seed() ^ 0x5eed);
+        Workload {
+            name: format!("{} @{scale:.2}", g.name()),
+            genome,
+            reads,
+        }
+    }
+
+    /// Index the genome once for this workload.
+    pub fn index(&self) -> KMismatchIndex {
+        KMismatchIndex::new(self.genome.clone())
+    }
+}
+
+/// Simulate `count` forward-strand reads with the wgsim default model.
+pub fn simulate_reads(genome: &[u8], count: usize, read_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut sim = ReadSimulator::new(genome, ReadSimConfig::paper(read_len), seed);
+    sim.reads(count).into_iter().map(|r| r.seq).collect()
+}
+
+/// The outcome of running one method over a read batch.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Method label as in the paper's legends.
+    pub method: &'static str,
+    /// Total wall-clock seconds over the batch.
+    pub seconds: f64,
+    /// Total occurrences reported.
+    pub occurrences: usize,
+    /// Accumulated method counters.
+    pub stats: SearchStats,
+}
+
+/// Run `method` over every read and time the batch.
+pub fn run_method(
+    index: &KMismatchIndex,
+    reads: &[Vec<u8>],
+    k: usize,
+    method: Method,
+) -> TimedRun {
+    // Cole needs the suffix tree; build it outside the timed region, like
+    // the paper ("the time for constructing BWT(s̄) is not included").
+    if matches!(method, Method::Cole) {
+        index.suffix_tree();
+    }
+    let start = Instant::now();
+    let mut stats = SearchStats::default();
+    let mut occurrences = 0usize;
+    for r in reads {
+        let res = index.search(r, k, method);
+        occurrences += res.occurrences.len();
+        stats.accumulate(&res.stats);
+    }
+    TimedRun {
+        method: method.label(),
+        seconds: start.elapsed().as_secs_f64(),
+        occurrences,
+        stats,
+    }
+}
+
+/// Render rows as a fixed-width text table with a header.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-readable second formatting for table cells.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = Workload::paper(ReferenceGenome::CMerolae, 0.05, 5, 40);
+        let b = Workload::paper(ReferenceGenome::CMerolae, 0.05, 5, 40);
+        assert_eq!(a.genome, b.genome);
+        assert_eq!(a.reads, b.reads);
+        assert_eq!(a.reads.len(), 5);
+        assert!(a.reads.iter().all(|r| r.len() == 40));
+    }
+
+    #[test]
+    fn run_method_counts_occurrences() {
+        let w = Workload::paper(ReferenceGenome::CMerolae, 0.02, 4, 30);
+        let idx = w.index();
+        let run = run_method(&idx, &w.reads, 2, Method::ALGORITHM_A);
+        // Every read was sampled from the genome with ~2% errors, so with
+        // k = 2 most reads should find their origin.
+        assert!(run.occurrences >= 1);
+        assert!(run.seconds >= 0.0);
+        assert_eq!(run.method, "A(.)");
+        // And the result must match the naive scan.
+        let naive = run_method(&idx, &w.reads, 2, Method::Naive);
+        assert_eq!(run.occurrences, naive.occurrences);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["k", "time"],
+            &[
+                vec!["1".into(), "5ms".into()],
+                vec!["10".into(), "1.2s".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('k'));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5us");
+    }
+}

@@ -1,0 +1,133 @@
+//! The Burrows–Wheeler transform and its inverse.
+//!
+//! Section III-B of the paper derives `BWT(s)` (the last column `L` of the
+//! sorted rotation matrix, Fig. 1) from the suffix array `H` via
+//!
+//! ```text
+//! L[i] = $           if H[i] = 1        (1-based)
+//! L[i] = s[H[i] - 1] otherwise
+//! ```
+//!
+//! which in 0-based terms is `L[i] = text[SA[i] - 1]` with wrap-around to
+//! the sentinel when `SA[i] = 0`.
+
+use kmm_suffix::sais::suffix_array;
+
+/// Compute `BWT(text)` from scratch (builds the suffix array internally).
+pub fn bwt(text: &[u8], sigma: usize) -> Vec<u8> {
+    let sa = suffix_array(text, sigma);
+    bwt_from_sa(text, &sa)
+}
+
+/// Compute the BWT given a precomputed suffix array.
+pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Vec<u8> {
+    assert_eq!(text.len(), sa.len(), "text/SA length mismatch");
+    sa.iter()
+        .map(|&p| if p == 0 { text[text.len() - 1] } else { text[p as usize - 1] })
+        .collect()
+}
+
+/// Invert a BWT back to the original sentinel-terminated text.
+///
+/// Uses the rank-correspondence property (paper Eq. (1)): the i-th
+/// occurrence of a symbol in `F` is the i-th occurrence of that symbol in
+/// `L`, so repeated LF-stepping from the sentinel row reconstructs the text
+/// right to left.
+pub fn inverse_bwt(l: &[u8], sigma: usize) -> Vec<u8> {
+    let n = l.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // C[c] = number of symbols < c, i.e. the F-column start of c's block.
+    let mut counts = vec![0usize; sigma + 1];
+    for &c in l {
+        counts[c as usize + 1] += 1;
+    }
+    for c in 0..sigma {
+        counts[c + 1] += counts[c];
+    }
+    // LF[i] = C[L[i]] + rank_{L[i]}(i): row of the predecessor symbol.
+    let mut seen = vec![0usize; sigma];
+    let mut lf = vec![0u32; n];
+    for (i, &c) in l.iter().enumerate() {
+        lf[i] = (counts[c as usize] + seen[c as usize]) as u32;
+        seen[c as usize] += 1;
+    }
+    // Row 0 of the rotation matrix starts with the sentinel, so L[0] is the
+    // text's last real symbol. Fill right to left, sentinel first.
+    let mut out = vec![0u8; n];
+    out[n - 1] = 0;
+    let mut row = 0usize;
+    for i in (0..n - 1).rev() {
+        out[i] = l[row];
+        row = lf[row] as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_example() {
+        // Fig. 1(c): s = acagaca$ => BWT(s) = acg$caaa.
+        let text = kmm_dna::encode_text(b"acagaca").unwrap();
+        let l = bwt(&text, kmm_dna::SIGMA);
+        assert_eq!(kmm_dna::decode_string(&l), "acg$caaa");
+    }
+
+    #[test]
+    fn reversed_paper_text() {
+        // The index in Section IV is BWT of the *reverse* of s.
+        let mut rev: Vec<u8> = kmm_dna::encode(b"acagaca").unwrap();
+        rev.reverse();
+        rev.push(0);
+        let l = bwt(&rev, kmm_dna::SIGMA);
+        assert_eq!(inverse_bwt(&l, kmm_dna::SIGMA), rev);
+    }
+
+    #[test]
+    fn inverse_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..300);
+            let mut text: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            text.push(0);
+            let l = bwt(&text, kmm_dna::SIGMA);
+            assert_eq!(inverse_bwt(&l, kmm_dna::SIGMA), text);
+        }
+    }
+
+    #[test]
+    fn bwt_is_permutation_of_text() {
+        let text = kmm_dna::encode_text(b"gattacagattaca").unwrap();
+        let mut l = bwt(&text, kmm_dna::SIGMA);
+        let mut t = text.clone();
+        l.sort_unstable();
+        t.sort_unstable();
+        assert_eq!(l, t);
+    }
+
+    #[test]
+    fn sentinel_only_text() {
+        let l = bwt(&[0], kmm_dna::SIGMA);
+        assert_eq!(l, vec![0]);
+        assert_eq!(inverse_bwt(&l, kmm_dna::SIGMA), vec![0]);
+    }
+
+    #[test]
+    fn empty_inverse() {
+        assert_eq!(inverse_bwt(&[], kmm_dna::SIGMA), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bwt_groups_equal_context_symbols() {
+        // For a highly repetitive text the BWT should contain long runs.
+        let text = kmm_dna::encode_text(&b"ac".repeat(50)).unwrap();
+        let l = bwt(&text, kmm_dna::SIGMA);
+        let runs = l.windows(2).filter(|w| w[0] != w[1]).count() + 1;
+        assert!(runs <= 6, "expected few runs, got {runs}");
+    }
+}

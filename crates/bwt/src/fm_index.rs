@@ -1,0 +1,480 @@
+//! The FM-index: backward search over a BWT with rankall arrays.
+//!
+//! This is the index machinery of Section III: the `F` column kept as
+//! `σ + 1` intervals (the `C` array), the `L` column as a [`RankAll`]
+//! structure, the `search(z, L_{<x,[α,β]>})` primitive realised through two
+//! `occ` lookups, and `locate` through a sampled suffix array.
+//!
+//! The index is direction-agnostic: it indexes whatever text it is given.
+//! The k-mismatch layer (`kmm-core`) builds it over the *reverse* of the
+//! target so that backward search consumes patterns left-to-right
+//! (paper Section IV, Definition 1).
+
+use kmm_dna::{SENTINEL, SIGMA};
+use kmm_suffix::sais::suffix_array;
+
+use crate::bwt::bwt_from_sa;
+use crate::interval::{Interval, Pair};
+use crate::occ::RankAll;
+use crate::sampled_sa::SampledSuffixArray;
+
+/// Build-time knobs for the index.
+#[derive(Debug, Clone, Copy)]
+pub struct FmBuildConfig {
+    /// Rankall checkpoint rate (positions between checkpoint rows; multiple
+    /// of 4). The paper's layout is 4; 64 is a good default on modern CPUs.
+    pub occ_rate: usize,
+    /// Suffix-array sampling rate for `locate` (1 = store the full SA).
+    pub sa_rate: usize,
+}
+
+impl Default for FmBuildConfig {
+    fn default() -> Self {
+        FmBuildConfig { occ_rate: 64, sa_rate: 16 }
+    }
+}
+
+impl FmBuildConfig {
+    /// The layout used in the paper's experiments: rankall row every 4
+    /// elements.
+    pub fn paper() -> Self {
+        FmBuildConfig { occ_rate: 4, sa_rate: 16 }
+    }
+}
+
+/// An FM-index over one sentinel-terminated encoded text.
+#[derive(Debug, Clone)]
+pub struct FmIndex {
+    l: RankAll,
+    /// `c[x]` = number of symbols smaller than `x`; `c[SIGMA]` = n.
+    c: [u32; SIGMA + 1],
+    ssa: SampledSuffixArray,
+}
+
+impl FmIndex {
+    /// Index `text` (must end with the unique sentinel 0).
+    pub fn new(text: &[u8], config: FmBuildConfig) -> Self {
+        let sa = suffix_array(text, SIGMA);
+        Self::from_sa(text, &sa, config)
+    }
+
+    /// Index `text` given its precomputed suffix array.
+    pub fn from_sa(text: &[u8], sa: &[u32], config: FmBuildConfig) -> Self {
+        let l = bwt_from_sa(text, sa);
+        let rank = RankAll::new(&l, config.occ_rate);
+        let mut c = [0u32; SIGMA + 1];
+        for &x in &l {
+            c[x as usize + 1] += 1;
+        }
+        for i in 0..SIGMA {
+            c[i + 1] += c[i];
+        }
+        let ssa = SampledSuffixArray::new(sa, config.sa_rate);
+        FmIndex { l: rank, c, ssa }
+    }
+
+    /// Text length, sentinel included.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.l.len()
+    }
+
+    /// Always false after construction (texts contain the sentinel).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.l.is_empty()
+    }
+
+    /// `C[x]`: the first F-column row of symbol `x`'s block.
+    #[inline]
+    pub fn c(&self, sym: u8) -> u32 {
+        self.c[sym as usize]
+    }
+
+    /// The F-block of `sym` as an SA interval (paper's `F_x`).
+    #[inline]
+    pub fn f_block(&self, sym: u8) -> Interval {
+        Interval::new(self.c[sym as usize], self.c[sym as usize + 1])
+    }
+
+    /// The interval covering every row (the virtual root `<-,[1,n]>`).
+    #[inline]
+    pub fn whole(&self) -> Interval {
+        Interval::new(0, self.len() as u32)
+    }
+
+    /// The symbol `L[row]`.
+    #[inline]
+    pub fn l_symbol(&self, row: u32) -> u8 {
+        self.l.symbol(row as usize)
+    }
+
+    /// One backward-search step: the paper's
+    /// `search(z, L_{<x,[α,β]>})` — narrow `iv` to the rows whose suffix is
+    /// preceded by `z`. Empty result means `z` does not occur in the range.
+    #[inline]
+    pub fn extend_backward(&self, iv: Interval, z: u8) -> Interval {
+        debug_assert!(z != SENTINEL, "patterns never contain the sentinel");
+        let lo = self.c[z as usize] + self.l.occ(z, iv.lo as usize);
+        let hi = self.c[z as usize] + self.l.occ(z, iv.hi as usize);
+        Interval::new(lo, hi)
+    }
+
+    /// Targeted LF step: the row of the suffix obtained by prepending
+    /// `sym`, assuming `L[row] == sym` (i.e. one `occ` lookup instead of
+    /// the two of a full interval extension). This is the singleton-
+    /// interval fast path used by the tree searches: a 1-row interval has
+    /// exactly one non-empty extension, by the symbol `L[row]`.
+    #[inline]
+    pub fn lf_with(&self, row: u32, sym: u8) -> u32 {
+        debug_assert_eq!(self.l.symbol(row as usize), sym);
+        self.c[sym as usize] + self.l.occ(sym, row as usize)
+    }
+
+    /// Bitmask (bit `sym - 1`) of the base symbols occurring in
+    /// `L[iv.lo .. iv.hi)`; the sentinel is ignored. Costs `O(iv.len())`
+    /// symbol reads — only profitable for small intervals, where it lets a
+    /// search skip the rank lookups of absent symbols.
+    #[inline]
+    pub fn symbol_mask(&self, iv: Interval) -> u8 {
+        let mut mask = 0u8;
+        for row in iv.rows() {
+            let sym = self.l.symbol(row as usize);
+            if sym != SENTINEL {
+                mask |= 1 << (sym - 1);
+            }
+        }
+        mask
+    }
+
+    /// Exact backward search of `pattern` (processed right to left).
+    pub fn backward_search(&self, pattern: &[u8]) -> Interval {
+        let mut iv = self.whole();
+        for &z in pattern.iter().rev() {
+            iv = self.extend_backward(iv, z);
+            if iv.is_empty() {
+                return Interval::empty();
+            }
+        }
+        iv
+    }
+
+    /// Number of exact occurrences of `pattern` in the indexed text.
+    pub fn count(&self, pattern: &[u8]) -> u32 {
+        self.backward_search(pattern).len()
+    }
+
+    /// LF mapping: the row of the suffix that starts one position earlier.
+    #[inline]
+    pub fn lf(&self, row: u32) -> u32 {
+        let sym = self.l.symbol(row as usize);
+        if sym == SENTINEL {
+            0
+        } else {
+            self.c[sym as usize] + self.l.occ(sym, row as usize)
+        }
+    }
+
+    /// `SA[row]` resolved through the sampled suffix array.
+    #[inline]
+    pub fn sa_value(&self, row: u32) -> u32 {
+        self.ssa.resolve(row as usize, |r| self.lf(r as u32) as usize)
+    }
+
+    /// Start positions (in the *indexed* text) for every row of `iv`,
+    /// sorted ascending.
+    pub fn locate(&self, iv: Interval) -> Vec<u32> {
+        let mut out: Vec<u32> = iv.rows().map(|r| self.sa_value(r)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Paper-style pair view of an interval known to lie within `sym`'s
+    /// F-block.
+    pub fn pair(&self, sym: u8, iv: Interval) -> Pair {
+        Pair::from_interval(sym, self.c(sym), iv)
+    }
+
+    /// Heap bytes used by the index (rankall + SA samples), for Table-1
+    /// style reporting.
+    pub fn heap_bytes(&self) -> usize {
+        self.l.heap_bytes() + self.ssa.heap_bytes()
+    }
+
+    /// Serialize the whole index (magic, version, payload, checksum).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        let mut w = crate::serialize::SerWriter::new(writer);
+        w.bytes(Self::MAGIC)?;
+        w.u32(Self::FORMAT_VERSION)?;
+        for &c in &self.c {
+            w.u32(c)?;
+        }
+        self.l.write_to(&mut w)?;
+        self.ssa.write_to(&mut w)?;
+        w.finish()
+    }
+
+    /// Load an index previously written by [`Self::save`], verifying the
+    /// magic tag, version and checksum.
+    pub fn load<R: std::io::Read>(reader: R) -> Result<Self, crate::serialize::SerializeError> {
+        use crate::serialize::SerializeError;
+        let mut r = crate::serialize::SerReader::new(reader);
+        let mut magic = [0u8; 8];
+        r.bytes(&mut magic)?;
+        if &magic != Self::MAGIC {
+            return Err(SerializeError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != Self::FORMAT_VERSION {
+            return Err(SerializeError::BadVersion {
+                found: version,
+                expected: Self::FORMAT_VERSION,
+            });
+        }
+        let mut c = [0u32; SIGMA + 1];
+        for slot in c.iter_mut() {
+            *slot = r.u32()?;
+        }
+        let l = RankAll::read_from(&mut r)?;
+        let ssa = SampledSuffixArray::read_from(&mut r)?;
+        r.finish()?;
+        if c[SIGMA] as usize != l.len() {
+            return Err(SerializeError::Malformed("C array total"));
+        }
+        Ok(FmIndex { l, c, ssa })
+    }
+
+    /// File magic tag for serialized indexes.
+    pub const MAGIC: &'static [u8; 8] = b"KMMFMIDX";
+    /// Current serialization format version.
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Reconstruct the indexed text (sentinel included) by LF-walking.
+    /// O(n · occ); used by tests and the index explorer example.
+    pub fn reconstruct_text(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = vec![0u8; n];
+        let mut row = 0u32;
+        for i in (0..n - 1).rev() {
+            let sym = self.l.symbol(row as usize);
+            out[i] = sym;
+            row = self.lf(row);
+        }
+        out[n - 1] = SENTINEL;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(ascii: &[u8]) -> (FmIndex, Vec<u8>) {
+        let text = kmm_dna::encode_text(ascii).unwrap();
+        (FmIndex::new(&text, FmBuildConfig::default()), text)
+    }
+
+    #[test]
+    fn paper_section3_walkthrough() {
+        // Searching r = aca in s = acagaca$ (Section III-A).
+        let (fm, _) = index(b"acagaca");
+        // Step 1: F_A = <a, [1, 4]> = rows 1..5.
+        let f_a = fm.f_block(1);
+        assert_eq!(f_a, Interval::new(1, 5));
+        assert_eq!(fm.pair(1, f_a).to_string(), "<a, [1, 4]>");
+        // Step 2: search(c, L_<a,[1,4]>) = <c, [1, 2]> = rows 5..7.
+        let iv = fm.extend_backward(f_a, 2);
+        assert_eq!(iv, Interval::new(5, 7));
+        assert_eq!(fm.pair(2, iv).to_string(), "<c, [1, 2]>");
+        // Step 3: search(a, L_<c,[1,2]>) = <a, [2, 3]> = rows 2..4.
+        let iv = fm.extend_backward(iv, 1);
+        assert_eq!(iv, Interval::new(2, 4));
+        assert_eq!(fm.pair(1, iv).to_string(), "<a, [2, 3]>");
+        // Two occurrences of aca: note the backward search consumed the
+        // pattern reversed, so this is the interval for "aca" read
+        // backwards; match the paper by searching the reverse pattern.
+        let pat = kmm_dna::encode(b"aca").unwrap();
+        let rev: Vec<u8> = pat.iter().rev().copied().collect();
+        assert_eq!(fm.backward_search(&rev), Interval::new(2, 4));
+    }
+
+    #[test]
+    fn count_and_locate_match_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..400);
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let (fm, text) = index(&ascii);
+            for _ in 0..15 {
+                let m = rng.gen_range(1..10);
+                let pat: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+                let naive: Vec<u32> = if m > text.len() {
+                    vec![]
+                } else {
+                    (0..=(text.len() - m) as u32)
+                        .filter(|&i| text[i as usize..i as usize + m] == pat[..])
+                        .collect()
+                };
+                assert_eq!(fm.count(&pat) as usize, naive.len());
+                assert_eq!(fm.locate(fm.backward_search(&pat)), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_everywhere() {
+        let (fm, text) = index(b"acgt");
+        assert_eq!(fm.count(&[]), text.len() as u32);
+    }
+
+    #[test]
+    fn reconstruct_recovers_text() {
+        let (fm, text) = index(b"gattacagatta");
+        assert_eq!(fm.reconstruct_text(), text);
+    }
+
+    #[test]
+    fn lf_walks_whole_text() {
+        let (fm, _) = index(b"acagaca");
+        // LF applied n times from row 0 must cycle through all rows.
+        let n = fm.len();
+        let mut row = 0u32;
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            assert!(!seen[row as usize]);
+            seen[row as usize] = true;
+            row = fm.lf(row);
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(row, 0);
+    }
+
+    #[test]
+    fn sa_values_match_real_sa() {
+        let text = kmm_dna::encode_text(b"ctagctagcatgcat").unwrap();
+        let sa = kmm_suffix::suffix_array(&text, kmm_dna::SIGMA);
+        for (occ_rate, sa_rate) in [(4, 1), (4, 4), (64, 16), (8, 32)] {
+            let fm = FmIndex::from_sa(&text, &sa, FmBuildConfig { occ_rate, sa_rate });
+            for (row, &v) in sa.iter().enumerate() {
+                assert_eq!(fm.sa_value(row as u32), v);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rate_config_matches_default() {
+        let text = kmm_dna::encode_text(b"acagacatttgacag").unwrap();
+        let a = FmIndex::new(&text, FmBuildConfig::default());
+        let b = FmIndex::new(&text, FmBuildConfig::paper());
+        let pat = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(a.backward_search(&pat), b.backward_search(&pat));
+        // The paper layout checkpoints more densely and thus uses more space.
+        assert!(b.heap_bytes() > a.heap_bytes());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let text = kmm_dna::encode_text(b"gattacagattacaacgtacgt").unwrap();
+        for cfg in [FmBuildConfig::default(), FmBuildConfig::paper()] {
+            let fm = FmIndex::new(&text, cfg);
+            let mut buf = Vec::new();
+            fm.save(&mut buf).unwrap();
+            let loaded = FmIndex::load(&buf[..]).unwrap();
+            assert_eq!(loaded.len(), fm.len());
+            assert_eq!(loaded.reconstruct_text(), text);
+            let pat = kmm_dna::encode(b"atta").unwrap();
+            assert_eq!(loaded.backward_search(&pat), fm.backward_search(&pat));
+            assert_eq!(
+                loaded.locate(loaded.backward_search(&pat)),
+                fm.locate(fm.backward_search(&pat))
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_corruption() {
+        use crate::serialize::SerializeError;
+        assert!(matches!(
+            FmIndex::load(&b"not an index at all"[..]),
+            Err(SerializeError::BadMagic)
+        ));
+        let text = kmm_dna::encode_text(b"acgtacgt").unwrap();
+        let fm = FmIndex::new(&text, FmBuildConfig::default());
+        let mut buf = Vec::new();
+        fm.save(&mut buf).unwrap();
+        // Corrupt a payload byte past the header.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xff;
+        assert!(FmIndex::load(&buf[..]).is_err());
+        // Truncate.
+        let mut buf2 = Vec::new();
+        fm.save(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 4);
+        assert!(FmIndex::load(&buf2[..]).is_err());
+        // Future version.
+        let mut buf3 = Vec::new();
+        fm.save(&mut buf3).unwrap();
+        buf3[8] = 99;
+        assert!(matches!(
+            FmIndex::load(&buf3[..]),
+            Err(SerializeError::BadVersion { found: 99, .. }) | Err(SerializeError::Corrupt)
+        ));
+    }
+
+    #[test]
+    fn f_blocks_partition_rows() {
+        let (fm, text) = index(b"ccagtgtta");
+        let mut total = 0;
+        for sym in 0..SIGMA as u8 {
+            total += fm.f_block(sym).len();
+        }
+        assert_eq!(total as usize, text.len());
+        assert_eq!(fm.f_block(0), Interval::new(0, 1));
+    }
+
+    #[test]
+    fn lf_with_matches_extend_on_singletons() {
+        let (fm, _) = index(b"gattacagattacatacg");
+        for row in 0..fm.len() as u32 {
+            let sym = fm.l_symbol(row);
+            if sym == 0 {
+                continue;
+            }
+            let via_lf = fm.lf_with(row, sym);
+            let iv = fm.extend_backward(Interval::new(row, row + 1), sym);
+            assert_eq!(iv, Interval::new(via_lf, via_lf + 1));
+            assert_eq!(via_lf, fm.lf(row));
+        }
+    }
+
+    #[test]
+    fn symbol_mask_matches_extensions() {
+        let (fm, _) = index(b"acaggacttacag");
+        // For every interval of small width, the mask must list exactly the
+        // symbols whose backward extension is non-empty.
+        let n = fm.len() as u32;
+        for lo in 0..n {
+            for hi in lo + 1..=(lo + 5).min(n) {
+                let iv = Interval::new(lo, hi);
+                let mask = fm.symbol_mask(iv);
+                for sym in 1..=4u8 {
+                    let extends = !fm.extend_backward(iv, sym).is_empty();
+                    assert_eq!(
+                        mask & (1 << (sym - 1)) != 0,
+                        extends,
+                        "iv={iv} sym={sym}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absent_symbol_gives_empty_interval() {
+        let (fm, _) = index(b"aaaa"); // no g anywhere
+        let iv = fm.extend_backward(fm.whole(), 3);
+        assert!(iv.is_empty());
+        assert_eq!(fm.f_block(3).len(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Suffix-array intervals and the paper's `<x, [α, β]>` pairs.
+//!
+//! Internally every matcher works with half-open suffix-array ranges
+//! `[lo, hi)`. The paper presents the same objects as *pairs*
+//! `<x, [α, β]>` — a symbol `x` plus the first and last rank of `x` within
+//! its `F`-block (Section III-A). [`Pair`] provides that view, used by the
+//! S-tree / M-tree code and by the tests that replay the paper's worked
+//! examples.
+
+/// A half-open interval `[lo, hi)` of suffix-array rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First row (inclusive).
+    pub lo: u32,
+    /// Last row (exclusive).
+    pub hi: u32,
+}
+
+impl Interval {
+    /// Create an interval; empty intervals are normalised to `lo == hi`.
+    #[inline]
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "interval lo {lo} > hi {hi}");
+        Interval { lo, hi }
+    }
+
+    /// The canonical empty interval.
+    #[inline]
+    pub fn empty() -> Self {
+        Interval { lo: 0, hi: 0 }
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// True when no rows are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Iterate over the covered rows.
+    pub fn rows(&self) -> impl Iterator<Item = u32> {
+        self.lo..self.hi
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+/// The paper's `<x, [α, β]>` pair: symbol `x` with 1-based first/last ranks
+/// within `F_x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pair {
+    /// Symbol code.
+    pub sym: u8,
+    /// First rank (1-based) of `sym`, inclusive.
+    pub alpha: u32,
+    /// Last rank (1-based) of `sym`, inclusive.
+    pub beta: u32,
+}
+
+impl Pair {
+    /// Convert an SA interval lying inside symbol `sym`'s F-block (which
+    /// starts at row `c_sym`) into the paper's rank pair.
+    #[inline]
+    pub fn from_interval(sym: u8, c_sym: u32, iv: Interval) -> Self {
+        debug_assert!(iv.lo >= c_sym, "interval below the F-block");
+        Pair { sym, alpha: iv.lo - c_sym + 1, beta: iv.hi - c_sym }
+    }
+
+    /// Convert back to the SA interval given the F-block start `c_sym`.
+    #[inline]
+    pub fn to_interval(&self, c_sym: u32) -> Interval {
+        Interval::new(c_sym + self.alpha - 1, c_sym + self.beta)
+    }
+
+    /// Number of occurrences represented.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.beta + 1 - self.alpha
+    }
+}
+
+impl std::fmt::Display for Pair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = kmm_dna::decode_base(self.sym) as char;
+        write!(f, "<{c}, [{}, {}]>", self.alpha, self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(3, 7);
+        assert_eq!(iv.len(), 4);
+        assert!(!iv.is_empty());
+        assert_eq!(iv.rows().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::new(5, 5).len(), 0);
+        assert_eq!(iv.to_string(), "[3, 7)");
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        // Paper Fig. 2: F_A = F[1..5] (1-based) = rows 1..=4 (0-based),
+        // i.e. <a, [1, 4]> with the a-block starting at row 1.
+        let iv = Interval::new(1, 5);
+        let pair = Pair::from_interval(1, 1, iv);
+        assert_eq!(pair, Pair { sym: 1, alpha: 1, beta: 4 });
+        assert_eq!(pair.to_interval(1), iv);
+        assert_eq!(pair.count(), 4);
+        assert_eq!(pair.to_string(), "<a, [1, 4]>");
+    }
+
+    #[test]
+    fn paper_search_sequence_pairs() {
+        // The search of r = aca in Section III-A produces the sequence
+        // <a, [1,4]>, <c, [1,2]>, <a, [2,3]>. Check the last one maps to
+        // rows 2..=3 when the a-block starts at row 1.
+        let pair = Pair { sym: 1, alpha: 2, beta: 3 };
+        assert_eq!(pair.to_interval(1), Interval::new(2, 4));
+        assert_eq!(pair.count(), 2);
+    }
+}

@@ -1,0 +1,390 @@
+//! The "rankall" occurrence structure over the BWT's `L` column.
+//!
+//! Section III-A of the paper stores, for each base `x`, an array `A_x`
+//! with `A_x[k]` = number of occurrences of `x` in `L[1..k]`, sampled every
+//! few positions to trade space for scan time ("we can also create
+//! rankalls only for part of the elements to reduce the space overhead,
+//! but at cost of some more searches", Fig. 2). The experiments use 2 bits
+//! per `L` character and one 32-bit rankall row every 4 elements.
+//!
+//! [`RankAll`] packs `L` at 2 bits/base into `u64` words (the single `$`
+//! is kept out of band), stores checkpoint rows every `rate` positions and
+//! resolves the tail with branch-free XOR/popcount word counting (the
+//! technique BWA popularised), answering
+//! `occ(c, i) = |{ j < i : L[j] = c }|` in `O(rate/32)` word steps.
+
+use kmm_dna::{BASES, SENTINEL, SIGMA};
+
+/// Symbols stored per `u64` word (2 bits each).
+const SLOTS_PER_WORD: usize = 32;
+
+/// Rank structure over an `L` column.
+#[derive(Debug, Clone)]
+pub struct RankAll {
+    /// 2-bit packed bases of `L` (32 per word), with the sentinel slot
+    /// packed as base 0 (`a`) and excluded from counts via `dollar_pos`.
+    packed: Vec<u64>,
+    /// Checkpoints: `checkpoints[block * BASES + c]` = occurrences of base
+    /// `c + 1` in `L[0 .. block * rate)`.
+    checkpoints: Vec<u32>,
+    /// Sampling rate (positions between checkpoint rows).
+    rate: usize,
+    /// Position of the unique sentinel in `L`.
+    dollar_pos: usize,
+    /// Total length of `L`.
+    len: usize,
+    /// Total per-symbol counts (for `count(c)` and validation).
+    totals: [u32; SIGMA],
+}
+
+/// Count occurrences of the 2-bit code `two` within slots `[start, end)`
+/// of the packed array. Branch-free per word: XOR against the broadcast
+/// code zeroes matching groups, then one popcount finds them.
+#[inline]
+fn count_code(packed: &[u64], two: u64, start: usize, end: usize) -> u32 {
+    debug_assert!(start <= end);
+    if start == end {
+        return 0;
+    }
+    const LSB: u64 = 0x5555_5555_5555_5555;
+    let broadcast = two * LSB; // replicate the 2-bit code into all slots
+    let mut count = 0u32;
+    let (first_word, first_slot) = (start / SLOTS_PER_WORD, start % SLOTS_PER_WORD);
+    let (last_word, last_slot) = (end / SLOTS_PER_WORD, end % SLOTS_PER_WORD);
+    let matches_of = |w: u64| -> u64 {
+        let x = w ^ broadcast; // matching 2-bit groups become 00
+        !(x | (x >> 1)) & LSB // LSB set exactly for matching groups
+    };
+    if first_word == last_word {
+        let mut m = matches_of(packed[first_word]);
+        m &= !0u64 << (2 * first_slot);
+        if last_slot != 0 {
+            m &= (1u64 << (2 * last_slot)) - 1;
+        } else {
+            m = 0;
+        }
+        return m.count_ones();
+    }
+    // Head partial word.
+    let mut m = matches_of(packed[first_word]);
+    m &= !0u64 << (2 * first_slot);
+    count += m.count_ones();
+    // Whole words.
+    for &w in &packed[first_word + 1..last_word] {
+        count += matches_of(w).count_ones();
+    }
+    // Tail partial word.
+    if last_slot != 0 {
+        let mut m = matches_of(packed[last_word]);
+        m &= (1u64 << (2 * last_slot)) - 1;
+        count += m.count_ones();
+    }
+    count
+}
+
+impl RankAll {
+    /// Build over an `L` column containing exactly one sentinel.
+    ///
+    /// `rate` must be a positive multiple of 4; the paper's layout
+    /// corresponds to `rate = 4`, the default index uses 64.
+    pub fn new(l: &[u8], rate: usize) -> Self {
+        assert!(rate >= 4 && rate.is_multiple_of(4), "rate must be a positive multiple of 4");
+        let dollar_pos = l
+            .iter()
+            .position(|&c| c == SENTINEL)
+            .expect("L must contain the sentinel");
+        assert_eq!(
+            l.iter().filter(|&&c| c == SENTINEL).count(),
+            1,
+            "L must contain exactly one sentinel"
+        );
+
+        let n = l.len();
+        let mut packed = vec![0u64; n.div_ceil(SLOTS_PER_WORD)];
+        let mut totals = [0u32; SIGMA];
+        for (i, &c) in l.iter().enumerate() {
+            assert!((c as usize) < SIGMA, "symbol {c} out of alphabet");
+            totals[c as usize] += 1;
+            let two = if i == dollar_pos { 0 } else { (c - 1) as u64 };
+            packed[i / SLOTS_PER_WORD] |= two << ((i % SLOTS_PER_WORD) * 2);
+        }
+
+        let blocks = n / rate + 1;
+        let mut checkpoints = vec![0u32; blocks * BASES];
+        let mut running = [0u32; BASES];
+        for (i, &c) in l.iter().enumerate() {
+            if i % rate == 0 {
+                checkpoints[(i / rate) * BASES..(i / rate) * BASES + BASES]
+                    .copy_from_slice(&running);
+            }
+            if c != SENTINEL {
+                running[(c - 1) as usize] += 1;
+            }
+        }
+        if n.is_multiple_of(rate) && n > 0 {
+            let b = n / rate;
+            if b < blocks {
+                checkpoints[b * BASES..b * BASES + BASES].copy_from_slice(&running);
+            }
+        }
+
+        RankAll { packed, checkpoints, rate, dollar_pos, len: n, totals }
+    }
+
+    /// Length of `L`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if `L` is empty (never the case after `new`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Position of the sentinel in `L`.
+    #[inline]
+    pub fn dollar_pos(&self) -> usize {
+        self.dollar_pos
+    }
+
+    /// The symbol `L[i]`.
+    #[inline]
+    pub fn symbol(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        if i == self.dollar_pos {
+            SENTINEL
+        } else {
+            ((self.packed[i / SLOTS_PER_WORD] >> ((i % SLOTS_PER_WORD) * 2)) & 0b11) as u8 + 1
+        }
+    }
+
+    /// Number of occurrences of base `c` (codes 1..=4) in `L[0..i)`.
+    ///
+    /// This is the paper's `A_c[i - 1]` (their arrays are 1-based).
+    #[inline]
+    pub fn occ(&self, c: u8, i: usize) -> u32 {
+        debug_assert!(c >= 1 && (c as usize) < SIGMA, "occ is defined for bases only");
+        debug_assert!(i <= self.len, "occ index {i} beyond len {}", self.len);
+        let lane = (c - 1) as usize;
+        let block = i / self.rate;
+        let start = block * self.rate;
+        let mut count = self.checkpoints[block * BASES + lane]
+            + count_code(&self.packed, lane as u64, start, i);
+        // The sentinel slot was packed as base 0; cancel it if counted in
+        // the scanned region (checkpoints already exclude it).
+        if lane == 0 && self.dollar_pos >= start && self.dollar_pos < i {
+            count -= 1;
+        }
+        count
+    }
+
+    /// Total number of occurrences of symbol `c` in `L`.
+    #[inline]
+    pub fn count(&self, c: u8) -> u32 {
+        self.totals[c as usize]
+    }
+
+    /// Heap bytes used (packed text + checkpoints), for the space ablation.
+    pub fn heap_bytes(&self) -> usize {
+        self.packed.len() * 8 + self.checkpoints.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The configured checkpoint rate.
+    pub fn rate(&self) -> usize {
+        self.rate
+    }
+
+    /// Serialize into a [`SerWriter`](crate::serialize::SerWriter) stream.
+    pub fn write_to<W: std::io::Write>(
+        &self,
+        w: &mut crate::serialize::SerWriter<W>,
+    ) -> std::io::Result<()> {
+        w.u64(self.len as u64)?;
+        w.u64(self.rate as u64)?;
+        w.u64(self.dollar_pos as u64)?;
+        for &t in &self.totals {
+            w.u32(t)?;
+        }
+        w.vec_u64(&self.packed)?;
+        w.vec_u32(&self.checkpoints)
+    }
+
+    /// Deserialize from a [`SerReader`](crate::serialize::SerReader) stream.
+    pub fn read_from<R: std::io::Read>(
+        r: &mut crate::serialize::SerReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        use crate::serialize::SerializeError;
+        let len = r.u64()? as usize;
+        let rate = r.u64()? as usize;
+        let dollar_pos = r.u64()? as usize;
+        if rate < 4 || !rate.is_multiple_of(4) {
+            return Err(SerializeError::Malformed("rankall rate"));
+        }
+        if dollar_pos >= len {
+            return Err(SerializeError::Malformed("sentinel position"));
+        }
+        let mut totals = [0u32; SIGMA];
+        for t in totals.iter_mut() {
+            *t = r.u32()?;
+        }
+        let packed = r.vec_u64()?;
+        if packed.len() != len.div_ceil(SLOTS_PER_WORD) {
+            return Err(SerializeError::Malformed("packed length"));
+        }
+        let checkpoints = r.vec_u32()?;
+        if checkpoints.len() != (len / rate + 1) * BASES {
+            return Err(SerializeError::Malformed("checkpoint length"));
+        }
+        Ok(RankAll { packed, checkpoints, rate, dollar_pos, len, totals })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_occ(l: &[u8], c: u8, i: usize) -> u32 {
+        l[..i].iter().filter(|&&x| x == c).count() as u32
+    }
+
+    fn check_all(l: &[u8], rate: usize) {
+        let r = RankAll::new(l, rate);
+        assert_eq!(r.len(), l.len());
+        for i in 0..=l.len() {
+            for c in 1..SIGMA as u8 {
+                assert_eq!(
+                    r.occ(c, i),
+                    naive_occ(l, c, i),
+                    "occ({c}, {i}) rate {rate} l={l:?}"
+                );
+            }
+        }
+        for (i, &c) in l.iter().enumerate() {
+            assert_eq!(r.symbol(i), c, "symbol({i})");
+        }
+    }
+
+    #[test]
+    fn paper_figure2_values() {
+        // Fig. 2: L = BWT(acagaca$) = acg$caaa, rankall rows every 4.
+        let mut l = kmm_dna::encode(b"acg").unwrap();
+        l.push(0);
+        l.extend(kmm_dna::encode(b"caaa").unwrap());
+        assert_eq!(kmm_dna::decode_string(&l), "acg$caaa");
+        let r = RankAll::new(&l, 4);
+        assert_eq!(r.occ(1, 8), 4);
+        assert_eq!(r.occ(2, 8), 2);
+        assert_eq!(r.occ(3, 8), 1);
+        assert_eq!(r.occ(4, 8), 0);
+        // Paper's example: A_g[5] = A_g[7] = 1 (1-based) means no g within
+        // L[6..7] (1-based) = rows 5..=6 (0-based).
+        assert_eq!(r.occ(3, 5), 1);
+        assert_eq!(r.occ(3, 7), 1);
+        // And c does occur within L[1..5]: [A_c[0]+1, A_c[5]] = [1, 2].
+        assert_eq!(r.occ(2, 0), 0);
+        assert_eq!(r.occ(2, 5), 2);
+        assert_eq!(r.dollar_pos(), 3);
+    }
+
+    #[test]
+    fn exhaustive_small_cases() {
+        for n in 1usize..=6 {
+            for dollar in 0..n {
+                let mut l = vec![0u8; n];
+                for variant in 0..3 {
+                    for (i, slot) in l.iter_mut().enumerate() {
+                        if i == dollar {
+                            *slot = 0;
+                        } else {
+                            *slot = match variant {
+                                0 => ((i * 7 + 1) % 4 + 1) as u8,
+                                1 => 1,
+                                _ => ((i % 2) + 3) as u8,
+                            };
+                        }
+                    }
+                    check_all(&l, 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_columns_all_rates() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for rate in [4usize, 8, 16, 64, 128] {
+            for _ in 0..20 {
+                let n = rng.gen_range(1..500);
+                let dollar = rng.gen_range(0..n);
+                let l: Vec<u8> = (0..n)
+                    .map(|i| if i == dollar { 0 } else { rng.gen_range(1..=4) })
+                    .collect();
+                check_all(&l, rate);
+            }
+        }
+    }
+
+    #[test]
+    fn word_boundary_cases() {
+        // Lengths straddling the 32-slot word boundary, with the sentinel
+        // on either side of it.
+        for n in [31usize, 32, 33, 63, 64, 65, 96] {
+            for dollar in [0, n / 2, n - 1] {
+                let l: Vec<u8> = (0..n)
+                    .map(|i| if i == dollar { 0 } else { ((i % 4) + 1) as u8 })
+                    .collect();
+                check_all(&l, 4);
+                check_all(&l, 64);
+            }
+        }
+    }
+
+    #[test]
+    fn occ_at_boundaries() {
+        let mut l = vec![1u8; 64];
+        l[63] = 0;
+        let r = RankAll::new(&l, 4);
+        assert_eq!(r.occ(1, 0), 0);
+        assert_eq!(r.occ(1, 64), 63);
+        assert_eq!(r.occ(1, 63), 63);
+        assert_eq!(r.occ(2, 64), 0);
+    }
+
+    #[test]
+    fn higher_rate_uses_less_space() {
+        let mut l: Vec<u8> = (0..1000).map(|i| (i % 4 + 1) as u8).collect();
+        l[999] = 0;
+        let fine = RankAll::new(&l, 4);
+        let coarse = RankAll::new(&l, 128);
+        assert!(coarse.heap_bytes() < fine.heap_bytes());
+        assert_eq!(fine.rate(), 4);
+        assert_eq!(coarse.rate(), 128);
+    }
+
+    #[test]
+    fn totals_are_right() {
+        let mut l = kmm_dna::encode(b"acgtacgtaa").unwrap();
+        l.push(0);
+        let r = RankAll::new(&l, 4);
+        assert_eq!(r.count(1), 4);
+        assert_eq!(r.count(2), 2);
+        assert_eq!(r.count(3), 2);
+        assert_eq!(r.count(4), 2);
+        assert_eq!(r.count(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_bad_rate() {
+        RankAll::new(&[0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one sentinel")]
+    fn rejects_two_sentinels() {
+        RankAll::new(&[0, 1, 0], 4);
+    }
+}

@@ -1,0 +1,257 @@
+//! Run-length encoded BWT (RLE-BWT).
+//!
+//! The BWT of a repetitive text consists of long symbol runs (that is the
+//! whole point of BWT compression, and why the paper's Section II reports
+//! 0.5–2 bits/char for BWT indexes against 7–9 bytes/char for suffix
+//! trees). This module stores `L` as its run sequence — `O(r)` space for
+//! `r` runs — with rank/access by binary search, `O(log r)` per query.
+//!
+//! It is the classic space end of the rankall trade-off: slower per query
+//! than [`crate::occ::RankAll`], drastically smaller on repetitive
+//! targets. The suite uses it for the space ablation and as an
+//! independent oracle for the rankall structure.
+
+use kmm_dna::SIGMA;
+
+/// Run-length encoded `L` column with rank support.
+#[derive(Debug, Clone)]
+pub struct RleBwt {
+    /// Start position of each run.
+    starts: Vec<u32>,
+    /// Symbol of each run.
+    syms: Vec<u8>,
+    /// `cum[run][c]` = occurrences of symbol `c` in `L[0 .. starts[run])`.
+    cum: Vec<[u32; SIGMA]>,
+    /// Total occurrences per symbol.
+    totals: [u32; SIGMA],
+    /// Length of `L`.
+    len: usize,
+}
+
+impl RleBwt {
+    /// Encode an `L` column.
+    pub fn new(l: &[u8]) -> Self {
+        let mut starts = Vec::new();
+        let mut syms = Vec::new();
+        let mut cum = Vec::new();
+        let mut running = [0u32; SIGMA];
+        let mut prev: Option<u8> = None;
+        for (i, &c) in l.iter().enumerate() {
+            assert!((c as usize) < SIGMA, "symbol {c} out of alphabet");
+            if prev != Some(c) {
+                starts.push(i as u32);
+                syms.push(c);
+                cum.push(running);
+                prev = Some(c);
+            }
+            running[c as usize] += 1;
+        }
+        RleBwt { starts, syms, cum, totals: running, len: l.len() }
+    }
+
+    /// Number of runs (`r`).
+    pub fn run_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Length of `L`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty column.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the run containing position `i`.
+    #[inline]
+    fn run_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        self.starts.partition_point(|&s| s as usize <= i) - 1
+    }
+
+    /// The symbol `L[i]`.
+    #[inline]
+    pub fn symbol(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.syms[self.run_of(i)]
+    }
+
+    /// Occurrences of symbol `c` in `L[0..i)` (any symbol, sentinel
+    /// included — unlike `RankAll`, runs make it free).
+    #[inline]
+    pub fn occ(&self, c: u8, i: usize) -> u32 {
+        debug_assert!((c as usize) < SIGMA);
+        debug_assert!(i <= self.len);
+        if i == 0 {
+            return 0;
+        }
+        let run = self.run_of(i - 1);
+        let mut count = self.cum[run][c as usize];
+        if self.syms[run] == c {
+            count += (i as u32) - self.starts[run];
+        }
+        count
+    }
+
+    /// Total occurrences of `c`.
+    pub fn count(&self, c: u8) -> u32 {
+        self.totals[c as usize]
+    }
+
+    /// Heap bytes used.
+    pub fn heap_bytes(&self) -> usize {
+        self.starts.len() * 4
+            + self.syms.len()
+            + self.cum.len() * std::mem::size_of::<[u32; SIGMA]>()
+    }
+
+    /// Decode back to the plain `L` column.
+    pub fn decode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for (r, &start) in self.starts.iter().enumerate() {
+            let end = self
+                .starts
+                .get(r + 1)
+                .map(|&s| s as usize)
+                .unwrap_or(self.len);
+            out.extend(std::iter::repeat_n(self.syms[r], end - start as usize));
+        }
+        out
+    }
+}
+
+/// Run statistics of a BWT — the `n / r` ratio is the standard measure of
+/// a text's BWT-compressibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Column length `n`.
+    pub n: usize,
+    /// Number of runs `r`.
+    pub r: usize,
+    /// Mean run length `n / r`.
+    pub mean_run: f64,
+}
+
+/// Compute run statistics for an `L` column.
+pub fn run_stats(l: &[u8]) -> RunStats {
+    let r = if l.is_empty() {
+        0
+    } else {
+        1 + l.windows(2).filter(|w| w[0] != w[1]).count()
+    };
+    RunStats {
+        n: l.len(),
+        r,
+        mean_run: if r == 0 { 0.0 } else { l.len() as f64 / r as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bwt::bwt;
+    use crate::occ::RankAll;
+    use kmm_dna::SENTINEL;
+
+    fn bwt_of(ascii: &[u8]) -> Vec<u8> {
+        bwt(&kmm_dna::encode_text(ascii).unwrap(), SIGMA)
+    }
+
+    #[test]
+    fn encodes_paper_bwt() {
+        // BWT(acagaca$) = acg$caaa: runs a|c|g|$|c|aaa.
+        let l = bwt_of(b"acagaca");
+        let rle = RleBwt::new(&l);
+        assert_eq!(rle.run_count(), 6);
+        assert_eq!(rle.len(), 8);
+        assert_eq!(rle.decode(), l);
+    }
+
+    #[test]
+    fn occ_matches_rankall_everywhere() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..300);
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let l = bwt_of(&ascii);
+            let rle = RleBwt::new(&l);
+            let ra = RankAll::new(&l, 4);
+            for i in 0..=l.len() {
+                for c in 1..SIGMA as u8 {
+                    assert_eq!(rle.occ(c, i), ra.occ(c, i), "occ({c}, {i})");
+                }
+            }
+            for (i, &c) in l.iter().enumerate() {
+                assert_eq!(rle.symbol(i), c);
+            }
+        }
+    }
+
+    #[test]
+    fn sentinel_rank_is_supported() {
+        let l = bwt_of(b"acagaca");
+        let rle = RleBwt::new(&l);
+        // Exactly one sentinel; cumulative count flips at its position.
+        let dollar_pos = l.iter().position(|&c| c == SENTINEL).unwrap();
+        assert_eq!(rle.occ(SENTINEL, dollar_pos), 0);
+        assert_eq!(rle.occ(SENTINEL, dollar_pos + 1), 1);
+        assert_eq!(rle.count(SENTINEL), 1);
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let l = bwt_of(&b"acgt".repeat(500));
+        let rle = RleBwt::new(&l);
+        let ra = RankAll::new(&l, 4);
+        let stats = run_stats(&l);
+        assert!(stats.mean_run > 50.0, "mean run {}", stats.mean_run);
+        assert!(
+            rle.heap_bytes() < ra.heap_bytes() / 4,
+            "rle {} vs rankall {}",
+            rle.heap_bytes(),
+            ra.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn random_text_does_not_compress() {
+        let g = kmm_dna::genome::uniform(2_000, 7);
+        let l = bwt_of(&kmm_dna::decode(&g));
+        let stats = run_stats(&l);
+        assert!(stats.mean_run < 3.0, "mean run {}", stats.mean_run);
+    }
+
+    #[test]
+    fn backward_search_via_rle_matches_fm() {
+        use crate::fm_index::{FmBuildConfig, FmIndex};
+        let text = kmm_dna::encode_text(b"acagacagattacaggatacca").unwrap();
+        let fm = FmIndex::new(&text, FmBuildConfig::default());
+        let l = bwt(&text, SIGMA);
+        let rle = RleBwt::new(&l);
+        // C array from totals.
+        let mut c = [0u32; SIGMA + 1];
+        for sym in 0..SIGMA {
+            c[sym + 1] = c[sym] + rle.count(sym as u8);
+        }
+        let pat = kmm_dna::encode(b"aca").unwrap();
+        let (mut lo, mut hi) = (0u32, text.len() as u32);
+        for &sym in pat.iter().rev() {
+            lo = c[sym as usize] + rle.occ(sym, lo as usize);
+            hi = c[sym as usize] + rle.occ(sym, hi as usize);
+        }
+        let iv = fm.backward_search(&pat);
+        assert_eq!((lo, hi), (iv.lo, iv.hi));
+    }
+
+    #[test]
+    fn run_stats_edge_cases() {
+        assert_eq!(run_stats(&[]).r, 0);
+        assert_eq!(run_stats(&[1]).r, 1);
+        assert_eq!(run_stats(&[1, 1, 2]).r, 2);
+        let s = run_stats(&[1, 1, 1, 1]);
+        assert_eq!(s.mean_run, 4.0);
+    }
+}

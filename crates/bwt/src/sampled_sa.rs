@@ -1,0 +1,261 @@
+//! Sampled suffix arrays for `locate` queries.
+//!
+//! The BWT index needs suffix-array values only to translate matched SA
+//! rows back into text positions. Storing the full SA costs 4 bytes per
+//! character; the standard compromise (also behind the paper's "different
+//! compression rates of auxiliary arrays" remark in Section II) keeps the
+//! value `SA[row]` only when it is a multiple of the sampling rate, plus a
+//! rank-indexed bit vector marking the sampled rows. Unsampled rows are
+//! resolved by LF-stepping until a sampled row is hit — at most
+//! `rate - 1` steps.
+
+/// A bit vector with O(1) rank support (one u32 prefix count per 64-bit word).
+#[derive(Debug, Clone)]
+pub struct BitRank {
+    words: Vec<u64>,
+    prefix: Vec<u32>,
+    len: usize,
+}
+
+impl BitRank {
+    /// Build from a boolean slice.
+    pub fn new(bits: &[bool]) -> Self {
+        let n = bits.len();
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let mut prefix = Vec::with_capacity(words.len() + 1);
+        let mut acc = 0u32;
+        prefix.push(0);
+        for &w in &words {
+            acc += w.count_ones();
+            prefix.push(acc);
+        }
+        BitRank { words, prefix, len: n }
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits in `[0, i)`.
+    #[inline]
+    pub fn rank(&self, i: usize) -> u32 {
+        debug_assert!(i <= self.len);
+        let w = i / 64;
+        let mut r = self.prefix[w];
+        let rem = i % 64;
+        if rem > 0 {
+            r += (self.words[w] & ((1u64 << rem) - 1)).count_ones();
+        }
+        r
+    }
+}
+
+/// SA samples at rows whose value is a multiple of `rate`.
+#[derive(Debug, Clone)]
+pub struct SampledSuffixArray {
+    marked: BitRank,
+    samples: Vec<u32>,
+    rate: usize,
+}
+
+impl SampledSuffixArray {
+    /// Sample a full suffix array at the given rate (`rate = 1` keeps all).
+    pub fn new(sa: &[u32], rate: usize) -> Self {
+        assert!(rate >= 1, "sampling rate must be >= 1");
+        let bits: Vec<bool> = sa.iter().map(|&v| (v as usize).is_multiple_of(rate)).collect();
+        let marked = BitRank::new(&bits);
+        let mut samples = Vec::with_capacity(sa.len() / rate + 1);
+        for (row, &v) in sa.iter().enumerate() {
+            if bits[row] {
+                debug_assert_eq!(samples.len(), marked.rank(row) as usize);
+                samples.push(v);
+            }
+        }
+        SampledSuffixArray { marked, samples, rate }
+    }
+
+    /// If `row` is sampled, its SA value.
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<u32> {
+        if self.marked.get(row) {
+            Some(self.samples[self.marked.rank(row) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Resolve `SA[row]` by walking `lf` until a sampled row is found.
+    /// `lf(row)` must map a row to the row of the preceding suffix.
+    pub fn resolve(&self, mut row: usize, lf: impl Fn(usize) -> usize) -> u32 {
+        let mut steps = 0u32;
+        loop {
+            if let Some(v) = self.get(row) {
+                return v + steps;
+            }
+            row = lf(row);
+            steps += 1;
+            debug_assert!(
+                (steps as usize) <= self.rate,
+                "locate walked further than the sampling rate"
+            );
+        }
+    }
+
+    /// Configured sampling rate.
+    pub fn rate(&self) -> usize {
+        self.rate
+    }
+
+    /// Heap bytes used by samples + marks.
+    pub fn heap_bytes(&self) -> usize {
+        self.samples.len() * 4 + self.marked.words.len() * 8 + self.marked.prefix.len() * 4
+    }
+
+    /// Serialize into a [`SerWriter`](crate::serialize::SerWriter) stream.
+    pub fn write_to<W: std::io::Write>(
+        &self,
+        w: &mut crate::serialize::SerWriter<W>,
+    ) -> std::io::Result<()> {
+        w.u64(self.rate as u64)?;
+        w.u64(self.marked.len as u64)?;
+        w.vec_u64(&self.marked.words)?;
+        w.vec_u32(&self.samples)
+    }
+
+    /// Deserialize from a [`SerReader`](crate::serialize::SerReader) stream.
+    pub fn read_from<R: std::io::Read>(
+        r: &mut crate::serialize::SerReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        use crate::serialize::SerializeError;
+        let rate = r.u64()? as usize;
+        if rate == 0 {
+            return Err(SerializeError::Malformed("sa sampling rate"));
+        }
+        let len = r.u64()? as usize;
+        let words = r.vec_u64()?;
+        if words.len() != len.div_ceil(64) {
+            return Err(SerializeError::Malformed("mark bitmap length"));
+        }
+        // Rebuild the rank directory from the words.
+        let mut prefix = Vec::with_capacity(words.len() + 1);
+        let mut acc = 0u32;
+        prefix.push(0);
+        for &w in &words {
+            acc += w.count_ones();
+            prefix.push(acc);
+        }
+        let samples = r.vec_u32()?;
+        if samples.len() != acc as usize {
+            return Err(SerializeError::Malformed("sample count"));
+        }
+        Ok(SampledSuffixArray { marked: BitRank { words, prefix, len }, samples, rate })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrank_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let n = rng.gen_range(0..300);
+            let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+            let br = BitRank::new(&bits);
+            assert_eq!(br.len(), n);
+            let mut acc = 0u32;
+            for (i, &bit) in bits.iter().enumerate() {
+                assert_eq!(br.rank(i), acc);
+                assert_eq!(br.get(i), bit);
+                if bit {
+                    acc += 1;
+                }
+            }
+            assert_eq!(br.rank(n), acc);
+        }
+    }
+
+    #[test]
+    fn full_sampling_is_identity() {
+        let sa = vec![7u32, 6, 4, 0, 2, 5, 1, 3];
+        let s = SampledSuffixArray::new(&sa, 1);
+        for (row, &v) in sa.iter().enumerate() {
+            assert_eq!(s.get(row), Some(v));
+        }
+    }
+
+    #[test]
+    fn sparse_sampling_marks_multiples() {
+        let sa = vec![7u32, 6, 4, 0, 2, 5, 1, 3];
+        let s = SampledSuffixArray::new(&sa, 4);
+        // Values 0 and 4 are multiples of 4.
+        assert_eq!(s.get(3), Some(0));
+        assert_eq!(s.get(2), Some(4));
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.rate(), 4);
+    }
+
+    #[test]
+    fn resolve_via_lf_on_real_text() {
+        // Build a real BWT + LF over the paper's text and check resolve
+        // reproduces the full SA at every rate.
+        let text = kmm_dna::encode_text(b"acagacagattaca").unwrap();
+        let sa = kmm_suffix::suffix_array(&text, kmm_dna::SIGMA);
+        let l = crate::bwt::bwt_from_sa(&text, &sa);
+        // LF via counting (reference implementation).
+        let sigma = kmm_dna::SIGMA;
+        let mut c = vec![0usize; sigma + 1];
+        for &x in &l {
+            c[x as usize + 1] += 1;
+        }
+        for i in 0..sigma {
+            c[i + 1] += c[i];
+        }
+        let mut seen = vec![0usize; sigma];
+        let mut lf = vec![0usize; l.len()];
+        for (i, &x) in l.iter().enumerate() {
+            lf[i] = c[x as usize] + seen[x as usize];
+            seen[x as usize] += 1;
+        }
+        for rate in [1usize, 2, 4, 8] {
+            let s = SampledSuffixArray::new(&sa, rate);
+            for (row, &v) in sa.iter().enumerate() {
+                assert_eq!(s.resolve(row, |r| lf[r]), v, "rate {rate} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_uses_less_space() {
+        let sa: Vec<u32> = (0..10_000u32).rev().collect();
+        let dense = SampledSuffixArray::new(&sa, 1);
+        let sparse = SampledSuffixArray::new(&sa, 32);
+        assert!(sparse.heap_bytes() < dense.heap_bytes() / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be >= 1")]
+    fn rejects_zero_rate() {
+        SampledSuffixArray::new(&[0], 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Aho–Corasick multi-pattern exact matching.
+//!
+//! Cited in the paper's related work (\[1\]) and used here as the marking
+//! engine of the Amir baseline: all pattern blocks are located in a single
+//! `O(Σ|r_i| + n + z)` pass over the target.
+
+use kmm_dna::SIGMA;
+
+/// One reported match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AcMatch {
+    /// 0-based start position in the text.
+    pub start: usize,
+    /// Index of the matched pattern in the constructor slice.
+    pub pattern: usize,
+}
+
+#[derive(Debug, Clone)]
+struct AcNode {
+    children: [u32; SIGMA],
+    fail: u32,
+    /// Patterns ending at this node.
+    output: Vec<u32>,
+}
+
+impl AcNode {
+    fn new() -> Self {
+        AcNode { children: [u32::MAX; SIGMA], fail: 0, output: Vec::new() }
+    }
+}
+
+/// The automaton. Patterns may repeat and may be prefixes of one another.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<AcNode>,
+    pattern_lens: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Build the automaton over the given patterns (empty patterns are
+    /// rejected).
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        let mut nodes = vec![AcNode::new()];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+        for (idx, p) in patterns.iter().enumerate() {
+            let p = p.as_ref();
+            assert!(!p.is_empty(), "pattern {idx} is empty");
+            pattern_lens.push(p.len());
+            let mut v = 0usize;
+            for &c in p {
+                let c = c as usize;
+                assert!(c < SIGMA, "symbol out of alphabet");
+                if nodes[v].children[c] == u32::MAX {
+                    nodes[v].children[c] = nodes.len() as u32;
+                    nodes.push(AcNode::new());
+                }
+                v = nodes[v].children[c] as usize;
+            }
+            nodes[v].output.push(idx as u32);
+        }
+        // BFS to fill failure links and convert to a goto automaton
+        // (missing transitions resolved through fails up front).
+        let mut queue = std::collections::VecDeque::new();
+        for c in 0..SIGMA {
+            let u = nodes[0].children[c];
+            if u == u32::MAX {
+                nodes[0].children[c] = 0;
+            } else {
+                nodes[u as usize].fail = 0;
+                queue.push_back(u);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let v = v as usize;
+            let fail = nodes[v].fail as usize;
+            // Merge outputs along the failure chain.
+            let inherited: Vec<u32> = nodes[fail].output.clone();
+            nodes[v].output.extend(inherited);
+            for c in 0..SIGMA {
+                let u = nodes[v].children[c];
+                if u == u32::MAX {
+                    nodes[v].children[c] = nodes[fail].children[c];
+                } else {
+                    nodes[u as usize].fail = nodes[fail].children[c];
+                    queue.push_back(u);
+                }
+            }
+        }
+        AhoCorasick { nodes, pattern_lens }
+    }
+
+    /// All matches of all patterns in `text`, in increasing end-position
+    /// order.
+    pub fn find_all(&self, text: &[u8]) -> Vec<AcMatch> {
+        let mut out = Vec::new();
+        let mut v = 0usize;
+        for (i, &c) in text.iter().enumerate() {
+            v = self.nodes[v].children[c as usize] as usize;
+            for &p in &self.nodes[v].output {
+                let len = self.pattern_lens[p as usize];
+                out.push(AcMatch { start: i + 1 - len, pattern: p as usize });
+            }
+        }
+        out
+    }
+
+    /// Stream matches into a callback (avoids the output vector for the
+    /// marking phase of the Amir baseline).
+    pub fn for_each_match(&self, text: &[u8], mut f: impl FnMut(AcMatch)) {
+        let mut v = 0usize;
+        for (i, &c) in text.iter().enumerate() {
+            v = self.nodes[v].children[c as usize] as usize;
+            for &p in &self.nodes[v].output {
+                let len = self.pattern_lens[p as usize];
+                f(AcMatch { start: i + 1 - len, pattern: p as usize });
+            }
+        }
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::find_exact;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        kmm_dna::encode(s).unwrap()
+    }
+
+    #[test]
+    fn single_pattern_matches_naive() {
+        let t = enc(b"acagacacaga");
+        let p = enc(b"aca");
+        let ac = AhoCorasick::new(std::slice::from_ref(&p));
+        let starts: Vec<usize> = ac.find_all(&t).into_iter().map(|m| m.start).collect();
+        assert_eq!(starts, find_exact(&t, &p));
+    }
+
+    #[test]
+    fn multiple_patterns_including_prefixes() {
+        let t = enc(b"acgacga");
+        let pats = [enc(b"acg"), enc(b"ac"), enc(b"cga")];
+        let ac = AhoCorasick::new(&pats);
+        let mut got = ac.find_all(&t);
+        got.sort();
+        let mut want = Vec::new();
+        for (idx, p) in pats.iter().enumerate() {
+            for s in find_exact(&t, p) {
+                want.push(AcMatch { start: s, pattern: idx });
+            }
+        }
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_patterns_both_reported() {
+        let t = enc(b"aaa");
+        let pats = [enc(b"aa"), enc(b"aa")];
+        let ac = AhoCorasick::new(&pats);
+        let got = ac.find_all(&t);
+        assert_eq!(got.len(), 4); // two starts x two pattern ids
+    }
+
+    #[test]
+    fn random_multi_pattern_vs_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..300);
+            let t: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let np = rng.gen_range(1..6);
+            let pats: Vec<Vec<u8>> = (0..np)
+                .map(|_| {
+                    let m = rng.gen_range(1..6);
+                    (0..m).map(|_| rng.gen_range(1..=4)).collect()
+                })
+                .collect();
+            let ac = AhoCorasick::new(&pats);
+            let mut got = ac.find_all(&t);
+            got.sort();
+            let mut want = Vec::new();
+            for (idx, p) in pats.iter().enumerate() {
+                for s in find_exact(&t, p) {
+                    want.push(AcMatch { start: s, pattern: idx });
+                }
+            }
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn callback_agrees_with_find_all() {
+        let t = enc(b"gattacagattaca");
+        let pats = [enc(b"atta"), enc(b"ga")];
+        let ac = AhoCorasick::new(&pats);
+        let mut streamed = Vec::new();
+        ac.for_each_match(&t, |m| streamed.push(m));
+        assert_eq!(streamed, ac.find_all(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn rejects_empty_pattern() {
+        AhoCorasick::new(&[Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn state_count_is_bounded() {
+        let pats = [enc(b"acgt"), enc(b"acga")];
+        let ac = AhoCorasick::new(&pats);
+        assert!(ac.state_count() <= 9);
+    }
+}

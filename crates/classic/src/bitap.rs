@@ -1,0 +1,87 @@
+//! Shift-Or (bitap) exact matching.
+//!
+//! The bit-parallel counterpart of the automaton matchers: one machine
+//! word tracks all active prefix states, advancing by a shift and an OR
+//! per text symbol — `O(n)` for patterns up to 128 symbols, with a
+//! constant factor that is hard to beat for short reads.
+
+use kmm_dna::SIGMA;
+
+/// Maximum supported pattern length (bits in the state word).
+pub const MAX_PATTERN: usize = 128;
+
+/// All start positions of exact occurrences of `pattern` in `text`.
+///
+/// Returns `None` when the pattern is longer than [`MAX_PATTERN`] (the
+/// caller should fall back to KMP/Horspool).
+pub fn find(text: &[u8], pattern: &[u8]) -> Option<Vec<usize>> {
+    let m = pattern.len();
+    if m == 0 || m > MAX_PATTERN {
+        return if m == 0 { Some(Vec::new()) } else { None };
+    }
+    // masks[c] has bit i CLEAR iff pattern[i] == c (Shift-Or convention).
+    let mut masks = [u128::MAX; SIGMA];
+    for (i, &c) in pattern.iter().enumerate() {
+        masks[c as usize] &= !(1u128 << i);
+    }
+    let accept = 1u128 << (m - 1);
+    let mut state = u128::MAX;
+    let mut out = Vec::new();
+    for (i, &c) in text.iter().enumerate() {
+        state = (state << 1) | masks[c as usize];
+        if state & accept == 0 {
+            out.push(i + 1 - m);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::find_exact;
+
+    #[test]
+    fn finds_paper_pattern() {
+        let t = kmm_dna::encode(b"acagaca").unwrap();
+        let p = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(find(&t, &p).unwrap(), vec![0, 4]);
+    }
+
+    #[test]
+    fn random_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        for _ in 0..150 {
+            let n = rng.gen_range(0..300);
+            let t: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let m = rng.gen_range(1..12);
+            let p: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=2)).collect();
+            assert_eq!(find(&t, &p).unwrap(), find_exact(&t, &p));
+        }
+    }
+
+    #[test]
+    fn full_width_pattern() {
+        // Exactly 128 symbols works; 129 does not.
+        let p: Vec<u8> = (0..128).map(|i| (i % 4 + 1) as u8).collect();
+        let mut t = vec![4u8, 4];
+        t.extend_from_slice(&p);
+        t.push(1);
+        assert_eq!(find(&t, &p).unwrap(), vec![2]);
+        let p129: Vec<u8> = (0..129).map(|i| (i % 4 + 1) as u8).collect();
+        assert!(find(&t, &p129).is_none());
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_result() {
+        assert_eq!(find(&[1, 2, 3], &[]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn overlapping_hits() {
+        let t = kmm_dna::encode(b"aaaaa").unwrap();
+        let p = kmm_dna::encode(b"aa").unwrap();
+        assert_eq!(find(&t, &p).unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Boyer–Moore–Horspool exact matching.
+//!
+//! The Boyer–Moore family (\[9\] in the paper) skips ahead using a bad-
+//! character table; Horspool's simplification keeps only that table. On
+//! the 4-letter DNA alphabet the expected skip is small, which is exactly
+//! why the paper's community moved to index-based methods — but it remains
+//! a useful, allocation-free scanner for short patterns.
+
+use kmm_dna::SIGMA;
+
+/// All start positions of exact occurrences of `pattern` in `text`.
+pub fn find(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let n = text.len();
+    if m == 0 || m > n {
+        return Vec::new();
+    }
+    // Bad-character shift: distance from the last occurrence of each symbol
+    // to the end of the pattern (default m).
+    let mut shift = [m; SIGMA];
+    for (i, &c) in pattern[..m - 1].iter().enumerate() {
+        shift[c as usize] = m - 1 - i;
+    }
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + m <= n {
+        if &text[i..i + m] == pattern {
+            out.push(i);
+        }
+        i += shift[text[i + m - 1] as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::find_exact;
+
+    #[test]
+    fn finds_paper_pattern() {
+        let t = kmm_dna::encode(b"acagaca").unwrap();
+        let p = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(find(&t, &p), vec![0, 4]);
+    }
+
+    #[test]
+    fn single_char_pattern() {
+        let t = kmm_dna::encode(b"agaga").unwrap();
+        let p = kmm_dna::encode(b"g").unwrap();
+        assert_eq!(find(&t, &p), vec![1, 3]);
+    }
+
+    #[test]
+    fn pattern_equals_text() {
+        let t = kmm_dna::encode(b"acgt").unwrap();
+        assert_eq!(find(&t, &t), vec![0]);
+    }
+
+    #[test]
+    fn random_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..150 {
+            let n = rng.gen_range(0..250);
+            let t: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let m = rng.gen_range(1..10);
+            let p: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=3)).collect();
+            assert_eq!(find(&t, &p), find_exact(&t, &p), "t={t:?} p={p:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_runs() {
+        let t = kmm_dna::encode(b"aaaaa").unwrap();
+        let p = kmm_dna::encode(b"aaa").unwrap();
+        assert_eq!(find(&t, &p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(find(&[], &[1]).is_empty());
+        assert!(find(&[1], &[]).is_empty());
+        assert!(find(&[1], &[1, 2]).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! The Landau–Vishkin "kangaroo" method: `O(kn)` k-mismatch matching.
+//!
+//! This is the classic online technique behind the `O(kn + m log m)`
+//! methods the paper cites (\[19, 30\] family): concatenate `text # pattern`,
+//! build a suffix structure with O(1) longest-common-extension queries,
+//! then verify every alignment with at most `k + 1` LCE "jumps". It doubles
+//! as the verification engine of our Amir baseline.
+
+use kmm_dna::SIGMA;
+use kmm_suffix::EnhancedSuffixArray;
+
+use crate::naive::Occurrence;
+
+/// Separator symbol between text and pattern in the concatenation; it is
+/// outside the DNA alphabet so no LCE can cross it.
+const SEPARATOR: u8 = SIGMA as u8;
+
+/// Kangaroo-jump verifier for one (text, pattern) pair.
+///
+/// `text` and `pattern` are sentinel-free encoded sequences.
+#[derive(Debug)]
+pub struct Kangaroo {
+    esa: EnhancedSuffixArray,
+    text_len: usize,
+    pattern_len: usize,
+}
+
+impl Kangaroo {
+    /// Preprocess `text # pattern $` (O((n + m) log(n + m)) for the RMQ).
+    pub fn new(text: &[u8], pattern: &[u8]) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        let mut concat = Vec::with_capacity(text.len() + pattern.len() + 2);
+        concat.extend_from_slice(text);
+        concat.push(SEPARATOR);
+        concat.extend_from_slice(pattern);
+        concat.push(0);
+        let esa = EnhancedSuffixArray::new(concat, SIGMA + 1);
+        Kangaroo { esa, text_len: text.len(), pattern_len: pattern.len() }
+    }
+
+    /// Longest common extension between `text[i..]` and `pattern[j..]`.
+    #[inline]
+    pub fn lce_text_pattern(&self, i: usize, j: usize) -> usize {
+        self.esa.lce(i, self.text_len + 1 + j)
+    }
+
+    /// Hamming distance of the window at `pos` against the pattern, if it
+    /// is at most `k`; `None` otherwise. At most `k + 1` jumps.
+    pub fn verify(&self, pos: usize, k: usize) -> Option<usize> {
+        debug_assert!(pos + self.pattern_len <= self.text_len);
+        let m = self.pattern_len;
+        let mut mism = 0usize;
+        let mut offset = 0usize;
+        loop {
+            let ext = self.lce_text_pattern(pos + offset, offset);
+            offset += ext;
+            if offset >= m {
+                return Some(mism);
+            }
+            // A genuine mismatch at `offset`.
+            mism += 1;
+            if mism > k {
+                return None;
+            }
+            offset += 1;
+            if offset >= m {
+                return Some(mism);
+            }
+        }
+    }
+
+    /// All k-mismatch occurrences by verifying every alignment: `O(kn)`.
+    pub fn find_all(&self, k: usize) -> Vec<Occurrence> {
+        if self.pattern_len > self.text_len {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for pos in 0..=self.text_len - self.pattern_len {
+            if let Some(mismatches) = self.verify(pos, k) {
+                out.push(Occurrence { position: pos, mismatches });
+            }
+        }
+        out
+    }
+
+    /// Pattern length.
+    pub fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    /// Text length.
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+}
+
+/// One-shot convenience wrapper around [`Kangaroo::find_all`].
+pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> Vec<Occurrence> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    Kangaroo::new(text, pattern).find_all(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn paper_intro_example() {
+        let s = kmm_dna::encode(b"ccacacagaagcc").unwrap();
+        let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
+        let occ = find_k_mismatch(&s, &r, 4);
+        assert_eq!(occ, naive::find_k_mismatch(&s, &r, 4));
+        assert!(occ.iter().any(|o| o.position == 2 && o.mismatches == 4));
+    }
+
+    #[test]
+    fn exact_matching_as_k0() {
+        let t = kmm_dna::encode(b"acagaca").unwrap();
+        let p = kmm_dna::encode(b"aca").unwrap();
+        let occ = find_k_mismatch(&t, &p, 0);
+        assert_eq!(
+            occ.iter().map(|o| o.position).collect::<Vec<_>>(),
+            vec![0, 4]
+        );
+    }
+
+    #[test]
+    fn random_agrees_with_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..200);
+            let t: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let m = rng.gen_range(1..=n.min(12));
+            let p: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+            for k in 0..4 {
+                assert_eq!(
+                    find_k_mismatch(&t, &p, k),
+                    naive::find_k_mismatch(&t, &p, k),
+                    "n={n} m={m} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_counts_exactly() {
+        let t = kmm_dna::encode(b"acgtacgt").unwrap();
+        let p = kmm_dna::encode(b"aggt").unwrap();
+        let kang = Kangaroo::new(&t, &p);
+        // window "acgt" vs "aggt" -> 1 mismatch.
+        assert_eq!(kang.verify(0, 4), Some(1));
+        assert_eq!(kang.verify(0, 1), Some(1));
+        assert_eq!(kang.verify(0, 0), None);
+        // window "cgta" vs "aggt" -> 3 mismatches (only g/g matches).
+        assert_eq!(kang.verify(1, 4), Some(3));
+        assert_eq!(kang.verify(1, 3), Some(3));
+        assert_eq!(kang.verify(1, 2), None);
+    }
+
+    #[test]
+    fn lce_does_not_cross_separator() {
+        // Text suffix equal to whole pattern: LCE must stop at m.
+        let t = kmm_dna::encode(b"acgt").unwrap();
+        let p = kmm_dna::encode(b"acgt").unwrap();
+        let kang = Kangaroo::new(&t, &p);
+        assert_eq!(kang.lce_text_pattern(0, 0), 4);
+    }
+
+    #[test]
+    fn pattern_longer_than_text_is_empty() {
+        let t = kmm_dna::encode(b"ac").unwrap();
+        let p = kmm_dna::encode(b"acgt").unwrap();
+        assert!(find_k_mismatch(&t, &p, 3).is_empty());
+    }
+}

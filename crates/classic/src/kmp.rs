@@ -1,0 +1,110 @@
+//! Knuth–Morris–Pratt exact matching.
+//!
+//! Cited in the paper's related-work section (\[26\]) as the origin of the
+//! shift-information ("failure function") idea that Aho–Corasick and the
+//! mismatch-array machinery build on. `O(m + n)`.
+
+/// The failure function: `next[i]` is the length of the longest proper
+/// border of `pattern[..=i]`.
+pub fn failure_function(pattern: &[u8]) -> Vec<usize> {
+    let m = pattern.len();
+    let mut next = vec![0usize; m];
+    let mut k = 0usize;
+    for i in 1..m {
+        while k > 0 && pattern[k] != pattern[i] {
+            k = next[k - 1];
+        }
+        if pattern[k] == pattern[i] {
+            k += 1;
+        }
+        next[i] = k;
+    }
+    next
+}
+
+/// All start positions of exact occurrences of `pattern` in `text`.
+pub fn find(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    let next = failure_function(pattern);
+    let mut out = Vec::new();
+    let mut q = 0usize;
+    for (i, &c) in text.iter().enumerate() {
+        while q > 0 && pattern[q] != c {
+            q = next[q - 1];
+        }
+        if pattern[q] == c {
+            q += 1;
+        }
+        if q == pattern.len() {
+            out.push(i + 1 - q);
+            q = next[q - 1];
+        }
+    }
+    out
+}
+
+/// The smallest period of `pattern` (from the failure function). A string
+/// is periodic in Amir's sense when its period is at most half its length.
+pub fn smallest_period(pattern: &[u8]) -> usize {
+    if pattern.is_empty() {
+        return 0;
+    }
+    let next = failure_function(pattern);
+    pattern.len() - next[pattern.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::find_exact;
+
+    #[test]
+    fn failure_function_known() {
+        // Pattern "acacag": borders 0 0 1 2 3 0.
+        let p = kmm_dna::encode(b"acacag").unwrap();
+        assert_eq!(failure_function(&p), vec![0, 0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn finds_paper_pattern() {
+        let t = kmm_dna::encode(b"acagaca").unwrap();
+        let p = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(find(&t, &p), vec![0, 4]);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let t = kmm_dna::encode(b"aaaa").unwrap();
+        let p = kmm_dna::encode(b"aa").unwrap();
+        assert_eq!(find(&t, &p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..100 {
+            let n = rng.gen_range(0..200);
+            let t: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let m = rng.gen_range(1..8);
+            let p: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=2)).collect();
+            assert_eq!(find(&t, &p), find_exact(&t, &p));
+        }
+    }
+
+    #[test]
+    fn period_detection() {
+        assert_eq!(smallest_period(&kmm_dna::encode(b"acacac").unwrap()), 2);
+        assert_eq!(smallest_period(&kmm_dna::encode(b"aaaa").unwrap()), 1);
+        assert_eq!(smallest_period(&kmm_dna::encode(b"acgt").unwrap()), 4);
+        assert_eq!(smallest_period(&[]), 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(find(&[], &[1]).is_empty());
+        assert!(find(&[1, 2], &[]).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # kmm-classic
+//!
+//! Classic exact-matching algorithms and online k-mismatch baselines:
+//! the naive reference scans, Knuth–Morris–Pratt, Boyer–Moore–Horspool,
+//! Aho–Corasick, the Landau–Vishkin kangaroo method, and the Amir-style
+//! mark-and-verify matcher compared against Algorithm A in the paper's
+//! experiments (Section V).
+
+pub mod aho_corasick;
+pub mod amir;
+pub mod bitap;
+pub mod horspool;
+pub mod kangaroo;
+pub mod kmp;
+pub mod naive;
+pub mod shift_add;
+
+pub use aho_corasick::{AcMatch, AhoCorasick};
+pub use amir::AmirStats;
+pub use kangaroo::Kangaroo;
+pub use naive::Occurrence;
+pub use shift_add::ShiftAddResult;
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::{amir, kangaroo, naive};
+
+    fn dna_seq(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(1u8..=4, 1..max)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn kangaroo_equals_naive(
+            text in dna_seq(200),
+            pattern in dna_seq(16),
+            k in 0usize..5,
+        ) {
+            prop_assert_eq!(
+                kangaroo::find_k_mismatch(&text, &pattern, k),
+                naive::find_k_mismatch(&text, &pattern, k)
+            );
+        }
+
+        #[test]
+        fn amir_equals_naive(
+            text in dna_seq(200),
+            pattern in dna_seq(24),
+            k in 0usize..5,
+        ) {
+            prop_assert_eq!(
+                amir::find_k_mismatch(&text, &pattern, k),
+                naive::find_k_mismatch(&text, &pattern, k)
+            );
+        }
+
+        #[test]
+        fn exact_matchers_agree(text in dna_seq(300), pattern in dna_seq(10)) {
+            let want = naive::find_exact(&text, &pattern);
+            prop_assert_eq!(crate::kmp::find(&text, &pattern), want.clone());
+            prop_assert_eq!(crate::horspool::find(&text, &pattern), want);
+        }
+    }
+}

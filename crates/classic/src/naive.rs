@@ -1,0 +1,109 @@
+//! Naive scanning matchers — the ground truth every other algorithm in the
+//! suite is verified against.
+
+use kmm_dna::hamming_bounded;
+
+/// All start positions where `pattern` occurs exactly in `text`
+/// (`text` may include a trailing sentinel; occurrences never cover it
+/// because patterns are sentinel-free). `O(mn)`.
+pub fn find_exact(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    (0..=text.len() - pattern.len())
+        .filter(|&i| &text[i..i + pattern.len()] == pattern)
+        .collect()
+}
+
+/// A k-mismatch occurrence: start position plus the Hamming distance there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Occurrence {
+    /// 0-based start position in the target.
+    pub position: usize,
+    /// Hamming distance between the pattern and the window at `position`.
+    pub mismatches: usize,
+}
+
+/// All positions where `pattern` occurs in `text` with at most `k`
+/// mismatches, by direct `O(mn)` scanning with early abort. This is the
+/// reference implementation for the whole suite.
+///
+/// If `text` ends with a sentinel, pass the sentinel-free prefix or rely on
+/// the fact that windows overlapping the sentinel mismatch it (pattern
+/// symbols are never the sentinel) — both behaviours are exercised in
+/// tests; the canonical usage is a sentinel-free `text`.
+pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> Vec<Occurrence> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    let m = pattern.len();
+    let mut out = Vec::new();
+    for i in 0..=text.len() - m {
+        if let Some(d) = hamming_bounded(&text[i..i + m], pattern, k) {
+            out.push(Occurrence { position: i, mismatches: d });
+        }
+    }
+    out
+}
+
+/// Just the positions of [`find_k_mismatch`], for compact comparisons.
+pub fn find_k_mismatch_positions(text: &[u8], pattern: &[u8], k: usize) -> Vec<usize> {
+    find_k_mismatch(text, pattern, k).into_iter().map(|o| o.position).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_basics() {
+        let t = kmm_dna::encode(b"acagaca").unwrap();
+        let p = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(find_exact(&t, &p), vec![0, 4]);
+        assert_eq!(find_exact(&t, &[]), Vec::<usize>::new());
+        assert_eq!(find_exact(&[], &p), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // Section I: r = aaaaacaaac occurs at position 3 (1-based) of
+        // s = ccacacagaagcc with k = 4 mismatches.
+        let s = kmm_dna::encode(b"ccacacagaagcc").unwrap();
+        let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
+        let occ = find_k_mismatch(&s, &r, 4);
+        assert!(occ.contains(&Occurrence { position: 2, mismatches: 4 }));
+    }
+
+    #[test]
+    fn k_zero_equals_exact() {
+        let t = kmm_dna::encode(b"acacacac").unwrap();
+        let p = kmm_dna::encode(b"cac").unwrap();
+        let exact = find_exact(&t, &p);
+        let k0 = find_k_mismatch_positions(&t, &p, 0);
+        assert_eq!(exact, k0);
+    }
+
+    #[test]
+    fn k_at_least_m_matches_everywhere() {
+        let t = kmm_dna::encode(b"acgtacgt").unwrap();
+        let p = kmm_dna::encode(b"ttt").unwrap();
+        let occ = find_k_mismatch(&t, &p, 3);
+        assert_eq!(occ.len(), t.len() - p.len() + 1);
+    }
+
+    #[test]
+    fn mismatch_counts_are_reported() {
+        let t = kmm_dna::encode(b"aaaa").unwrap();
+        let p = kmm_dna::encode(b"at").unwrap();
+        let occ = find_k_mismatch(&t, &p, 1);
+        assert_eq!(occ.len(), 3);
+        assert!(occ.iter().all(|o| o.mismatches == 1));
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let t = kmm_dna::encode(b"ac").unwrap();
+        let p = kmm_dna::encode(b"acgt").unwrap();
+        assert!(find_k_mismatch(&t, &p, 4).is_empty());
+    }
+}

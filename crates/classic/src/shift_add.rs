@@ -1,0 +1,172 @@
+//! Shift-Add k-mismatch matching (Baeza-Yates & Gonnet counting).
+//!
+//! One of the `O(mn)`-class online methods the paper's related-work
+//! section groups under \[5, 18, 48\]-style approaches: every alignment
+//! keeps a mismatch counter packed into a machine word, and each text
+//! symbol advances *all* counters with one shift and one add. Counters
+//! are sized to hold the maximum possible count `m`, so they can never
+//! overflow or carry into a neighbour — the original formulation of the
+//! algorithm. For read-length patterns that fit the 128-bit state word it
+//! is extremely fast in practice and serves the suite as another
+//! independent oracle.
+
+use kmm_dna::SIGMA;
+
+use crate::naive::Occurrence;
+
+/// Outcome of a Shift-Add run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShiftAddResult {
+    /// Matches found (possibly none).
+    Matches(Vec<Occurrence>),
+    /// The pattern does not fit the 128-bit state word; holds the maximum
+    /// supported pattern length.
+    PatternTooLong {
+        /// Longest pattern this implementation can handle.
+        max_len: usize,
+    },
+}
+
+/// Bits per counter for a pattern of length `m`: counters must hold the
+/// maximum possible mismatch count, `m` itself.
+fn counter_bits(m: usize) -> usize {
+    (usize::BITS - m.leading_zeros()) as usize
+}
+
+/// Maximum pattern length supported by the 128-bit state word
+/// (25 symbols: 25 counters x 5 bits = 125 bits).
+pub fn max_pattern_len() -> usize {
+    (1..=128).rev().find(|&m| m * counter_bits(m) <= 128).unwrap_or(1)
+}
+
+/// All occurrences of `pattern` in `text` with at most `k` mismatches.
+pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> ShiftAddResult {
+    let m = pattern.len();
+    if m == 0 {
+        return ShiftAddResult::Matches(Vec::new());
+    }
+    let b = counter_bits(m);
+    if m * b > 128 {
+        return ShiftAddResult::PatternTooLong { max_len: max_pattern_len() };
+    }
+
+    // Per-symbol increment masks: slot i holds 1 iff pattern[i] != c.
+    let mut inc = [0u128; SIGMA];
+    for (c, mask) in inc.iter_mut().enumerate() {
+        for (i, &p) in pattern.iter().enumerate() {
+            if p as usize != c {
+                *mask |= 1u128 << (i * b);
+            }
+        }
+    }
+
+    // After processing text[pos], slot i holds the number of mismatches of
+    // pattern[0..=i] against text[pos-i ..= pos] (valid once pos >= i).
+    // Counters hold at most m < 2^b, so additions never carry across
+    // slots.
+    let mut state: u128 = 0;
+    let slot_mask = (1u128 << b) - 1;
+    let final_shift = ((m - 1) * b) as u32;
+    let mut out = Vec::new();
+    for (pos, &c) in text.iter().enumerate() {
+        state = (state << b) + inc[c as usize];
+        if pos + 1 >= m {
+            let count = ((state >> final_shift) & slot_mask) as usize;
+            if count <= k {
+                out.push(Occurrence { position: pos + 1 - m, mismatches: count });
+            }
+        }
+    }
+    ShiftAddResult::Matches(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn matches(text: &[u8], pattern: &[u8], k: usize) -> Vec<Occurrence> {
+        match find_k_mismatch(text, pattern, k) {
+            ShiftAddResult::Matches(v) => v,
+            ShiftAddResult::PatternTooLong { max_len } => {
+                panic!("pattern too long (max {max_len})")
+            }
+        }
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        let s = kmm_dna::encode(b"ccacacagaagcc").unwrap();
+        let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
+        assert_eq!(matches(&s, &r, 4), naive::find_k_mismatch(&s, &r, 4));
+    }
+
+    #[test]
+    fn exact_as_k0() {
+        let t = kmm_dna::encode(b"acagaca").unwrap();
+        let p = kmm_dna::encode(b"aca").unwrap();
+        let got: Vec<usize> = matches(&t, &p, 0).iter().map(|o| o.position).collect();
+        assert_eq!(got, vec![0, 4]);
+    }
+
+    #[test]
+    fn random_agrees_with_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let mmax = max_pattern_len().min(20);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..250);
+            let t: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let k = rng.gen_range(0..6usize);
+            let m = rng.gen_range(1..=mmax);
+            let p: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+            assert_eq!(
+                matches(&t, &p, k),
+                naive::find_k_mismatch(&t, &p, k),
+                "t={t:?} p={p:?} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_never_wrap() {
+        // All-mismatching text: counters climb to m and must stay there.
+        let t = kmm_dna::encode(&b"t".repeat(64)).unwrap();
+        let p = kmm_dna::encode(b"aaaaaaaaaaaa").unwrap(); // 12 a's
+        for k in 0..4 {
+            assert!(matches(&t, &p, k).is_empty(), "k={k}");
+        }
+        // And with k = m every window matches with count = m.
+        let occ = matches(&t, &p, 12);
+        assert_eq!(occ.len(), 64 - 12 + 1);
+        assert!(occ.iter().all(|o| o.mismatches == 12));
+    }
+
+    #[test]
+    fn capacity_bounds() {
+        assert_eq!(max_pattern_len(), 25);
+        let t = kmm_dna::encode(b"acgt").unwrap();
+        let long: Vec<u8> = (0..100).map(|i| (i % 4 + 1) as u8).collect();
+        assert!(matches!(
+            find_k_mismatch(&t, &long, 1),
+            ShiftAddResult::PatternTooLong { max_len: 25 }
+        ));
+        // A 25-symbol pattern works.
+        let p: Vec<u8> = (0..25).map(|i| (i % 4 + 1) as u8).collect();
+        let mut t = vec![2u8; 5];
+        t.extend_from_slice(&p);
+        let got = matches(&t, &p, 0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].position, 5);
+    }
+
+    #[test]
+    fn reported_counts_are_hamming() {
+        let t = kmm_dna::encode(b"acgtacgtac").unwrap();
+        let p = kmm_dna::encode(b"aggt").unwrap();
+        for occ in matches(&t, &p, 3) {
+            let w = &t[occ.position..occ.position + 4];
+            assert_eq!(occ.mismatches, kmm_dna::hamming(w, &p));
+        }
+    }
+}

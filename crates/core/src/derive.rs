@@ -1,0 +1,219 @@
+//! The paper's mismatch-information derivation (`mi-creation` /
+//! `node-creation`, Section IV-C) in its literal, array-based form.
+//!
+//! When Algorithm A meets a pair `v` (aligned at pattern position `j`)
+//! that repeats an earlier pair `v'` (aligned at `i < j`), the paper does
+//! not re-explore `T[v]`; it derives, for every stored path `P_l` through
+//! `v'` with mismatch array `B_l`, the mismatch array the same text path
+//! has under the new alignment:
+//!
+//! ```text
+//! R_ij      = merge(R_i, R_j, r[i..], r[j..])          (step 1)
+//! B_l(new)  = merge(B_l^i, R_ij, P_l, r[j..])          (step 2)
+//! ```
+//!
+//! because `B_l^i = mismatches(r[i..], P_l)` and
+//! `R_ij = mismatches(r[i..], r[j..])` share the reference string
+//! `r[i..]` (Proposition 1). The production search in
+//! [`crate::algorithm_a`] realises the same derivation structurally (the
+//! arena stores the symbols, so each re-derivation is O(1) per node); this
+//! module keeps the paper's array formulation as an executable
+//! specification, cross-checked against direct recomputation — including
+//! inside the real search via [`DerivationAudit`].
+
+use crate::merge::{merge, mismatches_direct};
+use crate::rarray::RTable;
+
+/// One stored subtree path: the spelled text `w` below the shared pair and
+/// its mismatch positions against the alignment it was explored under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredPath {
+    /// The symbols spelled from the shared pair downward (the shared
+    /// pair's own symbol first).
+    pub text: Vec<u8>,
+    /// 0-based mismatch positions of `text` against `r[i ..]`.
+    pub b: Vec<u32>,
+}
+
+impl StoredPath {
+    /// Build a stored path by direct comparison (what live exploration
+    /// records into its `B` array as it descends).
+    pub fn new(text: Vec<u8>, pattern_suffix: &[u8]) -> Self {
+        let b = mismatches_direct(&text, pattern_suffix, usize::MAX);
+        StoredPath { text, b }
+    }
+}
+
+/// Paper step 2: derive the mismatch array of a stored path under a new
+/// alignment `j`, given `R_ij` (the output of step 1).
+///
+/// Equivalent to `mismatches_direct(&path.text, &pattern[j..])` but
+/// touching only `O(|B| + |R_ij|)` positions.
+pub fn derive_path(path: &StoredPath, r_ij: &[u32], pattern_j: &[u8]) -> Vec<u32> {
+    merge(&path.b, r_ij, &path.text, pattern_j, usize::MAX)
+}
+
+/// The full `mi-creation(u, v, j, i)` of Section IV-C over an explicit
+/// path set: derive every stored path's mismatch array for alignment `j`,
+/// and drop paths whose derived count exceeds `k` (the subtrees
+/// node-creation would not build).
+pub fn mi_creation(
+    rtable: &RTable,
+    stored: &[StoredPath],
+    i: usize,
+    j: usize,
+    k: usize,
+) -> Vec<Option<Vec<u32>>> {
+    let pattern = rtable.pattern().to_vec();
+    let r_ij = rtable.rij(i, j);
+    stored
+        .iter()
+        .map(|p| {
+            let derived = derive_path(p, &r_ij, &pattern[j..]);
+            (derived.len() <= k).then_some(derived)
+        })
+        .collect()
+}
+
+/// An audit hook for the production search: records, for every shared
+/// subtree the walk re-enters, enough information to replay the paper's
+/// array derivation and compare it with the walk's direct accounting.
+#[derive(Debug, Default)]
+pub struct DerivationAudit {
+    /// (i, j, path text, direct mismatches-vs-j) tuples collected under
+    /// shared nodes.
+    pub samples: Vec<(usize, usize, Vec<u8>, Vec<u32>)>,
+}
+
+impl DerivationAudit {
+    /// Verify every collected sample against the merge-based derivation.
+    /// Returns the number of samples checked.
+    ///
+    /// # Panics
+    /// Panics on the first disagreement (this is a test-support type).
+    pub fn verify(&self, rtable: &RTable) -> usize {
+        let pattern = rtable.pattern().to_vec();
+        for (i, j, text, direct_bj) in &self.samples {
+            let bi = mismatches_direct(text, &pattern[*i..], usize::MAX);
+            let stored = StoredPath { text: text.clone(), b: bi };
+            let r_ij = rtable.rij(*i, *j);
+            let derived = derive_path(&stored, &r_ij, &pattern[*j..]);
+            assert_eq!(
+                &derived, direct_bj,
+                "derivation mismatch for i={i} j={j} path={text:?}"
+            );
+        }
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(s: &[u8]) -> Vec<u8> {
+        kmm_dna::encode(s).unwrap()
+    }
+
+    #[test]
+    fn paper_section4c_example() {
+        // Section IV-C derives the mismatch information for P3 of Fig. 3
+        // (r = tcaca) when <c, [1,1]> recurs: v10 (compared to r[3]) reuses
+        // v4 (compared to r[1]); 0-based: j = 2 reuses i = 0.
+        let r = enc(b"tcaca");
+        let rtable = RTable::new(&r, 2);
+        // The stored path through v4 spells s[1..5] = "caga" (the P1
+        // continuation below depth 1), compared against r[1..] = "caca".
+        let stored = StoredPath::new(enc(b"caga"), &r[1..]);
+        assert_eq!(stored.b, vec![2]); // g vs c at offset 2
+        // Re-aligned at j = 3 (0-based; compared against r[3..] = "ca"):
+        let r_ij = rtable.rij(1, 3);
+        let derived = derive_path(&stored, &r_ij, &r[3..]);
+        assert_eq!(
+            derived,
+            mismatches_direct(&stored.text, &r[3..], usize::MAX)
+        );
+    }
+
+    #[test]
+    fn derive_equals_direct_randomised() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+        for _ in 0..300 {
+            let m = rng.gen_range(4..40);
+            let r: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=3)).collect();
+            let k = rng.gen_range(0..5);
+            let rtable = RTable::new(&r, k);
+            let i = rng.gen_range(0..m - 1);
+            let j = loop {
+                let j = rng.gen_range(0..m - 1);
+                if j != i {
+                    break j;
+                }
+            };
+            // A path of any length up to the shorter suffix.
+            let maxlen = (m - i).min(m - j);
+            let plen = rng.gen_range(1..=maxlen);
+            // Paths similar to the pattern (realistic: few mismatches).
+            let text: Vec<u8> = (0..plen)
+                .map(|p| {
+                    if rng.gen_bool(0.2) {
+                        rng.gen_range(1..=3)
+                    } else {
+                        r[i + p]
+                    }
+                })
+                .collect();
+            let stored = StoredPath::new(text.clone(), &r[i..]);
+            let r_ij = rtable.rij(i, j);
+            assert_eq!(
+                derive_path(&stored, &r_ij, &r[j..]),
+                mismatches_direct(&text, &r[j..], usize::MAX),
+                "r={r:?} i={i} j={j} text={text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mi_creation_prunes_over_budget_paths() {
+        let r = enc(b"acgtacgt");
+        let rtable = RTable::new(&r, 1);
+        // Stored under alignment i = 0; derive for j = 4 where r[4..] =
+        // "acgt".
+        let good = StoredPath::new(enc(b"acgt"), &r);
+        let bad = StoredPath::new(enc(b"tgca"), &r);
+        let derived = mi_creation(&rtable, &[good, bad], 0, 4, 1);
+        assert_eq!(derived.len(), 2);
+        assert_eq!(derived[0], Some(vec![])); // perfect match under j = 4
+        assert_eq!(derived[1], None); // 4 mismatches > k = 1
+    }
+
+    #[test]
+    fn audit_verifies_consistent_samples() {
+        let r = enc(b"acacacac");
+        let rtable = RTable::new(&r, 2);
+        let mut audit = DerivationAudit::default();
+        let text = enc(b"cacac");
+        let bj = mismatches_direct(&text, &r[2..], usize::MAX);
+        audit.samples.push((0, 2, text, bj));
+        assert_eq!(audit.verify(&rtable), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "derivation mismatch")]
+    fn audit_catches_wrong_samples() {
+        let r = enc(b"acacacac");
+        let rtable = RTable::new(&r, 2);
+        let mut audit = DerivationAudit::default();
+        audit.samples.push((0, 2, enc(b"cacac"), vec![0, 1, 2]));
+        audit.verify(&rtable);
+    }
+
+    #[test]
+    fn stored_path_records_live_mismatches() {
+        let r = enc(b"tcaca");
+        let p = StoredPath::new(enc(b"acaga"), &r);
+        // acaga vs tcaca: positions 0 and 3 differ.
+        assert_eq!(p.b, vec![0, 3]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The suite's unified k-mismatch API: one index, six interchangeable
+//! search methods — the four compared in the paper's Section V plus two
+//! reference scanners.
+
+use std::sync::OnceLock;
+
+use kmm_bwt::{FmBuildConfig, FmIndex};
+use kmm_classic::{amir, kangaroo, naive, Occurrence};
+use kmm_dna::SIGMA;
+use kmm_suffix::SuffixTree;
+
+use crate::algorithm_a::AlgorithmA;
+use crate::cole::ColeSearch;
+use crate::seed_filter::SeedFilterSearch;
+use crate::stats::SearchStats;
+use crate::stree::STreeSearch;
+
+/// Which algorithm answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Direct `O(mn)` scanning (ground truth).
+    Naive,
+    /// Landau–Vishkin kangaroo jumps, `O(kn)` online.
+    Kangaroo,
+    /// The paper's "Amir": mark-and-verify with block seeds.
+    Amir,
+    /// The paper's "Cole": brute-force suffix-tree search.
+    Cole,
+    /// The paper's "BWT": the S-tree baseline of \[34\] with the φ heuristic.
+    Bwt {
+        /// Enable the `φ(i)` pruning heuristic.
+        use_phi: bool,
+    },
+    /// The paper's contribution: Algorithm A.
+    AlgorithmA {
+        /// Enable pair sharing / subtree derivation (ablation knob).
+        reuse: bool,
+    },
+    /// Pigeonhole seed-and-filter over the FM-index (modern-aligner
+    /// baseline; not in the paper's comparison set).
+    SeedFilter,
+}
+
+impl Method {
+    /// The four methods of the paper's experiments, in its order and with
+    /// its configurations.
+    pub const PAPER_SET: [Method; 4] = [
+        Method::Bwt { use_phi: true },
+        Method::Amir,
+        Method::Cole,
+        Method::ALGORITHM_A,
+    ];
+
+    /// Algorithm A in its default (full) configuration.
+    pub const ALGORITHM_A: Method = Method::AlgorithmA { reuse: true };
+
+    /// Short label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Naive => "Naive",
+            Method::Kangaroo => "Kangaroo",
+            Method::Amir => "Amir's",
+            Method::Cole => "Cole's",
+            Method::Bwt { use_phi: true } => "BWT",
+            Method::Bwt { use_phi: false } => "BWT(no-phi)",
+            Method::AlgorithmA { reuse: true } => "A(.)",
+            Method::AlgorithmA { reuse: false } => "A(no-reuse)",
+            Method::SeedFilter => "SeedFilter",
+        }
+    }
+}
+
+/// Result of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Matches sorted by position.
+    pub occurrences: Vec<Occurrence>,
+    /// Method-specific counters (zeroed fields for scanning methods).
+    pub stats: SearchStats,
+}
+
+/// A k-mismatch index over one target string.
+///
+/// Holds the FM-index of the reversed target (used by the BWT baseline and
+/// Algorithm A) and lazily builds the suffix tree of the forward target
+/// the first time the Cole method is requested.
+#[derive(Debug)]
+pub struct KMismatchIndex {
+    text: Vec<u8>,
+    fm: FmIndex,
+    suffix_tree: OnceLock<SuffixTree>,
+}
+
+impl KMismatchIndex {
+    /// Index an encoded, sentinel-free target with the default FM layout.
+    pub fn new(text: Vec<u8>) -> Self {
+        Self::with_config(text, FmBuildConfig::default())
+    }
+
+    /// Index with an explicit FM layout (rankall / SA sampling rates).
+    pub fn with_config(text: Vec<u8>, config: FmBuildConfig) -> Self {
+        assert!(
+            text.iter().all(|&c| c >= 1 && (c as usize) < SIGMA),
+            "target must be sentinel-free base codes"
+        );
+        let mut rev = text.clone();
+        rev.reverse();
+        rev.push(0);
+        let fm = FmIndex::new(&rev, config);
+        KMismatchIndex { text, fm, suffix_tree: OnceLock::new() }
+    }
+
+    /// Convenience constructor from an ASCII DNA string.
+    pub fn from_ascii(ascii: &[u8]) -> Result<Self, kmm_dna::AlphabetError> {
+        Ok(Self::new(kmm_dna::encode(ascii)?))
+    }
+
+    /// Assemble from a pre-built FM-index (e.g. loaded from disk) and the
+    /// forward target it indexes.
+    ///
+    /// # Panics
+    /// Panics if `fm` does not index `reverse(text) + $` (verified by
+    /// length and by spot-checking the reconstruction).
+    pub fn from_parts(text: Vec<u8>, fm: FmIndex) -> Self {
+        assert_eq!(fm.len(), text.len() + 1, "index/text length mismatch");
+        debug_assert!({
+            let mut rev = text.clone();
+            rev.reverse();
+            rev.push(0);
+            fm.reconstruct_text() == rev
+        });
+        KMismatchIndex { text, fm, suffix_tree: OnceLock::new() }
+    }
+
+    /// The indexed target (encoded, sentinel-free).
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Target length in bases.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True for an empty target.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// The underlying reverse-text FM-index.
+    pub fn fm(&self) -> &FmIndex {
+        &self.fm
+    }
+
+    /// The forward suffix tree, building it on first use.
+    pub fn suffix_tree(&self) -> &SuffixTree {
+        self.suffix_tree.get_or_init(|| {
+            let mut t = self.text.clone();
+            t.push(0);
+            SuffixTree::new(t, SIGMA)
+        })
+    }
+
+    /// Answer a query with the chosen method. All methods return identical
+    /// occurrence lists (sorted by position, annotated with the Hamming
+    /// distance).
+    pub fn search(&self, pattern: &[u8], k: usize, method: Method) -> SearchResult {
+        match method {
+            Method::Naive => SearchResult {
+                occurrences: naive::find_k_mismatch(&self.text, pattern, k),
+                stats: SearchStats::default(),
+            },
+            Method::Kangaroo => SearchResult {
+                occurrences: kangaroo::find_k_mismatch(&self.text, pattern, k),
+                stats: SearchStats::default(),
+            },
+            Method::Amir => SearchResult {
+                occurrences: amir::find_k_mismatch(&self.text, pattern, k),
+                stats: SearchStats::default(),
+            },
+            Method::Cole => {
+                let (occurrences, stats) = ColeSearch::new(self.suffix_tree()).search(pattern, k);
+                SearchResult { occurrences, stats }
+            }
+            Method::Bwt { use_phi } => {
+                let mut st = STreeSearch::new(&self.fm, self.text.len());
+                st.use_phi = use_phi;
+                let (occurrences, stats) = st.search(pattern, k);
+                SearchResult { occurrences, stats }
+            }
+            Method::AlgorithmA { reuse } => {
+                let mut alg = AlgorithmA::new(&self.fm, self.text.len());
+                alg.reuse = reuse;
+                let (occurrences, stats) = alg.search(pattern, k);
+                SearchResult { occurrences, stats }
+            }
+            Method::SeedFilter => {
+                let sf = SeedFilterSearch::new(&self.fm, &self.text);
+                let (occurrences, stats) = sf.search(pattern, k);
+                SearchResult { occurrences, stats }
+            }
+        }
+    }
+
+    /// Number of occurrences with at most `k` mismatches, without
+    /// resolving positions (skips `locate`; only meaningful for the
+    /// index-tree methods, and cheapest through Algorithm A).
+    pub fn count(&self, pattern: &[u8], k: usize) -> usize {
+        // Counting via the search keeps one code path; the tree methods
+        // dominate their locate cost only for very frequent patterns.
+        self.search(pattern, k, Method::ALGORITHM_A).occurrences.len()
+    }
+
+    /// String matching with k *errors* (Levenshtein distance, Section II):
+    /// all substrings within edit distance `k` of `pattern` as
+    /// `(position, length, distance)` triples.
+    pub fn search_k_errors(
+        &self,
+        pattern: &[u8],
+        k: usize,
+    ) -> (Vec<crate::k_errors::EditOccurrence>, SearchStats) {
+        crate::k_errors::KErrorsSearch::new(&self.fm, self.text.len()).search(pattern, k)
+    }
+
+    /// Run a batch of queries, accumulating statistics.
+    pub fn search_batch<'p>(
+        &self,
+        patterns: impl IntoIterator<Item = &'p [u8]>,
+        k: usize,
+        method: Method,
+    ) -> (Vec<Vec<Occurrence>>, SearchStats) {
+        let mut all = Vec::new();
+        let mut stats = SearchStats::default();
+        for p in patterns {
+            let r = self.search(p, k, method);
+            stats.accumulate(&r.stats);
+            all.push(r.occurrences);
+        }
+        (all, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METHODS: [Method; 8] = [
+        Method::Naive,
+        Method::Kangaroo,
+        Method::Amir,
+        Method::Cole,
+        Method::Bwt { use_phi: true },
+        Method::Bwt { use_phi: false },
+        Method::ALGORITHM_A,
+        Method::SeedFilter,
+    ];
+
+    #[test]
+    fn all_methods_agree_on_paper_example() {
+        let idx = KMismatchIndex::from_ascii(b"acagaca").unwrap();
+        let r = kmm_dna::encode(b"tcaca").unwrap();
+        let want = idx.search(&r, 2, Method::Naive).occurrences;
+        assert_eq!(want.len(), 2);
+        for m in METHODS {
+            assert_eq!(idx.search(&r, 2, m).occurrences, want, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_randomised() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+        for _ in 0..15 {
+            let n = rng.gen_range(5..250);
+            let s: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let idx = KMismatchIndex::new(s);
+            for _ in 0..5 {
+                let m = rng.gen_range(1..=n.min(16));
+                let r: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+                let k = rng.gen_range(0..4usize);
+                let want = idx.search(&r, k, Method::Naive).occurrences;
+                for method in METHODS {
+                    assert_eq!(
+                        idx.search(&r, k, method).occurrences,
+                        want,
+                        "{} n={n} m={} k={k}",
+                        method.label(),
+                        r.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_accumulates_stats() {
+        let idx = KMismatchIndex::from_ascii(b"acagacagattacaacagtt").unwrap();
+        let p1 = kmm_dna::encode(b"acag").unwrap();
+        let p2 = kmm_dna::encode(b"ttac").unwrap();
+        let (results, stats) =
+            idx.search_batch([&p1[..], &p2[..]], 1, Method::ALGORITHM_A);
+        assert_eq!(results.len(), 2);
+        assert!(stats.leaves > 0);
+        assert_eq!(
+            stats.occurrences,
+            (results[0].len() + results[1].len()) as u64
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let labels: HashSet<&str> = METHODS.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), METHODS.len());
+    }
+
+    #[test]
+    fn paper_set_contains_the_four_methods() {
+        assert_eq!(Method::PAPER_SET.len(), 4);
+        assert!(Method::PAPER_SET.contains(&Method::ALGORITHM_A));
+        assert!(Method::PAPER_SET.contains(&Method::Amir));
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel-free")]
+    fn rejects_sentinel_in_target() {
+        KMismatchIndex::new(vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn suffix_tree_is_lazy_and_cached() {
+        let idx = KMismatchIndex::from_ascii(b"acgtacgt").unwrap();
+        let a = idx.suffix_tree() as *const _;
+        let b = idx.suffix_tree() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,199 @@
+//! The paper's `merge` procedure (Section IV-B, Proposition 1).
+//!
+//! Given three strings `γ`, `α`, `β` and the sorted mismatch-position
+//! arrays `A1 = mismatches(γ, α)` and `A2 = mismatches(γ, β)`, derive
+//! `A = mismatches(α, β)` in `O(|A1| + |A2|)` — the sort-merge-join-like
+//! walk of the paper's steps (1)–(6):
+//!
+//! * a position only in `A1` differs from `γ` in `α` but not in `β`,
+//!   so `α ≠ β` there — emit;
+//! * a position only in `A2` — symmetrically emit;
+//! * a position in both gives no information: compare `α` and `β`
+//!   directly (paper step 4);
+//! * positions in neither array match in both strings, hence match each
+//!   other — skip, which is what makes the walk `O(k)` instead of `O(m)`.
+//!
+//! Positions here are **0-based** (the paper is 1-based); the comparison
+//! range is `0 .. min(|α|, |β|)` and the output may be capped.
+
+/// Merge two mismatch arrays into the mismatch array between `alpha` and
+/// `beta`.
+///
+/// `a1` and `a2` must be strictly increasing. Entries `>= min(|α|, |β|)`
+/// are ignored, matching the paper's convention that the compared region
+/// is the overlap. At most `cap` output entries are produced (`usize::MAX`
+/// for all).
+pub fn merge(a1: &[u32], a2: &[u32], alpha: &[u8], beta: &[u8], cap: usize) -> Vec<u32> {
+    let limit = alpha.len().min(beta.len()) as u32;
+    let mut out = Vec::new();
+    let (mut p, mut q) = (0usize, 0usize);
+    while out.len() < cap {
+        let x = a1.get(p).copied().filter(|&v| v < limit);
+        let y = a2.get(q).copied().filter(|&v| v < limit);
+        match (x, y) {
+            (None, None) => break,
+            (Some(v), None) => {
+                out.push(v);
+                p += 1;
+            }
+            (None, Some(v)) => {
+                out.push(v);
+                q += 1;
+            }
+            (Some(v), Some(w)) => {
+                if v < w {
+                    out.push(v);
+                    p += 1;
+                } else if w < v {
+                    out.push(w);
+                    q += 1;
+                } else {
+                    // Paper step 4: both mismatch γ here — compare directly.
+                    if alpha[v as usize] != beta[v as usize] {
+                        out.push(v);
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct-scan reference: all positions `< min(|α|, |β|)` where the two
+/// strings differ, capped.
+pub fn mismatches_direct(alpha: &[u8], beta: &[u8], cap: usize) -> Vec<u32> {
+    let limit = alpha.len().min(beta.len());
+    let mut out = Vec::new();
+    for i in 0..limit {
+        if alpha[i] != beta[i] {
+            out.push(i as u32);
+            if out.len() == cap {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The paper's `B_l^i` operation (Section IV-C): restrict a mismatch array
+/// to positions `>= i` and rebase them to start at 0.
+///
+/// Example from the paper: `B1 = [1, 4]` (1-based `[2, 5]`) gives
+/// `B1^2 = [2]`, `B1^3 = [1]`, `B1^4 = [0]`, `B1^5 = []` — in 0-based form
+/// `shift_rebase(&[1, 4], 2) == [2]`, etc.
+pub fn shift_rebase(b: &[u32], i: u32) -> Vec<u32> {
+    b.iter().filter(|&&p| p >= i).map(|&p| p - i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure5_trace() {
+        // Fig. 5: A1 = R_1 = [1, 2, 3, 4] (1-based) = mismatches between
+        // r[1..5] and r[2..6] of r = tcacg; A2 = R_2 = [2, 3] (1-based).
+        // In 0-based terms with α = r[2..6] = cacg... the paper merges
+        // A1 = R1, A2 = R2 with α = r[2..5] (1-based) = "cacg" and
+        // β = r[3..5] (1-based) = "acg", giving A = [1, 2, 3, 4] (1-based).
+        //
+        // Reproduce with 0-based arrays. r = tcacg (m = 5).
+        let r = kmm_dna::encode(b"tcacg").unwrap();
+        // R_1: r[0..4] = tcac vs r[1..5] = cacg -> compare: t/c, c/a, a/c,
+        // c/g -> all four differ -> [0, 1, 2, 3].
+        let r1 = mismatches_direct(&r[0..4], &r[1..5], usize::MAX);
+        assert_eq!(r1, vec![0, 1, 2, 3]);
+        // R_2: r[0..3] = tca vs r[2..5] = acg -> t/a, c/c, a/g -> [0, 2].
+        let r2 = mismatches_direct(&r[0..3], &r[2..5], usize::MAX);
+        assert_eq!(r2, vec![0, 2]);
+        // merge(R1, R2, r[1..], r[2..]) = mismatches(r[1..5], r[2..5])
+        // truncated to the 3-symbol overlap: cac vs acg -> c/a, a/c, c/g =
+        // [0, 1, 2]. (The paper's 1-based A = [1, 2, 3, 4] over the longer
+        // overlap; our truncation to min-length keeps [0, 1, 2].)
+        let merged = merge(&r1, &r2, &r[1..], &r[2..], usize::MAX);
+        assert_eq!(merged, mismatches_direct(&r[1..], &r[2..], usize::MAX));
+        assert_eq!(merged, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn position_in_both_arrays_may_cancel() {
+        // γ differs from both α and β at position 0, but α and β agree.
+        let gamma = [1u8, 1];
+        let alpha = [2u8, 1];
+        let beta = [2u8, 1];
+        let a1 = mismatches_direct(&gamma, &alpha, usize::MAX);
+        let a2 = mismatches_direct(&gamma, &beta, usize::MAX);
+        assert_eq!(a1, vec![0]);
+        assert_eq!(a2, vec![0]);
+        assert_eq!(merge(&a1, &a2, &alpha, &beta, usize::MAX), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn cap_limits_output() {
+        let gamma = [1u8; 6];
+        let alpha = [2u8; 6];
+        let beta = [1u8; 6];
+        let a1 = mismatches_direct(&gamma, &alpha, usize::MAX);
+        let a2 = mismatches_direct(&gamma, &beta, usize::MAX);
+        let merged = merge(&a1, &a2, &alpha, &beta, 3);
+        assert_eq!(merged, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn length_truncation() {
+        let gamma = [1u8, 2, 3, 4, 1];
+        let alpha = [4u8, 2, 3];
+        let beta = [1u8, 1, 3, 4, 1];
+        let a1 = mismatches_direct(&gamma, &alpha, usize::MAX); // within 3
+        let a2 = mismatches_direct(&gamma, &beta, usize::MAX);
+        let merged = merge(&a1, &a2, &alpha, &beta, usize::MAX);
+        assert_eq!(merged, mismatches_direct(&alpha, &beta, usize::MAX));
+    }
+
+    #[test]
+    fn random_merge_matches_direct() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let n = rng.gen_range(0..40);
+            let gamma: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            // α and β as mutated copies of γ (the realistic regime: few
+            // mismatches).
+            let mutate = |rng: &mut rand::rngs::StdRng, s: &[u8]| -> Vec<u8> {
+                s.iter()
+                    .map(|&c| if rng.gen_bool(0.2) { rng.gen_range(1..=4) } else { c })
+                    .collect()
+            };
+            let alpha = mutate(&mut rng, &gamma);
+            let beta = mutate(&mut rng, &gamma);
+            let a1 = mismatches_direct(&gamma, &alpha, usize::MAX);
+            let a2 = mismatches_direct(&gamma, &beta, usize::MAX);
+            assert_eq!(
+                merge(&a1, &a2, &alpha, &beta, usize::MAX),
+                mismatches_direct(&alpha, &beta, usize::MAX),
+                "gamma={gamma:?} alpha={alpha:?} beta={beta:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shift_rebase_paper_example() {
+        // Paper: B1 = [2, 5] (1-based) => B1^2 = [1, 4] rebased ... in our
+        // 0-based world B1 = [1, 4]:
+        let b1 = vec![1u32, 4];
+        assert_eq!(shift_rebase(&b1, 0), vec![1, 4]);
+        assert_eq!(shift_rebase(&b1, 1), vec![0, 3]);
+        assert_eq!(shift_rebase(&b1, 2), vec![2]);
+        assert_eq!(shift_rebase(&b1, 4), vec![0]);
+        assert_eq!(shift_rebase(&b1, 5), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(merge(&[], &[], b"ac", b"ac", usize::MAX), Vec::<u32>::new());
+        let a = mismatches_direct(b"ac", b"gc", usize::MAX);
+        assert_eq!(merge(&a, &[], b"gc", b"ac", usize::MAX), vec![0]);
+    }
+}

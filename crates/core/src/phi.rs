@@ -1,0 +1,124 @@
+//! The `φ(i)` pruning heuristic of the BWT-baseline method \[34\]
+//! (paper Section IV-A).
+//!
+//! `φ(i)` is the number of consecutive, disjoint substrings of `r[i..m]`
+//! that do **not** appear anywhere in `s`. Each absent substring must
+//! contain at least one mismatch in any alignment, so a branch of the
+//! S-tree whose remaining budget is below `φ` of the remaining pattern can
+//! be cut: "if k - l < φ(i), stop exploring the subtree" — the paper's
+//! example being `φ(1) = 2` for `r = tcaca` against `s = acagaca` because
+//! both `t` and `cac` are absent from `s`.
+
+use kmm_bwt::FmIndex;
+
+/// Compute `φ(i)` for every suffix start `i` (0-based; `phi[m] = 0`).
+///
+/// `fm` must index the *reverse* of the target (as the k-mismatch searches
+/// do), so that extending an interval backward with `r[p], r[p+1], …`
+/// tracks occurrences of `r[p..]` in the forward target.
+pub fn phi_table(fm: &FmIndex, pattern: &[u8]) -> Vec<u32> {
+    let m = pattern.len();
+    let mut phi = vec![0u32; m + 1];
+    // boundary[p] = end (exclusive) of the shortest substring of r starting
+    // at p that is absent from s, or m + 1 if r[p..] occurs entirely.
+    for p in (0..m).rev() {
+        let mut iv = fm.whole();
+        let mut boundary = m + 1;
+        for (q, &c) in pattern.iter().enumerate().skip(p) {
+            iv = fm.extend_backward(iv, c);
+            if iv.is_empty() {
+                boundary = q + 1;
+                break;
+            }
+        }
+        phi[p] = if boundary <= m { 1 + phi[boundary] } else { 0 };
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmm_bwt::FmBuildConfig;
+
+    /// Index the reverse of `s` as the searches do.
+    fn rev_index(ascii: &[u8]) -> FmIndex {
+        let mut rev = kmm_dna::encode(ascii).unwrap();
+        rev.reverse();
+        rev.push(0);
+        FmIndex::new(&rev, FmBuildConfig::default())
+    }
+
+    /// Direct check that a substring occurs in the forward text.
+    fn occurs(s: &[u8], w: &[u8]) -> bool {
+        if w.len() > s.len() {
+            return false;
+        }
+        (0..=s.len() - w.len()).any(|i| &s[i..i + w.len()] == w)
+    }
+
+    fn phi_naive(s: &[u8], r: &[u8]) -> Vec<u32> {
+        let m = r.len();
+        let mut phi = vec![0u32; m + 1];
+        for p in (0..m).rev() {
+            let mut boundary = m + 1;
+            for q in p..m {
+                if !occurs(s, &r[p..=q]) {
+                    boundary = q + 1;
+                    break;
+                }
+            }
+            phi[p] = if boundary <= m { 1 + phi[boundary] } else { 0 };
+        }
+        phi
+    }
+
+    #[test]
+    fn paper_example() {
+        // Section IV-A: s = acagaca, r = tcaca. φ(1) = 2 (1-based): both
+        // "t" and "cac" are absent. φ(3) = 0 (1-based): every substring of
+        // "aca" appears. In 0-based terms φ[0] = 2 and φ[2] = 0.
+        let fm = rev_index(b"acagaca");
+        let r = kmm_dna::encode(b"tcaca").unwrap();
+        let phi = phi_table(&fm, &r);
+        assert_eq!(phi[0], 2);
+        assert_eq!(phi[2], 0);
+        assert_eq!(phi[5], 0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..150);
+            let s: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+            let m = rng.gen_range(1..20);
+            let r: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+            let ascii = kmm_dna::decode(&s);
+            let fm = rev_index(&ascii);
+            assert_eq!(phi_table(&fm, &r), phi_naive(&s, &r), "s={s:?} r={r:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_fully_present_gives_zero() {
+        let fm = rev_index(b"acagaca");
+        let r = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(phi_table(&fm, &r), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn absent_single_chars_all_count() {
+        // s has no t at all: every t in r is its own absent substring.
+        let fm = rev_index(b"acagaca");
+        let r = kmm_dna::encode(b"ttt").unwrap();
+        assert_eq!(phi_table(&fm, &r), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let fm = rev_index(b"acgt");
+        assert_eq!(phi_table(&fm, &[]), vec![0]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Instrumentation counters for the k-mismatch searches.
+//!
+//! These expose the quantities the paper reports: `n'` (leaf count of the
+//! produced tree, Table 2), the number of `search()` / rankall invocations
+//! (the dominant cost the M-tree derivation removes), and how often the
+//! hash-table reuse fired.
+
+/// Counters collected during one search. All counts are per query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Leaf nodes of the search tree (paths at which the walk terminated):
+    /// the paper's `n'` for Algorithm A and the S-tree leaf count for the
+    /// BWT baseline.
+    pub leaves: u64,
+    /// Tree nodes visited (including revisits of shared subtrees).
+    pub nodes_visited: u64,
+    /// Nodes newly materialised by live BWT search.
+    pub nodes_materialized: u64,
+    /// `search()` steps, i.e. backward-extension rank lookups (each is two
+    /// `occ` calls on the rankall arrays).
+    pub rank_extensions: u64,
+    /// Hash-table hits that let a subtree be derived instead of re-searched.
+    pub reuse_hits: u64,
+    /// `R_ij` tables derived (paper's `merge(R_i, R_j, …)` executions).
+    pub merges: u64,
+    /// Subtree walks resumed with live search because the stored subtree
+    /// was not materialised deeply enough for the new alignment's budget
+    /// (DESIGN.md D2).
+    pub resumes: u64,
+    /// Occurrences reported.
+    pub occurrences: u64,
+    /// Branches pruned by the `φ` heuristic (BWT baseline only).
+    pub phi_prunes: u64,
+}
+
+impl SearchStats {
+    /// Merge counters from another search (used when batching reads).
+    pub fn accumulate(&mut self, other: &SearchStats) {
+        self.leaves += other.leaves;
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_materialized += other.nodes_materialized;
+        self.rank_extensions += other.rank_extensions;
+        self.reuse_hits += other.reuse_hits;
+        self.merges += other.merges;
+        self.resumes += other.resumes;
+        self.occurrences += other.occurrences;
+        self.phi_prunes += other.phi_prunes;
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "leaves={} visited={} materialized={} rank_ext={} reuse={} merges={} resumes={} occ={} phi_prunes={}",
+            self.leaves,
+            self.nodes_visited,
+            self.nodes_materialized,
+            self.rank_extensions,
+            self.reuse_hits,
+            self.merges,
+            self.resumes,
+            self.occurrences,
+            self.phi_prunes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = SearchStats { leaves: 1, nodes_visited: 2, occurrences: 3, ..Default::default() };
+        let b = SearchStats { leaves: 10, nodes_visited: 20, reuse_hits: 5, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.leaves, 11);
+        assert_eq!(a.nodes_visited, 22);
+        assert_eq!(a.reuse_hits, 5);
+        assert_eq!(a.occurrences, 3);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let s = SearchStats::default().to_string();
+        for field in ["leaves=", "rank_ext=", "reuse=", "merges=", "occ="] {
+            assert!(s.contains(field), "missing {field} in {s}");
+        }
+    }
+}

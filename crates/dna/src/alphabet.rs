@@ -1,0 +1,222 @@
+//! The DNA alphabet used throughout the suite.
+//!
+//! Following Section III-A of the paper, every target string terminates with
+//! a sentinel `$` that is alphabetically smaller than every other character:
+//! `$ < a < c < g < t`. We encode the five symbols as the integer codes
+//! `0..=4`, which keeps rank structures tiny and lets the BWT machinery
+//! index arrays directly by symbol code.
+
+/// Number of symbols in the indexed alphabet, including the sentinel.
+pub const SIGMA: usize = 5;
+
+/// Number of real DNA bases (`a`, `c`, `g`, `t`).
+pub const BASES: usize = 4;
+
+/// Integer code of the sentinel `$`.
+pub const SENTINEL: u8 = 0;
+
+/// Integer codes of the four bases in alphabetical order.
+pub const BASE_CODES: [u8; BASES] = [1, 2, 3, 4];
+
+/// Errors raised when decoding untrusted byte input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlphabetError {
+    /// A byte that is not one of `aAcCgGtT$` (or `nN`, which callers may
+    /// choose to normalise first) was encountered at the given offset.
+    InvalidByte { byte: u8, position: usize },
+    /// A sentinel appeared somewhere other than the final position.
+    InteriorSentinel { position: usize },
+}
+
+impl std::fmt::Display for AlphabetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlphabetError::InvalidByte { byte, position } => {
+                write!(f, "invalid DNA byte 0x{byte:02x} at position {position}")
+            }
+            AlphabetError::InteriorSentinel { position } => {
+                write!(f, "sentinel '$' in the interior of a sequence at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlphabetError {}
+
+/// Encode one ASCII base (case-insensitive) to its integer code.
+///
+/// Returns `None` for bytes outside `$aAcCgGtT`.
+#[inline]
+pub fn encode_base(b: u8) -> Option<u8> {
+    match b {
+        b'$' => Some(0),
+        b'a' | b'A' => Some(1),
+        b'c' | b'C' => Some(2),
+        b'g' | b'G' => Some(3),
+        b't' | b'T' => Some(4),
+        _ => None,
+    }
+}
+
+/// Decode an integer code back to its lowercase ASCII representation.
+///
+/// # Panics
+/// Panics if `code >= SIGMA`.
+#[inline]
+pub fn decode_base(code: u8) -> u8 {
+    const TABLE: [u8; SIGMA] = [b'$', b'a', b'c', b'g', b't'];
+    TABLE[code as usize]
+}
+
+/// Watson-Crick complement of a base code. The sentinel maps to itself.
+///
+/// # Panics
+/// Panics if `code >= SIGMA`.
+#[inline]
+pub fn complement(code: u8) -> u8 {
+    // $->$, a<->t, c<->g
+    const TABLE: [u8; SIGMA] = [0, 4, 3, 2, 1];
+    TABLE[code as usize]
+}
+
+/// Encode an ASCII DNA string (no sentinel) into integer codes.
+///
+/// `N`/`n` bytes, common in real FASTA data, are normalised to `a` so that
+/// downstream structures never see an out-of-alphabet symbol; every other
+/// unknown byte is an error.
+pub fn encode(ascii: &[u8]) -> Result<Vec<u8>, AlphabetError> {
+    let mut out = Vec::with_capacity(ascii.len());
+    for (position, &b) in ascii.iter().enumerate() {
+        if b == b'$' {
+            return Err(AlphabetError::InteriorSentinel { position });
+        }
+        let code = match b {
+            b'n' | b'N' => 1,
+            _ => encode_base(b).ok_or(AlphabetError::InvalidByte { byte: b, position })?,
+        };
+        out.push(code);
+    }
+    Ok(out)
+}
+
+/// Encode an ASCII DNA string and append the sentinel, producing a text
+/// ready for suffix-array / BWT construction.
+pub fn encode_text(ascii: &[u8]) -> Result<Vec<u8>, AlphabetError> {
+    let mut v = encode(ascii)?;
+    v.push(SENTINEL);
+    Ok(v)
+}
+
+/// Decode integer codes back into an ASCII string (sentinel included if present).
+pub fn decode(codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| decode_base(c)).collect()
+}
+
+/// Decode into a `String` for display purposes.
+pub fn decode_string(codes: &[u8]) -> String {
+    String::from_utf8(decode(codes)).expect("decoded DNA is always ASCII")
+}
+
+/// Reverse-complement of an encoded (sentinel-free) sequence.
+pub fn reverse_complement(codes: &[u8]) -> Vec<u8> {
+    codes.iter().rev().map(|&c| complement(c)).collect()
+}
+
+/// True if every code is a valid symbol and the sentinel, if present,
+/// occurs exactly once and at the end.
+pub fn is_valid_text(codes: &[u8]) -> bool {
+    if codes.is_empty() {
+        return false;
+    }
+    let last = codes.len() - 1;
+    codes.iter().enumerate().all(|(i, &c)| {
+        (c as usize) < SIGMA && (c != SENTINEL || i == last)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = b"acgtACGT";
+        let codes = encode(s).unwrap();
+        assert_eq!(codes, vec![1, 2, 3, 4, 1, 2, 3, 4]);
+        assert_eq!(decode_string(&codes), "acgtacgt");
+    }
+
+    #[test]
+    fn sentinel_is_smallest() {
+        assert!(SENTINEL < BASE_CODES[0]);
+        for w in BASE_CODES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_garbage() {
+        assert_eq!(
+            encode(b"acxg"),
+            Err(AlphabetError::InvalidByte { byte: b'x', position: 2 })
+        );
+    }
+
+    #[test]
+    fn encode_rejects_interior_sentinel() {
+        assert_eq!(
+            encode(b"ac$g"),
+            Err(AlphabetError::InteriorSentinel { position: 2 })
+        );
+    }
+
+    #[test]
+    fn encode_normalises_n() {
+        assert_eq!(encode(b"aNnt").unwrap(), vec![1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn encode_text_appends_sentinel() {
+        let t = encode_text(b"acg").unwrap();
+        assert_eq!(t, vec![1, 2, 3, 0]);
+        assert!(is_valid_text(&t));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for c in 0..SIGMA as u8 {
+            assert_eq!(complement(complement(c)), c);
+        }
+        assert_eq!(complement(1), 4); // a -> t
+        assert_eq!(complement(2), 3); // c -> g
+    }
+
+    #[test]
+    fn reverse_complement_known() {
+        // acgt -> acgt is its own reverse complement.
+        let codes = encode(b"acgt").unwrap();
+        assert_eq!(reverse_complement(&codes), codes);
+        let codes = encode(b"aacg").unwrap();
+        assert_eq!(decode_string(&reverse_complement(&codes)), "cgtt");
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(is_valid_text(&[1, 2, 0]));
+        assert!(!is_valid_text(&[1, 0, 2]));
+        assert!(!is_valid_text(&[]));
+        assert!(!is_valid_text(&[1, 9, 0]));
+        // A bare sentinel is a valid (empty) text.
+        assert!(is_valid_text(&[0]));
+        // Sentinel-free sequences are valid as patterns.
+        assert!(is_valid_text(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AlphabetError::InvalidByte { byte: b'x', position: 7 };
+        assert!(e.to_string().contains("0x78"));
+        let e = AlphabetError::InteriorSentinel { position: 3 };
+        assert!(e.to_string().contains("position 3"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal FASTA reading and writing.
+//!
+//! The suite's experiments synthesise their genomes, but a downstream user
+//! will want to index real assemblies; this module reads and writes the
+//! subset of FASTA needed for that (multi-record, free line wrapping,
+//! comments with `;`, case-insensitive bases, `N` normalisation).
+
+use std::io::{self, BufRead, Write};
+
+use crate::alphabet::{decode_base, encode, AlphabetError};
+
+/// A FASTA record with its sequence already encoded to base codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub id: String,
+    /// Encoded sequence (codes 1..=4, no sentinel).
+    pub seq: Vec<u8>,
+}
+
+/// Errors from FASTA parsing.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data before any `>` header.
+    MissingHeader { line: usize },
+    /// Invalid base character.
+    Alphabet { record: String, source: AlphabetError },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "fasta i/o error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+            FastaError::Alphabet { record, source } => {
+                write!(f, "record '{record}': {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            FastaError::Alphabet { source, .. } => Some(source),
+            FastaError::MissingHeader { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse every record from a reader.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some((id, raw)) = current.take() {
+                records.push(finish(id, raw)?);
+            }
+            current = Some((rest.trim().to_string(), Vec::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, raw)) => raw.extend_from_slice(line.as_bytes()),
+                None => return Err(FastaError::MissingHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    if let Some((id, raw)) = current.take() {
+        records.push(finish(id, raw)?);
+    }
+    Ok(records)
+}
+
+fn finish(id: String, raw: Vec<u8>) -> Result<FastaRecord, FastaError> {
+    let seq = encode(&raw).map_err(|source| FastaError::Alphabet { record: id.clone(), source })?;
+    Ok(FastaRecord { id, seq })
+}
+
+/// Parse FASTA from an in-memory string.
+pub fn read_fasta_str(s: &str) -> Result<Vec<FastaRecord>, FastaError> {
+    read_fasta(s.as_bytes())
+}
+
+/// Write records in FASTA format with 70-column wrapping.
+pub fn write_fasta<W: Write>(mut w: W, records: &[FastaRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(w, ">{}", rec.id)?;
+        for chunk in rec.seq.chunks(70) {
+            let line: Vec<u8> = chunk.iter().map(|&c| decode_base(c)).collect();
+            w.write_all(&line)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record() {
+        let input = ">one desc\nACGT\nacg\n>two\nTT\n";
+        let recs = read_fasta_str(input).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "one desc");
+        assert_eq!(recs[0].seq, vec![1, 2, 3, 4, 1, 2, 3]);
+        assert_eq!(recs[1].id, "two");
+        assert_eq!(recs[1].seq, vec![4, 4]);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_comments() {
+        let input = "; a comment\n\n>r\nAC\n\nGT\n; trailing\n";
+        let recs = read_fasta_str(input).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        let err = read_fasta_str("ACGT\n").unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn rejects_bad_bases() {
+        let err = read_fasta_str(">r\nACZT\n").unwrap_err();
+        assert!(matches!(err, FastaError::Alphabet { .. }));
+        assert!(err.to_string().contains('r'));
+    }
+
+    #[test]
+    fn normalises_n() {
+        let recs = read_fasta_str(">r\nANNT\n").unwrap();
+        assert_eq!(recs[0].seq, vec![1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_fasta_str("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let recs = vec![
+            FastaRecord { id: "alpha".into(), seq: [1, 2, 3, 4].repeat(40) },
+            FastaRecord { id: "beta".into(), seq: vec![4, 4, 4] },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // 160 bases wrap into 70+70+20.
+        assert!(text.lines().any(|l| l.len() == 70));
+        let parsed = read_fasta_str(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+}

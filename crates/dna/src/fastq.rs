@@ -1,0 +1,266 @@
+//! Minimal FASTQ reading and writing.
+//!
+//! Sequencing reads — the pattern workload of the paper's evaluation —
+//! ship as FASTQ in practice. This module parses the four-line record
+//! format (no multi-line sequences, which virtually no modern tool emits),
+//! validates separator/quality consistency, and encodes bases on the fly.
+
+use std::io::{self, BufRead, Write};
+
+use crate::alphabet::{decode_base, encode, AlphabetError};
+
+/// One FASTQ record with its sequence encoded to base codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header line without the leading `@`.
+    pub id: String,
+    /// Encoded sequence (codes 1..=4).
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string, same length as `seq`.
+    pub quality: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Phred quality scores (0-based, already de-offset).
+    pub fn phred_scores(&self) -> impl Iterator<Item = u8> + '_ {
+        self.quality.iter().map(|&q| q.saturating_sub(33))
+    }
+
+    /// Mean Phred score; 0.0 for an empty record.
+    pub fn mean_quality(&self) -> f64 {
+        if self.quality.is_empty() {
+            return 0.0;
+        }
+        self.phred_scores().map(|q| q as f64).sum::<f64>() / self.quality.len() as f64
+    }
+}
+
+/// Errors from FASTQ parsing.
+#[derive(Debug)]
+pub enum FastqError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Record truncated: fewer than four lines remained.
+    Truncated { record: usize },
+    /// Header did not start with `@`.
+    BadHeader { record: usize },
+    /// Separator line did not start with `+`.
+    BadSeparator { record: usize },
+    /// Sequence and quality lengths differ.
+    LengthMismatch { record: usize, seq: usize, quality: usize },
+    /// Invalid base character.
+    Alphabet { record: usize, source: AlphabetError },
+}
+
+impl std::fmt::Display for FastqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastqError::Io(e) => write!(f, "fastq i/o error: {e}"),
+            FastqError::Truncated { record } => {
+                write!(f, "record {record}: truncated (needs 4 lines)")
+            }
+            FastqError::BadHeader { record } => {
+                write!(f, "record {record}: header must start with '@'")
+            }
+            FastqError::BadSeparator { record } => {
+                write!(f, "record {record}: separator must start with '+'")
+            }
+            FastqError::LengthMismatch { record, seq, quality } => write!(
+                f,
+                "record {record}: sequence ({seq}) and quality ({quality}) lengths differ"
+            ),
+            FastqError::Alphabet { record, source } => {
+                write!(f, "record {record}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastqError::Io(e) => Some(e),
+            FastqError::Alphabet { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FastqError {
+    fn from(e: io::Error) -> Self {
+        FastqError::Io(e)
+    }
+}
+
+/// Parse every record from a reader.
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>, FastqError> {
+    let mut lines = reader.lines();
+    let mut records = Vec::new();
+    let mut index = 0usize;
+    while let Some(header) = lines.next() {
+        let header = header?;
+        if header.trim().is_empty() {
+            continue; // tolerate trailing blank lines
+        }
+        let mut next_line = || -> Result<String, FastqError> {
+            lines
+                .next()
+                .ok_or(FastqError::Truncated { record: index })?
+                .map_err(FastqError::from)
+        };
+        let seq_line = next_line()?;
+        let sep = next_line()?;
+        let qual = next_line()?;
+
+        let id = header
+            .strip_prefix('@')
+            .ok_or(FastqError::BadHeader { record: index })?
+            .trim()
+            .to_string();
+        if !sep.starts_with('+') {
+            return Err(FastqError::BadSeparator { record: index });
+        }
+        let seq_bytes = seq_line.trim().as_bytes();
+        let quality = qual.trim().as_bytes().to_vec();
+        if seq_bytes.len() != quality.len() {
+            return Err(FastqError::LengthMismatch {
+                record: index,
+                seq: seq_bytes.len(),
+                quality: quality.len(),
+            });
+        }
+        let seq = encode(seq_bytes)
+            .map_err(|source| FastqError::Alphabet { record: index, source })?;
+        records.push(FastqRecord { id, seq, quality });
+        index += 1;
+    }
+    Ok(records)
+}
+
+/// Parse FASTQ from an in-memory string.
+pub fn read_fastq_str(s: &str) -> Result<Vec<FastqRecord>, FastqError> {
+    read_fastq(s.as_bytes())
+}
+
+/// Write records in four-line FASTQ format.
+pub fn write_fastq<W: Write>(mut w: W, records: &[FastqRecord]) -> io::Result<()> {
+    for rec in records {
+        assert_eq!(
+            rec.seq.len(),
+            rec.quality.len(),
+            "record '{}' has inconsistent lengths",
+            rec.id
+        );
+        writeln!(w, "@{}", rec.id)?;
+        let ascii: Vec<u8> = rec.seq.iter().map(|&c| decode_base(c)).collect();
+        w.write_all(&ascii)?;
+        w.write_all(b"\n+\n")?;
+        w.write_all(&rec.quality)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Render simulated reads as FASTQ with a constant quality (wgsim-style).
+pub fn simulated_to_fastq(reads: &[crate::reads::SimulatedRead], phred: u8) -> Vec<FastqRecord> {
+    reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| FastqRecord {
+            id: format!("read_{i}_{}_{}", r.origin, if r.reverse { "rev" } else { "fwd" }),
+            seq: r.seq.clone(),
+            quality: vec![phred + 33; r.seq.len()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "@r1 first\nACGT\n+\nIIII\n@r2\nGGA\n+r2\nJJJ\n";
+
+    #[test]
+    fn parses_records() {
+        let recs = read_fastq_str(SAMPLE).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "r1 first");
+        assert_eq!(recs[0].seq, vec![1, 2, 3, 4]);
+        assert_eq!(recs[0].quality, b"IIII".to_vec());
+        assert_eq!(recs[1].seq, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn quality_scores_deoffset() {
+        let recs = read_fastq_str(SAMPLE).unwrap();
+        // 'I' = 73 -> phred 40.
+        assert!(recs[0].phred_scores().all(|q| q == 40));
+        assert!((recs[0].mean_quality() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = read_fastq_str(SAMPLE).unwrap();
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        let again = read_fastq(&buf[..]).unwrap();
+        // The separator comment is not preserved (written as bare '+').
+        assert_eq!(again.len(), recs.len());
+        assert_eq!(again[0], recs[0]);
+        assert_eq!(again[1].seq, recs[1].seq);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            read_fastq_str("rX\nAC\n+\nII\n").unwrap_err(),
+            FastqError::BadHeader { record: 0 }
+        ));
+        assert!(matches!(
+            read_fastq_str("@r\nAC\nII\nII\n").unwrap_err(),
+            FastqError::BadSeparator { record: 0 }
+        ));
+        assert!(matches!(
+            read_fastq_str("@r\nAC\n+\nI\n").unwrap_err(),
+            FastqError::LengthMismatch { record: 0, seq: 2, quality: 1 }
+        ));
+        assert!(matches!(
+            read_fastq_str("@r\nAC\n+\n").unwrap_err(),
+            FastqError::Truncated { record: 0 }
+        ));
+        assert!(matches!(
+            read_fastq_str("@r\nAXC\n+\nIII\n").unwrap_err(),
+            FastqError::Alphabet { record: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input_and_blank_tail() {
+        assert!(read_fastq_str("").unwrap().is_empty());
+        let recs = read_fastq_str("@r\nA\n+\nI\n\n\n").unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn simulated_reads_to_fastq() {
+        let g = crate::genome::uniform(500, 3);
+        let reads =
+            crate::reads::ReadSimulator::new(&g, crate::reads::ReadSimConfig::paper(50), 1)
+                .reads(3);
+        let recs = simulated_to_fastq(&reads, 30);
+        assert_eq!(recs.len(), 3);
+        assert!(recs[0].id.starts_with("read_0_"));
+        assert!(recs[0].phred_scores().all(|q| q == 30));
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        assert_eq!(read_fastq(&buf[..]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = FastqError::LengthMismatch { record: 3, seq: 5, quality: 4 };
+        assert!(e.to_string().contains("record 3"));
+        let e = FastqError::Truncated { record: 1 };
+        assert!(e.to_string().contains("4 lines"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Hamming-distance utilities shared by every matcher in the suite.
+
+/// Hamming distance between two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Hamming distance, stopping early once it exceeds `bound`.
+///
+/// Returns `Some(d)` with `d <= bound` or `None` if the distance is larger.
+#[inline]
+pub fn hamming_bounded(a: &[u8], b: &[u8], bound: usize) -> Option<usize> {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal lengths");
+    let mut d = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        if x != y {
+            d += 1;
+            if d > bound {
+                return None;
+            }
+        }
+    }
+    Some(d)
+}
+
+/// Positions (0-based) where `a` and `b` differ, capped at `max` entries.
+pub fn mismatch_positions(a: &[u8], b: &[u8], max: usize) -> Vec<usize> {
+    assert_eq!(a.len(), b.len(), "mismatch positions require equal lengths");
+    let mut out = Vec::new();
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            out.push(i);
+            if out.len() == max {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(b"acgt", b"acgt"), 0);
+        assert_eq!(hamming(b"acgt", b"tcga"), 2);
+        assert_eq!(hamming(b"", b""), 0);
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // Section I: r = aaaaacaaac vs s[3..12] = acacagaagc differ at 4 positions.
+        let r = b"aaaaacaaac";
+        let w = b"acacagaagc";
+        assert_eq!(hamming(r, w), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_length_mismatch_panics() {
+        hamming(b"ab", b"abc");
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_bound() {
+        assert_eq!(hamming_bounded(b"acgt", b"tcga", 2), Some(2));
+        assert_eq!(hamming_bounded(b"acgt", b"tcga", 1), None);
+        assert_eq!(hamming_bounded(b"acgt", b"acgt", 0), Some(0));
+    }
+
+    #[test]
+    fn mismatch_positions_capped() {
+        let p = mismatch_positions(b"aaaa", b"tttt", 2);
+        assert_eq!(p, vec![0, 1]);
+        let p = mismatch_positions(b"aaaa", b"atat", 10);
+        assert_eq!(p, vec![1, 3]);
+    }
+}

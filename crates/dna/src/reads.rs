@@ -1,0 +1,326 @@
+//! `wgsim`-style read simulation.
+//!
+//! The paper simulates 50 reads of 100–300 bp per genome with the SAMtools
+//! `wgsim` program's default single-read model. This module reproduces the
+//! parts of that model that matter for k-mismatch search: reads are sampled
+//! uniformly from the genome, carry per-base sequencing errors (wgsim
+//! default `-e 0.02`) and optional SNP-style mutations (`-r 0.001`), and may
+//! be drawn from either strand.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alphabet::{reverse_complement, BASE_CODES};
+
+/// How the per-base error rate varies along a read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorProfile {
+    /// Constant error rate at every cycle (wgsim's model).
+    Uniform,
+    /// Illumina-like linear ramp: the rate at the last cycle is
+    /// `end_factor` times the rate at the first (quality decays toward
+    /// the 3' end; typical `end_factor` 3-5).
+    LinearRamp {
+        /// Multiplier applied at the final read position.
+        end_factor: f64,
+    },
+}
+
+/// Parameters of the simulator, mirroring `wgsim`'s defaults.
+#[derive(Debug, Clone)]
+pub struct ReadSimConfig {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Per-base sequencing error (substitution) rate at the first cycle.
+    /// wgsim default: 0.02.
+    pub error_rate: f64,
+    /// Per-base mutation (SNP) rate. wgsim default: 0.001.
+    pub mutation_rate: f64,
+    /// Probability that a read is taken from the reverse strand.
+    /// The paper indexes only the forward strand, so experiments set this
+    /// to 0.0; the default matches wgsim's strand-symmetric sampling.
+    pub reverse_strand_prob: f64,
+    /// Positional error model.
+    pub profile: ErrorProfile,
+}
+
+impl Default for ReadSimConfig {
+    fn default() -> Self {
+        ReadSimConfig {
+            read_len: 100,
+            error_rate: 0.02,
+            mutation_rate: 0.001,
+            reverse_strand_prob: 0.5,
+            profile: ErrorProfile::Uniform,
+        }
+    }
+}
+
+impl ReadSimConfig {
+    /// Configuration used by the paper's experiments: given read length,
+    /// wgsim default error model, forward strand only.
+    pub fn paper(read_len: usize) -> Self {
+        ReadSimConfig { read_len, reverse_strand_prob: 0.0, ..Default::default() }
+    }
+
+    /// An Illumina-like single-end profile: errors ramp up 4x toward the
+    /// 3' end of the read.
+    pub fn illumina(read_len: usize) -> Self {
+        ReadSimConfig {
+            read_len,
+            profile: ErrorProfile::LinearRamp { end_factor: 4.0 },
+            ..Default::default()
+        }
+    }
+
+    /// Substitution probability at 0-based cycle `i`.
+    pub fn rate_at(&self, i: usize) -> f64 {
+        let base = self.error_rate + self.mutation_rate;
+        let scaled = match self.profile {
+            ErrorProfile::Uniform => base,
+            ErrorProfile::LinearRamp { end_factor } => {
+                let t = if self.read_len <= 1 {
+                    0.0
+                } else {
+                    i as f64 / (self.read_len - 1) as f64
+                };
+                base * (1.0 + (end_factor - 1.0) * t)
+            }
+        };
+        scaled.clamp(0.0, 1.0)
+    }
+}
+
+/// A simulated read and its provenance (for verifying mappers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatedRead {
+    /// The read sequence, encoded (codes 1..=4).
+    pub seq: Vec<u8>,
+    /// 0-based start of the sampled window on the forward strand.
+    pub origin: usize,
+    /// True if the read was reverse-complemented.
+    pub reverse: bool,
+    /// Number of bases altered relative to the genome window.
+    pub edits: usize,
+}
+
+/// Deterministic read simulator over an encoded, sentinel-free genome.
+#[derive(Debug)]
+pub struct ReadSimulator<'g> {
+    genome: &'g [u8],
+    config: ReadSimConfig,
+    rng: StdRng,
+}
+
+impl<'g> ReadSimulator<'g> {
+    /// Create a simulator.
+    ///
+    /// # Panics
+    /// Panics if the genome is shorter than the configured read length or
+    /// if any rate is outside `[0, 1]`.
+    pub fn new(genome: &'g [u8], config: ReadSimConfig, seed: u64) -> Self {
+        assert!(
+            genome.len() >= config.read_len && config.read_len > 0,
+            "genome ({}) shorter than read length ({})",
+            genome.len(),
+            config.read_len
+        );
+        for (name, v) in [
+            ("error_rate", config.error_rate),
+            ("mutation_rate", config.mutation_rate),
+            ("reverse_strand_prob", config.reverse_strand_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+        }
+        ReadSimulator { genome, config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Draw the next read.
+    pub fn next_read(&mut self) -> SimulatedRead {
+        let m = self.config.read_len;
+        let origin = self.rng.gen_range(0..=self.genome.len() - m);
+        let mut seq = self.genome[origin..origin + m].to_vec();
+        let reverse = self.rng.gen_bool(self.config.reverse_strand_prob);
+        if reverse {
+            seq = reverse_complement(&seq);
+        }
+        let mut edits = 0usize;
+        for (i, b) in seq.iter_mut().enumerate() {
+            if self.rng.gen_bool(self.config.rate_at(i)) {
+                let old = *b;
+                // Substitute with a uniformly random *different* base.
+                loop {
+                    let nb = BASE_CODES[self.rng.gen_range(0..4)];
+                    if nb != old {
+                        *b = nb;
+                        break;
+                    }
+                }
+                edits += 1;
+            }
+        }
+        SimulatedRead { seq, origin, reverse, edits }
+    }
+
+    /// Draw a batch of reads.
+    pub fn reads(&mut self, count: usize) -> Vec<SimulatedRead> {
+        (0..count).map(|_| self.next_read()).collect()
+    }
+}
+
+/// Convenience: the paper's workload — `count` forward-strand reads of
+/// length `read_len` with the wgsim default error model.
+pub fn paper_reads(genome: &[u8], count: usize, read_len: usize, seed: u64) -> Vec<SimulatedRead> {
+    ReadSimulator::new(genome, ReadSimConfig::paper(read_len), seed).reads(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::uniform;
+    use crate::hamming::hamming;
+
+    #[test]
+    fn reads_are_deterministic() {
+        let g = uniform(10_000, 3);
+        let a = paper_reads(&g, 10, 100, 9);
+        let b = paper_reads(&g, 10, 100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_reads_match_origin_up_to_edits() {
+        let g = uniform(10_000, 3);
+        for r in paper_reads(&g, 50, 120, 11) {
+            assert!(!r.reverse);
+            assert_eq!(r.seq.len(), 120);
+            let window = &g[r.origin..r.origin + 120];
+            assert_eq!(hamming(&r.seq, window), r.edits);
+        }
+    }
+
+    #[test]
+    fn error_rate_is_respected() {
+        let g = uniform(100_000, 4);
+        let cfg = ReadSimConfig {
+            read_len: 100,
+            error_rate: 0.05,
+            mutation_rate: 0.0,
+            reverse_strand_prob: 0.0,
+            profile: ErrorProfile::Uniform,
+        };
+        let mut sim = ReadSimulator::new(&g, cfg, 17);
+        let total_edits: usize = sim.reads(400).iter().map(|r| r.edits).sum();
+        let rate = total_edits as f64 / (400.0 * 100.0);
+        assert!((rate - 0.05).abs() < 0.01, "observed rate {rate}");
+    }
+
+    #[test]
+    fn zero_error_reads_are_exact() {
+        let g = uniform(5_000, 5);
+        let cfg = ReadSimConfig {
+            read_len: 80,
+            error_rate: 0.0,
+            mutation_rate: 0.0,
+            reverse_strand_prob: 0.0,
+            profile: ErrorProfile::Uniform,
+        };
+        let mut sim = ReadSimulator::new(&g, cfg, 2);
+        for r in sim.reads(20) {
+            assert_eq!(r.edits, 0);
+            assert_eq!(&g[r.origin..r.origin + 80], &r.seq[..]);
+        }
+    }
+
+    #[test]
+    fn reverse_strand_reads_reverse_complement() {
+        let g = uniform(5_000, 6);
+        let cfg = ReadSimConfig {
+            read_len: 60,
+            error_rate: 0.0,
+            mutation_rate: 0.0,
+            reverse_strand_prob: 1.0,
+            profile: ErrorProfile::Uniform,
+        };
+        let mut sim = ReadSimulator::new(&g, cfg, 3);
+        for r in sim.reads(10) {
+            assert!(r.reverse);
+            let window = &g[r.origin..r.origin + 60];
+            assert_eq!(reverse_complement(window), r.seq);
+        }
+    }
+
+    #[test]
+    fn ramp_profile_skews_errors_to_the_tail() {
+        let g = uniform(200_000, 8);
+        let cfg = ReadSimConfig {
+            read_len: 100,
+            error_rate: 0.04,
+            mutation_rate: 0.0,
+            reverse_strand_prob: 0.0,
+            profile: ErrorProfile::LinearRamp { end_factor: 5.0 },
+        };
+        let mut sim = ReadSimulator::new(&g, cfg, 6);
+        let mut head_errors = 0usize;
+        let mut tail_errors = 0usize;
+        for r in sim.reads(500) {
+            let window = &g[r.origin..r.origin + 100];
+            for (i, (a, b)) in r.seq.iter().zip(window).enumerate() {
+                if a != b {
+                    if i < 50 {
+                        head_errors += 1;
+                    } else {
+                        tail_errors += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            tail_errors as f64 > 1.5 * head_errors as f64,
+            "head {head_errors} vs tail {tail_errors}"
+        );
+    }
+
+    #[test]
+    fn rate_at_profiles() {
+        let uni = ReadSimConfig::paper(100);
+        assert!((uni.rate_at(0) - uni.rate_at(99)).abs() < 1e-12);
+        let ill = ReadSimConfig::illumina(100);
+        assert!(ill.rate_at(99) > 3.5 * ill.rate_at(0));
+        assert!((ill.rate_at(0) - (0.02 + 0.001)).abs() < 1e-12);
+        // Single-base reads degenerate to the base rate.
+        let one = ReadSimConfig { read_len: 1, ..ReadSimConfig::illumina(1) };
+        assert!((one.rate_at(0) - (0.02 + 0.001)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn rejects_too_short_genome() {
+        let g = uniform(10, 0);
+        ReadSimulator::new(&g, ReadSimConfig::paper(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_bad_rate() {
+        let g = uniform(1000, 0);
+        let cfg = ReadSimConfig { error_rate: 1.5, ..ReadSimConfig::paper(50) };
+        ReadSimulator::new(&g, cfg, 0);
+    }
+
+    #[test]
+    fn full_length_reads() {
+        let g = uniform(100, 1);
+        let cfg = ReadSimConfig {
+            read_len: 100,
+            error_rate: 0.0,
+            mutation_rate: 0.0,
+            reverse_strand_prob: 0.0,
+            profile: ErrorProfile::Uniform,
+        };
+        let mut sim = ReadSimulator::new(&g, cfg, 4);
+        let r = sim.next_read();
+        assert_eq!(r.origin, 0);
+        assert_eq!(r.seq, g);
+    }
+}

@@ -1,0 +1,108 @@
+//! Longest-common-prefix arrays (Kasai's algorithm).
+//!
+//! `lcp[i]` is the length of the longest common prefix of the suffixes
+//! ranked `i-1` and `i` in the suffix array (`lcp[0] = 0`). Together with a
+//! range-minimum structure this yields O(1) longest-common-extension
+//! queries, the engine behind the kangaroo jumps used by the Amir /
+//! Landau–Vishkin baselines (paper Section II, refs [2, 19]).
+
+/// Inverse permutation of a suffix array: `rank[p]` is the lexicographic
+/// rank of the suffix starting at text position `p`.
+pub fn rank_array(sa: &[u32]) -> Vec<u32> {
+    let mut rank = vec![0u32; sa.len()];
+    for (r, &p) in sa.iter().enumerate() {
+        rank[p as usize] = r as u32;
+    }
+    rank
+}
+
+/// Kasai's linear-time LCP construction.
+pub fn lcp_array(text: &[u8], sa: &[u32]) -> Vec<u32> {
+    assert_eq!(text.len(), sa.len(), "text and suffix array lengths differ");
+    let n = text.len();
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    let rank = rank_array(sa);
+    let mut h = 0usize;
+    for p in 0..n {
+        let r = rank[p] as usize;
+        if r == 0 {
+            h = 0;
+            continue;
+        }
+        let q = sa[r - 1] as usize;
+        while p + h < n && q + h < n && text[p + h] == text[q + h] {
+            h += 1;
+        }
+        lcp[r] = h as u32;
+        h = h.saturating_sub(1);
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sais::{suffix_array, suffix_array_naive};
+
+    fn naive_lcp(text: &[u8], sa: &[u32]) -> Vec<u32> {
+        let mut lcp = vec![0u32; sa.len()];
+        for i in 1..sa.len() {
+            let (a, b) = (sa[i - 1] as usize, sa[i] as usize);
+            let mut h = 0;
+            while a + h < text.len() && b + h < text.len() && text[a + h] == text[b + h] {
+                h += 1;
+            }
+            lcp[i] = h as u32;
+        }
+        lcp
+    }
+
+    #[test]
+    fn paper_example() {
+        let text = kmm_dna::encode_text(b"acagaca").unwrap();
+        let sa = suffix_array(&text, kmm_dna::SIGMA);
+        // SA = [7,6,4,0,2,5,1,3]; suffixes: $, a$, aca$, acagaca$, agaca$,
+        // ca$, cagaca$, gaca$. LCPs: 0,0,1,3,1,0,2,0.
+        assert_eq!(lcp_array(&text, &sa), vec![0, 0, 1, 3, 1, 0, 2, 0]);
+    }
+
+    #[test]
+    fn rank_is_inverse() {
+        let text = kmm_dna::encode_text(b"gattaca").unwrap();
+        let sa = suffix_array(&text, kmm_dna::SIGMA);
+        let rank = rank_array(&sa);
+        for (r, &p) in sa.iter().enumerate() {
+            assert_eq!(rank[p as usize] as usize, r);
+        }
+    }
+
+    #[test]
+    fn random_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let len = rng.gen_range(1..150);
+            let mut text: Vec<u8> = (0..len).map(|_| rng.gen_range(1..=4)).collect();
+            text.push(0);
+            let sa = suffix_array_naive(&text);
+            assert_eq!(lcp_array(&text, &sa), naive_lcp(&text, &sa));
+        }
+    }
+
+    #[test]
+    fn empty_and_sentinel_only() {
+        assert_eq!(lcp_array(&[], &[]), Vec::<u32>::new());
+        assert_eq!(lcp_array(&[0], &[0]), vec![0]);
+    }
+
+    #[test]
+    fn all_same_char() {
+        let text = kmm_dna::encode_text(b"aaaa").unwrap();
+        let sa = suffix_array(&text, kmm_dna::SIGMA);
+        // suffixes: $, a$, aa$, aaa$, aaaa$ -> lcp 0,0,1,2,3
+        assert_eq!(lcp_array(&text, &sa), vec![0, 0, 1, 2, 3]);
+    }
+}

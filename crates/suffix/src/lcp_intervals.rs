@@ -1,0 +1,182 @@
+//! LCP-interval enumeration (the "enhanced suffix array" view).
+//!
+//! An *LCP interval* `ℓ-[i..j]` is a maximal suffix-array range whose
+//! suffixes share a prefix of length `ℓ` — exactly the internal nodes of
+//! the suffix tree. Enumerating them from the LCP array with one stack
+//! pass (Abouelhoda et al.) gives suffix-tree-shaped analyses without
+//! building the tree: the suite uses it to characterise repeat structure
+//! (every LCP interval with `ℓ >= w` is a repeated `w`-mer) and to
+//! cross-validate the suffix tree construction.
+
+/// One LCP interval: the suffixes `sa[begin..end)` share a prefix of
+/// length `lcp`, and no longer prefix is shared by the whole range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LcpInterval {
+    /// Shared-prefix length.
+    pub lcp: u32,
+    /// Range start (inclusive) in suffix-array order.
+    pub begin: u32,
+    /// Range end (exclusive).
+    pub end: u32,
+}
+
+impl LcpInterval {
+    /// Number of suffixes in the interval.
+    pub fn count(&self) -> u32 {
+        self.end - self.begin
+    }
+}
+
+/// Enumerate every internal LCP interval (`lcp > 0`, `count >= 2`) in
+/// bottom-up order, via the classic stack sweep over the LCP array.
+#[allow(clippy::needless_range_loop)] // lcp[i] pairs rank i-1 with rank i; indices are the clearest form
+pub fn lcp_intervals(lcp: &[u32]) -> Vec<LcpInterval> {
+    let n = lcp.len();
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    // Stack of (lcp value, left boundary).
+    let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+    for i in 1..=n {
+        let l = if i < n { lcp[i] } else { 0 };
+        // lcp[i] relates ranks i-1 and i, so a freshly opened interval
+        // starts at i-1.
+        let mut left = (i - 1) as u32;
+        while stack.last().is_some_and(|&(top, _)| top > l) {
+            let (top, begin) = stack.pop().expect("stack checked non-empty");
+            out.push(LcpInterval { lcp: top, begin, end: i as u32 });
+            left = begin;
+        }
+        if stack.last().is_none_or(|&(top, _)| top < l) {
+            stack.push((l, left));
+        }
+    }
+    out.retain(|iv| iv.lcp > 0 && iv.count() >= 2);
+    out
+}
+
+/// Repeat statistics derived from the LCP interval structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepeatSummary {
+    /// Number of maximal repeated substrings (internal LCP intervals).
+    pub repeat_classes: usize,
+    /// Longest repeated substring length (max LCP value).
+    pub longest_repeat: u32,
+    /// Largest occurrence count of any repeated substring.
+    pub max_multiplicity: u32,
+}
+
+/// Summarise repeats of a text from its LCP array.
+pub fn repeat_summary(lcp: &[u32]) -> RepeatSummary {
+    let ivs = lcp_intervals(lcp);
+    RepeatSummary {
+        repeat_classes: ivs.len(),
+        longest_repeat: ivs.iter().map(|iv| iv.lcp).max().unwrap_or(0),
+        max_multiplicity: ivs.iter().map(|iv| iv.count()).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcp::lcp_array;
+    use crate::sais::suffix_array;
+
+    fn intervals_of(ascii: &[u8]) -> (Vec<LcpInterval>, Vec<u32>, Vec<u8>) {
+        let text = kmm_dna::encode_text(ascii).unwrap();
+        let sa = suffix_array(&text, kmm_dna::SIGMA);
+        let lcp = lcp_array(&text, &sa);
+        (lcp_intervals(&lcp), sa, text)
+    }
+
+    #[test]
+    fn paper_text_intervals() {
+        // s = acagaca$: LCP = [0,0,1,3,1,0,2,0].
+        let (ivs, _, _) = intervals_of(b"acagaca");
+        // Expected internal intervals: "a" over ranks 1..5 (1-[1..5)),
+        // "aca" over ranks 2..4, "ca" over ranks 5..7.
+        let mut sorted = ivs.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                LcpInterval { lcp: 1, begin: 1, end: 5 },
+                LcpInterval { lcp: 2, begin: 5, end: 7 },
+                LcpInterval { lcp: 3, begin: 2, end: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn intervals_describe_real_repeats() {
+        let (ivs, sa, text) = intervals_of(b"acgtacgtacgaa");
+        for iv in ivs {
+            // All suffixes in the range share exactly `lcp` symbols.
+            let first = sa[iv.begin as usize] as usize;
+            let prefix = &text[first..first + iv.lcp as usize];
+            for r in iv.begin..iv.end {
+                let p = sa[r as usize] as usize;
+                assert_eq!(&text[p..p + iv.lcp as usize], prefix);
+            }
+            // Maximality: the symbol after the prefix is not constant.
+            let nexts: std::collections::HashSet<u8> = (iv.begin..iv.end)
+                .map(|r| {
+                    let p = sa[r as usize] as usize + iv.lcp as usize;
+                    text.get(p).copied().unwrap_or(0)
+                })
+                .collect();
+            assert!(nexts.len() > 1, "interval {iv:?} is not right-maximal");
+        }
+    }
+
+    #[test]
+    fn interval_count_matches_suffix_tree_internal_nodes() {
+        use crate::suffix_tree::SuffixTree;
+        for ascii in [&b"acagaca"[..], b"aaaaaa", b"acgtacgt", b"gattacagattaca"] {
+            let (ivs, _, _) = intervals_of(ascii);
+            let text = kmm_dna::encode_text(ascii).unwrap();
+            let tree = SuffixTree::new(text, kmm_dna::SIGMA);
+            // Internal suffix-tree nodes (excluding the root) correspond
+            // one-to-one with internal LCP intervals.
+            let internal = tree
+                .nodes()
+                .iter()
+                .enumerate()
+                .filter(|(id, n)| *id != 0 && !n.is_leaf())
+                .count();
+            assert_eq!(ivs.len(), internal, "text {ascii:?}");
+        }
+    }
+
+    #[test]
+    fn repetitive_text_summary() {
+        let text = kmm_dna::encode_text(&b"ac".repeat(20)).unwrap();
+        let sa = suffix_array(&text, kmm_dna::SIGMA);
+        let lcp = lcp_array(&text, &sa);
+        let s = repeat_summary(&lcp);
+        assert!(s.longest_repeat >= 36);
+        assert!(s.max_multiplicity >= 19);
+        assert!(s.repeat_classes > 10);
+    }
+
+    #[test]
+    fn random_text_has_short_repeats_only() {
+        let g = kmm_dna::genome::uniform(5_000, 3);
+        let mut text = g;
+        text.push(0);
+        let sa = suffix_array(&text, kmm_dna::SIGMA);
+        let lcp = lcp_array(&text, &sa);
+        let s = repeat_summary(&lcp);
+        // log4(5000) ~ 6; repeats beyond ~4x that are vanishingly unlikely.
+        assert!(s.longest_repeat < 30, "unexpected repeat of {}", s.longest_repeat);
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(lcp_intervals(&[]).is_empty());
+        assert!(lcp_intervals(&[0]).is_empty());
+        let (ivs, _, _) = intervals_of(b"a");
+        assert!(ivs.is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Sparse-table range-minimum queries.
+//!
+//! `O(n log n)` preprocessing, `O(1)` queries. Used for constant-time
+//! longest-common-extension queries over LCP arrays (kangaroo jumps).
+
+/// Immutable sparse table answering `min(values[l..=r])` in O(1).
+#[derive(Debug, Clone)]
+pub struct SparseTableRmq {
+    /// `table[j][i]` = index of the minimum in `values[i .. i + 2^j]`.
+    table: Vec<Vec<u32>>,
+    values: Vec<u32>,
+}
+
+impl SparseTableRmq {
+    /// Build a table over `values`.
+    pub fn new(values: Vec<u32>) -> Self {
+        let n = values.len();
+        let levels = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as usize + 1 };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..n as u32).collect());
+        let mut j = 1;
+        while (1usize << j) <= n {
+            let half = 1usize << (j - 1);
+            let prev = &table[j - 1];
+            let mut row = Vec::with_capacity(n - (1 << j) + 1);
+            for i in 0..=(n - (1 << j)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if values[a as usize] <= values[b as usize] { a } else { b });
+            }
+            table.push(row);
+            j += 1;
+        }
+        SparseTableRmq { table, values }
+    }
+
+    /// Number of values indexed.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no values are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index of the leftmost minimum in the inclusive range `l..=r`.
+    ///
+    /// # Panics
+    /// Panics if `l > r` or `r >= len()`.
+    #[inline]
+    pub fn min_index(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r < self.values.len(), "bad rmq range {l}..={r}");
+        let span = r - l + 1;
+        let j = (usize::BITS - 1 - span.leading_zeros()) as usize; // floor(log2)
+        let a = self.table[j][l];
+        let b = self.table[j][r + 1 - (1 << j)];
+        if self.values[a as usize] <= self.values[b as usize] {
+            a as usize
+        } else {
+            b as usize
+        }
+    }
+
+    /// Minimum value in the inclusive range `l..=r`.
+    #[inline]
+    pub fn min_value(&self, l: usize, r: usize) -> u32 {
+        self.values[self.min_index(l, r)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_min(v: &[u32], l: usize, r: usize) -> u32 {
+        *v[l..=r].iter().min().unwrap()
+    }
+
+    #[test]
+    fn single_element() {
+        let rmq = SparseTableRmq::new(vec![7]);
+        assert_eq!(rmq.min_value(0, 0), 7);
+        assert_eq!(rmq.min_index(0, 0), 0);
+        assert_eq!(rmq.len(), 1);
+    }
+
+    #[test]
+    fn known_sequence() {
+        let v = vec![5, 2, 8, 1, 9, 1, 3];
+        let rmq = SparseTableRmq::new(v.clone());
+        assert_eq!(rmq.min_value(0, 6), 1);
+        assert_eq!(rmq.min_index(0, 6), 3); // leftmost minimum
+        assert_eq!(rmq.min_value(4, 6), 1);
+        assert_eq!(rmq.min_index(4, 6), 5);
+        assert_eq!(rmq.min_value(0, 2), 2);
+        assert_eq!(rmq.min_value(2, 2), 8);
+    }
+
+    #[test]
+    fn all_ranges_match_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..80);
+            let v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let rmq = SparseTableRmq::new(v.clone());
+            for l in 0..n {
+                for r in l..n {
+                    assert_eq!(rmq.min_value(l, r), naive_min(&v, l, r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rmq range")]
+    fn rejects_bad_range() {
+        let rmq = SparseTableRmq::new(vec![1, 2, 3]);
+        rmq.min_value(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rmq range")]
+    fn rejects_out_of_bounds() {
+        let rmq = SparseTableRmq::new(vec![1, 2, 3]);
+        rmq.min_value(0, 3);
+    }
+
+    #[test]
+    fn empty_table() {
+        let rmq = SparseTableRmq::new(vec![]);
+        assert!(rmq.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Enhanced suffix array: SA + rank + LCP + RMQ in one structure.
+//!
+//! Supports exact pattern search (binary search over the SA) and O(1)
+//! longest-common-extension queries after linear preprocessing — the two
+//! operations the baseline matchers need.
+
+use crate::lcp::{lcp_array, rank_array};
+use crate::rmq::SparseTableRmq;
+use crate::sais::suffix_array;
+
+/// An enhanced suffix array over an owned encoded text.
+#[derive(Debug, Clone)]
+pub struct EnhancedSuffixArray {
+    text: Vec<u8>,
+    sa: Vec<u32>,
+    rank: Vec<u32>,
+    lcp: Vec<u32>,
+    rmq: SparseTableRmq,
+}
+
+impl EnhancedSuffixArray {
+    /// Build over `text` (must end with the unique sentinel 0).
+    pub fn new(text: Vec<u8>, sigma: usize) -> Self {
+        let sa = suffix_array(&text, sigma);
+        let rank = rank_array(&sa);
+        let lcp = lcp_array(&text, &sa);
+        let rmq = SparseTableRmq::new(lcp.clone());
+        EnhancedSuffixArray { text, sa, rank, lcp, rmq }
+    }
+
+    /// The indexed text, sentinel included.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The suffix array.
+    pub fn sa(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// The inverse suffix array.
+    pub fn rank(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// The LCP array.
+    pub fn lcp(&self) -> &[u32] {
+        &self.lcp
+    }
+
+    /// Text length including the sentinel.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True only for the degenerate empty structure (never produced by
+    /// `new`, which requires a sentinel).
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Longest common extension of the suffixes starting at text positions
+    /// `i` and `j` (number of equal symbols before the first difference).
+    #[inline]
+    pub fn lce(&self, i: usize, j: usize) -> usize {
+        let n = self.text.len();
+        if i >= n || j >= n {
+            return 0;
+        }
+        if i == j {
+            return n - i;
+        }
+        let (ri, rj) = (self.rank[i] as usize, self.rank[j] as usize);
+        let (lo, hi) = if ri < rj { (ri + 1, rj) } else { (rj + 1, ri) };
+        self.rmq.min_value(lo, hi) as usize
+    }
+
+    /// The half-open SA range `[lo, hi)` of suffixes starting with
+    /// `pattern`, found by binary search in `O(m log n)`.
+    pub fn find(&self, pattern: &[u8]) -> (usize, usize) {
+        // lo: first suffix >= pattern; hi: first suffix that neither starts
+        // with pattern nor compares below it.
+        let lo = self.partition_point(|suf| suf < pattern);
+        let hi = self.partition_point(|suf| {
+            suf.len() >= pattern.len() && &suf[..pattern.len()] == pattern || suf < pattern
+        });
+        (lo, hi)
+    }
+
+    fn partition_point(&self, pred: impl Fn(&[u8]) -> bool) -> usize {
+        let mut l = 0;
+        let mut r = self.sa.len();
+        while l < r {
+            let mid = (l + r) / 2;
+            if pred(&self.text[self.sa[mid] as usize..]) {
+                l = mid + 1;
+            } else {
+                r = mid;
+            }
+        }
+        l
+    }
+
+    /// All start positions of exact occurrences of `pattern`, sorted.
+    pub fn locate(&self, pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() {
+            return (0..self.text.len()).collect();
+        }
+        let (lo, hi) = self.find(pattern);
+        let mut positions: Vec<usize> =
+            self.sa[lo..hi].iter().map(|&p| p as usize).collect();
+        positions.sort_unstable();
+        positions
+    }
+
+    /// Number of exact occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        if pattern.is_empty() {
+            return self.text.len();
+        }
+        let (lo, hi) = self.find(pattern);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esa(ascii: &[u8]) -> EnhancedSuffixArray {
+        EnhancedSuffixArray::new(kmm_dna::encode_text(ascii).unwrap(), kmm_dna::SIGMA)
+    }
+
+    fn naive_locate(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return vec![];
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn paper_search_example() {
+        // Section III-A: r = aca in s = acagaca$ occurs at positions 1 and 5
+        // (1-based) = 0 and 4 (0-based).
+        let idx = esa(b"acagaca");
+        let pat = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(idx.locate(&pat), vec![0, 4]);
+        assert_eq!(idx.count(&pat), 2);
+    }
+
+    #[test]
+    fn absent_pattern() {
+        let idx = esa(b"acagaca");
+        let pat = kmm_dna::encode(b"tt").unwrap();
+        assert_eq!(idx.locate(&pat), Vec::<usize>::new());
+        assert_eq!(idx.count(&pat), 0);
+    }
+
+    #[test]
+    fn random_locate_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..300);
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let idx = esa(&ascii);
+            let text = kmm_dna::encode(&ascii).unwrap();
+            for _ in 0..20 {
+                let m = rng.gen_range(1..8.min(n + 1));
+                let pat: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+                assert_eq!(idx.locate(&pat), naive_locate(&text, &pat));
+            }
+        }
+    }
+
+    #[test]
+    fn lce_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let ascii: Vec<u8> = (0..200).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+        let idx = esa(&ascii);
+        let text = idx.text().to_vec();
+        for _ in 0..500 {
+            let i = rng.gen_range(0..text.len());
+            let j = rng.gen_range(0..text.len());
+            let mut h = 0;
+            while i + h < text.len() && j + h < text.len() && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            assert_eq!(idx.lce(i, j), h, "lce({i},{j})");
+        }
+    }
+
+    #[test]
+    fn lce_identity() {
+        let idx = esa(b"acgtacgt");
+        assert_eq!(idx.lce(0, 0), 9); // whole text incl. sentinel
+        assert_eq!(idx.lce(0, 4), 4); // acgt$ vs acgt...
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let idx = esa(b"ac");
+        let pat = kmm_dna::encode(b"acgt").unwrap();
+        assert_eq!(idx.count(&pat), 0);
+    }
+
+    #[test]
+    fn repetitive_text_counts() {
+        let idx = esa(b"aaaaaa");
+        let a = kmm_dna::encode(b"aa").unwrap();
+        assert_eq!(idx.count(&a), 5);
+        assert_eq!(idx.locate(&a), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Suffix trees, built in linear time from the suffix array and LCP array.
+//!
+//! The paper's "Cole's" baseline (Section V) performs a brute-force
+//! k-mismatch search over a suffix tree of the target (the authors used the
+//! `gsuffix` C library). This module provides our own suffix tree with the
+//! traversal hooks that search needs: children indexed by first edge
+//! symbol, edge labels as text slices, and the SA leaf range under every
+//! node for occurrence reporting.
+
+use kmm_dna::SIGMA;
+
+use crate::lcp::lcp_array;
+use crate::sais::suffix_array;
+
+/// Sentinel meaning "no node".
+pub const NO_NODE: u32 = u32::MAX;
+
+/// One suffix-tree node. The edge *into* the node is labelled by
+/// `text[label_start..label_end]`; `depth` is the total string depth at the
+/// bottom of that edge.
+#[derive(Debug, Clone)]
+pub struct StNode {
+    /// Parent node id (`NO_NODE` for the root).
+    pub parent: u32,
+    /// Start of this node's incoming edge label in the text.
+    pub label_start: u32,
+    /// End (exclusive) of the incoming edge label.
+    pub label_end: u32,
+    /// String depth at this node.
+    pub depth: u32,
+    /// Children indexed by the first symbol of their edge label.
+    pub children: [u32; SIGMA],
+    /// Leaf range `[sa_lo, sa_hi)` in the suffix array covered by this
+    /// subtree.
+    pub sa_lo: u32,
+    /// Exclusive end of the leaf range.
+    pub sa_hi: u32,
+    /// For leaves, the suffix start position; `NO_NODE` for internal nodes.
+    pub suffix: u32,
+}
+
+impl StNode {
+    fn new(parent: u32, label_start: u32, label_end: u32, depth: u32) -> Self {
+        StNode {
+            parent,
+            label_start,
+            label_end,
+            depth,
+            children: [NO_NODE; SIGMA],
+            sa_lo: 0,
+            sa_hi: 0,
+            suffix: NO_NODE,
+        }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.suffix != NO_NODE
+    }
+}
+
+/// A suffix tree over an owned encoded text (sentinel-terminated).
+#[derive(Debug, Clone)]
+pub struct SuffixTree {
+    text: Vec<u8>,
+    sa: Vec<u32>,
+    nodes: Vec<StNode>,
+}
+
+impl SuffixTree {
+    /// Build the suffix tree of `text` (must end with the unique sentinel 0).
+    pub fn new(text: Vec<u8>, sigma: usize) -> Self {
+        let sa = suffix_array(&text, sigma);
+        let lcp = lcp_array(&text, &sa);
+        Self::from_sa_lcp(text, sa, &lcp)
+    }
+
+    /// Build from precomputed SA and LCP arrays.
+    pub fn from_sa_lcp(text: Vec<u8>, sa: Vec<u32>, lcp: &[u32]) -> Self {
+        let n = text.len();
+        let mut nodes: Vec<StNode> = Vec::with_capacity(2 * n.max(1));
+        nodes.push(StNode::new(NO_NODE, 0, 0, 0)); // root
+        // Stack of node ids on the rightmost path, depths strictly
+        // increasing from the root.
+        let mut stack: Vec<u32> = vec![0];
+
+        for (i, &suf) in sa.iter().enumerate() {
+            let h = if i == 0 { 0 } else { lcp[i] };
+            let mut last_popped: u32 = NO_NODE;
+            while nodes[*stack.last().unwrap() as usize].depth > h {
+                last_popped = stack.pop().unwrap();
+            }
+            let top = *stack.last().unwrap();
+            let attach_to = if nodes[top as usize].depth == h {
+                top
+            } else {
+                // Split the edge into `last_popped` at depth h.
+                debug_assert!(last_popped != NO_NODE);
+                let parent_depth = nodes[top as usize].depth;
+                let child_start = nodes[last_popped as usize].label_start;
+                let take = h - parent_depth;
+                let mid_id = nodes.len() as u32;
+                let mut mid = StNode::new(top, child_start, child_start + take, h);
+                // Re-hang last_popped under the new internal node.
+                let first_sym = text[child_start as usize] as usize;
+                nodes[top as usize].children[first_sym] = mid_id;
+                let lp = &mut nodes[last_popped as usize];
+                lp.parent = mid_id;
+                lp.label_start += take;
+                let lp_sym = text[lp.label_start as usize] as usize;
+                mid.children[lp_sym] = last_popped;
+                nodes.push(mid);
+                stack.push(mid_id);
+                mid_id
+            };
+            // Attach the new leaf for suffix `suf`.
+            let leaf_id = nodes.len() as u32;
+            let mut leaf =
+                StNode::new(attach_to, suf + h, n as u32, (n as u32) - suf);
+            leaf.suffix = suf;
+            leaf.sa_lo = i as u32;
+            leaf.sa_hi = i as u32 + 1;
+            let sym = text[(suf + h) as usize] as usize;
+            nodes[attach_to as usize].children[sym] = leaf_id;
+            nodes.push(leaf);
+            stack.push(leaf_id);
+        }
+
+        let mut tree = SuffixTree { text, sa, nodes };
+        tree.compute_ranges();
+        tree
+    }
+
+    /// Fill `sa_lo`/`sa_hi` for internal nodes by an iterative post-order
+    /// walk (leaves already carry their rank).
+    fn compute_ranges(&mut self) {
+        // Children were attached in SA order, so each internal node's range
+        // is the union of its children's. Process nodes in reverse creation
+        // order: children are always created after their parent, except for
+        // re-hung split children — handle with an explicit post-order.
+        let mut order: Vec<u32> = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in &self.nodes[v as usize].children {
+                if c != NO_NODE {
+                    stack.push(c);
+                }
+            }
+        }
+        for &v in order.iter().rev() {
+            if self.nodes[v as usize].is_leaf() {
+                continue;
+            }
+            let mut lo = u32::MAX;
+            let mut hi = 0u32;
+            for &c in &self.nodes[v as usize].children {
+                if c != NO_NODE {
+                    lo = lo.min(self.nodes[c as usize].sa_lo);
+                    hi = hi.max(self.nodes[c as usize].sa_hi);
+                }
+            }
+            let node = &mut self.nodes[v as usize];
+            node.sa_lo = lo;
+            node.sa_hi = hi;
+        }
+    }
+
+    /// The indexed text (sentinel included).
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// The underlying suffix array.
+    pub fn sa(&self) -> &[u32] {
+        &self.sa
+    }
+
+    /// All nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[StNode] {
+        &self.nodes
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Edge label of `node` as a text slice.
+    pub fn label(&self, node: u32) -> &[u8] {
+        let n = &self.nodes[node as usize];
+        &self.text[n.label_start as usize..n.label_end as usize]
+    }
+
+    /// Child of `node` whose edge starts with `sym`, if any.
+    pub fn child(&self, node: u32, sym: u8) -> Option<u32> {
+        let c = self.nodes[node as usize].children[sym as usize];
+        (c != NO_NODE).then_some(c)
+    }
+
+    /// Number of leaves (= text length).
+    pub fn leaf_count(&self) -> usize {
+        self.sa.len()
+    }
+
+    /// Exact occurrences of `pattern`, sorted — used for cross-checking.
+    pub fn locate(&self, pattern: &[u8]) -> Vec<usize> {
+        let mut node = 0u32;
+        let mut matched = 0usize;
+        'outer: while matched < pattern.len() {
+            let Some(c) = self.child(node, pattern[matched]) else {
+                return vec![];
+            };
+            let label = self.label(c);
+            for &sym in label {
+                if matched == pattern.len() {
+                    node = c;
+                    break 'outer;
+                }
+                if sym != pattern[matched] {
+                    return vec![];
+                }
+                matched += 1;
+            }
+            node = c;
+        }
+        let nd = &self.nodes[node as usize];
+        let mut out: Vec<usize> =
+            self.sa[nd.sa_lo as usize..nd.sa_hi as usize].iter().map(|&p| p as usize).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Structural sanity check used by tests: every non-root internal node
+    /// has >= 2 children, depths increase along edges, labels concatenate to
+    /// the suffixes.
+    pub fn validate(&self) -> Result<(), String> {
+        for (id, node) in self.nodes.iter().enumerate() {
+            let id = id as u32;
+            if id == 0 {
+                continue;
+            }
+            let parent = &self.nodes[node.parent as usize];
+            if node.depth != parent.depth + (node.label_end - node.label_start) {
+                return Err(format!("node {id}: depth inconsistent"));
+            }
+            if !node.is_leaf() {
+                let kids = node.children.iter().filter(|&&c| c != NO_NODE).count();
+                if kids < 2 {
+                    return Err(format!("internal node {id} has {kids} children"));
+                }
+            }
+        }
+        // Each leaf's root-to-leaf labels spell its suffix.
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !node.is_leaf() {
+                continue;
+            }
+            let mut parts: Vec<&[u8]> = Vec::new();
+            let mut v = id as u32;
+            while v != 0 {
+                parts.push(self.label(v));
+                v = self.nodes[v as usize].parent;
+            }
+            parts.reverse();
+            let spelled: Vec<u8> = parts.concat();
+            if spelled != self.text[node.suffix as usize..] {
+                return Err(format!("leaf {id} spells the wrong suffix"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(ascii: &[u8]) -> SuffixTree {
+        SuffixTree::new(kmm_dna::encode_text(ascii).unwrap(), kmm_dna::SIGMA)
+    }
+
+    #[test]
+    fn paper_text_tree_is_valid() {
+        let t = tree(b"acagaca");
+        t.validate().unwrap();
+        assert_eq!(t.leaf_count(), 8);
+    }
+
+    #[test]
+    fn locate_matches_paper_example() {
+        let t = tree(b"acagaca");
+        let pat = kmm_dna::encode(b"aca").unwrap();
+        assert_eq!(t.locate(&pat), vec![0, 4]);
+    }
+
+    #[test]
+    fn locate_within_edge() {
+        let t = tree(b"acagaca");
+        // "ag" ends in the middle of an edge.
+        let pat = kmm_dna::encode(b"ag").unwrap();
+        assert_eq!(t.locate(&pat), vec![2]);
+        // "gac" likewise.
+        let pat = kmm_dna::encode(b"gac").unwrap();
+        assert_eq!(t.locate(&pat), vec![3]);
+    }
+
+    #[test]
+    fn absent_patterns() {
+        let t = tree(b"acagaca");
+        for p in [&b"tt"[..], b"acagt", b"caca", b"gg", b"acagacaa"] {
+            let pat = kmm_dna::encode(p).unwrap();
+            assert_eq!(t.locate(&pat), Vec::<usize>::new(), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn random_trees_validate_and_locate() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..200);
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let t = tree(&ascii);
+            t.validate().unwrap();
+            let text = kmm_dna::encode(&ascii).unwrap();
+            for _ in 0..10 {
+                let m = rng.gen_range(1..10.min(n + 2));
+                let pat: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+                let naive: Vec<usize> = if m > text.len() {
+                    vec![]
+                } else {
+                    (0..=text.len() - m)
+                        .filter(|&i| text[i..i + m] == pat[..])
+                        .collect()
+                };
+                assert_eq!(t.locate(&pat), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_tree() {
+        let t = tree(b"aaaaaaa");
+        t.validate().unwrap();
+        let pat = kmm_dna::encode(b"aaa").unwrap();
+        assert_eq!(t.locate(&pat), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_char_text() {
+        let t = tree(b"a");
+        t.validate().unwrap();
+        assert_eq!(t.leaf_count(), 2);
+        let pat = kmm_dna::encode(b"a").unwrap();
+        assert_eq!(t.locate(&pat), vec![0]);
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        let t = tree(&kmm_dna::decode(&kmm_dna::genome::uniform(2000, 4)));
+        // At most 2n nodes for n leaves.
+        assert!(t.nodes().len() <= 2 * t.leaf_count());
+    }
+}

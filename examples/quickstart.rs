@@ -1,0 +1,57 @@
+//! Quickstart: index a target string and find all occurrences of a pattern
+//! with up to k mismatches.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bwt_kmismatch::{KMismatchIndex, Method};
+
+fn main() {
+    // The running example of the paper (Sections III-IV): target
+    // s = acagaca, pattern r = tcaca, k = 2.
+    let index = KMismatchIndex::from_ascii(b"acagaca").expect("valid DNA");
+    let pattern = kmm_dna::encode(b"tcaca").expect("valid DNA");
+
+    let result = index.search(&pattern, 2, Method::ALGORITHM_A);
+    println!("pattern tcaca in acagaca with k = 2:");
+    for occ in &result.occurrences {
+        let window = &index.text()[occ.position..occ.position + pattern.len()];
+        println!(
+            "  position {:>2}: {} ({} mismatches)",
+            occ.position,
+            kmm_dna::decode_string(window),
+            occ.mismatches
+        );
+    }
+
+    // A bigger, synthetic target: find a probe in a 100 kbp genome.
+    let genome = kmm_dna::genome::markov(
+        100_000,
+        &kmm_dna::genome::MarkovConfig::default(),
+        42,
+    );
+    let index = KMismatchIndex::new(genome.clone());
+    // Take a 60 bp probe from the genome and corrupt three bases.
+    let mut probe = genome[5_000..5_060].to_vec();
+    for (i, sym) in [(7usize, 1u8), (23, 2), (51, 4)] {
+        probe[i] = if probe[i] == sym { sym % 4 + 1 } else { sym };
+    }
+
+    println!("\n60 bp probe with 3 planted errors, k = 3:");
+    let result = index.search(&probe, 3, Method::ALGORITHM_A);
+    for occ in &result.occurrences {
+        println!("  found at {} with {} mismatches", occ.position, occ.mismatches);
+    }
+    println!(
+        "  search stats: {} tree leaves, {} backward extensions",
+        result.stats.leaves, result.stats.rank_extensions
+    );
+
+    // Every method agrees — swap in any of the paper's baselines.
+    for method in [Method::Bwt { use_phi: true }, Method::Amir, Method::Cole] {
+        let alt = index.search(&probe, 3, method);
+        assert_eq!(alt.occurrences, result.occurrences);
+        println!("  {} agrees ({} occurrences)", method.label(), alt.occurrences.len());
+    }
+}

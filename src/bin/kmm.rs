@@ -1,0 +1,129 @@
+//! `kmm` — command-line front-end for the bwt-kmismatch suite.
+//!
+//! ```text
+//! kmm generate --genome rat --scale 0.01 -o ref.fa
+//! kmm index    --reference ref.fa -o ref.idx
+//! kmm simulate --reference ref.fa --reads 100 --len 100 -o reads.fq
+//! kmm map      --index ref.idx --reads reads.fq -k 5 [--method a]
+//! kmm search   --index ref.idx --pattern ACGTT... -k 3 [--method bwt]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bwt_kmismatch::cli::{self, CliError};
+
+const USAGE: &str = "\
+usage: kmm <command> [options]
+
+commands:
+  generate  --genome <rat|zebrafish|rat-chr1|celegans|cmerolae>
+            [--scale F] -o <out.fa>
+  index     --reference <ref.fa> -o <out.idx>
+  simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
+  map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
+            [--both-strands true]
+  search    --index <ref.idx> --pattern <DNA> [-k K] [--method M]
+
+methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
+         kangaroo | naive | seed";
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut flags = Vec::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                return Err(CliError(format!("unexpected argument '{a}'")));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| CliError(format!("missing required flag --{name}")))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError(format!("bad value for --{name}: {v}"))),
+        }
+    }
+}
+
+fn run() -> Result<String, CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(CliError(USAGE.to_string()));
+    };
+    let args = Args::parse(rest)?;
+    let out_path = |a: &Args| -> Result<PathBuf, CliError> { Ok(PathBuf::from(a.require("o")?)) };
+    match command.as_str() {
+        "generate" => {
+            let genome = cli::parse_genome(args.require("genome")?)?;
+            let scale: f64 = args.parsed("scale", 0.01)?;
+            cli::generate(genome, scale, &out_path(&args)?)
+        }
+        "index" => cli::index(&PathBuf::from(args.require("reference")?), &out_path(&args)?),
+        "simulate" => cli::simulate(
+            &PathBuf::from(args.require("reference")?),
+            args.parsed("reads", 50usize)?,
+            args.parsed("len", 100usize)?,
+            args.parsed("seed", 42u64)?,
+            &out_path(&args)?,
+        ),
+        "map" => {
+            let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
+            let both = args.get("both-strands").map(|v| v == "true").unwrap_or(false);
+            let mut stdout = std::io::stdout().lock();
+            cli::map_reads(
+                &PathBuf::from(args.require("index")?),
+                &PathBuf::from(args.require("reads")?),
+                args.parsed("k", 5usize)?,
+                method,
+                both,
+                &mut stdout,
+            )
+        }
+        "search" => {
+            let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
+            let mut stdout = std::io::stdout().lock();
+            cli::search_pattern(
+                &PathBuf::from(args.require("index")?),
+                args.require("pattern")?,
+                args.parsed("k", 3usize)?,
+                method,
+                &mut stdout,
+            )
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(summary) => {
+            eprintln!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kmm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

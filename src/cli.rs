@@ -1,0 +1,311 @@
+//! The `kmm` command-line tool: generate / simulate / index / map /
+//! search, as a thin pipeline over the library. All subcommand logic
+//! lives here (unit-testable); `src/bin/kmm.rs` only parses `argv`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use kmm_bwt::FmIndex;
+use kmm_core::{KMismatchIndex, Method};
+use kmm_dna::genome::ReferenceGenome;
+use kmm_dna::{fasta, fastq};
+
+/// CLI-level errors with user-facing messages.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+/// Result alias for CLI operations.
+pub type CliResult<T> = Result<T, CliError>;
+
+fn err<T>(msg: impl Into<String>) -> CliResult<T> {
+    Err(CliError(msg.into()))
+}
+
+/// Parse a method name as accepted by `--method`.
+pub fn parse_method(name: &str) -> CliResult<Method> {
+    match name {
+        "a" | "algorithm-a" => Ok(Method::ALGORITHM_A),
+        "a-noreuse" => Ok(Method::AlgorithmA { reuse: false }),
+        "bwt" => Ok(Method::Bwt { use_phi: true }),
+        "bwt-nophi" => Ok(Method::Bwt { use_phi: false }),
+        "amir" => Ok(Method::Amir),
+        "cole" => Ok(Method::Cole),
+        "kangaroo" => Ok(Method::Kangaroo),
+        "naive" => Ok(Method::Naive),
+        "seed" | "seed-filter" => Ok(Method::SeedFilter),
+        other => err(format!(
+            "unknown method '{other}' (expected a|bwt|bwt-nophi|amir|cole|kangaroo|naive|seed)"
+        )),
+    }
+}
+
+/// Parse a reference-genome name for `generate`.
+pub fn parse_genome(name: &str) -> CliResult<ReferenceGenome> {
+    match name.to_ascii_lowercase().as_str() {
+        "rat" => Ok(ReferenceGenome::Rat),
+        "zebrafish" => Ok(ReferenceGenome::Zebrafish),
+        "rat-chr1" => Ok(ReferenceGenome::RatChr1),
+        "celegans" | "c-elegans" => Ok(ReferenceGenome::CElegans),
+        "cmerolae" | "c-merolae" => Ok(ReferenceGenome::CMerolae),
+        other => err(format!(
+            "unknown genome '{other}' (expected rat|zebrafish|rat-chr1|celegans|cmerolae)"
+        )),
+    }
+}
+
+/// `kmm generate`: synthesise a genome and write it as FASTA.
+pub fn generate(genome: ReferenceGenome, scale: f64, out: &Path) -> CliResult<String> {
+    if scale <= 0.0 || scale > 10.0 {
+        return err("--scale must be in (0, 10]");
+    }
+    let seq = genome.generate_scaled(scale);
+    let rec = fasta::FastaRecord { id: format!("{} scale={scale}", genome.name()), seq };
+    let mut w = BufWriter::new(File::create(out)?);
+    fasta::write_fasta(&mut w, &[rec])?;
+    w.flush()?;
+    Ok(format!("wrote {} ({} bp)", out.display(), genome.generate_scaled(scale).len()))
+}
+
+fn load_fasta_single(path: &Path) -> CliResult<Vec<u8>> {
+    let recs = fasta::read_fasta(BufReader::new(File::open(path)?))
+        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    if recs.is_empty() {
+        return err(format!("{}: no FASTA records", path.display()));
+    }
+    // Concatenate multi-record references (chromosomes).
+    let mut seq = Vec::new();
+    for r in recs {
+        seq.extend(r.seq);
+    }
+    Ok(seq)
+}
+
+/// `kmm simulate`: sample wgsim-style reads from a FASTA reference and
+/// write them as FASTQ.
+pub fn simulate(
+    reference: &Path,
+    count: usize,
+    read_len: usize,
+    seed: u64,
+    out: &Path,
+) -> CliResult<String> {
+    let genome = load_fasta_single(reference)?;
+    if genome.len() < read_len {
+        return err("reference shorter than the read length");
+    }
+    let reads = kmm_dna::reads::ReadSimulator::new(
+        &genome,
+        kmm_dna::reads::ReadSimConfig::paper(read_len),
+        seed,
+    )
+    .reads(count);
+    let records = fastq::simulated_to_fastq(&reads, 35);
+    let mut w = BufWriter::new(File::create(out)?);
+    fastq::write_fastq(&mut w, &records)?;
+    w.flush()?;
+    Ok(format!("wrote {} ({count} reads x {read_len} bp)", out.display()))
+}
+
+/// `kmm index`: build the BWT index of a FASTA reference and save it.
+///
+/// Multi-record FASTA files are concatenated; positions reported by `map`
+/// and `search` are then concatenation offsets, and matches may straddle
+/// record boundaries. Pipelines that need per-chromosome coordinates and
+/// boundary filtering should use `kmm_core::MultiIndex` directly (the
+/// saved index format holds a single text).
+pub fn index(reference: &Path, out: &Path) -> CliResult<String> {
+    let genome = load_fasta_single(reference)?;
+    let idx = KMismatchIndex::new(genome);
+    let mut w = BufWriter::new(File::create(out)?);
+    idx.fm().save(&mut w)?;
+    w.flush()?;
+    Ok(format!(
+        "indexed {} bp -> {} ({} bytes of rank/SA structures)",
+        idx.len(),
+        out.display(),
+        idx.fm().heap_bytes()
+    ))
+}
+
+/// Load a saved index, recovering the forward text from the BWT.
+pub fn load_index(path: &Path) -> CliResult<KMismatchIndex> {
+    let fm = FmIndex::load(BufReader::new(File::open(path)?))
+        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    // The index stores reverse(text) + $; invert and flip to recover text.
+    let mut rev = fm.reconstruct_text();
+    rev.pop(); // sentinel
+    rev.reverse();
+    Ok(KMismatchIndex::from_parts(rev, fm))
+}
+
+/// `kmm map`: align every FASTQ read against a saved index.
+pub fn map_reads(
+    index_path: &Path,
+    reads_path: &Path,
+    k: usize,
+    method: Method,
+    both_strands: bool,
+    out: &mut dyn Write,
+) -> CliResult<String> {
+    use kmm_core::{MapOutcome, MapperConfig, ReadMapper, Strand};
+    let idx = load_index(index_path)?;
+    let reads = fastq::read_fastq(BufReader::new(File::open(reads_path)?))
+        .map_err(|e| CliError(format!("{}: {e}", reads_path.display())))?;
+    let mapper =
+        ReadMapper::new(&idx, MapperConfig { k, both_strands, method });
+    writeln!(out, "#read\tposition\tstrand\tmismatches\tmapq")?;
+    let mut mapped = 0usize;
+    let mut unique = 0usize;
+    let mut hits = 0usize;
+    for rec in &reads {
+        let report = mapper.map(&rec.seq);
+        match &report.outcome {
+            MapOutcome::Unmapped => continue,
+            MapOutcome::Unique(_) => {
+                mapped += 1;
+                unique += 1;
+            }
+            MapOutcome::Multi(_) => mapped += 1,
+        }
+        for a in &report.all {
+            hits += 1;
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}",
+                rec.id,
+                a.position,
+                if a.strand == Strand::Forward { '+' } else { '-' },
+                a.mismatches,
+                report.mapq
+            )?;
+        }
+    }
+    Ok(format!(
+        "mapped {mapped}/{} reads ({unique} unique, {hits} hits) with {} at k={k}",
+        reads.len(),
+        method.label()
+    ))
+}
+
+/// `kmm search`: one ad-hoc pattern against a saved index.
+pub fn search_pattern(
+    index_path: &Path,
+    pattern_ascii: &str,
+    k: usize,
+    method: Method,
+    out: &mut dyn Write,
+) -> CliResult<String> {
+    let idx = load_index(index_path)?;
+    let pattern = kmm_dna::encode(pattern_ascii.as_bytes())
+        .map_err(|e| CliError(format!("bad pattern: {e}")))?;
+    let res = idx.search(&pattern, k, method);
+    for occ in &res.occurrences {
+        writeln!(out, "{}\t{}", occ.position, occ.mismatches)?;
+    }
+    Ok(format!("{} occurrences (stats: {})", res.occurrences.len(), res.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("kmm-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_pipeline_generate_index_simulate_map() {
+        let fa = tmp("pipeline.fa");
+        let idxf = tmp("pipeline.idx");
+        let fq = tmp("pipeline.fq");
+
+        generate(ReferenceGenome::CMerolae, 0.05, &fa).unwrap();
+        index(&fa, &idxf).unwrap();
+        simulate(&fa, 10, 60, 7, &fq).unwrap();
+
+        let mut out = Vec::new();
+        let summary =
+            map_reads(&idxf, &fq, 4, Method::ALGORITHM_A, true, &mut out).unwrap();
+        assert!(summary.starts_with("mapped"), "{summary}");
+        let text = String::from_utf8(out).unwrap();
+        // Header plus at least a few hits (reads come from the genome).
+        assert!(text.lines().count() > 5, "{text}");
+        assert!(text.starts_with("#read\tposition\tstrand\tmismatches\tmapq"));
+        assert!(text.lines().skip(1).all(|l| l.contains('+') || l.contains('-')));
+    }
+
+    #[test]
+    fn loaded_index_equals_fresh_index() {
+        let fa = tmp("roundtrip.fa");
+        let idxf = tmp("roundtrip.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf).unwrap();
+
+        let genome = load_fasta_single(&fa).unwrap();
+        let fresh = KMismatchIndex::new(genome.clone());
+        let loaded = load_index(&idxf).unwrap();
+        assert_eq!(loaded.text(), fresh.text());
+        let probe = genome[100..160].to_vec();
+        for k in [0usize, 2] {
+            assert_eq!(
+                loaded.search(&probe, k, Method::ALGORITHM_A).occurrences,
+                fresh.search(&probe, k, Method::ALGORITHM_A).occurrences
+            );
+        }
+    }
+
+    #[test]
+    fn search_subcommand_outputs_positions() {
+        let fa = tmp("search.fa");
+        let idxf = tmp("search.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf).unwrap();
+        let genome = load_fasta_single(&fa).unwrap();
+        let probe = kmm_dna::decode_string(&genome[50..90]);
+        let mut out = Vec::new();
+        let summary =
+            search_pattern(&idxf, &probe, 1, Method::Bwt { use_phi: true }, &mut out).unwrap();
+        assert!(summary.contains("occurrences"));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("50\t")), "{text}");
+    }
+
+    #[test]
+    fn method_and_genome_parsing() {
+        assert_eq!(parse_method("a").unwrap(), Method::ALGORITHM_A);
+        assert_eq!(parse_method("bwt").unwrap(), Method::Bwt { use_phi: true });
+        assert_eq!(parse_method("seed").unwrap(), Method::SeedFilter);
+        assert!(parse_method("wat").is_err());
+        assert_eq!(parse_genome("rat").unwrap(), ReferenceGenome::Rat);
+        assert_eq!(parse_genome("CMEROLAE").unwrap(), ReferenceGenome::CMerolae);
+        assert!(parse_genome("human").is_err());
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        assert!(generate(ReferenceGenome::Rat, -1.0, &tmp("x.fa")).is_err());
+        assert!(load_index(Path::new("/nonexistent/idx")).is_err());
+        let fa = tmp("short.fa");
+        generate(ReferenceGenome::CMerolae, 0.01, &fa).unwrap();
+        assert!(simulate(&fa, 5, 10_000_000, 1, &tmp("r.fq")).is_err());
+        // A FASTA file is not an index.
+        assert!(load_index(&fa).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # bwt-kmismatch
+//!
+//! A production-quality Rust implementation of **"BWT Arrays and
+//! Mismatching Trees: A New Way for String Matching with k Mismatches"**
+//! (Yangjun Chen and Yujia Wu, ICDE 2017), together with every substrate
+//! it depends on and every baseline it is evaluated against.
+//!
+//! The crate is a façade over the workspace:
+//!
+//! * [`dna`] — alphabet, packed sequences, FASTA, genome/read simulation;
+//! * [`suffix`] — SA-IS suffix arrays, LCP, RMQ, suffix trees;
+//! * [`bwt`] — the Burrows–Wheeler index (rankall arrays, FM-index);
+//! * [`classic`] — exact matchers and online k-mismatch baselines;
+//! * [`core`] — the paper's Algorithm A, the S-tree baseline, φ pruning
+//!   and the unified [`KMismatchIndex`] front-end.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bwt_kmismatch::{KMismatchIndex, Method};
+//!
+//! // Index a target once, search any number of patterns.
+//! let index = KMismatchIndex::from_ascii(b"acagaca").unwrap();
+//! let pattern = bwt_kmismatch::dna::encode(b"tcaca").unwrap();
+//!
+//! // All occurrences with at most 2 mismatches.
+//! let result = index.search(&pattern, 2, Method::ALGORITHM_A);
+//! let positions: Vec<usize> = result.occurrences.iter().map(|o| o.position).collect();
+//! assert_eq!(positions, vec![0, 2]);
+//! ```
+
+pub mod cli;
+
+pub use kmm_bwt as bwt;
+pub use kmm_classic as classic;
+pub use kmm_core as core;
+pub use kmm_dna as dna;
+pub use kmm_suffix as suffix;
+
+pub use kmm_classic::Occurrence;
+pub use kmm_core::{KMismatchIndex, Method, SearchResult, SearchStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let index = KMismatchIndex::from_ascii(b"gattaca").unwrap();
+        let p = dna::encode(b"gatt").unwrap();
+        let r = index.search(&p, 0, Method::ALGORITHM_A);
+        assert_eq!(r.occurrences.len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the k-errors (Levenshtein) extension through the
+//! public `KMismatchIndex` API.
+
+use bwt_kmismatch::core::k_errors::find_k_errors_naive;
+use bwt_kmismatch::{KMismatchIndex, Method};
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn api_agrees_with_reference() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2121);
+    for _ in 0..20 {
+        let n = rng.gen_range(10..150);
+        let text: Vec<u8> = (0..n).map(|_| rng.gen_range(1..=4)).collect();
+        let index = KMismatchIndex::new(text.clone());
+        let m = rng.gen_range(2..=n.min(10));
+        let pattern: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+        for k in 0..3usize {
+            let (got, stats) = index.search_k_errors(&pattern, k);
+            assert_eq!(got, find_k_errors_naive(&text, &pattern, k));
+            assert_eq!(stats.occurrences as usize, got.len());
+        }
+    }
+}
+
+#[test]
+fn deletion_insertion_substitution_each_found() {
+    // Reference locus: "gattaca" planted in a random background.
+    let mut genome = kmm_dna::genome::uniform(2_000, 5);
+    let locus = 700;
+    let marker = kmm_dna::encode(b"gattacagatta").unwrap();
+    genome[locus..locus + marker.len()].copy_from_slice(&marker);
+    let index = KMismatchIndex::new(genome.clone());
+
+    // Substituted probe (Hamming distance 1).
+    let mut probe = marker.clone();
+    probe[5] = if probe[5] == 1 { 2 } else { 1 };
+    let (hits, _) = index.search_k_errors(&probe, 1);
+    assert!(hits.iter().any(|h| h.position == locus && h.distance == 1));
+
+    // Probe with one base deleted (pattern shorter): the locus window of
+    // full marker length matches with one insertion.
+    let mut probe = marker.clone();
+    probe.remove(4);
+    let (hits, _) = index.search_k_errors(&probe, 1);
+    assert!(hits
+        .iter()
+        .any(|h| h.position == locus && h.length == marker.len() && h.distance == 1));
+
+    // Probe with one extra base inserted.
+    let mut probe = marker.clone();
+    probe.insert(6, 3);
+    let (hits, _) = index.search_k_errors(&probe, 1);
+    assert!(hits
+        .iter()
+        .any(|h| h.position == locus && h.length == marker.len() && h.distance == 1));
+}
+
+#[test]
+fn k_errors_at_zero_matches_exact_search() {
+    let genome = kmm_dna::genome::markov(
+        5_000,
+        &kmm_dna::genome::MarkovConfig::default(),
+        3,
+    );
+    let index = KMismatchIndex::new(genome.clone());
+    let probe = genome[1234..1284].to_vec();
+    let (edit_hits, _) = index.search_k_errors(&probe, 0);
+    let exact = index.search(&probe, 0, Method::ALGORITHM_A).occurrences;
+    let edit_positions: Vec<usize> = edit_hits
+        .iter()
+        .filter(|h| h.distance == 0 && h.length == probe.len())
+        .map(|h| h.position)
+        .collect();
+    assert_eq!(
+        edit_positions,
+        exact.iter().map(|o| o.position).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn edit_hits_verify_against_text() {
+    let genome = kmm_dna::genome::uniform(800, 21);
+    let index = KMismatchIndex::new(genome.clone());
+    let probe = kmm_dna::encode(b"acgtacgt").unwrap();
+    let (hits, _) = index.search_k_errors(&probe, 2);
+    for h in hits {
+        let window = &genome[h.position..h.position + h.length];
+        // Recompute the edit distance directly.
+        let d = levenshtein(window, &probe);
+        assert_eq!(d, h.distance, "window {window:?}");
+        assert!(d <= 2);
+    }
+}
+
+fn levenshtein(a: &[u8], b: &[u8]) -> usize {
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &x) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &y) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = (cur + 1)
+                .min(row[j] + 1)
+                .min(prev + usize::from(x != y));
+            prev = cur;
+        }
+    }
+    row[b.len()]
+}

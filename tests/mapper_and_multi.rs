@@ -1,0 +1,105 @@
+//! Integration tests for the read mapper and the chromosome-aware
+//! multi-sequence index through the public façade.
+
+use bwt_kmismatch::core::{
+    MapOutcome, MapperConfig, Method, MultiIndex, ReadMapper, Strand,
+};
+use bwt_kmismatch::KMismatchIndex;
+use kmm_dna::genome::{markov, MarkovConfig};
+use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
+
+#[test]
+fn simulated_paired_strand_batch_maps_accurately() {
+    let genome = markov(60_000, &MarkovConfig::default(), 77);
+    let index = KMismatchIndex::new(genome.clone());
+    let mapper = ReadMapper::new(&index, MapperConfig { k: 5, ..Default::default() });
+
+    // Strand-symmetric simulation, like real sequencing.
+    let mut sim = ReadSimulator::new(
+        &genome,
+        ReadSimConfig { read_len: 80, reverse_strand_prob: 0.5, ..Default::default() },
+        9,
+    );
+    let reads = sim.reads(60);
+    let mut recovered = 0usize;
+    let mut reverse_seen = 0usize;
+    for read in &reads {
+        let report = mapper.map(&read.seq);
+        let want_strand = if read.reverse { Strand::Reverse } else { Strand::Forward };
+        if report
+            .all
+            .iter()
+            .any(|a| a.position == read.origin && a.strand == want_strand)
+        {
+            recovered += 1;
+            if read.reverse {
+                reverse_seen += 1;
+            }
+        }
+    }
+    assert!(recovered >= 50, "only {recovered}/60 recovered");
+    assert!(reverse_seen >= 10, "too few reverse reads exercised: {reverse_seen}");
+}
+
+#[test]
+fn mapper_outcomes_partition() {
+    let genome = markov(30_000, &MarkovConfig::default(), 13);
+    let index = KMismatchIndex::new(genome.clone());
+    let mapper = ReadMapper::new(&index, MapperConfig { k: 3, ..Default::default() });
+    let reads = kmm_dna::paper_reads(&genome, 30, 70, 4);
+    for read in &reads {
+        let report = mapper.map(&read.seq);
+        match &report.outcome {
+            MapOutcome::Unmapped => assert!(report.all.is_empty()),
+            MapOutcome::Unique(best) => {
+                assert_eq!(report.all[0], *best);
+                // No other alignment ties the best score.
+                assert!(report.all[1..].iter().all(|a| a.mismatches > best.mismatches));
+            }
+            MapOutcome::Multi(ties) => {
+                assert!(ties.len() >= 2);
+                assert_eq!(report.mapq, 0);
+                let best = ties[0].mismatches;
+                assert!(ties.iter().all(|a| a.mismatches == best));
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_index_over_five_stand_in_chromosomes() {
+    // Five small "chromosomes" with one marker planted in chromosome 3.
+    let mut records: Vec<(String, Vec<u8>)> = (0..5)
+        .map(|i| (format!("chr{}", i + 1), markov(4_000, &MarkovConfig::default(), 100 + i)))
+        .collect();
+    let marker = kmm_dna::encode(b"acgtgacctgatcgaggtcaatgca").unwrap();
+    records[2].1[1_000..1_000 + marker.len()].copy_from_slice(&marker);
+    let multi = MultiIndex::new(records);
+
+    let (hits, _) = multi.search(&marker, 1, Method::ALGORITHM_A);
+    assert!(hits
+        .iter()
+        .any(|h| h.record == 2 && h.offset == 1_000 && h.mismatches == 0));
+    // Names and lengths survive.
+    assert_eq!(multi.names()[2], "chr3");
+    assert_eq!(multi.record_len(0), 4_000);
+    assert_eq!(multi.record_count(), 5);
+}
+
+#[test]
+fn multi_index_boundary_window_arithmetic() {
+    // Tiny records: every boundary case for the window-fit filter.
+    let multi = MultiIndex::new(vec![
+        ("a".into(), kmm_dna::encode(b"acgt").unwrap()),
+        ("b".into(), kmm_dna::encode(b"acgt").unwrap()),
+    ]);
+    let pat = kmm_dna::encode(b"acgt").unwrap();
+    let (hits, _) = multi.search(&pat, 0, Method::ALGORITHM_A);
+    // Exactly one exact hit per record, at offset 0.
+    assert_eq!(hits.len(), 2);
+    assert!(hits.iter().all(|h| h.offset == 0 && h.mismatches == 0));
+    // A pattern longer than a record can never match within one.
+    let long = kmm_dna::encode(b"acgta").unwrap();
+    let (hits, _) = multi.search(&long, 2, Method::ALGORITHM_A);
+    assert!(hits.is_empty(), "got {hits:?}");
+}

@@ -1,0 +1,138 @@
+//! Integration tests replaying every worked example in the paper, end to
+//! end through the public API.
+
+use bwt_kmismatch::bwt::{bwt, FmBuildConfig, FmIndex};
+use bwt_kmismatch::core::{merge, mismatches_direct, RTable};
+use bwt_kmismatch::{KMismatchIndex, Method, Occurrence};
+
+/// Section I: r = aaaaacaaac occurs at the third position (1-based) of
+/// s = ccacacagaagcc with exactly 4 mismatches.
+#[test]
+fn section1_intro_occurrence() {
+    let index = KMismatchIndex::from_ascii(b"ccacacagaagcc").unwrap();
+    let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
+    let hits = index.search(&r, 4, Method::ALGORITHM_A);
+    assert!(hits
+        .occurrences
+        .contains(&Occurrence { position: 2, mismatches: 4 }));
+    // With k = 3 that occurrence must disappear.
+    let hits = index.search(&r, 3, Method::ALGORITHM_A);
+    assert!(!hits.occurrences.iter().any(|o| o.position == 2));
+}
+
+/// Section III-A / Fig. 1: BWT(acagaca$) = acg$caaa.
+#[test]
+fn figure1_bwt() {
+    let text = kmm_dna::encode_text(b"acagaca").unwrap();
+    assert_eq!(
+        kmm_dna::decode_string(&bwt(&text, kmm_dna::SIGMA)),
+        "acg$caaa"
+    );
+}
+
+/// Section III-A: the search of r = aca against BWT(s) proceeds through
+/// the pairs <a,[1,4]>, <c,[1,2]>, <a,[2,3]> and finds two occurrences.
+#[test]
+fn section3_search_sequence() {
+    let text = kmm_dna::encode_text(b"acagaca").unwrap();
+    let fm = FmIndex::new(&text, FmBuildConfig::paper());
+    let r = kmm_dna::encode(b"aca").unwrap();
+
+    let s1 = fm.f_block(1);
+    assert_eq!(fm.pair(1, s1).to_string(), "<a, [1, 4]>");
+    let s2 = fm.extend_backward(s1, 2);
+    assert_eq!(fm.pair(2, s2).to_string(), "<c, [1, 2]>");
+    let s3 = fm.extend_backward(s2, 1);
+    assert_eq!(fm.pair(1, s3).to_string(), "<a, [2, 3]>");
+
+    assert_eq!(fm.locate(fm.backward_search(&r)), vec![0, 4]);
+}
+
+/// Section IV-A / Fig. 3: r = tcaca in s = acagaca with k = 2 has exactly
+/// the two occurrences s[1..5] and s[3..7] (1-based), each with 2
+/// mismatches — via every implemented method.
+#[test]
+fn figure3_two_occurrences_all_methods() {
+    let index = KMismatchIndex::from_ascii(b"acagaca").unwrap();
+    let r = kmm_dna::encode(b"tcaca").unwrap();
+    let want = vec![
+        Occurrence { position: 0, mismatches: 2 },
+        Occurrence { position: 2, mismatches: 2 },
+    ];
+    for method in [
+        Method::Naive,
+        Method::Kangaroo,
+        Method::Amir,
+        Method::Cole,
+        Method::Bwt { use_phi: true },
+        Method::Bwt { use_phi: false },
+        Method::ALGORITHM_A,
+        Method::AlgorithmA { reuse: false },
+    ] {
+        assert_eq!(
+            index.search(&r, 2, method).occurrences,
+            want,
+            "{}",
+            method.label()
+        );
+    }
+}
+
+/// Section IV-A: the mismatch arrays recorded for the four root-to-leaf
+/// paths of Fig. 3 are B1 = [1,4], B2 = [1,2], B3 = [1,2,3], B4 = [1,2,3]
+/// (1-based). We verify the equivalent 0-based mismatch sets of the two
+/// successful paths against the actual windows.
+#[test]
+fn figure3_mismatch_arrays() {
+    let s = kmm_dna::encode(b"acagaca").unwrap();
+    let r = kmm_dna::encode(b"tcaca").unwrap();
+    // P1 spells s[0..5] = acaga; mismatches vs tcaca at 0-based {0, 3}.
+    assert_eq!(
+        kmm_dna::mismatch_positions(&s[0..5], &r, 10),
+        vec![0, 3]
+    );
+    // P2 spells s[2..7] = agaca; mismatches at {0, 1}.
+    assert_eq!(
+        kmm_dna::mismatch_positions(&s[2..7], &r, 10),
+        vec![0, 1]
+    );
+}
+
+/// Section IV-B / Fig. 4: the R-table of r = tcacg.
+#[test]
+fn figure4_r_table() {
+    let r = kmm_dna::encode(b"tcacg").unwrap();
+    let t = RTable::new(&r, 2);
+    // 1-based R1 = [1,2,3,4], R2 = [1,3], R3 = [1,2], R4 = [1] become
+    // 0-based:
+    assert_eq!(t.shift(1), &[0, 1, 2, 3]);
+    assert_eq!(t.shift(2), &[0, 2]);
+    assert_eq!(t.shift(3), &[0, 1]);
+    assert_eq!(t.shift(4), &[0]);
+}
+
+/// Section IV-B / Fig. 5: merging R1 and R2 reproduces the mismatches
+/// between the shifted copies of the pattern.
+#[test]
+fn figure5_merge() {
+    let r = kmm_dna::encode(b"tcacg").unwrap();
+    let a1 = mismatches_direct(&r[0..4], &r[1..5], usize::MAX);
+    let a2 = mismatches_direct(&r[0..3], &r[2..5], usize::MAX);
+    let merged = merge(&a1, &a2, &r[1..], &r[2..], usize::MAX);
+    assert_eq!(merged, mismatches_direct(&r[1..], &r[2..], usize::MAX));
+}
+
+/// Section IV-A: the φ heuristic example — φ(1) = 2 for r = tcaca against
+/// s = acagaca (1-based), exposed through the BWT baseline's pruning
+/// statistics: with k = 1 < φ(1), the whole t-branch is pruned
+/// immediately, yet results stay exact.
+#[test]
+fn phi_heuristic_prunes_but_stays_exact() {
+    let index = KMismatchIndex::from_ascii(b"acagaca").unwrap();
+    let r = kmm_dna::encode(b"tcaca").unwrap();
+    let with_phi = index.search(&r, 1, Method::Bwt { use_phi: true });
+    let without = index.search(&r, 1, Method::Bwt { use_phi: false });
+    assert_eq!(with_phi.occurrences, without.occurrences);
+    assert!(with_phi.stats.phi_prunes > 0);
+    assert!(with_phi.stats.nodes_visited <= without.stats.nodes_visited);
+}

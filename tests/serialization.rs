@@ -1,0 +1,112 @@
+//! Index persistence: save / load / corrupt-detect, end to end through
+//! the public API.
+
+use bwt_kmismatch::bwt::{FmBuildConfig, FmIndex, SerializeError};
+use bwt_kmismatch::{KMismatchIndex, Method};
+
+fn build(genome: &[u8]) -> (KMismatchIndex, Vec<u8>) {
+    let idx = KMismatchIndex::new(genome.to_vec());
+    let mut bytes = Vec::new();
+    idx.fm().save(&mut bytes).expect("in-memory save cannot fail");
+    (idx, bytes)
+}
+
+#[test]
+fn loaded_index_answers_identically() {
+    let genome = kmm_dna::genome::markov(
+        20_000,
+        &kmm_dna::genome::MarkovConfig::default(),
+        44,
+    );
+    let (fresh, bytes) = build(&genome);
+    let fm = FmIndex::load(&bytes[..]).unwrap();
+    let loaded = {
+        let mut rev = fm.reconstruct_text();
+        rev.pop();
+        rev.reverse();
+        KMismatchIndex::from_parts(rev, fm)
+    };
+    assert_eq!(loaded.text(), fresh.text());
+    let reads = kmm_dna::paper_reads(&genome, 10, 70, 5);
+    for r in &reads {
+        for method in [Method::ALGORITHM_A, Method::Bwt { use_phi: true }] {
+            assert_eq!(
+                loaded.search(&r.seq, 3, method).occurrences,
+                fresh.search(&r.seq, 3, method).occurrences
+            );
+        }
+    }
+}
+
+#[test]
+fn every_flipped_header_byte_is_rejected() {
+    let genome = kmm_dna::genome::uniform(500, 9);
+    let (_, bytes) = build(&genome);
+    // Flipping any of the first 12 bytes (magic + version) must yield a
+    // clean error, never a wrong index.
+    for i in 0..12 {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x5a;
+        match FmIndex::load(&corrupt[..]) {
+            Err(_) => {}
+            Ok(_) => panic!("byte {i} flip went undetected"),
+        }
+    }
+}
+
+#[test]
+fn payload_corruption_detected_by_checksum() {
+    let genome = kmm_dna::genome::uniform(2_000, 10);
+    let (_, bytes) = build(&genome);
+    // Flip a sample of payload bytes; every one must be caught (by the
+    // checksum or by a structural validation error).
+    for frac in [0.3, 0.5, 0.7, 0.9] {
+        let mut corrupt = bytes.clone();
+        let pos = (bytes.len() as f64 * frac) as usize;
+        corrupt[pos] ^= 0x01;
+        assert!(
+            FmIndex::load(&corrupt[..]).is_err(),
+            "flip at {pos}/{} undetected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn truncations_at_any_point_are_rejected() {
+    let genome = kmm_dna::genome::uniform(300, 11);
+    let (_, bytes) = build(&genome);
+    for keep in [0, 4, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            FmIndex::load(&bytes[..keep]).is_err(),
+            "truncation to {keep} bytes undetected"
+        );
+    }
+}
+
+#[test]
+fn version_gate() {
+    let genome = kmm_dna::genome::uniform(100, 12);
+    let (_, mut bytes) = build(&genome);
+    bytes[8] = 0x2a; // version field (little-endian u32 after 8-byte magic)
+    match FmIndex::load(&bytes[..]) {
+        Err(SerializeError::BadVersion { found: 0x2a, expected }) => {
+            assert_eq!(expected, FmIndex::FORMAT_VERSION);
+        }
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_layout_roundtrips_too() {
+    let genome = kmm_dna::genome::uniform(3_000, 13);
+    let mut rev = genome.clone();
+    rev.reverse();
+    rev.push(0);
+    let fm = FmIndex::new(&rev, FmBuildConfig::paper());
+    let mut bytes = Vec::new();
+    fm.save(&mut bytes).unwrap();
+    let loaded = FmIndex::load(&bytes[..]).unwrap();
+    let probe: Vec<u8> = genome[100..140].iter().rev().copied().collect();
+    assert_eq!(loaded.backward_search(&probe), fm.backward_search(&probe));
+}
