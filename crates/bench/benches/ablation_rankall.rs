@@ -18,7 +18,13 @@ fn bench_rankall_rate(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_rankall_rate");
     group.sample_size(10);
     for rate in [4usize, 16, 64, 128] {
-        let fm = FmIndex::new(&rev, FmBuildConfig { occ_rate: rate, sa_rate: 16 });
+        let fm = FmIndex::new(
+            &rev,
+            FmBuildConfig {
+                occ_rate: rate,
+                sa_rate: 16,
+            },
+        );
         group.bench_with_input(BenchmarkId::new("exact_count", rate), &fm, |b, fm| {
             b.iter(|| {
                 let mut total = 0u64;

@@ -19,11 +19,9 @@ fn bench_fig11a(c: &mut Criterion) {
     group.sample_size(10);
     for k in [1usize, 2, 3, 4, 5] {
         for method in Method::PAPER_SET {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), k),
-                &k,
-                |b, &k| b.iter(|| run_method(&idx, &w.reads, k, method).occurrences),
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), k), &k, |b, &k| {
+                b.iter(|| run_method(&idx, &w.reads, k, method).occurrences)
+            });
         }
     }
     group.finish();

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <command> [--scale F] [--reads N] [--read-len L]
+//!             [--out-dir DIR]
 //!
 //! commands:
 //!   table1    genome characteristics (paper Table 1)
@@ -16,8 +17,17 @@
 //! `--scale` scales every genome relative to the 1:100 sizes of DESIGN.md
 //! (default 0.1, i.e. 1:1000 of the real assemblies — a laptop-friendly
 //! regime; use `--scale 1.0` to run at the full scaled sizes).
+//!
+//! `--out-dir DIR` additionally writes the measurements behind the
+//! printed tables as machine-readable `BENCH_fig11.json`,
+//! `BENCH_table2.json` and `BENCH_fig12.json` artifacts (method, n, m,
+//! k, wall-time, and every `SearchStats` counter per record).
 
-use kmm_bench::{fmt_secs, format_table, run_method, simulate_reads, Workload};
+use std::path::PathBuf;
+
+use kmm_bench::{
+    fmt_secs, format_table, run_method, simulate_reads, write_bench_json, BenchRecord, Workload,
+};
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
@@ -27,11 +37,17 @@ struct Opts {
     scale: f64,
     reads: usize,
     read_len: usize,
+    out_dir: Option<PathBuf>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 0.1, reads: 50, read_len: 100 }
+        Opts {
+            scale: 0.1,
+            reads: 50,
+            read_len: 100,
+            out_dir: None,
+        }
     }
 }
 
@@ -45,34 +61,49 @@ fn main() {
             "--scale" => opts.scale = it.next().expect("--scale F").parse().expect("bad scale"),
             "--reads" => opts.reads = it.next().expect("--reads N").parse().expect("bad reads"),
             "--read-len" => {
-                opts.read_len = it.next().expect("--read-len L").parse().expect("bad read len")
+                opts.read_len = it
+                    .next()
+                    .expect("--read-len L")
+                    .parse()
+                    .expect("bad read len")
             }
+            "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|all] [--scale F] [--reads N] [--read-len L]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|all] [--scale F] [--reads N] [--read-len L] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
             other => panic!("unknown flag {other}"),
         }
     }
+    // (experiment name, records) pairs destined for BENCH_<name>.json.
+    let mut artifacts: Vec<(&str, Vec<BenchRecord>)> = Vec::new();
     match command.as_str() {
         "table1" => table1(&opts),
-        "fig11a" => fig11a(&opts),
-        "fig11b" => fig11b(&opts),
-        "table2" => table2(&opts),
-        "fig12" => fig12(&opts),
+        "fig11a" => artifacts.push(("fig11", fig11a(&opts))),
+        "fig11b" => artifacts.push(("fig11", fig11b(&opts))),
+        "table2" => artifacts.push(("table2", table2(&opts))),
+        "fig12" => artifacts.push(("fig12", fig12(&opts))),
         "ablation" => ablation(&opts),
         "extended" => extended(&opts),
         "all" => {
             table1(&opts);
-            fig11a(&opts);
-            fig11b(&opts);
-            table2(&opts);
-            fig12(&opts);
+            let mut fig11 = fig11a(&opts);
+            fig11.extend(fig11b(&opts));
+            artifacts.push(("fig11", fig11));
+            artifacts.push(("table2", table2(&opts)));
+            artifacts.push(("fig12", fig12(&opts)));
             ablation(&opts);
             extended(&opts);
         }
         other => panic!("unknown command {other}"),
+    }
+    if let Some(dir) = &opts.out_dir {
+        for (experiment, records) in &artifacts {
+            let path = write_bench_json(dir, experiment, records)
+                .unwrap_or_else(|e| panic!("writing BENCH_{experiment}.json: {e}"));
+            eprintln!("wrote {} ({} records)", path.display(), records.len());
+        }
     }
 }
 
@@ -93,13 +124,16 @@ fn table1(opts: &Opts) {
         .collect();
     println!(
         "{}",
-        format_table(&["Genome", "Paper size (bp)", "Synthesised (bp)", "GC"], &rows)
+        format_table(
+            &["Genome", "Paper size (bp)", "Synthesised (bp)", "GC"],
+            &rows
+        )
     );
 }
 
 /// Paper Fig. 11(a): average matching time as a function of k on the Rat
 /// genome stand-in, the four compared methods.
-fn fig11a(opts: &Opts) {
+fn fig11a(opts: &Opts) -> Vec<BenchRecord> {
     println!(
         "\n== Fig 11(a): time vs k  (Rat stand-in, {} reads x {} bp) ==\n",
         opts.reads, opts.read_len
@@ -108,10 +142,17 @@ fn fig11a(opts: &Opts) {
     println!("genome: {} ({} bp)", w.name, w.genome.len());
     let idx = w.index();
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for k in 1..=5usize {
         let mut row = vec![k.to_string()];
         for method in Method::PAPER_SET {
             let run = run_method(&idx, &w.reads, k, method);
+            records.push(BenchRecord::from_run(
+                &run,
+                w.genome.len(),
+                opts.read_len,
+                k,
+            ));
             row.push(fmt_secs(run.seconds));
         }
         rows.push(row);
@@ -120,11 +161,12 @@ fn fig11a(opts: &Opts) {
         "{}",
         format_table(&["k", "BWT [34]", "Amir's", "Cole's", "A(.)"], &rows)
     );
+    records
 }
 
 /// Paper Fig. 11(b): average matching time as a function of read length,
 /// k = 5.
-fn fig11b(opts: &Opts) {
+fn fig11b(opts: &Opts) -> Vec<BenchRecord> {
     println!(
         "\n== Fig 11(b): time vs read length  (Rat stand-in, {} reads, k = 5) ==\n",
         opts.reads
@@ -134,11 +176,13 @@ fn fig11b(opts: &Opts) {
     println!("genome: {} bp", genome.len());
     let idx = KMismatchIndex::new(genome.clone());
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for read_len in [50usize, 100, 150, 200, 250, 300] {
         let reads = simulate_reads(&genome, opts.reads, read_len, g.seed() ^ 0x5eed);
         let mut row = vec![read_len.to_string()];
         for method in Method::PAPER_SET {
             let run = run_method(&idx, &reads, 5, method);
+            records.push(BenchRecord::from_run(&run, genome.len(), read_len, 5));
             row.push(fmt_secs(run.seconds));
         }
         rows.push(row);
@@ -147,11 +191,12 @@ fn fig11b(opts: &Opts) {
         "{}",
         format_table(&["len", "BWT [34]", "Amir's", "Cole's", "A(.)"], &rows)
     );
+    records
 }
 
 /// Paper Table 2: number of leaf nodes (n') of the trees produced by
 /// Algorithm A for growing k / read length.
-fn table2(opts: &Opts) {
+fn table2(opts: &Opts) -> Vec<BenchRecord> {
     println!(
         "\n== Table 2: leaf counts n'  (Rat stand-in, {} reads per cell) ==\n",
         opts.reads
@@ -164,9 +209,11 @@ fn table2(opts: &Opts) {
     println!("genome: {} bp", genome.len());
     let idx = KMismatchIndex::new(genome.clone());
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (k, len) in [(5usize, 50usize), (10, 100), (20, 150), (30, 200)] {
         let reads = simulate_reads(&genome, opts.reads, len, g.seed() ^ 0x5eed);
         let a = run_method(&idx, &reads, k, Method::ALGORITHM_A);
+        records.push(BenchRecord::from_run(&a, genome.len(), len, k));
         rows.push(vec![
             format!("{k}/{len}"),
             a.stats.leaves.to_string(),
@@ -176,17 +223,22 @@ fn table2(opts: &Opts) {
     }
     println!(
         "{}",
-        format_table(&["k/len", "n' (leaves)", "nodes visited", "time A(.)"], &rows)
+        format_table(
+            &["k/len", "n' (leaves)", "nodes visited", "time A(.)"],
+            &rows
+        )
     );
+    records
 }
 
 /// Reconstructed Fig. 12: all five genomes, all four methods, k = 5.
-fn fig12(opts: &Opts) {
+fn fig12(opts: &Opts) -> Vec<BenchRecord> {
     println!(
         "\n== Fig 12 (reconstructed): per-genome comparison  ({} reads x {} bp, k = 5) ==\n",
         opts.reads, opts.read_len
     );
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for g in ReferenceGenome::ALL {
         let w = Workload::paper(g, opts.scale, opts.reads, opts.read_len);
         if w.genome.len() < 10 * opts.read_len {
@@ -196,6 +248,12 @@ fn fig12(opts: &Opts) {
         let mut row = vec![format!("{} ({}bp)", g.name(), w.genome.len())];
         for method in Method::PAPER_SET {
             let run = run_method(&idx, &w.reads, 5, method);
+            records.push(BenchRecord::from_run(
+                &run,
+                w.genome.len(),
+                opts.read_len,
+                5,
+            ));
             row.push(fmt_secs(run.seconds));
         }
         rows.push(row);
@@ -204,6 +262,7 @@ fn fig12(opts: &Opts) {
         "{}",
         format_table(&["Genome", "BWT [34]", "Amir's", "Cole's", "A(.)"], &rows)
     );
+    records
 }
 
 /// Beyond the paper: the modern seed-and-filter baseline vs the paper's
@@ -235,7 +294,11 @@ fn extended(opts: &Opts) {
 
     println!("\n== Extended: index construction (ablation A3) ==\n");
     let mut rows = Vec::new();
-    for g in [ReferenceGenome::CElegans, ReferenceGenome::RatChr1, ReferenceGenome::Rat] {
+    for g in [
+        ReferenceGenome::CElegans,
+        ReferenceGenome::RatChr1,
+        ReferenceGenome::Rat,
+    ] {
         let genome = g.generate_scaled(opts.scale);
         let t0 = std::time::Instant::now();
         let idx = KMismatchIndex::new(genome.clone());
@@ -271,7 +334,13 @@ fn ablation(opts: &Opts) {
         let mut rev = genome.clone();
         rev.reverse();
         rev.push(0);
-        let fm = kmm_bwt::FmIndex::new(&rev, FmBuildConfig { occ_rate: rate, sa_rate: 16 });
+        let fm = kmm_bwt::FmIndex::new(
+            &rev,
+            FmBuildConfig {
+                occ_rate: rate,
+                sa_rate: 16,
+            },
+        );
         let start = std::time::Instant::now();
         let mut total = 0u64;
         for r in &reads {
@@ -291,7 +360,12 @@ fn ablation(opts: &Opts) {
     );
 
     println!("\n== Ablation A2: Algorithm A reuse and baseline φ ==\n");
-    let w = Workload::paper(ReferenceGenome::RatChr1, opts.scale, opts.reads, opts.read_len);
+    let w = Workload::paper(
+        ReferenceGenome::RatChr1,
+        opts.scale,
+        opts.reads,
+        opts.read_len,
+    );
     let idx = w.index();
     let mut rows = Vec::new();
     for k in [2usize, 5] {
@@ -315,7 +389,14 @@ fn ablation(opts: &Opts) {
     println!(
         "{}",
         format_table(
-            &["k", "method", "time", "rank ext", "reuse hits", "phi prunes"],
+            &[
+                "k",
+                "method",
+                "time",
+                "rank ext",
+                "reuse hits",
+                "phi prunes"
+            ],
             &rows
         )
     );

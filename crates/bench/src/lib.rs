@@ -6,11 +6,16 @@
 //! `experiments` binary and the Criterion benches are thin layers over
 //! this crate.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use kmm_core::{KMismatchIndex, Method, SearchStats};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
+use kmm_telemetry::Json;
+
+/// Schema tag stamped into every `BENCH_*.json` artifact.
+pub const BENCH_SCHEMA: &str = "kmm-bench/v1";
 
 /// A reproducible experiment workload: one genome and a batch of reads.
 #[derive(Debug)]
@@ -63,12 +68,7 @@ pub struct TimedRun {
 }
 
 /// Run `method` over every read and time the batch.
-pub fn run_method(
-    index: &KMismatchIndex,
-    reads: &[Vec<u8>],
-    k: usize,
-    method: Method,
-) -> TimedRun {
+pub fn run_method(index: &KMismatchIndex, reads: &[Vec<u8>], k: usize, method: Method) -> TimedRun {
     // Cole needs the suffix tree; build it outside the timed region, like
     // the paper ("the time for constructing BWT(s̄) is not included").
     if matches!(method, Method::Cole) {
@@ -88,6 +88,86 @@ pub fn run_method(
         occurrences,
         stats,
     }
+}
+
+/// One benchmark measurement destined for a `BENCH_*.json` artifact:
+/// the experimental coordinates (method, n, m, k), the wall-clock time
+/// and the accumulated [`SearchStats`] counters.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Method label as in the paper's legends.
+    pub method: &'static str,
+    /// Text (genome) length in bp.
+    pub n: usize,
+    /// Pattern (read) length in bp.
+    pub m: usize,
+    /// Mismatch budget.
+    pub k: usize,
+    /// Total wall-clock seconds over the read batch.
+    pub seconds: f64,
+    /// Total occurrences reported.
+    pub occurrences: usize,
+    /// Accumulated method counters.
+    pub stats: SearchStats,
+}
+
+impl BenchRecord {
+    /// Attach experimental coordinates to a [`TimedRun`].
+    pub fn from_run(run: &TimedRun, n: usize, m: usize, k: usize) -> BenchRecord {
+        BenchRecord {
+            method: run.method,
+            n,
+            m,
+            k,
+            seconds: run.seconds,
+            occurrences: run.occurrences,
+            stats: run.stats,
+        }
+    }
+
+    /// Serialise as a JSON object; every [`SearchStats`] counter appears
+    /// under `stats` by its canonical name.
+    pub fn to_json(&self) -> Json {
+        let stats = Json::obj(
+            self.stats
+                .as_pairs()
+                .into_iter()
+                .map(|(name, value)| (name, Json::UInt(value))),
+        );
+        Json::obj([
+            ("method", Json::Str(self.method.to_string())),
+            ("n", Json::UInt(self.n as u64)),
+            ("m", Json::UInt(self.m as u64)),
+            ("k", Json::UInt(self.k as u64)),
+            ("seconds", Json::Float(self.seconds)),
+            ("occurrences", Json::UInt(self.occurrences as u64)),
+            ("stats", stats),
+        ])
+    }
+}
+
+/// Wrap records in the `BENCH_*.json` envelope.
+pub fn bench_document(experiment: &str, records: &[BenchRecord]) -> Json {
+    Json::obj([
+        ("schema", Json::Str(BENCH_SCHEMA.to_string())),
+        ("experiment", Json::Str(experiment.to_string())),
+        (
+            "records",
+            Json::Arr(records.iter().map(BenchRecord::to_json).collect()),
+        ),
+    ])
+}
+
+/// Write `BENCH_<experiment>.json` into `dir` and return its path.
+pub fn write_bench_json(
+    dir: &Path,
+    experiment: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, bench_document(experiment, records).to_pretty())?;
+    Ok(path)
 }
 
 /// Render rows as a fixed-width text table with a header.
@@ -174,6 +254,71 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains('k'));
         assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn bench_json_artifact_round_trips() {
+        let mut stats = SearchStats::default();
+        stats.leaves = 12;
+        stats.rank_extensions = 340;
+        stats.reuse_hits = 7;
+        let records = vec![
+            BenchRecord {
+                method: "A(.)",
+                n: 10_000,
+                m: 100,
+                k: 5,
+                seconds: 0.25,
+                occurrences: 42,
+                stats,
+            },
+            BenchRecord {
+                method: "BWT [34]",
+                n: 10_000,
+                m: 100,
+                k: 5,
+                seconds: 1.5,
+                occurrences: 42,
+                stats: SearchStats::default(),
+            },
+        ];
+        let dir = std::env::temp_dir().join("kmm-bench-tests");
+        let path = write_bench_json(&dir, "fig11", &records).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_fig11.json");
+
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("fig11"));
+        let recs = doc.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(recs.len(), 2);
+        let first = &recs[0];
+        assert_eq!(first.get("method").and_then(Json::as_str), Some("A(.)"));
+        assert_eq!(first.get("n").and_then(Json::as_u64), Some(10_000));
+        assert_eq!(first.get("m").and_then(Json::as_u64), Some(100));
+        assert_eq!(first.get("k").and_then(Json::as_u64), Some(5));
+        assert_eq!(first.get("seconds").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(first.get("occurrences").and_then(Json::as_u64), Some(42));
+        let js = first.get("stats").unwrap();
+        // Every SearchStats field survives under its canonical name.
+        for (name, value) in stats.as_pairs() {
+            assert_eq!(js.get(name).and_then(Json::as_u64), Some(value), "{name}");
+        }
+    }
+
+    #[test]
+    fn bench_record_from_run_attaches_coordinates() {
+        let w = Workload::paper(ReferenceGenome::CMerolae, 0.02, 3, 30);
+        let idx = w.index();
+        let run = run_method(&idx, &w.reads, 1, Method::ALGORITHM_A);
+        let rec = BenchRecord::from_run(&run, w.genome.len(), 30, 1);
+        assert_eq!(rec.n, w.genome.len());
+        assert_eq!(rec.m, 30);
+        assert_eq!(rec.k, 1);
+        assert_eq!(rec.method, "A(.)");
+        assert_eq!(rec.stats, run.stats);
+        // And the JSON view is parseable on its own.
+        let j = Json::parse(&rec.to_json().to_compact()).unwrap();
+        assert_eq!(j.get("k").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -23,7 +23,13 @@ pub fn bwt(text: &[u8], sigma: usize) -> Vec<u8> {
 pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Vec<u8> {
     assert_eq!(text.len(), sa.len(), "text/SA length mismatch");
     sa.iter()
-        .map(|&p| if p == 0 { text[text.len() - 1] } else { text[p as usize - 1] })
+        .map(|&p| {
+            if p == 0 {
+                text[text.len() - 1]
+            } else {
+                text[p as usize - 1]
+            }
+        })
         .collect()
 }
 

@@ -12,6 +12,7 @@
 
 use kmm_dna::{SENTINEL, SIGMA};
 use kmm_suffix::sais::suffix_array;
+use kmm_telemetry::{NoopRecorder, Phase, Recorder};
 
 use crate::bwt::bwt_from_sa;
 use crate::interval::{Interval, Pair};
@@ -30,7 +31,10 @@ pub struct FmBuildConfig {
 
 impl Default for FmBuildConfig {
     fn default() -> Self {
-        FmBuildConfig { occ_rate: 64, sa_rate: 16 }
+        FmBuildConfig {
+            occ_rate: 64,
+            sa_rate: 16,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ impl FmBuildConfig {
     /// The layout used in the paper's experiments: rankall row every 4
     /// elements.
     pub fn paper() -> Self {
-        FmBuildConfig { occ_rate: 4, sa_rate: 16 }
+        FmBuildConfig {
+            occ_rate: 4,
+            sa_rate: 16,
+        }
     }
 }
 
@@ -54,22 +61,51 @@ pub struct FmIndex {
 impl FmIndex {
     /// Index `text` (must end with the unique sentinel 0).
     pub fn new(text: &[u8], config: FmBuildConfig) -> Self {
-        let sa = suffix_array(text, SIGMA);
-        Self::from_sa(text, &sa, config)
+        Self::new_recorded(text, config, &NoopRecorder)
+    }
+
+    /// [`Self::new`] with construction phases timed on `recorder`
+    /// (`index.sa`, `index.bwt`, `index.rankall`, `index.sampled_sa`).
+    pub fn new_recorded<R: Recorder>(text: &[u8], config: FmBuildConfig, recorder: &R) -> Self {
+        let sa = {
+            let _span = recorder.span(Phase::IndexSa);
+            suffix_array(text, SIGMA)
+        };
+        Self::from_sa_recorded(text, &sa, config, recorder)
     }
 
     /// Index `text` given its precomputed suffix array.
     pub fn from_sa(text: &[u8], sa: &[u32], config: FmBuildConfig) -> Self {
-        let l = bwt_from_sa(text, sa);
-        let rank = RankAll::new(&l, config.occ_rate);
-        let mut c = [0u32; SIGMA + 1];
-        for &x in &l {
-            c[x as usize + 1] += 1;
-        }
-        for i in 0..SIGMA {
-            c[i + 1] += c[i];
-        }
-        let ssa = SampledSuffixArray::new(sa, config.sa_rate);
+        Self::from_sa_recorded(text, sa, config, &NoopRecorder)
+    }
+
+    /// [`Self::from_sa`] with construction phases timed on `recorder`.
+    pub fn from_sa_recorded<R: Recorder>(
+        text: &[u8],
+        sa: &[u32],
+        config: FmBuildConfig,
+        recorder: &R,
+    ) -> Self {
+        let l = {
+            let _span = recorder.span(Phase::IndexBwt);
+            bwt_from_sa(text, sa)
+        };
+        let (rank, c) = {
+            let _span = recorder.span(Phase::IndexRankall);
+            let rank = RankAll::new(&l, config.occ_rate);
+            let mut c = [0u32; SIGMA + 1];
+            for &x in &l {
+                c[x as usize + 1] += 1;
+            }
+            for i in 0..SIGMA {
+                c[i + 1] += c[i];
+            }
+            (rank, c)
+        };
+        let ssa = {
+            let _span = recorder.span(Phase::IndexSampledSa);
+            SampledSuffixArray::new(sa, config.sa_rate)
+        };
         FmIndex { l: rank, c, ssa }
     }
 
@@ -178,7 +214,8 @@ impl FmIndex {
     /// `SA[row]` resolved through the sampled suffix array.
     #[inline]
     pub fn sa_value(&self, row: u32) -> u32 {
-        self.ssa.resolve(row as usize, |r| self.lf(r as u32) as usize)
+        self.ssa
+            .resolve(row as usize, |r| self.lf(r as u32) as usize)
     }
 
     /// Start positions (in the *indexed* text) for every row of `iv`,
@@ -212,6 +249,15 @@ impl FmIndex {
         self.l.write_to(&mut w)?;
         self.ssa.write_to(&mut w)?;
         w.finish()
+    }
+
+    /// [`Self::load`] timed as the `index.load` phase on `recorder`.
+    pub fn load_recorded<Rd: std::io::Read, R: Recorder>(
+        reader: Rd,
+        recorder: &R,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        let _span = recorder.span(Phase::IndexLoad);
+        Self::load(reader)
     }
 
     /// Load an index previously written by [`Self::save`], verifying the
@@ -304,7 +350,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
         for _ in 0..40 {
             let n = rng.gen_range(1..400);
-            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4usize)]).collect();
             let (fm, text) = index(&ascii);
             for _ in 0..15 {
                 let m = rng.gen_range(1..10);
@@ -460,11 +506,7 @@ mod tests {
                 let mask = fm.symbol_mask(iv);
                 for sym in 1..=4u8 {
                     let extends = !fm.extend_backward(iv, sym).is_empty();
-                    assert_eq!(
-                        mask & (1 << (sym - 1)) != 0,
-                        extends,
-                        "iv={iv} sym={sym}"
-                    );
+                    assert_eq!(mask & (1 << (sym - 1)) != 0, extends, "iv={iv} sym={sym}");
                 }
             }
         }

@@ -72,7 +72,11 @@ impl Pair {
     #[inline]
     pub fn from_interval(sym: u8, c_sym: u32, iv: Interval) -> Self {
         debug_assert!(iv.lo >= c_sym, "interval below the F-block");
-        Pair { sym, alpha: iv.lo - c_sym + 1, beta: iv.hi - c_sym }
+        Pair {
+            sym,
+            alpha: iv.lo - c_sym + 1,
+            beta: iv.hi - c_sym,
+        }
     }
 
     /// Convert back to the SA interval given the F-block start `c_sym`.
@@ -116,7 +120,14 @@ mod tests {
         // i.e. <a, [1, 4]> with the a-block starting at row 1.
         let iv = Interval::new(1, 5);
         let pair = Pair::from_interval(1, 1, iv);
-        assert_eq!(pair, Pair { sym: 1, alpha: 1, beta: 4 });
+        assert_eq!(
+            pair,
+            Pair {
+                sym: 1,
+                alpha: 1,
+                beta: 4
+            }
+        );
         assert_eq!(pair.to_interval(1), iv);
         assert_eq!(pair.count(), 4);
         assert_eq!(pair.to_string(), "<a, [1, 4]>");
@@ -127,7 +138,11 @@ mod tests {
         // The search of r = aca in Section III-A produces the sequence
         // <a, [1,4]>, <c, [1,2]>, <a, [2,3]>. Check the last one maps to
         // rows 2..=3 when the a-block starts at row 1.
-        let pair = Pair { sym: 1, alpha: 2, beta: 3 };
+        let pair = Pair {
+            sym: 1,
+            alpha: 2,
+            beta: 3,
+        };
         assert_eq!(pair.to_interval(1), Interval::new(2, 4));
         assert_eq!(pair.count(), 2);
     }

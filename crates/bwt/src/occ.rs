@@ -88,7 +88,10 @@ impl RankAll {
     /// `rate` must be a positive multiple of 4; the paper's layout
     /// corresponds to `rate = 4`, the default index uses 64.
     pub fn new(l: &[u8], rate: usize) -> Self {
-        assert!(rate >= 4 && rate.is_multiple_of(4), "rate must be a positive multiple of 4");
+        assert!(
+            rate >= 4 && rate.is_multiple_of(4),
+            "rate must be a positive multiple of 4"
+        );
         let dollar_pos = l
             .iter()
             .position(|&c| c == SENTINEL)
@@ -128,7 +131,14 @@ impl RankAll {
             }
         }
 
-        RankAll { packed, checkpoints, rate, dollar_pos, len: n, totals }
+        RankAll {
+            packed,
+            checkpoints,
+            rate,
+            dollar_pos,
+            len: n,
+            totals,
+        }
     }
 
     /// Length of `L`.
@@ -165,7 +175,10 @@ impl RankAll {
     /// This is the paper's `A_c[i - 1]` (their arrays are 1-based).
     #[inline]
     pub fn occ(&self, c: u8, i: usize) -> u32 {
-        debug_assert!(c >= 1 && (c as usize) < SIGMA, "occ is defined for bases only");
+        debug_assert!(
+            c >= 1 && (c as usize) < SIGMA,
+            "occ is defined for bases only"
+        );
         debug_assert!(i <= self.len, "occ index {i} beyond len {}", self.len);
         let lane = (c - 1) as usize;
         let block = i / self.rate;
@@ -237,7 +250,14 @@ impl RankAll {
         if checkpoints.len() != (len / rate + 1) * BASES {
             return Err(SerializeError::Malformed("checkpoint length"));
         }
-        Ok(RankAll { packed, checkpoints, rate, dollar_pos, len, totals })
+        Ok(RankAll {
+            packed,
+            checkpoints,
+            rate,
+            dollar_pos,
+            len,
+            totals,
+        })
     }
 }
 

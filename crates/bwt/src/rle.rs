@@ -46,7 +46,13 @@ impl RleBwt {
             }
             running[c as usize] += 1;
         }
-        RleBwt { starts, syms, cum, totals: running, len: l.len() }
+        RleBwt {
+            starts,
+            syms,
+            cum,
+            totals: running,
+            len: l.len(),
+        }
     }
 
     /// Number of runs (`r`).
@@ -144,7 +150,11 @@ pub fn run_stats(l: &[u8]) -> RunStats {
     RunStats {
         n: l.len(),
         r,
-        mean_run: if r == 0 { 0.0 } else { l.len() as f64 / r as f64 },
+        mean_run: if r == 0 {
+            0.0
+        } else {
+            l.len() as f64 / r as f64
+        },
     }
 }
 
@@ -175,7 +185,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         for _ in 0..40 {
             let n = rng.gen_range(1..300);
-            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4usize)]).collect();
             let l = bwt_of(&ascii);
             let rle = RleBwt::new(&l);
             let ra = RankAll::new(&l, 4);

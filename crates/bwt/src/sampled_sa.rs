@@ -34,7 +34,11 @@ impl BitRank {
             acc += w.count_ones();
             prefix.push(acc);
         }
-        BitRank { words, prefix, len: n }
+        BitRank {
+            words,
+            prefix,
+            len: n,
+        }
     }
 
     /// Number of bits stored.
@@ -80,7 +84,10 @@ impl SampledSuffixArray {
     /// Sample a full suffix array at the given rate (`rate = 1` keeps all).
     pub fn new(sa: &[u32], rate: usize) -> Self {
         assert!(rate >= 1, "sampling rate must be >= 1");
-        let bits: Vec<bool> = sa.iter().map(|&v| (v as usize).is_multiple_of(rate)).collect();
+        let bits: Vec<bool> = sa
+            .iter()
+            .map(|&v| (v as usize).is_multiple_of(rate))
+            .collect();
         let marked = BitRank::new(&bits);
         let mut samples = Vec::with_capacity(sa.len() / rate + 1);
         for (row, &v) in sa.iter().enumerate() {
@@ -89,7 +96,11 @@ impl SampledSuffixArray {
                 samples.push(v);
             }
         }
-        SampledSuffixArray { marked, samples, rate }
+        SampledSuffixArray {
+            marked,
+            samples,
+            rate,
+        }
     }
 
     /// If `row` is sampled, its SA value.
@@ -166,7 +177,11 @@ impl SampledSuffixArray {
         if samples.len() != acc as usize {
             return Err(SerializeError::Malformed("sample count"));
         }
-        Ok(SampledSuffixArray { marked: BitRank { words, prefix, len }, samples, rate })
+        Ok(SampledSuffixArray {
+            marked: BitRank { words, prefix, len },
+            samples,
+            rate,
+        })
     }
 }
 

@@ -70,7 +70,10 @@ pub struct SerWriter<W: Write> {
 impl<W: Write> SerWriter<W> {
     /// Wrap a writer.
     pub fn new(inner: W) -> Self {
-        SerWriter { inner, hash: FNV_OFFSET }
+        SerWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
     }
 
     fn mix(&mut self, bytes: &[u8]) {
@@ -131,7 +134,10 @@ pub struct SerReader<R: Read> {
 impl<R: Read> SerReader<R> {
     /// Wrap a reader.
     pub fn new(inner: R) -> Self {
-        SerReader { inner, hash: FNV_OFFSET }
+        SerReader {
+            inner,
+            hash: FNV_OFFSET,
+        }
     }
 
     fn mix(&mut self, bytes: &[u8]) {
@@ -268,8 +274,11 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SerializeError::BadMagic.to_string().contains("magic"));
-        assert!(SerializeError::BadVersion { found: 9, expected: 1 }
-            .to_string()
-            .contains('9'));
+        assert!(SerializeError::BadVersion {
+            found: 9,
+            expected: 1
+        }
+        .to_string()
+        .contains('9'));
     }
 }

@@ -25,7 +25,11 @@ struct AcNode {
 
 impl AcNode {
     fn new() -> Self {
-        AcNode { children: [u32::MAX; SIGMA], fail: 0, output: Vec::new() }
+        AcNode {
+            children: [u32::MAX; SIGMA],
+            fail: 0,
+            output: Vec::new(),
+        }
     }
 }
 
@@ -86,7 +90,10 @@ impl AhoCorasick {
                 }
             }
         }
-        AhoCorasick { nodes, pattern_lens }
+        AhoCorasick {
+            nodes,
+            pattern_lens,
+        }
     }
 
     /// All matches of all patterns in `text`, in increasing end-position
@@ -98,7 +105,10 @@ impl AhoCorasick {
             v = self.nodes[v].children[c as usize] as usize;
             for &p in &self.nodes[v].output {
                 let len = self.pattern_lens[p as usize];
-                out.push(AcMatch { start: i + 1 - len, pattern: p as usize });
+                out.push(AcMatch {
+                    start: i + 1 - len,
+                    pattern: p as usize,
+                });
             }
         }
         out
@@ -112,7 +122,10 @@ impl AhoCorasick {
             v = self.nodes[v].children[c as usize] as usize;
             for &p in &self.nodes[v].output {
                 let len = self.pattern_lens[p as usize];
-                f(AcMatch { start: i + 1 - len, pattern: p as usize });
+                f(AcMatch {
+                    start: i + 1 - len,
+                    pattern: p as usize,
+                });
             }
         }
     }
@@ -151,7 +164,10 @@ mod tests {
         let mut want = Vec::new();
         for (idx, p) in pats.iter().enumerate() {
             for s in find_exact(&t, p) {
-                want.push(AcMatch { start: s, pattern: idx });
+                want.push(AcMatch {
+                    start: s,
+                    pattern: idx,
+                });
             }
         }
         want.sort();
@@ -187,7 +203,10 @@ mod tests {
             let mut want = Vec::new();
             for (idx, p) in pats.iter().enumerate() {
                 for s in find_exact(&t, p) {
-                    want.push(AcMatch { start: s, pattern: idx });
+                    want.push(AcMatch {
+                        start: s,
+                        pattern: idx,
+                    });
                 }
             }
             want.sort();

@@ -84,7 +84,10 @@ pub fn find_k_mismatch_with_stats(
     let b = blocks.len();
     debug_assert!(b > k, "threshold must be positive");
     let threshold = b - k;
-    let seeds: Vec<&[u8]> = blocks.iter().map(|&(off, len)| &pattern[off..off + len]).collect();
+    let seeds: Vec<&[u8]> = blocks
+        .iter()
+        .map(|&(off, len)| &pattern[off..off + len])
+        .collect();
     let ac = AhoCorasick::new(&seeds);
 
     // Marking pass: one counter per candidate start.
@@ -115,11 +118,22 @@ pub fn find_k_mismatch_with_stats(
             if let Some(mismatches) =
                 kmm_dna::hamming_bounded(&text[position..position + m], pattern, k)
             {
-                out.push(Occurrence { position, mismatches });
+                out.push(Occurrence {
+                    position,
+                    mismatches,
+                });
             }
         }
     }
-    (out, AmirStats { blocks: b, threshold, marks, candidates })
+    (
+        out,
+        AmirStats {
+            blocks: b,
+            threshold,
+            marks,
+            candidates,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -151,14 +165,20 @@ mod tests {
     fn paper_intro_example() {
         let s = kmm_dna::encode(b"ccacacagaagcc").unwrap();
         let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
-        assert_eq!(find_k_mismatch(&s, &r, 4), naive::find_k_mismatch(&s, &r, 4));
+        assert_eq!(
+            find_k_mismatch(&s, &r, 4),
+            naive::find_k_mismatch(&s, &r, 4)
+        );
     }
 
     #[test]
     fn k_zero_is_exact() {
         let t = kmm_dna::encode(b"acagacaacaaca").unwrap();
         let p = kmm_dna::encode(b"aca").unwrap();
-        let got: Vec<usize> = find_k_mismatch(&t, &p, 0).iter().map(|o| o.position).collect();
+        let got: Vec<usize> = find_k_mismatch(&t, &p, 0)
+            .iter()
+            .map(|o| o.position)
+            .collect();
         assert_eq!(got, naive::find_k_mismatch_positions(&t, &p, 0));
     }
 
@@ -166,9 +186,15 @@ mod tests {
     fn tiny_pattern_large_k() {
         let t = kmm_dna::encode(b"acgtac").unwrap();
         let p = kmm_dna::encode(b"gg").unwrap();
-        assert_eq!(find_k_mismatch(&t, &p, 2), naive::find_k_mismatch(&t, &p, 2));
+        assert_eq!(
+            find_k_mismatch(&t, &p, 2),
+            naive::find_k_mismatch(&t, &p, 2)
+        );
         // m <= k path.
-        assert_eq!(find_k_mismatch(&t, &p, 5), naive::find_k_mismatch(&t, &p, 5));
+        assert_eq!(
+            find_k_mismatch(&t, &p, 5),
+            naive::find_k_mismatch(&t, &p, 5)
+        );
     }
 
     #[test]
@@ -195,7 +221,10 @@ mod tests {
         let t = kmm_dna::encode(&b"ac".repeat(100)).unwrap();
         let p = kmm_dna::encode(b"acacacacacac").unwrap();
         for k in [0, 1, 2, 3] {
-            assert_eq!(find_k_mismatch(&t, &p, k), naive::find_k_mismatch(&t, &p, k));
+            assert_eq!(
+                find_k_mismatch(&t, &p, k),
+                naive::find_k_mismatch(&t, &p, k)
+            );
         }
     }
 

@@ -35,7 +35,11 @@ impl Kangaroo {
         concat.extend_from_slice(pattern);
         concat.push(0);
         let esa = EnhancedSuffixArray::new(concat, SIGMA + 1);
-        Kangaroo { esa, text_len: text.len(), pattern_len: pattern.len() }
+        Kangaroo {
+            esa,
+            text_len: text.len(),
+            pattern_len: pattern.len(),
+        }
     }
 
     /// Longest common extension between `text[i..]` and `pattern[j..]`.
@@ -77,7 +81,10 @@ impl Kangaroo {
         let mut out = Vec::new();
         for pos in 0..=self.text_len - self.pattern_len {
             if let Some(mismatches) = self.verify(pos, k) {
-                out.push(Occurrence { position: pos, mismatches });
+                out.push(Occurrence {
+                    position: pos,
+                    mismatches,
+                });
             }
         }
         out

@@ -40,7 +40,10 @@ pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> Vec<Occurrence>
     let mut out = Vec::new();
     for i in 0..=text.len() - m {
         if let Some(d) = hamming_bounded(&text[i..i + m], pattern, k) {
-            out.push(Occurrence { position: i, mismatches: d });
+            out.push(Occurrence {
+                position: i,
+                mismatches: d,
+            });
         }
     }
     out
@@ -48,7 +51,10 @@ pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> Vec<Occurrence>
 
 /// Just the positions of [`find_k_mismatch`], for compact comparisons.
 pub fn find_k_mismatch_positions(text: &[u8], pattern: &[u8], k: usize) -> Vec<usize> {
-    find_k_mismatch(text, pattern, k).into_iter().map(|o| o.position).collect()
+    find_k_mismatch(text, pattern, k)
+        .into_iter()
+        .map(|o| o.position)
+        .collect()
 }
 
 #[cfg(test)]
@@ -71,7 +77,10 @@ mod tests {
         let s = kmm_dna::encode(b"ccacacagaagcc").unwrap();
         let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
         let occ = find_k_mismatch(&s, &r, 4);
-        assert!(occ.contains(&Occurrence { position: 2, mismatches: 4 }));
+        assert!(occ.contains(&Occurrence {
+            position: 2,
+            mismatches: 4
+        }));
     }
 
     #[test]

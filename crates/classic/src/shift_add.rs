@@ -36,7 +36,10 @@ fn counter_bits(m: usize) -> usize {
 /// Maximum pattern length supported by the 128-bit state word
 /// (25 symbols: 25 counters x 5 bits = 125 bits).
 pub fn max_pattern_len() -> usize {
-    (1..=128).rev().find(|&m| m * counter_bits(m) <= 128).unwrap_or(1)
+    (1..=128)
+        .rev()
+        .find(|&m| m * counter_bits(m) <= 128)
+        .unwrap_or(1)
 }
 
 /// All occurrences of `pattern` in `text` with at most `k` mismatches.
@@ -47,7 +50,9 @@ pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> ShiftAddResult 
     }
     let b = counter_bits(m);
     if m * b > 128 {
-        return ShiftAddResult::PatternTooLong { max_len: max_pattern_len() };
+        return ShiftAddResult::PatternTooLong {
+            max_len: max_pattern_len(),
+        };
     }
 
     // Per-symbol increment masks: slot i holds 1 iff pattern[i] != c.
@@ -73,7 +78,10 @@ pub fn find_k_mismatch(text: &[u8], pattern: &[u8], k: usize) -> ShiftAddResult 
         if pos + 1 >= m {
             let count = ((state >> final_shift) & slot_mask) as usize;
             if count <= k {
-                out.push(Occurrence { position: pos + 1 - m, mismatches: count });
+                out.push(Occurrence {
+                    position: pos + 1 - m,
+                    mismatches: count,
+                });
             }
         }
     }

@@ -33,6 +33,7 @@
 use kmm_bwt::{FmIndex, Interval};
 use kmm_classic::Occurrence;
 use kmm_dna::BASES;
+use kmm_telemetry::{Hist, NoopRecorder, Phase, Recorder};
 
 use crate::derive::DerivationAudit;
 use crate::mtree::{MTree, ABSENT, UNKNOWN};
@@ -65,12 +66,13 @@ pub struct AlgorithmA<'a> {
     pub reuse: bool,
 }
 
-struct Query<'q> {
+struct Query<'q, R: Recorder> {
     fm: &'q FmIndex,
     text_len: usize,
     pattern: &'q [u8],
     k: usize,
     reuse: bool,
+    recorder: &'q R,
     tree: &'q mut MTree,
     /// Pattern self-mismatch arrays (`R_1 … R_{m-1}`); retained for parity
     /// with the paper's preprocessing and used by the derivation checker.
@@ -87,13 +89,31 @@ impl<'a> AlgorithmA<'a> {
     /// `fm` must index `reverse(s) + $`; `text_len = |s|` (no sentinel).
     pub fn new(fm: &'a FmIndex, text_len: usize) -> Self {
         debug_assert_eq!(fm.len(), text_len + 1);
-        AlgorithmA { fm, text_len, reuse: true }
+        AlgorithmA {
+            fm,
+            text_len,
+            reuse: true,
+        }
     }
 
     /// All occurrences of `pattern` in the forward text with at most `k`
     /// mismatches, sorted by position, plus statistics.
     pub fn search(&self, pattern: &[u8], k: usize) -> (Vec<Occurrence>, SearchStats) {
-        let (occ, stats, _) = self.run(pattern, k, false);
+        self.search_recorded(pattern, k, &NoopRecorder)
+    }
+
+    /// [`Self::search`] with telemetry: R-array preprocessing is timed as
+    /// `preprocess.rarray`, per-leaf interval widths and termination
+    /// depths go to histograms, and the final [`SearchStats`] are added
+    /// to the `search.*` counters.
+    pub fn search_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        recorder: &R,
+    ) -> (Vec<Occurrence>, SearchStats) {
+        let mut tree = MTree::new();
+        let (occ, stats, _) = self.run_with(pattern, k, false, &mut tree, recorder);
         (occ, stats)
     }
 
@@ -116,35 +136,44 @@ impl<'a> AlgorithmA<'a> {
         audit: bool,
     ) -> (Vec<Occurrence>, SearchStats, Option<DerivationAudit>) {
         let mut tree = MTree::new();
-        self.run_with(pattern, k, audit, &mut tree)
+        self.run_with(pattern, k, audit, &mut tree, &NoopRecorder)
     }
 
     /// A reusable searcher that keeps the arena and pair table allocated
     /// across queries — the right entry point for read batches.
     pub fn searcher(&self) -> BatchSearcher<'a> {
-        BatchSearcher { alg: *self, tree: MTree::new() }
+        BatchSearcher {
+            alg: *self,
+            tree: MTree::new(),
+        }
     }
 
-    fn run_with(
+    fn run_with<R: Recorder>(
         &self,
         pattern: &[u8],
         k: usize,
         audit: bool,
         tree: &mut MTree,
+        recorder: &R,
     ) -> (Vec<Occurrence>, SearchStats, Option<DerivationAudit>) {
         let m = pattern.len();
         if m == 0 || m > self.text_len {
             return (Vec::new(), SearchStats::default(), None);
         }
         tree.clear();
+        let rtable = {
+            let _span = recorder.span(Phase::PreprocessRarray);
+            RTable::new(pattern, k)
+        };
         let mut q = Query {
             fm: self.fm,
             text_len: self.text_len,
             pattern,
             k,
             reuse: self.reuse,
+            recorder,
             tree,
-            rtable: RTable::new(pattern, k),
+            rtable,
             out: Vec::new(),
             stats: SearchStats::default(),
             audit: audit.then(DerivationAudit::default),
@@ -170,11 +199,18 @@ impl<'a> AlgorithmA<'a> {
                 q.walk(node, 0, cost);
             }
         }
-        let Query { mut out, mut stats, rtable, audit, .. } = q;
+        let Query {
+            mut out,
+            mut stats,
+            rtable,
+            audit,
+            ..
+        } = q;
         let _ = rtable;
         out.sort_unstable();
         stats.occurrences = out.len() as u64;
         stats.nodes_materialized = tree.len() as u64;
+        stats.record_into(recorder);
         (out, stats, audit)
     }
 }
@@ -190,7 +226,19 @@ pub struct BatchSearcher<'a> {
 impl<'a> BatchSearcher<'a> {
     /// As [`AlgorithmA::search`], reusing scratch allocations.
     pub fn search(&mut self, pattern: &[u8], k: usize) -> (Vec<Occurrence>, SearchStats) {
-        let (occ, stats, _) = self.alg.run_with(pattern, k, false, &mut self.tree);
+        self.search_recorded(pattern, k, &NoopRecorder)
+    }
+
+    /// As [`AlgorithmA::search_recorded`], reusing scratch allocations.
+    pub fn search_recorded<R: Recorder>(
+        &mut self,
+        pattern: &[u8],
+        k: usize,
+        recorder: &R,
+    ) -> (Vec<Occurrence>, SearchStats) {
+        let (occ, stats, _) = self
+            .alg
+            .run_with(pattern, k, false, &mut self.tree, recorder);
         (occ, stats)
     }
 
@@ -200,7 +248,7 @@ impl<'a> BatchSearcher<'a> {
     }
 }
 
-impl<'q> Query<'q> {
+impl<'q, R: Recorder> Query<'q, R> {
     /// Minimum interval width for an entry in the pair hash table. Narrow
     /// pairs head subtrees too small for derivation to beat re-exploration
     /// (their nodes are still memoised through their parents' child slots);
@@ -242,7 +290,12 @@ impl<'q> Query<'q> {
         let started = self.ctx.is_none() && (nd.align as usize) < p;
         let (sym, align) = (nd.sym, nd.align as usize);
         if started {
-            self.ctx = Some(AuditCtx { i: align, j: p, text: Vec::new(), bj: Vec::new() });
+            self.ctx = Some(AuditCtx {
+                i: align,
+                j: p,
+                text: Vec::new(),
+                bj: Vec::new(),
+            });
         }
         let pushed = if let Some(ctx) = self.ctx.as_mut() {
             ctx.text.push(sym);
@@ -286,6 +339,8 @@ impl<'q> Query<'q> {
         if p + 1 == m {
             self.stats.leaves += 1;
             let iv = self.tree.node(node).interval;
+            self.recorder.observe(Hist::IntervalWidth, iv.len() as u64);
+            self.recorder.observe(Hist::TerminationDepth, m as u64);
             report_interval(self.fm, self.text_len, iv, m, mism, &mut self.out);
             self.audit_snapshot();
             return;
@@ -295,9 +350,7 @@ impl<'q> Query<'q> {
         // interval is narrow (cheaper than four rank probes).
         let nd = self.tree.node(node);
         let iv = nd.interval;
-        if iv.len() <= Self::SCAN_WIDTH
-            && nd.children.contains(&UNKNOWN)
-        {
+        if iv.len() <= Self::SCAN_WIDTH && nd.children.contains(&UNKNOWN) {
             let mask = self.fm.symbol_mask(iv);
             for y in 1..=BASES as u8 {
                 if mask & (1 << (y - 1)) == 0 && self.tree.child(node, y) == UNKNOWN {
@@ -352,6 +405,9 @@ impl<'q> Query<'q> {
         }
         if !walked_any {
             self.stats.leaves += 1;
+            self.recorder.observe(Hist::IntervalWidth, iv.len() as u64);
+            self.recorder
+                .observe(Hist::TerminationDepth, (p + 1) as u64);
             self.audit_snapshot();
         }
     }
@@ -364,6 +420,8 @@ impl<'q> Query<'q> {
             self.stats.nodes_visited += 1;
             if p + 1 == m {
                 self.stats.leaves += 1;
+                self.recorder.observe(Hist::IntervalWidth, 1);
+                self.recorder.observe(Hist::TerminationDepth, m as u64);
                 let iv = Interval::new(row, row + 1);
                 report_interval(self.fm, self.text_len, iv, m, mism, &mut self.out);
                 return;
@@ -371,11 +429,17 @@ impl<'q> Query<'q> {
             let sym = self.fm.l_symbol(row);
             if sym == kmm_dna::SENTINEL {
                 self.stats.leaves += 1;
+                self.recorder.observe(Hist::IntervalWidth, 1);
+                self.recorder
+                    .observe(Hist::TerminationDepth, (p + 1) as u64);
                 return;
             }
             mism += usize::from(sym != self.pattern[p + 1]);
             if mism > self.k {
                 self.stats.leaves += 1;
+                self.recorder.observe(Hist::IntervalWidth, 1);
+                self.recorder
+                    .observe(Hist::TerminationDepth, (p + 1) as u64);
                 return;
             }
             self.stats.rank_extensions += 1;
@@ -425,8 +489,14 @@ mod tests {
         assert_eq!(
             occ,
             vec![
-                Occurrence { position: 0, mismatches: 2 },
-                Occurrence { position: 2, mismatches: 2 },
+                Occurrence {
+                    position: 0,
+                    mismatches: 2
+                },
+                Occurrence {
+                    position: 2,
+                    mismatches: 2
+                },
             ]
         );
     }
@@ -505,7 +575,10 @@ mod tests {
         // Samples exist only for forward (i < j) re-entries; all collected
         // ones must replay exactly through the merge derivation.
         audit.verify(&rtable);
-        assert!(stats.reuse_hits > 0, "expected pair sharing on periodic input");
+        assert!(
+            stats.reuse_hits > 0,
+            "expected pair sharing on periodic input"
+        );
     }
 
     #[test]
@@ -545,7 +618,13 @@ mod tests {
         let s = kmm_dna::encode(b"gattaca").unwrap();
         let (fm, n) = rev_fm(&s);
         let (occ, _) = AlgorithmA::new(&fm, n).search(&s, 1);
-        assert_eq!(occ, vec![Occurrence { position: 0, mismatches: 0 }]);
+        assert_eq!(
+            occ,
+            vec![Occurrence {
+                position: 0,
+                mismatches: 0
+            }]
+        );
     }
 
     #[test]
@@ -554,9 +633,7 @@ mod tests {
         let (fm, n) = rev_fm(&s);
         let alg = AlgorithmA::new(&fm, n);
         let mut batch = alg.searcher();
-        let reads: Vec<Vec<u8>> = (0..6)
-            .map(|i| s[i * 20..i * 20 + 30].to_vec())
-            .collect();
+        let reads: Vec<Vec<u8>> = (0..6).map(|i| s[i * 20..i * 20 + 30].to_vec()).collect();
         let mut cap_after_first = 0;
         for (i, r) in reads.iter().enumerate() {
             let (one_shot, _) = alg.search(r, 2);

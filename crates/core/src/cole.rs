@@ -95,7 +95,10 @@ impl<'a> ColeSearch<'a> {
                 for rank in nd.sa_lo..nd.sa_hi {
                     let pos = self.tree.sa()[rank as usize] as usize;
                     debug_assert!(pos + m < self.tree.text().len() + 1);
-                    out.push(Occurrence { position: pos, mismatches: mm });
+                    out.push(Occurrence {
+                        position: pos,
+                        mismatches: mm,
+                    });
                 }
             } else {
                 self.dfs(child, jj, mm, pattern, k, out, stats);

@@ -95,7 +95,10 @@ impl DerivationAudit {
         let pattern = rtable.pattern().to_vec();
         for (i, j, text, direct_bj) in &self.samples {
             let bi = mismatches_direct(text, &pattern[*i..], usize::MAX);
-            let stored = StoredPath { text: text.clone(), b: bi };
+            let stored = StoredPath {
+                text: text.clone(),
+                b: bi,
+            };
             let r_ij = rtable.rij(*i, *j);
             let derived = derive_path(&stored, &r_ij, &pattern[*j..]);
             assert_eq!(
@@ -126,7 +129,7 @@ mod tests {
         // continuation below depth 1), compared against r[1..] = "caca".
         let stored = StoredPath::new(enc(b"caga"), &r[1..]);
         assert_eq!(stored.b, vec![2]); // g vs c at offset 2
-        // Re-aligned at j = 3 (0-based; compared against r[3..] = "ca"):
+                                       // Re-aligned at j = 3 (0-based; compared against r[3..] = "ca"):
         let r_ij = rtable.rij(1, 3);
         let derived = derive_path(&stored, &r_ij, &r[3..]);
         assert_eq!(
@@ -140,7 +143,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(88);
         for _ in 0..300 {
-            let m = rng.gen_range(4..40);
+            let m = rng.gen_range(4..40usize);
             let r: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=3)).collect();
             let k = rng.gen_range(0..5);
             let rtable = RTable::new(&r, k);

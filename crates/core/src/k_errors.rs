@@ -186,8 +186,7 @@ mod tests {
         let (fm, n) = setup(&s);
         let ke = KErrorsSearch::new(&fm, n);
         let (occ, _) = ke.search(&r, 0);
-        let exact: Vec<&EditOccurrence> =
-            occ.iter().filter(|o| o.distance == 0).collect();
+        let exact: Vec<&EditOccurrence> = occ.iter().filter(|o| o.distance == 0).collect();
         assert_eq!(
             exact.iter().map(|o| o.position).collect::<Vec<_>>(),
             vec![0, 4]
@@ -206,7 +205,9 @@ mod tests {
         let (occ, _) = ke.search(&r, 1);
         assert_eq!(occ, find_k_errors_naive(&s, &r, 1));
         // The deletion alignment acg|g|a must be present.
-        assert!(occ.iter().any(|o| o.position == 2 && o.length == 5 && o.distance == 1));
+        assert!(occ
+            .iter()
+            .any(|o| o.position == 2 && o.length == 5 && o.distance == 1));
     }
 
     #[test]

@@ -24,13 +24,13 @@
 pub mod algorithm_a;
 pub mod cole;
 pub mod derive;
+pub mod k_errors;
 pub mod mapper;
 pub mod matcher;
-pub mod multi;
 pub mod merge;
 pub mod mtree;
+pub mod multi;
 pub mod phi;
-pub mod k_errors;
 pub mod rarray;
 pub mod seed_filter;
 pub mod spec;
@@ -40,14 +40,14 @@ pub mod stree;
 pub use algorithm_a::{AlgorithmA, BatchSearcher};
 pub use cole::ColeSearch;
 pub use derive::{derive_path, mi_creation, DerivationAudit, StoredPath};
+pub use k_errors::{find_k_errors_naive, EditOccurrence, KErrorsSearch};
 pub use mapper::{Alignment, MapOutcome, MapReport, MapperConfig, ReadMapper, Strand};
 pub use matcher::{KMismatchIndex, Method, SearchResult};
-pub use multi::{MultiIndex, MultiOccurrence};
 pub use merge::{merge, mismatches_direct, shift_rebase};
-pub use k_errors::{find_k_errors_naive, EditOccurrence, KErrorsSearch};
 pub use mtree::MTree;
-pub use seed_filter::SeedFilterSearch;
+pub use multi::{MultiIndex, MultiOccurrence};
 pub use rarray::RTable;
+pub use seed_filter::SeedFilterSearch;
 pub use stats::SearchStats;
 pub use stree::STreeSearch;
 

@@ -8,6 +8,7 @@
 
 use kmm_classic::Occurrence;
 use kmm_dna::reverse_complement;
+use kmm_telemetry::{Counter, NoopRecorder, Recorder};
 
 use crate::matcher::{KMismatchIndex, Method};
 
@@ -69,7 +70,11 @@ pub struct MapperConfig {
 
 impl Default for MapperConfig {
     fn default() -> Self {
-        MapperConfig { k: 5, both_strands: true, method: Method::ALGORITHM_A }
+        MapperConfig {
+            k: 5,
+            both_strands: true,
+            method: Method::ALGORITHM_A,
+        }
     }
 }
 
@@ -88,27 +93,56 @@ impl<'a> ReadMapper<'a> {
 
     /// Map one read.
     pub fn map(&self, read: &[u8]) -> MapReport {
+        self.map_recorded(read, &NoopRecorder)
+    }
+
+    /// [`Self::map`] with telemetry: both strand queries record their
+    /// search phases/counters, plus `map.reads_total` and
+    /// `map.reads_mapped` ticks.
+    pub fn map_recorded<R: Recorder>(&self, read: &[u8], recorder: &R) -> MapReport {
         let mut all: Vec<Alignment> = Vec::new();
         let collect = |occ: Vec<Occurrence>, strand: Strand, all: &mut Vec<Alignment>| {
             for o in occ {
-                all.push(Alignment { position: o.position, mismatches: o.mismatches, strand });
+                all.push(Alignment {
+                    position: o.position,
+                    mismatches: o.mismatches,
+                    strand,
+                });
             }
         };
-        let fwd = self.index.search(read, self.config.k, self.config.method);
+        let fwd = self
+            .index
+            .search_recorded(read, self.config.k, self.config.method, recorder);
         collect(fwd.occurrences, Strand::Forward, &mut all);
         if self.config.both_strands {
             let rc = reverse_complement(read);
-            let rev = self.index.search(&rc, self.config.k, self.config.method);
+            let rev = self
+                .index
+                .search_recorded(&rc, self.config.k, self.config.method, recorder);
             collect(rev.occurrences, Strand::Reverse, &mut all);
         }
-        all.sort_by_key(|a| (a.mismatches, a.position, matches!(a.strand, Strand::Reverse)));
+        recorder.add(Counter::ReadsTotal, 1);
+        if !all.is_empty() {
+            recorder.add(Counter::ReadsMapped, 1);
+        }
+        all.sort_by_key(|a| {
+            (
+                a.mismatches,
+                a.position,
+                matches!(a.strand, Strand::Reverse),
+            )
+        });
 
         let outcome = match all.as_slice() {
             [] => MapOutcome::Unmapped,
             [single] => MapOutcome::Unique(*single),
             [first, rest @ ..] => {
                 let ties: Vec<Alignment> = std::iter::once(*first)
-                    .chain(rest.iter().copied().take_while(|a| a.mismatches == first.mismatches))
+                    .chain(
+                        rest.iter()
+                            .copied()
+                            .take_while(|a| a.mismatches == first.mismatches),
+                    )
                     .collect();
                 if ties.len() == 1 {
                     MapOutcome::Unique(*first)
@@ -146,7 +180,13 @@ mod tests {
     #[test]
     fn forward_read_maps_uniquely_home() {
         let (idx, g) = index();
-        let mapper = ReadMapper::new(&idx, MapperConfig { k: 2, ..Default::default() });
+        let mapper = ReadMapper::new(
+            &idx,
+            MapperConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         // A long-ish probe from a (likely unique) locus.
         let read = g[7_000..7_080].to_vec();
         let report = mapper.map(&read);
@@ -164,7 +204,13 @@ mod tests {
     #[test]
     fn reverse_strand_read_is_recovered() {
         let (idx, g) = index();
-        let mapper = ReadMapper::new(&idx, MapperConfig { k: 1, ..Default::default() });
+        let mapper = ReadMapper::new(
+            &idx,
+            MapperConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
         let read = reverse_complement(&g[3_000..3_060]);
         let report = mapper.map(&read);
         assert!(report
@@ -174,13 +220,13 @@ mod tests {
         // With both_strands disabled the read is lost.
         let fwd_only = ReadMapper::new(
             &idx,
-            MapperConfig { k: 1, both_strands: false, ..Default::default() },
+            MapperConfig {
+                k: 1,
+                both_strands: false,
+                ..Default::default()
+            },
         );
-        assert!(!fwd_only
-            .map(&read)
-            .all
-            .iter()
-            .any(|a| a.position == 3_000));
+        assert!(!fwd_only.map(&read).all.iter().any(|a| a.position == 3_000));
     }
 
     #[test]
@@ -190,7 +236,13 @@ mod tests {
         let unit = g[100..160].to_vec();
         g[3_000..3_060].copy_from_slice(&unit);
         let idx = KMismatchIndex::new(g);
-        let mapper = ReadMapper::new(&idx, MapperConfig { k: 0, ..Default::default() });
+        let mapper = ReadMapper::new(
+            &idx,
+            MapperConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
         let report = mapper.map(&unit);
         match report.outcome {
             MapOutcome::Multi(ties) => {
@@ -206,7 +258,13 @@ mod tests {
     #[test]
     fn unmapped_read() {
         let (idx, _) = index();
-        let mapper = ReadMapper::new(&idx, MapperConfig { k: 0, ..Default::default() });
+        let mapper = ReadMapper::new(
+            &idx,
+            MapperConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
         // A read unlikely to occur exactly: long homopolymer.
         let read = vec![4u8; 60];
         let report = mapper.map(&read);
@@ -222,7 +280,13 @@ mod tests {
         // depends on how far the next hit is.
         let mut read = g[11_000..11_090].to_vec();
         read[40] = if read[40] == 1 { 2 } else { 1 };
-        let mapper = ReadMapper::new(&idx, MapperConfig { k: 4, ..Default::default() });
+        let mapper = ReadMapper::new(
+            &idx,
+            MapperConfig {
+                k: 4,
+                ..Default::default()
+            },
+        );
         let report = mapper.map(&read);
         if let MapOutcome::Unique(a) = report.outcome {
             assert_eq!(a.position, 11_000);
@@ -236,7 +300,13 @@ mod tests {
     #[test]
     fn all_alignments_sorted_by_quality() {
         let (idx, g) = index();
-        let mapper = ReadMapper::new(&idx, MapperConfig { k: 3, ..Default::default() });
+        let mapper = ReadMapper::new(
+            &idx,
+            MapperConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         let read = g[500..560].to_vec();
         let report = mapper.map(&read);
         for w in report.all.windows(2) {

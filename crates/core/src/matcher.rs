@@ -3,11 +3,13 @@
 //! reference scanners.
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use kmm_bwt::{FmBuildConfig, FmIndex};
 use kmm_classic::{amir, kangaroo, naive, Occurrence};
 use kmm_dna::SIGMA;
 use kmm_suffix::SuffixTree;
+use kmm_telemetry::{Counter, Hist, NoopRecorder, Phase, Recorder};
 
 use crate::algorithm_a::AlgorithmA;
 use crate::cole::ColeSearch;
@@ -99,6 +101,16 @@ impl KMismatchIndex {
 
     /// Index with an explicit FM layout (rankall / SA sampling rates).
     pub fn with_config(text: Vec<u8>, config: FmBuildConfig) -> Self {
+        Self::with_config_recorded(text, config, &NoopRecorder)
+    }
+
+    /// [`Self::with_config`] with the construction phases (`index.*`)
+    /// timed on `recorder`.
+    pub fn with_config_recorded<R: Recorder>(
+        text: Vec<u8>,
+        config: FmBuildConfig,
+        recorder: &R,
+    ) -> Self {
         assert!(
             text.iter().all(|&c| c >= 1 && (c as usize) < SIGMA),
             "target must be sentinel-free base codes"
@@ -106,8 +118,12 @@ impl KMismatchIndex {
         let mut rev = text.clone();
         rev.reverse();
         rev.push(0);
-        let fm = FmIndex::new(&rev, config);
-        KMismatchIndex { text, fm, suffix_tree: OnceLock::new() }
+        let fm = FmIndex::new_recorded(&rev, config, recorder);
+        KMismatchIndex {
+            text,
+            fm,
+            suffix_tree: OnceLock::new(),
+        }
     }
 
     /// Convenience constructor from an ASCII DNA string.
@@ -129,7 +145,11 @@ impl KMismatchIndex {
             rev.push(0);
             fm.reconstruct_text() == rev
         });
-        KMismatchIndex { text, fm, suffix_tree: OnceLock::new() }
+        KMismatchIndex {
+            text,
+            fm,
+            suffix_tree: OnceLock::new(),
+        }
     }
 
     /// The indexed target (encoded, sentinel-free).
@@ -165,7 +185,23 @@ impl KMismatchIndex {
     /// occurrence lists (sorted by position, annotated with the Hamming
     /// distance).
     pub fn search(&self, pattern: &[u8], k: usize, method: Method) -> SearchResult {
-        match method {
+        self.search_recorded(pattern, k, method, &NoopRecorder)
+    }
+
+    /// [`Self::search`] with telemetry: the whole query is timed as the
+    /// `search.query` phase and the `search.latency_ns` histogram, one
+    /// `search.queries` tick is added, and the method's [`SearchStats`]
+    /// land in the `search.*` counters. With a
+    /// [`kmm_telemetry::NoopRecorder`] this is exactly [`Self::search`].
+    pub fn search_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        method: Method,
+        recorder: &R,
+    ) -> SearchResult {
+        let start = recorder.enabled().then(Instant::now);
+        let result = match method {
             Method::Naive => SearchResult {
                 occurrences: naive::find_k_mismatch(&self.text, pattern, k),
                 stats: SearchStats::default(),
@@ -180,26 +216,35 @@ impl KMismatchIndex {
             },
             Method::Cole => {
                 let (occurrences, stats) = ColeSearch::new(self.suffix_tree()).search(pattern, k);
+                stats.record_into(recorder);
                 SearchResult { occurrences, stats }
             }
             Method::Bwt { use_phi } => {
                 let mut st = STreeSearch::new(&self.fm, self.text.len());
                 st.use_phi = use_phi;
-                let (occurrences, stats) = st.search(pattern, k);
+                let (occurrences, stats) = st.search_recorded(pattern, k, recorder);
                 SearchResult { occurrences, stats }
             }
             Method::AlgorithmA { reuse } => {
                 let mut alg = AlgorithmA::new(&self.fm, self.text.len());
                 alg.reuse = reuse;
-                let (occurrences, stats) = alg.search(pattern, k);
+                let (occurrences, stats) = alg.search_recorded(pattern, k, recorder);
                 SearchResult { occurrences, stats }
             }
             Method::SeedFilter => {
                 let sf = SeedFilterSearch::new(&self.fm, &self.text);
                 let (occurrences, stats) = sf.search(pattern, k);
+                stats.record_into(recorder);
                 SearchResult { occurrences, stats }
             }
+        };
+        if let Some(start) = start {
+            let ns = start.elapsed().as_nanos() as u64;
+            recorder.phase_add(Phase::SearchQuery, ns);
+            recorder.observe(Hist::SearchLatencyNs, ns);
         }
+        recorder.add(Counter::Queries, 1);
+        result
     }
 
     /// Number of occurrences with at most `k` mismatches, without
@@ -208,7 +253,9 @@ impl KMismatchIndex {
     pub fn count(&self, pattern: &[u8], k: usize) -> usize {
         // Counting via the search keeps one code path; the tree methods
         // dominate their locate cost only for very frequent patterns.
-        self.search(pattern, k, Method::ALGORITHM_A).occurrences.len()
+        self.search(pattern, k, Method::ALGORITHM_A)
+            .occurrences
+            .len()
     }
 
     /// String matching with k *errors* (Levenshtein distance, Section II):
@@ -229,10 +276,21 @@ impl KMismatchIndex {
         k: usize,
         method: Method,
     ) -> (Vec<Vec<Occurrence>>, SearchStats) {
+        self.search_batch_recorded(patterns, k, method, &NoopRecorder)
+    }
+
+    /// [`Self::search_batch`] with per-query telemetry on `recorder`.
+    pub fn search_batch_recorded<'p, R: Recorder>(
+        &self,
+        patterns: impl IntoIterator<Item = &'p [u8]>,
+        k: usize,
+        method: Method,
+        recorder: &R,
+    ) -> (Vec<Vec<Occurrence>>, SearchStats) {
         let mut all = Vec::new();
         let mut stats = SearchStats::default();
         for p in patterns {
-            let r = self.search(p, k, method);
+            let r = self.search_recorded(p, k, method, recorder);
             stats.accumulate(&r.stats);
             all.push(r.occurrences);
         }
@@ -297,8 +355,7 @@ mod tests {
         let idx = KMismatchIndex::from_ascii(b"acagacagattacaacagtt").unwrap();
         let p1 = kmm_dna::encode(b"acag").unwrap();
         let p2 = kmm_dna::encode(b"ttac").unwrap();
-        let (results, stats) =
-            idx.search_batch([&p1[..], &p2[..]], 1, Method::ALGORITHM_A);
+        let (results, stats) = idx.search_batch([&p1[..], &p2[..]], 1, Method::ALGORITHM_A);
         assert_eq!(results.len(), 2);
         assert!(stats.leaves > 0);
         assert_eq!(

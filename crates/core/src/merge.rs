@@ -127,7 +127,10 @@ mod tests {
         let a2 = mismatches_direct(&gamma, &beta, usize::MAX);
         assert_eq!(a1, vec![0]);
         assert_eq!(a2, vec![0]);
-        assert_eq!(merge(&a1, &a2, &alpha, &beta, usize::MAX), Vec::<u32>::new());
+        assert_eq!(
+            merge(&a1, &a2, &alpha, &beta, usize::MAX),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]
@@ -163,7 +166,13 @@ mod tests {
             // mismatches).
             let mutate = |rng: &mut rand::rngs::StdRng, s: &[u8]| -> Vec<u8> {
                 s.iter()
-                    .map(|&c| if rng.gen_bool(0.2) { rng.gen_range(1..=4) } else { c })
+                    .map(|&c| {
+                        if rng.gen_bool(0.2) {
+                            rng.gen_range(1..=4)
+                        } else {
+                            c
+                        }
+                    })
                     .collect()
             };
             let alpha = mutate(&mut rng, &gamma);

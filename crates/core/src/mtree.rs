@@ -157,7 +157,12 @@ impl MTree {
     #[inline]
     pub fn push_unshared(&mut self, sym: u8, align: u32, iv: Interval) -> u32 {
         let id = self.nodes.len() as u32;
-        self.nodes.push(MTreeNode { sym, align, interval: iv, children: [UNKNOWN; BASES] });
+        self.nodes.push(MTreeNode {
+            sym,
+            align,
+            interval: iv,
+            children: [UNKNOWN; BASES],
+        });
         id
     }
 

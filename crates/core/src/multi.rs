@@ -9,6 +9,7 @@
 //! `(record, local offset)` coordinates.
 
 use kmm_classic::Occurrence;
+use kmm_telemetry::{Counter, NoopRecorder, Recorder};
 
 use crate::matcher::{KMismatchIndex, Method};
 use crate::stats::SearchStats;
@@ -51,7 +52,11 @@ impl MultiIndex {
             concat.extend(seq);
         }
         starts.push(concat.len());
-        MultiIndex { index: KMismatchIndex::new(concat), starts, names }
+        MultiIndex {
+            index: KMismatchIndex::new(concat),
+            starts,
+            names,
+        }
     }
 
     /// Number of records.
@@ -89,17 +94,43 @@ impl MultiIndex {
         k: usize,
         method: Method,
     ) -> (Vec<MultiOccurrence>, SearchStats) {
-        let res = self.index.search(pattern, k, method);
+        self.search_recorded(pattern, k, method, &NoopRecorder)
+    }
+
+    /// [`Self::search`] with telemetry: the inner query records its
+    /// search phases/counters, and every hit discarded for straddling a
+    /// record boundary ticks `multi.boundary_filtered`.
+    pub fn search_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        method: Method,
+        recorder: &R,
+    ) -> (Vec<MultiOccurrence>, SearchStats) {
+        let res = self.index.search_recorded(pattern, k, method, recorder);
         let m = pattern.len();
-        let occ = res
+        let occ: Vec<MultiOccurrence> = res
             .occurrences
             .into_iter()
-            .filter_map(|Occurrence { position, mismatches }| {
-                let (record, offset) = self.locate_record(position);
-                // The window must end inside the same record.
-                (offset + m <= self.record_len(record))
-                    .then_some(MultiOccurrence { record, offset, mismatches })
-            })
+            .filter_map(
+                |Occurrence {
+                     position,
+                     mismatches,
+                 }| {
+                    let (record, offset) = self.locate_record(position);
+                    // The window must end inside the same record.
+                    if offset + m <= self.record_len(record) {
+                        Some(MultiOccurrence {
+                            record,
+                            offset,
+                            mismatches,
+                        })
+                    } else {
+                        recorder.add(Counter::BoundaryFiltered, 1);
+                        None
+                    }
+                },
+            )
             .collect();
         (occ, res.stats)
     }
@@ -128,8 +159,16 @@ mod tests {
         assert_eq!(
             occ,
             vec![
-                MultiOccurrence { record: 0, offset: 3, mismatches: 0 },
-                MultiOccurrence { record: 1, offset: 2, mismatches: 0 },
+                MultiOccurrence {
+                    record: 0,
+                    offset: 3,
+                    mismatches: 0
+                },
+                MultiOccurrence {
+                    record: 1,
+                    offset: 2,
+                    mismatches: 0
+                },
             ]
         );
     }
@@ -143,7 +182,8 @@ mod tests {
         let pat = enc(b"ggatt");
         let (occ, _) = idx.search(&pat, 1, Method::ALGORITHM_A);
         assert!(
-            occ.iter().all(|o| o.offset + pat.len() <= idx.record_len(o.record)),
+            occ.iter()
+                .all(|o| o.offset + pat.len() <= idx.record_len(o.record)),
             "straddling occurrence leaked: {occ:?}"
         );
         // Direct check: the concatenated index *does* see the straddling
@@ -159,7 +199,10 @@ mod tests {
         let recs: Vec<(String, Vec<u8>)> = (0..4)
             .map(|i| {
                 let n = rng.gen_range(50..200);
-                (format!("c{i}"), (0..n).map(|_| rng.gen_range(1..=4)).collect())
+                (
+                    format!("c{i}"),
+                    (0..n).map(|_| rng.gen_range(1..=4)).collect(),
+                )
             })
             .collect();
         let seqs: Vec<Vec<u8>> = recs.iter().map(|(_, s)| s.clone()).collect();

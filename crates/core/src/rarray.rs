@@ -42,7 +42,11 @@ impl RTable {
         for i in 1..m {
             arrays.push(mismatches_direct(&pattern[..m - i], &pattern[i..], cap));
         }
-        RTable { pattern: pattern.to_vec(), arrays, cap }
+        RTable {
+            pattern: pattern.to_vec(),
+            arrays,
+            cap,
+        }
     }
 
     /// The pattern the table was built for.
@@ -128,8 +132,12 @@ impl RTable {
     /// prefix by scanning.
     fn completed_shift(&self, i: usize, limit: u32) -> Vec<u32> {
         let horizon = self.shift_horizon(i).min(limit);
-        let mut out: Vec<u32> =
-            self.shift(i).iter().copied().filter(|&p| p < horizon).collect();
+        let mut out: Vec<u32> = self
+            .shift(i)
+            .iter()
+            .copied()
+            .filter(|&p| p < horizon)
+            .collect();
         let alpha = &self.pattern[..self.pattern.len() - i];
         let beta = &self.pattern[i..];
         for p in horizon..limit {
@@ -179,7 +187,7 @@ mod tests {
         for _ in 0..100 {
             let m = rng.gen_range(2..40);
             let r: Vec<u8> = (0..m).map(|_| rng.gen_range(1..=2)).collect();
-            let k = rng.gen_range(0..4);
+            let k = rng.gen_range(0..4usize);
             let t = RTable::new(&r, k);
             for i in 0..m {
                 for j in 0..m {

@@ -90,8 +90,12 @@ impl<'a> SeedFilterSearch<'a> {
         let mut out: Vec<Occurrence> = candidates
             .into_keys()
             .filter_map(|position| {
-                hamming_bounded(&self.text[position..position + m], pattern, k)
-                    .map(|mismatches| Occurrence { position, mismatches })
+                hamming_bounded(&self.text[position..position + m], pattern, k).map(|mismatches| {
+                    Occurrence {
+                        position,
+                        mismatches,
+                    }
+                })
             })
             .collect();
         out.sort_unstable();

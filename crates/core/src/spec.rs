@@ -88,8 +88,7 @@ impl STree {
                 continue;
             }
             let matching = y == pattern[depth];
-            let mismatches =
-                self.nodes[node as usize].mismatches + usize::from(!matching);
+            let mismatches = self.nodes[node as usize].mismatches + usize::from(!matching);
             if mismatches > k + 1 {
                 continue;
             }
@@ -178,7 +177,10 @@ impl MSpecTree {
     /// and pushes `v`'s children with the parent-to-be.
     pub fn from_stree(stree: &STree) -> MSpecTree {
         let mut d = MSpecTree {
-            nodes: vec![MSpecNode { label: MLabel::MatchRun, children: Vec::new() }],
+            nodes: vec![MSpecNode {
+                label: MLabel::MatchRun,
+                children: Vec::new(),
+            }],
         };
         // Stack entries: (s-node id, parent M-node id).
         let mut stack: Vec<(u32, u32)> = stree.nodes[0]
@@ -206,8 +208,10 @@ impl MSpecTree {
             } else {
                 // (iii) matching under a mismatch node: open a new <-, 0>.
                 let id = d.nodes.len() as u32;
-                d.nodes
-                    .push(MSpecNode { label: MLabel::MatchRun, children: Vec::new() });
+                d.nodes.push(MSpecNode {
+                    label: MLabel::MatchRun,
+                    children: Vec::new(),
+                });
                 d.nodes[u as usize].children.push(id);
                 id
             };
@@ -283,14 +287,19 @@ mod tests {
             .iter()
             .map(|&c| st.nodes[c as usize].pair.unwrap().to_string())
             .collect();
-        assert_eq!(root_children, vec!["<a, [1, 4]>", "<c, [1, 2]>", "<g, [1, 1]>"]);
-        assert!(st.nodes[0].children.iter().all(|&c| !st.nodes[c as usize].matching));
+        assert_eq!(
+            root_children,
+            vec!["<a, [1, 4]>", "<c, [1, 2]>", "<g, [1, 1]>"]
+        );
+        assert!(st.nodes[0]
+            .children
+            .iter()
+            .all(|&c| !st.nodes[c as usize].matching));
 
         // Two complete paths with exactly 2 mismatches (P1, P2).
         let complete = st.complete_leaves(2);
         assert_eq!(complete.len(), 2);
-        let mut bs: Vec<Vec<usize>> =
-            complete.iter().map(|&l| st.b_array(l)).collect();
+        let mut bs: Vec<Vec<usize>> = complete.iter().map(|&l| st.b_array(l)).collect();
         bs.sort();
         // B1 = [1, 4], B2 = [1, 2] (1-based), paper Section IV-A.
         assert_eq!(bs, vec![vec![1, 2], vec![1, 4]]);
@@ -328,8 +337,7 @@ mod tests {
             .iter()
             .map(|&l| d.path_mismatch_positions(l))
             .collect();
-        let mut from_s: Vec<Vec<usize>> =
-            st.leaves().iter().map(|&l| st.b_array(l)).collect();
+        let mut from_s: Vec<Vec<usize>> = st.leaves().iter().map(|&l| st.b_array(l)).collect();
         from_d.sort();
         from_s.sort();
         assert_eq!(from_d, from_s);
@@ -376,8 +384,8 @@ mod tests {
         assert_eq!(d.nodes[0].label, MLabel::MatchRun); // virtual root u0
         assert_eq!(d.nodes[1].label, MLabel::Mismatch(1, 1)); // u1 = <a, 1>
         assert_eq!(d.nodes[2].label, MLabel::MatchRun); // u4 = <-, 0>
-        // The merge of v8 into u4: u4's first child is created at r[4]'s
-        // level (position 4, 1-based), skipping a node for v8.
+                                                        // The merge of v8 into u4: u4's first child is created at r[4]'s
+                                                        // level (position 4, 1-based), skipping a node for v8.
         let u4 = &d.nodes[2];
         assert!(!u4.children.is_empty());
         for &c in &u4.children {

@@ -5,6 +5,8 @@
 //! (the dominant cost the M-tree derivation removes), and how often the
 //! hash-table reuse fired.
 
+use kmm_telemetry::{Counter, Recorder};
+
 /// Counters collected during one search. All counts are per query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -35,33 +37,123 @@ pub struct SearchStats {
 
 impl SearchStats {
     /// Merge counters from another search (used when batching reads).
+    ///
+    /// The exhaustive destructuring makes adding a `SearchStats` field
+    /// without summing it here a compile error.
     pub fn accumulate(&mut self, other: &SearchStats) {
-        self.leaves += other.leaves;
-        self.nodes_visited += other.nodes_visited;
-        self.nodes_materialized += other.nodes_materialized;
-        self.rank_extensions += other.rank_extensions;
-        self.reuse_hits += other.reuse_hits;
-        self.merges += other.merges;
-        self.resumes += other.resumes;
-        self.occurrences += other.occurrences;
-        self.phi_prunes += other.phi_prunes;
+        let SearchStats {
+            leaves,
+            nodes_visited,
+            nodes_materialized,
+            rank_extensions,
+            reuse_hits,
+            merges,
+            resumes,
+            occurrences,
+            phi_prunes,
+        } = *other;
+        self.leaves += leaves;
+        self.nodes_visited += nodes_visited;
+        self.nodes_materialized += nodes_materialized;
+        self.rank_extensions += rank_extensions;
+        self.reuse_hits += reuse_hits;
+        self.merges += merges;
+        self.resumes += resumes;
+        self.occurrences += occurrences;
+        self.phi_prunes += phi_prunes;
+    }
+
+    /// Every field as a `(canonical_name, value)` pair, in declaration
+    /// order. The names are the stable keys used by the JSON emitters.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 9] {
+        let SearchStats {
+            leaves,
+            nodes_visited,
+            nodes_materialized,
+            rank_extensions,
+            reuse_hits,
+            merges,
+            resumes,
+            occurrences,
+            phi_prunes,
+        } = *self;
+        [
+            ("leaves", leaves),
+            ("nodes_visited", nodes_visited),
+            ("nodes_materialized", nodes_materialized),
+            ("rank_extensions", rank_extensions),
+            ("reuse_hits", reuse_hits),
+            ("merges", merges),
+            ("resumes", resumes),
+            ("occurrences", occurrences),
+            ("phi_prunes", phi_prunes),
+        ]
+    }
+
+    /// Add every field to the matching `search.*` telemetry counter.
+    pub fn record_into<R: Recorder>(&self, recorder: &R) {
+        let SearchStats {
+            leaves,
+            nodes_visited,
+            nodes_materialized,
+            rank_extensions,
+            reuse_hits,
+            merges,
+            resumes,
+            occurrences,
+            phi_prunes,
+        } = *self;
+        recorder.add(Counter::Leaves, leaves);
+        recorder.add(Counter::NodesVisited, nodes_visited);
+        recorder.add(Counter::NodesMaterialized, nodes_materialized);
+        recorder.add(Counter::RankExtensions, rank_extensions);
+        recorder.add(Counter::ReuseHits, reuse_hits);
+        recorder.add(Counter::Merges, merges);
+        recorder.add(Counter::Resumes, resumes);
+        recorder.add(Counter::Occurrences, occurrences);
+        recorder.add(Counter::PhiPrunes, phi_prunes);
+    }
+
+    /// Fraction of extension work answered by reuse instead of live
+    /// ranking: `reuse_hits / (reuse_hits + rank_extensions)`. Zero when
+    /// no extension work happened.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.reuse_hits + self.rank_extensions;
+        if total == 0 {
+            0.0
+        } else {
+            self.reuse_hits as f64 / total as f64
+        }
     }
 }
 
 impl std::fmt::Display for SearchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let SearchStats {
+            leaves,
+            nodes_visited,
+            nodes_materialized,
+            rank_extensions,
+            reuse_hits,
+            merges,
+            resumes,
+            occurrences,
+            phi_prunes,
+        } = *self;
         write!(
             f,
-            "leaves={} visited={} materialized={} rank_ext={} reuse={} merges={} resumes={} occ={} phi_prunes={}",
-            self.leaves,
-            self.nodes_visited,
-            self.nodes_materialized,
-            self.rank_extensions,
-            self.reuse_hits,
-            self.merges,
-            self.resumes,
-            self.occurrences,
-            self.phi_prunes,
+            "n'(leaves)={} visited={} materialized={} rank_ext={} reuse={} merges={} \
+             resumes={} occ={} phi_prunes={} reuse_ratio={:.3}",
+            leaves,
+            nodes_visited,
+            nodes_materialized,
+            rank_extensions,
+            reuse_hits,
+            merges,
+            resumes,
+            occurrences,
+            phi_prunes,
+            self.reuse_ratio(),
         )
     }
 }
@@ -69,11 +161,22 @@ impl std::fmt::Display for SearchStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kmm_telemetry::MetricsRecorder;
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = SearchStats { leaves: 1, nodes_visited: 2, occurrences: 3, ..Default::default() };
-        let b = SearchStats { leaves: 10, nodes_visited: 20, reuse_hits: 5, ..Default::default() };
+        let mut a = SearchStats {
+            leaves: 1,
+            nodes_visited: 2,
+            occurrences: 3,
+            ..Default::default()
+        };
+        let b = SearchStats {
+            leaves: 10,
+            nodes_visited: 20,
+            reuse_hits: 5,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.leaves, 11);
         assert_eq!(a.nodes_visited, 22);
@@ -84,8 +187,71 @@ mod tests {
     #[test]
     fn display_is_complete() {
         let s = SearchStats::default().to_string();
-        for field in ["leaves=", "rank_ext=", "reuse=", "merges=", "occ="] {
+        for field in [
+            "n'(leaves)=",
+            "rank_ext=",
+            "reuse=",
+            "merges=",
+            "occ=",
+            "reuse_ratio=",
+        ] {
             assert!(s.contains(field), "missing {field} in {s}");
         }
+    }
+
+    #[test]
+    fn as_pairs_covers_every_field() {
+        let stats = SearchStats {
+            leaves: 1,
+            nodes_visited: 2,
+            nodes_materialized: 3,
+            rank_extensions: 4,
+            reuse_hits: 5,
+            merges: 6,
+            resumes: 7,
+            occurrences: 8,
+            phi_prunes: 9,
+        };
+        let pairs = stats.as_pairs();
+        let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
+        names.dedup();
+        assert_eq!(names.len(), 9, "duplicate field names in as_pairs");
+    }
+
+    #[test]
+    fn record_into_mirrors_counters() {
+        let stats = SearchStats {
+            leaves: 11,
+            rank_extensions: 22,
+            reuse_hits: 33,
+            occurrences: 44,
+            ..Default::default()
+        };
+        let rec = MetricsRecorder::new();
+        stats.record_into(&rec);
+        stats.record_into(&rec);
+        assert_eq!(rec.counter(Counter::Leaves), 22);
+        assert_eq!(rec.counter(Counter::RankExtensions), 44);
+        assert_eq!(rec.counter(Counter::ReuseHits), 66);
+        assert_eq!(rec.counter(Counter::Occurrences), 88);
+        assert_eq!(rec.counter(Counter::Merges), 0);
+    }
+
+    #[test]
+    fn reuse_ratio_is_bounded() {
+        assert_eq!(SearchStats::default().reuse_ratio(), 0.0);
+        let s = SearchStats {
+            reuse_hits: 1,
+            rank_extensions: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.reuse_ratio(), 0.25);
+        let all_reuse = SearchStats {
+            reuse_hits: 5,
+            ..Default::default()
+        };
+        assert_eq!(all_reuse.reuse_ratio(), 1.0);
     }
 }

@@ -14,6 +14,7 @@
 use kmm_bwt::{FmIndex, Interval};
 use kmm_classic::Occurrence;
 use kmm_dna::BASES;
+use kmm_telemetry::{Hist, NoopRecorder, Phase, Recorder};
 
 use crate::phi::phi_table;
 use crate::stats::SearchStats;
@@ -57,18 +58,35 @@ impl<'a> STreeSearch<'a> {
     /// `fm` must index `reverse(s) + $`; `text_len = |s|` (no sentinel).
     pub fn new(fm: &'a FmIndex, text_len: usize) -> Self {
         debug_assert_eq!(fm.len(), text_len + 1);
-        STreeSearch { fm, text_len, use_phi: true }
+        STreeSearch {
+            fm,
+            text_len,
+            use_phi: true,
+        }
     }
 
     /// All occurrences of `pattern` in the forward text with at most `k`
     /// mismatches, sorted by position, plus search statistics.
     pub fn search(&self, pattern: &[u8], k: usize) -> (Vec<Occurrence>, SearchStats) {
+        self.search_recorded(pattern, k, &NoopRecorder)
+    }
+
+    /// [`Self::search`] with telemetry: φ-table construction is timed as
+    /// `preprocess.phi`, leaf widths/depths go to histograms, and the
+    /// final [`SearchStats`] are added to the `search.*` counters.
+    pub fn search_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        recorder: &R,
+    ) -> (Vec<Occurrence>, SearchStats) {
         let mut stats = SearchStats::default();
         let m = pattern.len();
         if m == 0 || m > self.text_len {
             return (Vec::new(), stats);
         }
         let phi = if self.use_phi {
+            let _span = recorder.span(Phase::PreprocessPhi);
             Some(phi_table(self.fm, pattern))
         } else {
             None
@@ -83,9 +101,11 @@ impl<'a> STreeSearch<'a> {
             phi.as_deref(),
             &mut out,
             &mut stats,
+            recorder,
         );
         out.sort_unstable();
         stats.occurrences = out.len() as u64;
+        stats.record_into(recorder);
         (out, stats)
     }
 
@@ -95,7 +115,7 @@ impl<'a> STreeSearch<'a> {
     const SCAN_WIDTH: u32 = 24;
 
     #[allow(clippy::too_many_arguments)]
-    fn dfs(
+    fn dfs<R: Recorder>(
         &self,
         iv: Interval,
         mut j: usize,
@@ -105,6 +125,7 @@ impl<'a> STreeSearch<'a> {
         phi: Option<&[u32]>,
         out: &mut Vec<Occurrence>,
         stats: &mut SearchStats,
+        recorder: &R,
     ) {
         let m = pattern.len();
         // Singleton fast path: a 1-row interval has exactly one possible
@@ -116,24 +137,39 @@ impl<'a> STreeSearch<'a> {
                 stats.nodes_visited += 1;
                 if j == m {
                     stats.leaves += 1;
-                    report_interval(self.fm, self.text_len, Interval::new(row, row + 1), m, mism, out);
+                    recorder.observe(Hist::IntervalWidth, 1);
+                    recorder.observe(Hist::TerminationDepth, m as u64);
+                    report_interval(
+                        self.fm,
+                        self.text_len,
+                        Interval::new(row, row + 1),
+                        m,
+                        mism,
+                        out,
+                    );
                     return;
                 }
                 if let Some(phi) = phi {
                     if ((k - mism) as u32) < phi[j] {
                         stats.phi_prunes += 1;
                         stats.leaves += 1;
+                        recorder.observe(Hist::IntervalWidth, 1);
+                        recorder.observe(Hist::TerminationDepth, j as u64);
                         return;
                     }
                 }
                 let sym = self.fm.l_symbol(row);
                 if sym == kmm_dna::SENTINEL {
                     stats.leaves += 1;
+                    recorder.observe(Hist::IntervalWidth, 1);
+                    recorder.observe(Hist::TerminationDepth, j as u64);
                     return;
                 }
                 mism += usize::from(sym != pattern[j]);
                 if mism > k {
                     stats.leaves += 1;
+                    recorder.observe(Hist::IntervalWidth, 1);
+                    recorder.observe(Hist::TerminationDepth, j as u64);
                     return;
                 }
                 stats.rank_extensions += 1;
@@ -145,6 +181,8 @@ impl<'a> STreeSearch<'a> {
         stats.nodes_visited += 1;
         if j == m {
             stats.leaves += 1;
+            recorder.observe(Hist::IntervalWidth, iv.len() as u64);
+            recorder.observe(Hist::TerminationDepth, m as u64);
             report_interval(self.fm, self.text_len, iv, m, mism, out);
             return;
         }
@@ -155,6 +193,8 @@ impl<'a> STreeSearch<'a> {
             if ((k - mism) as u32) < phi[j] {
                 stats.phi_prunes += 1;
                 stats.leaves += 1;
+                recorder.observe(Hist::IntervalWidth, iv.len() as u64);
+                recorder.observe(Hist::TerminationDepth, j as u64);
                 return;
             }
         }
@@ -180,10 +220,22 @@ impl<'a> STreeSearch<'a> {
                 continue;
             }
             any_child = true;
-            self.dfs(child, j + 1, mism + usize::from(!is_match), pattern, k, phi, out, stats);
+            self.dfs(
+                child,
+                j + 1,
+                mism + usize::from(!is_match),
+                pattern,
+                k,
+                phi,
+                out,
+                stats,
+                recorder,
+            );
         }
         if !any_child {
             stats.leaves += 1;
+            recorder.observe(Hist::IntervalWidth, iv.len() as u64);
+            recorder.observe(Hist::TerminationDepth, (j + 1) as u64);
         }
     }
 }

@@ -35,7 +35,10 @@ impl std::fmt::Display for AlphabetError {
                 write!(f, "invalid DNA byte 0x{byte:02x} at position {position}")
             }
             AlphabetError::InteriorSentinel { position } => {
-                write!(f, "sentinel '$' in the interior of a sequence at position {position}")
+                write!(
+                    f,
+                    "sentinel '$' in the interior of a sequence at position {position}"
+                )
             }
         }
     }
@@ -129,9 +132,10 @@ pub fn is_valid_text(codes: &[u8]) -> bool {
         return false;
     }
     let last = codes.len() - 1;
-    codes.iter().enumerate().all(|(i, &c)| {
-        (c as usize) < SIGMA && (c != SENTINEL || i == last)
-    })
+    codes
+        .iter()
+        .enumerate()
+        .all(|(i, &c)| (c as usize) < SIGMA && (c != SENTINEL || i == last))
 }
 
 #[cfg(test)]
@@ -158,7 +162,10 @@ mod tests {
     fn encode_rejects_garbage() {
         assert_eq!(
             encode(b"acxg"),
-            Err(AlphabetError::InvalidByte { byte: b'x', position: 2 })
+            Err(AlphabetError::InvalidByte {
+                byte: b'x',
+                position: 2
+            })
         );
     }
 
@@ -214,7 +221,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = AlphabetError::InvalidByte { byte: b'x', position: 7 };
+        let e = AlphabetError::InvalidByte {
+            byte: b'x',
+            position: 7,
+        };
         assert!(e.to_string().contains("0x78"));
         let e = AlphabetError::InteriorSentinel { position: 3 };
         assert!(e.to_string().contains("position 3"));

@@ -26,7 +26,10 @@ pub enum FastaError {
     /// Sequence data before any `>` header.
     MissingHeader { line: usize },
     /// Invalid base character.
-    Alphabet { record: String, source: AlphabetError },
+    Alphabet {
+        record: String,
+        source: AlphabetError,
+    },
 }
 
 impl std::fmt::Display for FastaError {
@@ -88,7 +91,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError>
 }
 
 fn finish(id: String, raw: Vec<u8>) -> Result<FastaRecord, FastaError> {
-    let seq = encode(&raw).map_err(|source| FastaError::Alphabet { record: id.clone(), source })?;
+    let seq = encode(&raw).map_err(|source| FastaError::Alphabet {
+        record: id.clone(),
+        source,
+    })?;
     Ok(FastaRecord { id, seq })
 }
 
@@ -160,8 +166,14 @@ mod tests {
     #[test]
     fn write_then_read_roundtrip() {
         let recs = vec![
-            FastaRecord { id: "alpha".into(), seq: [1, 2, 3, 4].repeat(40) },
-            FastaRecord { id: "beta".into(), seq: vec![4, 4, 4] },
+            FastaRecord {
+                id: "alpha".into(),
+                seq: [1, 2, 3, 4].repeat(40),
+            },
+            FastaRecord {
+                id: "beta".into(),
+                seq: vec![4, 4, 4],
+            },
         ];
         let mut buf = Vec::new();
         write_fasta(&mut buf, &recs).unwrap();

@@ -47,9 +47,16 @@ pub enum FastqError {
     /// Separator line did not start with `+`.
     BadSeparator { record: usize },
     /// Sequence and quality lengths differ.
-    LengthMismatch { record: usize, seq: usize, quality: usize },
+    LengthMismatch {
+        record: usize,
+        seq: usize,
+        quality: usize,
+    },
     /// Invalid base character.
-    Alphabet { record: usize, source: AlphabetError },
+    Alphabet {
+        record: usize,
+        source: AlphabetError,
+    },
 }
 
 impl std::fmt::Display for FastqError {
@@ -65,7 +72,11 @@ impl std::fmt::Display for FastqError {
             FastqError::BadSeparator { record } => {
                 write!(f, "record {record}: separator must start with '+'")
             }
-            FastqError::LengthMismatch { record, seq, quality } => write!(
+            FastqError::LengthMismatch {
+                record,
+                seq,
+                quality,
+            } => write!(
                 f,
                 "record {record}: sequence ({seq}) and quality ({quality}) lengths differ"
             ),
@@ -129,8 +140,10 @@ pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>, FastqError>
                 quality: quality.len(),
             });
         }
-        let seq = encode(seq_bytes)
-            .map_err(|source| FastqError::Alphabet { record: index, source })?;
+        let seq = encode(seq_bytes).map_err(|source| FastqError::Alphabet {
+            record: index,
+            source,
+        })?;
         records.push(FastqRecord { id, seq, quality });
         index += 1;
     }
@@ -167,7 +180,11 @@ pub fn simulated_to_fastq(reads: &[crate::reads::SimulatedRead], phred: u8) -> V
         .iter()
         .enumerate()
         .map(|(i, r)| FastqRecord {
-            id: format!("read_{i}_{}_{}", r.origin, if r.reverse { "rev" } else { "fwd" }),
+            id: format!(
+                "read_{i}_{}_{}",
+                r.origin,
+                if r.reverse { "rev" } else { "fwd" }
+            ),
             seq: r.seq.clone(),
             quality: vec![phred + 33; r.seq.len()],
         })
@@ -222,7 +239,11 @@ mod tests {
         ));
         assert!(matches!(
             read_fastq_str("@r\nAC\n+\nI\n").unwrap_err(),
-            FastqError::LengthMismatch { record: 0, seq: 2, quality: 1 }
+            FastqError::LengthMismatch {
+                record: 0,
+                seq: 2,
+                quality: 1
+            }
         ));
         assert!(matches!(
             read_fastq_str("@r\nAC\n+\n").unwrap_err(),
@@ -244,9 +265,8 @@ mod tests {
     #[test]
     fn simulated_reads_to_fastq() {
         let g = crate::genome::uniform(500, 3);
-        let reads =
-            crate::reads::ReadSimulator::new(&g, crate::reads::ReadSimConfig::paper(50), 1)
-                .reads(3);
+        let reads = crate::reads::ReadSimulator::new(&g, crate::reads::ReadSimConfig::paper(50), 1)
+            .reads(3);
         let recs = simulated_to_fastq(&reads, 30);
         assert_eq!(recs.len(), 3);
         assert!(recs[0].id.starts_with("read_0_"));
@@ -258,7 +278,11 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        let e = FastqError::LengthMismatch { record: 3, seq: 5, quality: 4 };
+        let e = FastqError::LengthMismatch {
+            record: 3,
+            seq: 5,
+            quality: 4,
+        };
         assert!(e.to_string().contains("record 3"));
         let e = FastqError::Truncated { record: 1 };
         assert!(e.to_string().contains("4 lines"));

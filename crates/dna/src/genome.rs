@@ -21,7 +21,9 @@ use crate::alphabet::BASE_CODES;
 /// Draw `len` i.i.d. uniform bases.
 pub fn uniform(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| BASE_CODES[rng.gen_range(0..4)]).collect()
+    (0..len)
+        .map(|_| BASE_CODES[rng.gen_range(0..4usize)])
+        .collect()
 }
 
 /// Draw `len` i.i.d. bases with the given GC fraction (`0.0..=1.0`),
@@ -32,7 +34,11 @@ pub fn gc_biased(len: usize, gc: f64, seed: u64) -> Vec<u8> {
     (0..len)
         .map(|_| {
             if rng.gen_bool(gc) {
-                if rng.gen_bool(0.5) { 2 } else { 3 } // c or g
+                if rng.gen_bool(0.5) {
+                    2
+                } else {
+                    3
+                } // c or g
             } else if rng.gen_bool(0.5) {
                 1 // a
             } else {
@@ -90,7 +96,10 @@ impl Default for MarkovConfig {
 /// give statistically different "species" while the same seed is fully
 /// reproducible.
 pub fn markov(len: usize, config: &MarkovConfig, seed: u64) -> Vec<u8> {
-    assert!(config.order >= 1 && config.order <= 8, "order must be in 1..=8");
+    assert!(
+        config.order >= 1 && config.order <= 8,
+        "order must be in 1..=8"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let contexts = 4usize.pow(config.order as u32);
 
@@ -119,20 +128,19 @@ pub fn markov(len: usize, config: &MarkovConfig, seed: u64) -> Vec<u8> {
     let mut out: Vec<u8> = Vec::with_capacity(len);
     // Warm-up context: uniform bases.
     for _ in 0..config.order.min(len) {
-        out.push(BASE_CODES[rng.gen_range(0..4)]);
+        out.push(BASE_CODES[rng.gen_range(0..4usize)]);
     }
 
     let mut ctx = context_of(&out, config.order);
     while out.len() < len {
         // Occasionally emit a tandem stretch (microsatellite).
         if config.tandem_fraction > 0.0
-            && rng.gen_bool(
-                (config.tandem_fraction / config.tandem_len.max(1) as f64).min(1.0),
-            )
+            && rng.gen_bool((config.tandem_fraction / config.tandem_len.max(1) as f64).min(1.0))
         {
             let unit_len = rng.gen_range(1..=6usize);
-            let unit: Vec<u8> =
-                (0..unit_len).map(|_| BASE_CODES[rng.gen_range(0..4)]).collect();
+            let unit: Vec<u8> = (0..unit_len)
+                .map(|_| BASE_CODES[rng.gen_range(0..4usize)])
+                .collect();
             let total = (config.tandem_len / 2 + rng.gen_range(0..config.tandem_len.max(1)))
                 .min(len - out.len());
             for p in 0..total {
@@ -140,7 +148,7 @@ pub fn markov(len: usize, config: &MarkovConfig, seed: u64) -> Vec<u8> {
                 // Rare slips keep the stretch near- rather than perfectly
                 // periodic, as in real STRs.
                 if rng.gen_bool(0.01) {
-                    b = BASE_CODES[rng.gen_range(0..4)];
+                    b = BASE_CODES[rng.gen_range(0..4usize)];
                 }
                 out.push(b);
             }
@@ -150,9 +158,7 @@ pub fn markov(len: usize, config: &MarkovConfig, seed: u64) -> Vec<u8> {
         // Occasionally paste a (slightly mutated) copy of earlier material.
         if config.repeat_fraction > 0.0
             && out.len() > 4 * config.repeat_len
-            && rng.gen_bool(
-                (config.repeat_fraction / config.repeat_len.max(1) as f64).min(1.0),
-            )
+            && rng.gen_bool((config.repeat_fraction / config.repeat_len.max(1) as f64).min(1.0))
         {
             let rl = (config.repeat_len / 2) + rng.gen_range(0..config.repeat_len.max(1));
             let rl = rl.min(len - out.len()).max(1);
@@ -160,7 +166,7 @@ pub fn markov(len: usize, config: &MarkovConfig, seed: u64) -> Vec<u8> {
             for p in 0..rl {
                 let mut b = out[src + p];
                 if rng.gen_bool(config.repeat_divergence) {
-                    b = BASE_CODES[rng.gen_range(0..4)];
+                    b = BASE_CODES[rng.gen_range(0..4usize)];
                 }
                 out.push(b);
             }
@@ -180,7 +186,14 @@ pub fn markov(len: usize, config: &MarkovConfig, seed: u64) -> Vec<u8> {
 
 fn context_of(seq: &[u8], order: usize) -> usize {
     let mut ctx = 0usize;
-    for &b in seq.iter().rev().take(order).collect::<Vec<_>>().iter().rev() {
+    for &b in seq
+        .iter()
+        .rev()
+        .take(order)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         ctx = ctx * 4 + (*b as usize - 1);
     }
     ctx % 4usize.pow(order as u32)
@@ -330,7 +343,10 @@ mod tests {
     fn markov_with_repeats_is_more_compressible_than_uniform() {
         // Repeat seeding should create duplicated 16-mers well above the
         // uniform baseline.
-        let cfg = MarkovConfig { repeat_fraction: 0.3, ..MarkovConfig::default() };
+        let cfg = MarkovConfig {
+            repeat_fraction: 0.3,
+            ..MarkovConfig::default()
+        };
         let m = markov(60_000, &cfg, 5);
         let u = uniform(60_000, 5);
         let dup = |s: &[u8]| {
@@ -344,7 +360,12 @@ mod tests {
             }
             dups
         };
-        assert!(dup(&m) > dup(&u), "markov {} vs uniform {}", dup(&m), dup(&u));
+        assert!(
+            dup(&m) > dup(&u),
+            "markov {} vs uniform {}",
+            dup(&m),
+            dup(&u)
+        );
     }
 
     #[test]
@@ -356,7 +377,11 @@ mod tests {
 
     #[test]
     fn tandem_fraction_produces_periodic_stretches() {
-        let cfg = MarkovConfig { tandem_fraction: 0.3, tandem_len: 100, ..Default::default() };
+        let cfg = MarkovConfig {
+            tandem_fraction: 0.3,
+            tandem_len: 100,
+            ..Default::default()
+        };
         let g = markov(50_000, &cfg, 13);
         // Count positions inside a period-<=6 stretch of length >= 30.
         let mut periodic = 0usize;
@@ -376,9 +401,16 @@ mod tests {
                 i += 1;
             }
         }
-        assert!(periodic > 100, "expected tandem stretches, found {periodic} windows");
+        assert!(
+            periodic > 100,
+            "expected tandem stretches, found {periodic} windows"
+        );
         // Disabling the knob removes them almost entirely.
-        let cfg0 = MarkovConfig { tandem_fraction: 0.0, repeat_fraction: 0.0, ..Default::default() };
+        let cfg0 = MarkovConfig {
+            tandem_fraction: 0.0,
+            repeat_fraction: 0.0,
+            ..Default::default()
+        };
         let g0 = markov(50_000, &cfg0, 13);
         let mut periodic0 = 0usize;
         let mut i = 0;
@@ -399,7 +431,10 @@ mod tests {
         }
         // A spiky Markov table produces some natural periodicity; the
         // tandem knob must add substantially more.
-        assert!(periodic0 * 2 < periodic, "baseline {periodic0} vs tandem {periodic}");
+        assert!(
+            periodic0 * 2 < periodic,
+            "baseline {periodic0} vs tandem {periodic}"
+        );
     }
 
     #[test]
@@ -410,7 +445,11 @@ mod tests {
             assert!(!g.name().is_empty());
             // Scale ratio is about 1:100.
             let ratio = g.paper_size() as f64 / g.scaled_size() as f64;
-            assert!((50.0..200.0).contains(&ratio), "{}: ratio {ratio}", g.name());
+            assert!(
+                (50.0..200.0).contains(&ratio),
+                "{}: ratio {ratio}",
+                g.name()
+            );
         }
     }
 

@@ -16,8 +16,8 @@ pub mod fastq;
 pub mod genome;
 pub mod hamming;
 pub mod packed;
-pub mod stats;
 pub mod reads;
+pub mod stats;
 
 pub use alphabet::{
     complement, decode, decode_base, decode_string, encode, encode_base, encode_text,

@@ -34,7 +34,10 @@ impl PackedSeq {
             let two = c - 1;
             data[i / 4] |= two << ((i % 4) * 2);
         }
-        PackedSeq { data, len: codes.len() }
+        PackedSeq {
+            data,
+            len: codes.len(),
+        }
     }
 
     /// Number of bases stored.
@@ -104,7 +107,10 @@ pub fn gc_content(codes: &[u8]) -> f64 {
 pub fn base_histogram(codes: &[u8]) -> [usize; BASES] {
     let mut h = [0usize; BASES];
     for &c in codes {
-        assert!(c >= 1 && (c as usize) < SIGMA, "base code out of range: {c}");
+        assert!(
+            c >= 1 && (c as usize) < SIGMA,
+            "base code out of range: {c}"
+        );
         h[(c - 1) as usize] += 1;
     }
     h

@@ -60,7 +60,11 @@ impl ReadSimConfig {
     /// Configuration used by the paper's experiments: given read length,
     /// wgsim default error model, forward strand only.
     pub fn paper(read_len: usize) -> Self {
-        ReadSimConfig { read_len, reverse_strand_prob: 0.0, ..Default::default() }
+        ReadSimConfig {
+            read_len,
+            reverse_strand_prob: 0.0,
+            ..Default::default()
+        }
     }
 
     /// An Illumina-like single-end profile: errors ramp up 4x toward the
@@ -130,9 +134,16 @@ impl<'g> ReadSimulator<'g> {
             ("mutation_rate", config.mutation_rate),
             ("reverse_strand_prob", config.reverse_strand_prob),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
         }
-        ReadSimulator { genome, config, rng: StdRng::seed_from_u64(seed) }
+        ReadSimulator {
+            genome,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draw the next read.
@@ -150,7 +161,7 @@ impl<'g> ReadSimulator<'g> {
                 let old = *b;
                 // Substitute with a uniformly random *different* base.
                 loop {
-                    let nb = BASE_CODES[self.rng.gen_range(0..4)];
+                    let nb = BASE_CODES[self.rng.gen_range(0..4usize)];
                     if nb != old {
                         *b = nb;
                         break;
@@ -159,7 +170,12 @@ impl<'g> ReadSimulator<'g> {
                 edits += 1;
             }
         }
-        SimulatedRead { seq, origin, reverse, edits }
+        SimulatedRead {
+            seq,
+            origin,
+            reverse,
+            edits,
+        }
     }
 
     /// Draw a batch of reads.
@@ -289,7 +305,10 @@ mod tests {
         assert!(ill.rate_at(99) > 3.5 * ill.rate_at(0));
         assert!((ill.rate_at(0) - (0.02 + 0.001)).abs() < 1e-12);
         // Single-base reads degenerate to the base rate.
-        let one = ReadSimConfig { read_len: 1, ..ReadSimConfig::illumina(1) };
+        let one = ReadSimConfig {
+            read_len: 1,
+            ..ReadSimConfig::illumina(1)
+        };
         assert!((one.rate_at(0) - (0.02 + 0.001)).abs() < 1e-12);
     }
 
@@ -304,7 +323,10 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn rejects_bad_rate() {
         let g = uniform(1000, 0);
-        let cfg = ReadSimConfig { error_rate: 1.5, ..ReadSimConfig::paper(50) };
+        let cfg = ReadSimConfig {
+            error_rate: 1.5,
+            ..ReadSimConfig::paper(50)
+        };
         ReadSimulator::new(&g, cfg, 0);
     }
 

@@ -19,7 +19,11 @@ pub fn kmer_counts(seq: &[u8], k: usize) -> HashMap<u64, u32> {
     if seq.len() < k {
         return counts;
     }
-    let mask: u64 = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+    let mask: u64 = if k == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * k)) - 1
+    };
     let mut key = 0u64;
     for (i, &c) in seq.iter().enumerate() {
         assert!(c >= 1 && (c as usize) < SIGMA, "non-base code {c}");
@@ -162,12 +166,13 @@ mod tests {
         let rnd = crate::genome::uniform(50_000, 1);
         let rep = crate::genome::markov(
             50_000,
-            &crate::genome::MarkovConfig { repeat_fraction: 0.5, ..Default::default() },
+            &crate::genome::MarkovConfig {
+                repeat_fraction: 0.5,
+                ..Default::default()
+            },
             1,
         );
-        assert!(
-            duplicated_kmer_fraction(&rep, 16) > duplicated_kmer_fraction(&rnd, 16) + 0.1
-        );
+        assert!(duplicated_kmer_fraction(&rep, 16) > duplicated_kmer_fraction(&rnd, 16) + 0.1);
     }
 
     #[test]
@@ -185,7 +190,11 @@ mod tests {
         assert_eq!(s.len, 20_000);
         assert!(s.gc > 0.2 && s.gc < 0.8);
         assert!(s.entropy12 > 8.0);
-        assert!(s.repeat16 > 0.05, "expected repeat content, got {}", s.repeat16);
+        assert!(
+            s.repeat16 > 0.05,
+            "expected repeat content, got {}",
+            s.repeat16
+        );
         assert!(s.longest_run >= 3);
     }
 

@@ -45,7 +45,11 @@ pub fn lcp_intervals(lcp: &[u32]) -> Vec<LcpInterval> {
         let mut left = (i - 1) as u32;
         while stack.last().is_some_and(|&(top, _)| top > l) {
             let (top, begin) = stack.pop().expect("stack checked non-empty");
-            out.push(LcpInterval { lcp: top, begin, end: i as u32 });
+            out.push(LcpInterval {
+                lcp: top,
+                begin,
+                end: i as u32,
+            });
             left = begin;
         }
         if stack.last().is_none_or(|&(top, _)| top < l) {
@@ -101,9 +105,21 @@ mod tests {
         assert_eq!(
             sorted,
             vec![
-                LcpInterval { lcp: 1, begin: 1, end: 5 },
-                LcpInterval { lcp: 2, begin: 5, end: 7 },
-                LcpInterval { lcp: 3, begin: 2, end: 4 },
+                LcpInterval {
+                    lcp: 1,
+                    begin: 1,
+                    end: 5
+                },
+                LcpInterval {
+                    lcp: 2,
+                    begin: 5,
+                    end: 7
+                },
+                LcpInterval {
+                    lcp: 3,
+                    begin: 2,
+                    end: 4
+                },
             ]
         );
     }
@@ -169,7 +185,11 @@ mod tests {
         let lcp = lcp_array(&text, &sa);
         let s = repeat_summary(&lcp);
         // log4(5000) ~ 6; repeats beyond ~4x that are vanishingly unlikely.
-        assert!(s.longest_repeat < 30, "unexpected repeat of {}", s.longest_repeat);
+        assert!(
+            s.longest_repeat < 30,
+            "unexpected repeat of {}",
+            s.longest_repeat
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ impl SparseTableRmq {
     /// Build a table over `values`.
     pub fn new(values: Vec<u32>) -> Self {
         let n = values.len();
-        let levels = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as usize + 1 };
+        let levels = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize + 1
+        };
         let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
         table.push((0..n as u32).collect());
         let mut j = 1;
@@ -26,7 +30,11 @@ impl SparseTableRmq {
             for i in 0..=(n - (1 << j)) {
                 let a = prev[i];
                 let b = prev[i + half];
-                row.push(if values[a as usize] <= values[b as usize] { a } else { b });
+                row.push(if values[a as usize] <= values[b as usize] {
+                    a
+                } else {
+                    b
+                });
             }
             table.push(row);
             j += 1;

@@ -17,7 +17,11 @@
 /// `0` occurs nowhere else, and all symbols are `< sigma`.
 pub fn suffix_array(text: &[u8], sigma: usize) -> Vec<u32> {
     assert!(!text.is_empty(), "text must be non-empty");
-    assert_eq!(*text.last().unwrap(), 0, "text must end with the sentinel 0");
+    assert_eq!(
+        *text.last().unwrap(),
+        0,
+        "text must end with the sentinel 0"
+    );
     assert!(
         !text[..text.len() - 1].contains(&0),
         "sentinel 0 must be unique"
@@ -124,8 +128,7 @@ fn sais(s: &[usize], sigma: usize, sa: &mut [u32]) {
     };
 
     // --- first pass: sort LMS suffixes approximately -----------------------
-    let lms_positions: Vec<u32> =
-        (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
+    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(i)).map(|i| i as u32).collect();
     induce(sa, &|sa, tails| {
         for &p in &lms_positions {
             let c = s[p as usize];
@@ -229,7 +232,12 @@ mod tests {
         let text = kmm_dna::encode_text(ascii).unwrap();
         let fast = suffix_array(&text, kmm_dna::SIGMA);
         let slow = suffix_array_naive(&text);
-        assert_eq!(fast, slow, "mismatch for {:?}", String::from_utf8_lossy(ascii));
+        assert_eq!(
+            fast,
+            slow,
+            "mismatch for {:?}",
+            String::from_utf8_lossy(ascii)
+        );
     }
 
     #[test]
@@ -256,7 +264,13 @@ mod tests {
         check(b"aaaaaaaaaa");
         check(b"acacacacac");
         check(b"aacaacaacaac");
-        check(b"abracadabra".iter().map(|_| b'a').collect::<Vec<_>>().as_ref());
+        check(
+            b"abracadabra"
+                .iter()
+                .map(|_| b'a')
+                .collect::<Vec<_>>()
+                .as_ref(),
+        );
         check(b"gtgtgtgtgtg");
     }
 
@@ -272,8 +286,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         for _ in 0..200 {
             let len = rng.gen_range(1..200);
-            let ascii: Vec<u8> =
-                (0..len).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let ascii: Vec<u8> = (0..len)
+                .map(|_| b"acgt"[rng.gen_range(0..4usize)])
+                .collect();
             check(&ascii);
         }
     }

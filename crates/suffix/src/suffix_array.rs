@@ -25,7 +25,13 @@ impl EnhancedSuffixArray {
         let rank = rank_array(&sa);
         let lcp = lcp_array(&text, &sa);
         let rmq = SparseTableRmq::new(lcp.clone());
-        EnhancedSuffixArray { text, sa, rank, lcp, rmq }
+        EnhancedSuffixArray {
+            text,
+            sa,
+            rank,
+            lcp,
+            rmq,
+        }
     }
 
     /// The indexed text, sentinel included.
@@ -107,8 +113,7 @@ impl EnhancedSuffixArray {
             return (0..self.text.len()).collect();
         }
         let (lo, hi) = self.find(pattern);
-        let mut positions: Vec<usize> =
-            self.sa[lo..hi].iter().map(|&p| p as usize).collect();
+        let mut positions: Vec<usize> = self.sa[lo..hi].iter().map(|&p| p as usize).collect();
         positions.sort_unstable();
         positions
     }
@@ -164,7 +169,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         for _ in 0..50 {
             let n = rng.gen_range(1..300);
-            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4usize)]).collect();
             let idx = esa(&ascii);
             let text = kmm_dna::encode(&ascii).unwrap();
             for _ in 0..20 {
@@ -179,7 +184,9 @@ mod tests {
     fn lce_matches_naive() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-        let ascii: Vec<u8> = (0..200).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+        let ascii: Vec<u8> = (0..200)
+            .map(|_| b"acgt"[rng.gen_range(0..4usize)])
+            .collect();
         let idx = esa(&ascii);
         let text = idx.text().to_vec();
         for _ in 0..500 {

@@ -80,8 +80,8 @@ impl SuffixTree {
         let n = text.len();
         let mut nodes: Vec<StNode> = Vec::with_capacity(2 * n.max(1));
         nodes.push(StNode::new(NO_NODE, 0, 0, 0)); // root
-        // Stack of node ids on the rightmost path, depths strictly
-        // increasing from the root.
+                                                   // Stack of node ids on the rightmost path, depths strictly
+                                                   // increasing from the root.
         let mut stack: Vec<u32> = vec![0];
 
         for (i, &suf) in sa.iter().enumerate() {
@@ -115,8 +115,7 @@ impl SuffixTree {
             };
             // Attach the new leaf for suffix `suf`.
             let leaf_id = nodes.len() as u32;
-            let mut leaf =
-                StNode::new(attach_to, suf + h, n as u32, (n as u32) - suf);
+            let mut leaf = StNode::new(attach_to, suf + h, n as u32, (n as u32) - suf);
             leaf.suffix = suf;
             leaf.sa_lo = i as u32;
             leaf.sa_hi = i as u32 + 1;
@@ -225,8 +224,10 @@ impl SuffixTree {
             node = c;
         }
         let nd = &self.nodes[node as usize];
-        let mut out: Vec<usize> =
-            self.sa[nd.sa_lo as usize..nd.sa_hi as usize].iter().map(|&p| p as usize).collect();
+        let mut out: Vec<usize> = self.sa[nd.sa_lo as usize..nd.sa_hi as usize]
+            .iter()
+            .map(|&p| p as usize)
+            .collect();
         out.sort_unstable();
         out
     }
@@ -320,7 +321,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for _ in 0..40 {
             let n = rng.gen_range(1..200);
-            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4)]).collect();
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4usize)]).collect();
             let t = tree(&ascii);
             t.validate().unwrap();
             let text = kmm_dna::encode(&ascii).unwrap();

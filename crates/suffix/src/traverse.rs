@@ -59,7 +59,10 @@ pub struct TreeShape {
 
 impl SuffixTreeExt for SuffixTree {
     fn preorder(&self) -> Preorder<'_> {
-        Preorder { tree: self, stack: vec![self.root()] }
+        Preorder {
+            tree: self,
+            stack: vec![self.root()],
+        }
     }
 
     fn leaf_positions(&self, node: u32) -> Vec<u32> {

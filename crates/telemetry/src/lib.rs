@@ -1,0 +1,42 @@
+//! # kmm-telemetry
+//!
+//! Zero-dependency observability for the bwt-kmismatch workspace:
+//! phase timers, counters, and log2-bucketed histograms, plus a
+//! hand-written JSON emitter/parser and a plain-text table renderer.
+//!
+//! The central abstraction is the [`Recorder`] trait. Hot paths are
+//! generic over `R: Recorder`, and the default [`NoopRecorder`] has
+//! empty inlined methods with `enabled() == false`, so the fully
+//! monomorphised no-op build carries no timing syscalls and no atomic
+//! traffic — instrumentation compiles away. [`MetricsRecorder`] is the
+//! concrete collector: lock-free (atomics only), shareable by `&`
+//! reference across threads, snapshot-able at any point.
+//!
+//! Instrument a phase with a scoped span; the elapsed time is recorded
+//! when the guard drops:
+//!
+//! ```
+//! use kmm_telemetry::{MetricsRecorder, Phase, Recorder, Counter};
+//!
+//! let rec = MetricsRecorder::new();
+//! {
+//!     let _span = rec.span(Phase::IndexSa);
+//!     // ... build the suffix array ...
+//! }
+//! rec.add(Counter::Queries, 1);
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.phase(Phase::IndexSa).entries, 1);
+//! println!("{}", snap.to_json().to_pretty());
+//! ```
+
+mod histogram;
+pub mod json;
+mod recorder;
+mod snapshot;
+
+pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use json::{Json, JsonError};
+pub use recorder::{
+    Counter, Hist, MetricsRecorder, NoopRecorder, Phase, PhaseSpan, Recorder, Stage,
+};
+pub use snapshot::{CounterSnapshot, MetricsSnapshot, PhaseSnapshot, SCHEMA};

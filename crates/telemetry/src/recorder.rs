@@ -1,0 +1,458 @@
+//! The [`Recorder`] trait and its two implementations.
+//!
+//! Call sites are generic over `R: Recorder`; the default
+//! [`NoopRecorder`] reports `enabled() == false` and every method is an
+//! empty `#[inline]` body, so the monomorphised no-op path contains no
+//! clock reads and no atomic operations. [`MetricsRecorder`] collects
+//! everything with relaxed atomics and can be shared across threads by
+//! plain `&` reference.
+
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::snapshot::{CounterSnapshot, MetricsSnapshot, PhaseSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Coarse grouping of phases, mirroring the pipeline of the paper's
+/// method: build the FM-index, preprocess the pattern, then search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    Index,
+    Preprocess,
+    Search,
+}
+
+impl Stage {
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Index => "index",
+            Stage::Preprocess => "preprocess",
+            Stage::Search => "search",
+        }
+    }
+}
+
+/// A timed phase of the pipeline. Each variant corresponds to one
+/// span-instrumented region of the codebase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Suffix-array construction over the reversed text.
+    IndexSa,
+    /// Deriving the BWT array L from the suffix array.
+    IndexBwt,
+    /// Building the rankall (occ) structure over L.
+    IndexRankall,
+    /// Building the sampled suffix array used to report positions.
+    IndexSampledSa,
+    /// Deserialising a prebuilt index from disk.
+    IndexLoad,
+    /// Building the pattern's R-arrays (mismatch tables), including
+    /// the R1/R2 merge steps of Algorithm A's preprocessing.
+    PreprocessRarray,
+    /// Building the S-tree baseline's phi pruning table.
+    PreprocessPhi,
+    /// One top-level query: everything from pattern in to occurrences
+    /// out (Algorithm A walk or S-tree DFS, including rank extensions,
+    /// M-tree derivations, and resumes).
+    SearchQuery,
+}
+
+impl Phase {
+    pub const COUNT: usize = 8;
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::IndexSa,
+        Phase::IndexBwt,
+        Phase::IndexRankall,
+        Phase::IndexSampledSa,
+        Phase::IndexLoad,
+        Phase::PreprocessRarray,
+        Phase::PreprocessPhi,
+        Phase::SearchQuery,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::IndexSa => "index.sa",
+            Phase::IndexBwt => "index.bwt",
+            Phase::IndexRankall => "index.rankall",
+            Phase::IndexSampledSa => "index.sampled_sa",
+            Phase::IndexLoad => "index.load",
+            Phase::PreprocessRarray => "preprocess.rarray",
+            Phase::PreprocessPhi => "preprocess.phi",
+            Phase::SearchQuery => "search.query",
+        }
+    }
+
+    pub fn stage(self) -> Stage {
+        match self {
+            Phase::IndexSa
+            | Phase::IndexBwt
+            | Phase::IndexRankall
+            | Phase::IndexSampledSa
+            | Phase::IndexLoad => Stage::Index,
+            Phase::PreprocessRarray | Phase::PreprocessPhi => Stage::Preprocess,
+            Phase::SearchQuery => Stage::Search,
+        }
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL.iter().position(|&p| p == self).unwrap()
+    }
+}
+
+/// Monotonic event counters. The `search.*` group mirrors the fields of
+/// `kmm_core::SearchStats` one-to-one; the rest cover the mapper and
+/// multi-chromosome layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Top-level queries answered.
+    Queries,
+    /// Accepted leaves — the paper's n', the size of the answer-bearing
+    /// frontier (Table 2).
+    Leaves,
+    /// Mismatching-tree nodes visited.
+    NodesVisited,
+    /// Nodes materialised with live BWT intervals.
+    NodesMaterialized,
+    /// Character-by-character backward-search (rankall) extensions.
+    RankExtensions,
+    /// Extensions answered from a shared pair / derived M-tree instead
+    /// of live ranking.
+    ReuseHits,
+    /// R-array merge operations during pattern preprocessing.
+    Merges,
+    /// Suspended walks resumed after derivation.
+    Resumes,
+    /// Text occurrences reported.
+    Occurrences,
+    /// Subtrees cut by the phi heuristic.
+    PhiPrunes,
+    /// Reads that produced at least one hit (mapper).
+    ReadsMapped,
+    /// Reads processed (mapper).
+    ReadsTotal,
+    /// Hits dropped for straddling a chromosome boundary (multi).
+    BoundaryFiltered,
+}
+
+impl Counter {
+    pub const COUNT: usize = 13;
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Queries,
+        Counter::Leaves,
+        Counter::NodesVisited,
+        Counter::NodesMaterialized,
+        Counter::RankExtensions,
+        Counter::ReuseHits,
+        Counter::Merges,
+        Counter::Resumes,
+        Counter::Occurrences,
+        Counter::PhiPrunes,
+        Counter::ReadsMapped,
+        Counter::ReadsTotal,
+        Counter::BoundaryFiltered,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Queries => "search.queries",
+            Counter::Leaves => "search.leaves",
+            Counter::NodesVisited => "search.nodes_visited",
+            Counter::NodesMaterialized => "search.nodes_materialized",
+            Counter::RankExtensions => "search.rank_extensions",
+            Counter::ReuseHits => "search.reuse_hits",
+            Counter::Merges => "search.merges",
+            Counter::Resumes => "search.resumes",
+            Counter::Occurrences => "search.occurrences",
+            Counter::PhiPrunes => "search.phi_prunes",
+            Counter::ReadsMapped => "map.reads_mapped",
+            Counter::ReadsTotal => "map.reads_total",
+            Counter::BoundaryFiltered => "multi.boundary_filtered",
+        }
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL.iter().position(|&c| c == self).unwrap()
+    }
+}
+
+/// Value distributions tracked as log2 histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Wall-clock nanoseconds per top-level query.
+    SearchLatencyNs,
+    /// Width of the BWT interval at each accepted leaf (occurrence
+    /// multiplicity of the matched frontier).
+    IntervalWidth,
+    /// Pattern depth at which each mismatching-tree walk terminated.
+    TerminationDepth,
+}
+
+impl Hist {
+    pub const COUNT: usize = 3;
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::SearchLatencyNs,
+        Hist::IntervalWidth,
+        Hist::TerminationDepth,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SearchLatencyNs => "search.latency_ns",
+            Hist::IntervalWidth => "search.interval_width",
+            Hist::TerminationDepth => "search.termination_depth",
+        }
+    }
+
+    fn index(self) -> usize {
+        Hist::ALL.iter().position(|&h| h == self).unwrap()
+    }
+}
+
+/// Sink for telemetry events. All methods default to no-ops so a
+/// recorder implementation only overrides what it collects.
+pub trait Recorder {
+    /// Whether events are being collected. Guards the `Instant::now()`
+    /// in [`Recorder::span`], so a disabled recorder performs no clock
+    /// reads at all.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Increment a counter.
+    #[inline]
+    fn add(&self, _counter: Counter, _delta: u64) {}
+
+    /// Record a value into a histogram.
+    #[inline]
+    fn observe(&self, _hist: Hist, _value: u64) {}
+
+    /// Credit `nanos` of elapsed time (one entry) to a phase. Usually
+    /// called by [`PhaseSpan::drop`] rather than directly.
+    #[inline]
+    fn phase_add(&self, _phase: Phase, _nanos: u64) {}
+
+    /// Open a scoped timer for `phase`; time is credited when the
+    /// returned guard drops.
+    #[inline]
+    fn span(&self, phase: Phase) -> PhaseSpan<'_, Self>
+    where
+        Self: Sized,
+    {
+        PhaseSpan {
+            recorder: self,
+            phase,
+            start: if self.enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// RAII guard crediting its phase with the wall-clock time between
+/// construction and drop.
+#[must_use = "a span records time when dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct PhaseSpan<'r, R: Recorder> {
+    recorder: &'r R,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl<R: Recorder> Drop for PhaseSpan<'_, R> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.recorder
+                .phase_add(self.phase, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Recorder that collects nothing; the default for uninstrumented calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Concrete collector: atomic counters, per-phase timers, and log2
+/// histograms. Share by `&` reference; snapshot at any time.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    counters: [AtomicU64; Counter::COUNT],
+    phase_nanos: [AtomicU64; Phase::COUNT],
+    phase_entries: [AtomicU64; Phase::COUNT],
+    hists: [Histogram; Hist::COUNT],
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    pub fn new() -> Self {
+        MetricsRecorder {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_entries: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds credited to one phase so far.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Plain-data copy of everything collected so far. Every phase,
+    /// counter, and histogram is present (zeroed if never touched), so
+    /// downstream consumers can rely on the full key set.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            phases: Phase::ALL
+                .iter()
+                .map(|&p| PhaseSnapshot {
+                    name: p.name().to_string(),
+                    stage: p.stage().name().to_string(),
+                    entries: self.phase_entries[p.index()].load(Ordering::Relaxed),
+                    total_ns: self.phase_nanos[p.index()].load(Ordering::Relaxed),
+                })
+                .collect(),
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| CounterSnapshot {
+                    name: c.name().to_string(),
+                    value: self.counter(c),
+                })
+                .collect(),
+            histograms: Hist::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), self.hists[h.index()].snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, delta: u64) {
+        self.counters[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, hist: Hist, value: u64) {
+        self.hists[hist.index()].observe(value);
+    }
+
+    #[inline]
+    fn phase_add(&self, phase: Phase, nanos: u64) {
+        self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
+        self.phase_entries[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tables_are_consistent() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert!(p.name().starts_with(p.stage().name()));
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_spans_skip_the_clock() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        let span = rec.span(Phase::SearchQuery);
+        assert!(span.start.is_none());
+        drop(span);
+        rec.add(Counter::Queries, 1);
+        rec.observe(Hist::IntervalWidth, 7);
+    }
+
+    #[test]
+    fn metrics_recorder_counts_and_times() {
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::Leaves, 3);
+        rec.add(Counter::Leaves, 2);
+        assert_eq!(rec.counter(Counter::Leaves), 5);
+
+        {
+            let _s = rec.span(Phase::IndexSa);
+            std::hint::black_box(());
+        }
+        {
+            let _s = rec.span(Phase::IndexSa);
+        }
+        let snap = rec.snapshot();
+        let p = snap.phase(Phase::IndexSa);
+        assert_eq!(p.entries, 2);
+        assert_eq!(p.total_ns, rec.phase_nanos(Phase::IndexSa));
+    }
+
+    #[test]
+    fn timers_are_monotonic_across_spans() {
+        // Each successive span can only grow the phase total, and an
+        // enclosing measurement bounds the credited time from above.
+        let rec = MetricsRecorder::new();
+        let outer = Instant::now();
+        let mut last = 0u64;
+        for _ in 0..5 {
+            {
+                let _s = rec.span(Phase::SearchQuery);
+                std::hint::black_box((0..100).sum::<u64>());
+            }
+            let now = rec.phase_nanos(Phase::SearchQuery);
+            assert!(now > last, "phase total must strictly grow per span");
+            last = now;
+        }
+        let wall = outer.elapsed().as_nanos() as u64;
+        assert!(
+            last <= wall,
+            "credited {last}ns exceeds enclosing wall time {wall}ns"
+        );
+        assert_eq!(rec.snapshot().phase(Phase::SearchQuery).entries, 5);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let rec = MetricsRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        rec.add(Counter::RankExtensions, 1);
+                        rec.observe(Hist::IntervalWidth, 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter(Counter::RankExtensions), 4000);
+        let snap = rec.snapshot();
+        assert_eq!(snap.histogram(Hist::IntervalWidth).unwrap().count, 4000);
+    }
+}

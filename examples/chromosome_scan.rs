@@ -47,8 +47,14 @@ fn main() {
 
     // The three planted sites must all be found, in per-chromosome
     // coordinates.
-    assert!(hits.iter().any(|h| h.record == 0 && h.offset == 40_000 && h.mismatches == 0));
-    assert!(hits.iter().any(|h| h.record == 1 && h.offset == 90_000 && h.mismatches == 0));
-    assert!(hits.iter().any(|h| h.record == 3 && h.offset == 12_345 && h.mismatches == 1));
+    assert!(hits
+        .iter()
+        .any(|h| h.record == 0 && h.offset == 40_000 && h.mismatches == 0));
+    assert!(hits
+        .iter()
+        .any(|h| h.record == 1 && h.offset == 90_000 && h.mismatches == 0));
+    assert!(hits
+        .iter()
+        .any(|h| h.record == 3 && h.offset == 12_345 && h.mismatches == 1));
     println!("all planted sites recovered.");
 }

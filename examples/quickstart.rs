@@ -26,11 +26,7 @@ fn main() {
     }
 
     // A bigger, synthetic target: find a probe in a 100 kbp genome.
-    let genome = kmm_dna::genome::markov(
-        100_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        42,
-    );
+    let genome = kmm_dna::genome::markov(100_000, &kmm_dna::genome::MarkovConfig::default(), 42);
     let index = KMismatchIndex::new(genome.clone());
     // Take a 60 bp probe from the genome and corrupt three bases.
     let mut probe = genome[5_000..5_060].to_vec();
@@ -41,7 +37,10 @@ fn main() {
     println!("\n60 bp probe with 3 planted errors, k = 3:");
     let result = index.search(&probe, 3, Method::ALGORITHM_A);
     for occ in &result.occurrences {
-        println!("  found at {} with {} mismatches", occ.position, occ.mismatches);
+        println!(
+            "  found at {} with {} mismatches",
+            occ.position, occ.mismatches
+        );
     }
     println!(
         "  search stats: {} tree leaves, {} backward extensions",
@@ -52,6 +51,10 @@ fn main() {
     for method in [Method::Bwt { use_phi: true }, Method::Amir, Method::Cole] {
         let alt = index.search(&probe, 3, method);
         assert_eq!(alt.occurrences, result.occurrences);
-        println!("  {} agrees ({} occurrences)", method.label(), alt.occurrences.len());
+        println!(
+            "  {} agrees ({} occurrences)",
+            method.label(),
+            alt.occurrences.len()
+        );
     }
 }

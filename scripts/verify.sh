@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 gate (ROADMAP.md), formatting, the full
+# workspace test suite, and an end-to-end `kmm search --stats` smoke test
+# on a tiny synthetic genome.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== kmm search --stats smoke test =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+kmm=target/release/kmm
+"$kmm" generate --genome cmerolae --scale 0.02 -o "$tmp/ref.fa"
+"$kmm" index --reference "$tmp/ref.fa" -o "$tmp/ref.idx"
+# A pattern lifted from the reference itself (second FASTA line, first
+# 40 bases) is guaranteed to occur at least once.
+pattern=$(sed -n 2p "$tmp/ref.fa" | cut -c1-40)
+"$kmm" search --index "$tmp/ref.idx" --pattern "$pattern" -k 2 \
+    --stats --stats-json "$tmp/stats.json" > "$tmp/hits.tsv" 2> "$tmp/summary.txt"
+grep -q "occurrences" "$tmp/summary.txt"
+grep -q "search.queries" "$tmp/summary.txt"
+test -s "$tmp/hits.tsv"
+# The JSON artifact must carry the schema tag and all three stages.
+for needle in kmm-telemetry/v1 index.load preprocess.rarray search.query; do
+    grep -q "$needle" "$tmp/stats.json"
+done
+
+echo "verify: OK"

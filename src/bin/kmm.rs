@@ -22,11 +22,18 @@ commands:
   index     --reference <ref.fa> -o <out.idx>
   simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
   map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
-            [--both-strands true]
+            [--both-strands true] [--stats] [--stats-json <out.json>]
   search    --index <ref.idx> --pattern <DNA> [-k K] [--method M]
+            [--stats] [--stats-json <out.json>]
 
 methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
-         kangaroo | naive | seed";
+         kangaroo | naive | seed
+
+--stats prints a telemetry table (phase timings, counters, histograms)
+with the summary; --stats-json writes the same snapshot as JSON.";
+
+/// Flags that take no value; their presence means `true`.
+const BOOLEAN_FLAGS: &[&str] = &["stats"];
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -38,6 +45,10 @@ impl Args {
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), "true".to_string()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?;
@@ -50,18 +61,31 @@ impl Args {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn require(&self, name: &str) -> Result<&str, CliError> {
-        self.get(name).ok_or_else(|| CliError(format!("missing required flag --{name}")))
+        self.get(name)
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))
     }
 
     fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| CliError(format!("bad value for --{name}: {v}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad value for --{name}: {v}"))),
         }
+    }
+}
+
+fn stats_options(args: &Args) -> cli::StatsOptions {
+    cli::StatsOptions {
+        table: args.get("stats").is_some(),
+        json_path: args.get("stats-json").map(PathBuf::from),
     }
 }
 
@@ -78,7 +102,10 @@ fn run() -> Result<String, CliError> {
             let scale: f64 = args.parsed("scale", 0.01)?;
             cli::generate(genome, scale, &out_path(&args)?)
         }
-        "index" => cli::index(&PathBuf::from(args.require("reference")?), &out_path(&args)?),
+        "index" => cli::index(
+            &PathBuf::from(args.require("reference")?),
+            &out_path(&args)?,
+        ),
         "simulate" => cli::simulate(
             &PathBuf::from(args.require("reference")?),
             args.parsed("reads", 50usize)?,
@@ -88,7 +115,11 @@ fn run() -> Result<String, CliError> {
         ),
         "map" => {
             let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
-            let both = args.get("both-strands").map(|v| v == "true").unwrap_or(false);
+            let both = args
+                .get("both-strands")
+                .map(|v| v == "true")
+                .unwrap_or(false);
+            let stats = stats_options(&args);
             let mut stdout = std::io::stdout().lock();
             cli::map_reads(
                 &PathBuf::from(args.require("index")?),
@@ -96,17 +127,20 @@ fn run() -> Result<String, CliError> {
                 args.parsed("k", 5usize)?,
                 method,
                 both,
+                &stats,
                 &mut stdout,
             )
         }
         "search" => {
             let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
+            let stats = stats_options(&args);
             let mut stdout = std::io::stdout().lock();
             cli::search_pattern(
                 &PathBuf::from(args.require("index")?),
                 args.require("pattern")?,
                 args.parsed("k", 3usize)?,
                 method,
+                &stats,
                 &mut stdout,
             )
         }

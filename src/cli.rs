@@ -4,12 +4,13 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use kmm_bwt::FmIndex;
 use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::{fasta, fastq};
+use kmm_telemetry::{MetricsRecorder, NoopRecorder, Recorder};
 
 /// CLI-level errors with user-facing messages.
 #[derive(Debug)]
@@ -74,11 +75,18 @@ pub fn generate(genome: ReferenceGenome, scale: f64, out: &Path) -> CliResult<St
         return err("--scale must be in (0, 10]");
     }
     let seq = genome.generate_scaled(scale);
-    let rec = fasta::FastaRecord { id: format!("{} scale={scale}", genome.name()), seq };
+    let rec = fasta::FastaRecord {
+        id: format!("{} scale={scale}", genome.name()),
+        seq,
+    };
     let mut w = BufWriter::new(File::create(out)?);
     fasta::write_fasta(&mut w, &[rec])?;
     w.flush()?;
-    Ok(format!("wrote {} ({} bp)", out.display(), genome.generate_scaled(scale).len()))
+    Ok(format!(
+        "wrote {} ({} bp)",
+        out.display(),
+        genome.generate_scaled(scale).len()
+    ))
 }
 
 fn load_fasta_single(path: &Path) -> CliResult<Vec<u8>> {
@@ -118,7 +126,10 @@ pub fn simulate(
     let mut w = BufWriter::new(File::create(out)?);
     fastq::write_fastq(&mut w, &records)?;
     w.flush()?;
-    Ok(format!("wrote {} ({count} reads x {read_len} bp)", out.display()))
+    Ok(format!(
+        "wrote {} ({count} reads x {read_len} bp)",
+        out.display()
+    ))
 }
 
 /// `kmm index`: build the BWT index of a FASTA reference and save it.
@@ -144,13 +155,58 @@ pub fn index(reference: &Path, out: &Path) -> CliResult<String> {
 
 /// Load a saved index, recovering the forward text from the BWT.
 pub fn load_index(path: &Path) -> CliResult<KMismatchIndex> {
-    let fm = FmIndex::load(BufReader::new(File::open(path)?))
+    load_index_recorded(path, &NoopRecorder)
+}
+
+/// [`load_index`] with telemetry: deserialisation is timed as the
+/// `index.load` phase.
+pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<KMismatchIndex> {
+    let fm = FmIndex::load_recorded(BufReader::new(File::open(path)?), recorder)
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     // The index stores reverse(text) + $; invert and flip to recover text.
     let mut rev = fm.reconstruct_text();
     rev.pop(); // sentinel
     rev.reverse();
     Ok(KMismatchIndex::from_parts(rev, fm))
+}
+
+/// Telemetry options for `kmm map` / `kmm search` (`--stats`,
+/// `--stats-json PATH`).
+#[derive(Debug, Clone, Default)]
+pub struct StatsOptions {
+    /// Append the human-readable telemetry table to the summary
+    /// (`--stats`).
+    pub table: bool,
+    /// Write the JSON metrics snapshot to this path (`--stats-json`).
+    pub json_path: Option<PathBuf>,
+}
+
+impl StatsOptions {
+    /// Whether any telemetry output was requested.
+    pub fn active(&self) -> bool {
+        self.table || self.json_path.is_some()
+    }
+}
+
+/// Flush a recorder snapshot according to `opts`: write the JSON file if
+/// requested and append the rendered table to `summary` if requested.
+fn finish_stats(
+    recorder: &MetricsRecorder,
+    opts: &StatsOptions,
+    summary: &mut String,
+) -> CliResult<()> {
+    let snap = recorder.snapshot();
+    if let Some(path) = &opts.json_path {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(snap.to_json().to_pretty().as_bytes())?;
+        w.flush()?;
+        summary.push_str(&format!("\nstats json -> {}", path.display()));
+    }
+    if opts.table {
+        summary.push('\n');
+        summary.push_str(snap.render().trim_end());
+    }
+    Ok(())
 }
 
 /// `kmm map`: align every FASTQ read against a saved index.
@@ -160,20 +216,63 @@ pub fn map_reads(
     k: usize,
     method: Method,
     both_strands: bool,
+    stats: &StatsOptions,
+    out: &mut dyn Write,
+) -> CliResult<String> {
+    if stats.active() {
+        let recorder = MetricsRecorder::new();
+        let mut summary = map_reads_with(
+            index_path,
+            reads_path,
+            k,
+            method,
+            both_strands,
+            &recorder,
+            out,
+        )?;
+        finish_stats(&recorder, stats, &mut summary)?;
+        Ok(summary)
+    } else {
+        map_reads_with(
+            index_path,
+            reads_path,
+            k,
+            method,
+            both_strands,
+            &NoopRecorder,
+            out,
+        )
+    }
+}
+
+/// [`map_reads`] against an explicit recorder.
+fn map_reads_with<R: Recorder>(
+    index_path: &Path,
+    reads_path: &Path,
+    k: usize,
+    method: Method,
+    both_strands: bool,
+    recorder: &R,
     out: &mut dyn Write,
 ) -> CliResult<String> {
     use kmm_core::{MapOutcome, MapperConfig, ReadMapper, Strand};
-    let idx = load_index(index_path)?;
+    let idx = load_index_recorded(index_path, recorder)?;
     let reads = fastq::read_fastq(BufReader::new(File::open(reads_path)?))
         .map_err(|e| CliError(format!("{}: {e}", reads_path.display())))?;
-    let mapper =
-        ReadMapper::new(&idx, MapperConfig { k, both_strands, method });
+    let mapper = ReadMapper::new(
+        &idx,
+        MapperConfig {
+            k,
+            both_strands,
+            method,
+        },
+    );
     writeln!(out, "#read\tposition\tstrand\tmismatches\tmapq")?;
     let mut mapped = 0usize;
     let mut unique = 0usize;
     let mut hits = 0usize;
     for rec in &reads {
-        let report = mapper.map(&rec.seq);
+        let report = mapper.map_recorded(&rec.seq, recorder);
         match &report.outcome {
             MapOutcome::Unmapped => continue,
             MapOutcome::Unique(_) => {
@@ -189,7 +288,11 @@ pub fn map_reads(
                 "{}\t{}\t{}\t{}\t{}",
                 rec.id,
                 a.position,
-                if a.strand == Strand::Forward { '+' } else { '-' },
+                if a.strand == Strand::Forward {
+                    '+'
+                } else {
+                    '-'
+                },
                 a.mismatches,
                 report.mapq
             )?;
@@ -208,16 +311,41 @@ pub fn search_pattern(
     pattern_ascii: &str,
     k: usize,
     method: Method,
+    stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
-    let idx = load_index(index_path)?;
+    if stats.active() {
+        let recorder = MetricsRecorder::new();
+        let mut summary =
+            search_pattern_with(index_path, pattern_ascii, k, method, &recorder, out)?;
+        finish_stats(&recorder, stats, &mut summary)?;
+        Ok(summary)
+    } else {
+        search_pattern_with(index_path, pattern_ascii, k, method, &NoopRecorder, out)
+    }
+}
+
+/// [`search_pattern`] against an explicit recorder.
+fn search_pattern_with<R: Recorder>(
+    index_path: &Path,
+    pattern_ascii: &str,
+    k: usize,
+    method: Method,
+    recorder: &R,
+    out: &mut dyn Write,
+) -> CliResult<String> {
+    let idx = load_index_recorded(index_path, recorder)?;
     let pattern = kmm_dna::encode(pattern_ascii.as_bytes())
         .map_err(|e| CliError(format!("bad pattern: {e}")))?;
-    let res = idx.search(&pattern, k, method);
+    let res = idx.search_recorded(&pattern, k, method, recorder);
     for occ in &res.occurrences {
         writeln!(out, "{}\t{}", occ.position, occ.mismatches)?;
     }
-    Ok(format!("{} occurrences (stats: {})", res.occurrences.len(), res.stats))
+    Ok(format!(
+        "{} occurrences (stats: {})",
+        res.occurrences.len(),
+        res.stats
+    ))
 }
 
 #[cfg(test)]
@@ -241,14 +369,25 @@ mod tests {
         simulate(&fa, 10, 60, 7, &fq).unwrap();
 
         let mut out = Vec::new();
-        let summary =
-            map_reads(&idxf, &fq, 4, Method::ALGORITHM_A, true, &mut out).unwrap();
+        let summary = map_reads(
+            &idxf,
+            &fq,
+            4,
+            Method::ALGORITHM_A,
+            true,
+            &StatsOptions::default(),
+            &mut out,
+        )
+        .unwrap();
         assert!(summary.starts_with("mapped"), "{summary}");
         let text = String::from_utf8(out).unwrap();
         // Header plus at least a few hits (reads come from the genome).
         assert!(text.lines().count() > 5, "{text}");
         assert!(text.starts_with("#read\tposition\tstrand\tmismatches\tmapq"));
-        assert!(text.lines().skip(1).all(|l| l.contains('+') || l.contains('-')));
+        assert!(text
+            .lines()
+            .skip(1)
+            .all(|l| l.contains('+') || l.contains('-')));
     }
 
     #[test]
@@ -280,11 +419,83 @@ mod tests {
         let genome = load_fasta_single(&fa).unwrap();
         let probe = kmm_dna::decode_string(&genome[50..90]);
         let mut out = Vec::new();
-        let summary =
-            search_pattern(&idxf, &probe, 1, Method::Bwt { use_phi: true }, &mut out).unwrap();
+        let summary = search_pattern(
+            &idxf,
+            &probe,
+            1,
+            Method::Bwt { use_phi: true },
+            &StatsOptions::default(),
+            &mut out,
+        )
+        .unwrap();
         assert!(summary.contains("occurrences"));
         let text = String::from_utf8(out).unwrap();
         assert!(text.lines().any(|l| l.starts_with("50\t")), "{text}");
+    }
+
+    #[test]
+    fn search_stats_json_has_phases_and_counters() {
+        use kmm_telemetry::Json;
+        let fa = tmp("stats.fa");
+        let idxf = tmp("stats.idx");
+        let json = tmp("stats.json");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf).unwrap();
+        let genome = load_fasta_single(&fa).unwrap();
+        let probe = kmm_dna::decode_string(&genome[200..260]);
+
+        let opts = StatsOptions {
+            table: true,
+            json_path: Some(json.clone()),
+        };
+        let mut out = Vec::new();
+        let summary =
+            search_pattern(&idxf, &probe, 2, Method::ALGORITHM_A, &opts, &mut out).unwrap();
+        // The summary carries both the JSON pointer and the table.
+        assert!(summary.contains("stats json ->"), "{summary}");
+        assert!(summary.contains("search.queries"), "{summary}");
+
+        let doc = Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(kmm_telemetry::SCHEMA)
+        );
+        let phases = doc.get("phases").unwrap();
+        for phase in ["index.load", "preprocess.rarray", "search.query"] {
+            let entry = phases
+                .get(phase)
+                .unwrap_or_else(|| panic!("missing {phase}"));
+            assert!(entry.get("total_ns").and_then(Json::as_u64).is_some());
+        }
+        // The load + search actually ran, so those phases saw entries.
+        assert!(
+            phases
+                .get("index.load")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_u64()
+                > Some(0)
+        );
+        assert!(
+            phases
+                .get("search.query")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_u64()
+                > Some(0)
+        );
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("search.queries").and_then(Json::as_u64),
+            Some(1)
+        );
+        // Every SearchStats field is surfaced as a search.* counter.
+        for (name, _) in kmm_core::SearchStats::default().as_pairs() {
+            let key = format!("search.{name}");
+            assert!(counters.get(&key).is_some(), "missing counter {key}");
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use kmm_classic as classic;
 pub use kmm_core as core;
 pub use kmm_dna as dna;
 pub use kmm_suffix as suffix;
+pub use kmm_telemetry as telemetry;
 
 pub use kmm_classic::Occurrence;
 pub use kmm_core::{KMismatchIndex, Method, SearchResult, SearchStats};

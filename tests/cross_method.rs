@@ -80,11 +80,7 @@ fn low_complexity_binary_texts() {
 
 #[test]
 fn realistic_reads_map_home() {
-    let genome = kmm_dna::genome::markov(
-        30_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        11,
-    );
+    let genome = kmm_dna::genome::markov(30_000, &kmm_dna::genome::MarkovConfig::default(), 11);
     let index = KMismatchIndex::new(genome.clone());
     let reads = kmm_dna::paper_reads(&genome, 15, 60, 3);
     for read in &reads {
@@ -92,7 +88,8 @@ fn realistic_reads_map_home() {
         let want = index.search(&read.seq, k, Method::Naive).occurrences;
         assert!(
             want.iter().any(|o| o.position == read.origin),
-            "read from {} not found", read.origin
+            "read from {} not found",
+            read.origin
         );
         for method in ALL_METHODS {
             assert_eq!(

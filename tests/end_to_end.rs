@@ -7,12 +7,11 @@ use kmm_dna::fasta;
 #[test]
 fn fasta_to_search_pipeline() {
     // Write a small genome as FASTA, read it back, index, search.
-    let genome = kmm_dna::genome::markov(
-        5_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        21,
-    );
-    let rec = fasta::FastaRecord { id: "chr_test".into(), seq: genome.clone() };
+    let genome = kmm_dna::genome::markov(5_000, &kmm_dna::genome::MarkovConfig::default(), 21);
+    let rec = fasta::FastaRecord {
+        id: "chr_test".into(),
+        seq: genome.clone(),
+    };
     let mut buf = Vec::new();
     fasta::write_fasta(&mut buf, &[rec]).unwrap();
 
@@ -28,11 +27,7 @@ fn fasta_to_search_pipeline() {
 
 #[test]
 fn batch_search_over_simulated_reads() {
-    let genome = kmm_dna::genome::markov(
-        20_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        5,
-    );
+    let genome = kmm_dna::genome::markov(20_000, &kmm_dna::genome::MarkovConfig::default(), 5);
     let index = KMismatchIndex::new(genome.clone());
     let reads = kmm_dna::paper_reads(&genome, 20, 80, 17);
     let seqs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
@@ -59,7 +54,9 @@ fn rebuilding_with_paper_layout_is_equivalent() {
     let probe = genome[500..540].to_vec();
     for k in 0..3 {
         assert_eq!(
-            default_idx.search(&probe, k, Method::ALGORITHM_A).occurrences,
+            default_idx
+                .search(&probe, k, Method::ALGORITHM_A)
+                .occurrences,
             paper_idx.search(&probe, k, Method::ALGORITHM_A).occurrences
         );
     }
@@ -67,11 +64,7 @@ fn rebuilding_with_paper_layout_is_equivalent() {
 
 #[test]
 fn stats_reflect_method_behaviour() {
-    let genome = kmm_dna::genome::markov(
-        50_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        33,
-    );
+    let genome = kmm_dna::genome::markov(50_000, &kmm_dna::genome::MarkovConfig::default(), 33);
     let index = KMismatchIndex::new(genome.clone());
     let probe = genome[10_000..10_100].to_vec();
 

@@ -57,11 +57,7 @@ fn deletion_insertion_substitution_each_found() {
 
 #[test]
 fn k_errors_at_zero_matches_exact_search() {
-    let genome = kmm_dna::genome::markov(
-        5_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        3,
-    );
+    let genome = kmm_dna::genome::markov(5_000, &kmm_dna::genome::MarkovConfig::default(), 3);
     let index = KMismatchIndex::new(genome.clone());
     let probe = genome[1234..1284].to_vec();
     let (edit_hits, _) = index.search_k_errors(&probe, 0);
@@ -99,9 +95,7 @@ fn levenshtein(a: &[u8], b: &[u8]) -> usize {
         row[0] = i + 1;
         for (j, &y) in b.iter().enumerate() {
             let cur = row[j + 1];
-            row[j + 1] = (cur + 1)
-                .min(row[j] + 1)
-                .min(prev + usize::from(x != y));
+            row[j + 1] = (cur + 1).min(row[j] + 1).min(prev + usize::from(x != y));
             prev = cur;
         }
     }

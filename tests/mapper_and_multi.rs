@@ -1,9 +1,7 @@
 //! Integration tests for the read mapper and the chromosome-aware
 //! multi-sequence index through the public façade.
 
-use bwt_kmismatch::core::{
-    MapOutcome, MapperConfig, Method, MultiIndex, ReadMapper, Strand,
-};
+use bwt_kmismatch::core::{MapOutcome, MapperConfig, Method, MultiIndex, ReadMapper, Strand};
 use bwt_kmismatch::KMismatchIndex;
 use kmm_dna::genome::{markov, MarkovConfig};
 use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
@@ -12,12 +10,22 @@ use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
 fn simulated_paired_strand_batch_maps_accurately() {
     let genome = markov(60_000, &MarkovConfig::default(), 77);
     let index = KMismatchIndex::new(genome.clone());
-    let mapper = ReadMapper::new(&index, MapperConfig { k: 5, ..Default::default() });
+    let mapper = ReadMapper::new(
+        &index,
+        MapperConfig {
+            k: 5,
+            ..Default::default()
+        },
+    );
 
     // Strand-symmetric simulation, like real sequencing.
     let mut sim = ReadSimulator::new(
         &genome,
-        ReadSimConfig { read_len: 80, reverse_strand_prob: 0.5, ..Default::default() },
+        ReadSimConfig {
+            read_len: 80,
+            reverse_strand_prob: 0.5,
+            ..Default::default()
+        },
         9,
     );
     let reads = sim.reads(60);
@@ -25,7 +33,11 @@ fn simulated_paired_strand_batch_maps_accurately() {
     let mut reverse_seen = 0usize;
     for read in &reads {
         let report = mapper.map(&read.seq);
-        let want_strand = if read.reverse { Strand::Reverse } else { Strand::Forward };
+        let want_strand = if read.reverse {
+            Strand::Reverse
+        } else {
+            Strand::Forward
+        };
         if report
             .all
             .iter()
@@ -38,14 +50,23 @@ fn simulated_paired_strand_batch_maps_accurately() {
         }
     }
     assert!(recovered >= 50, "only {recovered}/60 recovered");
-    assert!(reverse_seen >= 10, "too few reverse reads exercised: {reverse_seen}");
+    assert!(
+        reverse_seen >= 10,
+        "too few reverse reads exercised: {reverse_seen}"
+    );
 }
 
 #[test]
 fn mapper_outcomes_partition() {
     let genome = markov(30_000, &MarkovConfig::default(), 13);
     let index = KMismatchIndex::new(genome.clone());
-    let mapper = ReadMapper::new(&index, MapperConfig { k: 3, ..Default::default() });
+    let mapper = ReadMapper::new(
+        &index,
+        MapperConfig {
+            k: 3,
+            ..Default::default()
+        },
+    );
     let reads = kmm_dna::paper_reads(&genome, 30, 70, 4);
     for read in &reads {
         let report = mapper.map(&read.seq);
@@ -54,7 +75,9 @@ fn mapper_outcomes_partition() {
             MapOutcome::Unique(best) => {
                 assert_eq!(report.all[0], *best);
                 // No other alignment ties the best score.
-                assert!(report.all[1..].iter().all(|a| a.mismatches > best.mismatches));
+                assert!(report.all[1..]
+                    .iter()
+                    .all(|a| a.mismatches > best.mismatches));
             }
             MapOutcome::Multi(ties) => {
                 assert!(ties.len() >= 2);
@@ -70,7 +93,12 @@ fn mapper_outcomes_partition() {
 fn multi_index_over_five_stand_in_chromosomes() {
     // Five small "chromosomes" with one marker planted in chromosome 3.
     let mut records: Vec<(String, Vec<u8>)> = (0..5)
-        .map(|i| (format!("chr{}", i + 1), markov(4_000, &MarkovConfig::default(), 100 + i)))
+        .map(|i| {
+            (
+                format!("chr{}", i + 1),
+                markov(4_000, &MarkovConfig::default(), 100 + i),
+            )
+        })
         .collect();
     let marker = kmm_dna::encode(b"acgtgacctgatcgaggtcaatgca").unwrap();
     records[2].1[1_000..1_000 + marker.len()].copy_from_slice(&marker);

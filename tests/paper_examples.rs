@@ -12,9 +12,10 @@ fn section1_intro_occurrence() {
     let index = KMismatchIndex::from_ascii(b"ccacacagaagcc").unwrap();
     let r = kmm_dna::encode(b"aaaaacaaac").unwrap();
     let hits = index.search(&r, 4, Method::ALGORITHM_A);
-    assert!(hits
-        .occurrences
-        .contains(&Occurrence { position: 2, mismatches: 4 }));
+    assert!(hits.occurrences.contains(&Occurrence {
+        position: 2,
+        mismatches: 4
+    }));
     // With k = 3 that occurrence must disappear.
     let hits = index.search(&r, 3, Method::ALGORITHM_A);
     assert!(!hits.occurrences.iter().any(|o| o.position == 2));
@@ -56,8 +57,14 @@ fn figure3_two_occurrences_all_methods() {
     let index = KMismatchIndex::from_ascii(b"acagaca").unwrap();
     let r = kmm_dna::encode(b"tcaca").unwrap();
     let want = vec![
-        Occurrence { position: 0, mismatches: 2 },
-        Occurrence { position: 2, mismatches: 2 },
+        Occurrence {
+            position: 0,
+            mismatches: 2,
+        },
+        Occurrence {
+            position: 2,
+            mismatches: 2,
+        },
     ];
     for method in [
         Method::Naive,
@@ -87,15 +94,9 @@ fn figure3_mismatch_arrays() {
     let s = kmm_dna::encode(b"acagaca").unwrap();
     let r = kmm_dna::encode(b"tcaca").unwrap();
     // P1 spells s[0..5] = acaga; mismatches vs tcaca at 0-based {0, 3}.
-    assert_eq!(
-        kmm_dna::mismatch_positions(&s[0..5], &r, 10),
-        vec![0, 3]
-    );
+    assert_eq!(kmm_dna::mismatch_positions(&s[0..5], &r, 10), vec![0, 3]);
     // P2 spells s[2..7] = agaca; mismatches at {0, 1}.
-    assert_eq!(
-        kmm_dna::mismatch_positions(&s[2..7], &r, 10),
-        vec![0, 1]
-    );
+    assert_eq!(kmm_dna::mismatch_positions(&s[2..7], &r, 10), vec![0, 1]);
 }
 
 /// Section IV-B / Fig. 4: the R-table of r = tcacg.

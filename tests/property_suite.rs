@@ -12,10 +12,18 @@ fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
 /// where index structures are most easily broken (heavy interval sharing,
 /// long BWT runs, deep LCP intervals).
 fn corrupted_periodic() -> impl Strategy<Value = Vec<u8>> {
-    (dna(6), 10usize..60, proptest::collection::vec((any::<prop::sample::Index>(), 1u8..=4), 0..8))
+    (
+        dna(6),
+        10usize..60,
+        proptest::collection::vec((any::<prop::sample::Index>(), 1u8..=4), 0..8),
+    )
         .prop_map(|(unit, copies, edits)| {
-            let mut text: Vec<u8> =
-                unit.iter().copied().cycle().take(unit.len() * copies).collect();
+            let mut text: Vec<u8> = unit
+                .iter()
+                .copied()
+                .cycle()
+                .take(unit.len() * copies)
+                .collect();
             for (idx, sym) in edits {
                 let p = idx.index(text.len());
                 text[p] = sym;

@@ -7,17 +7,15 @@ use bwt_kmismatch::{KMismatchIndex, Method};
 fn build(genome: &[u8]) -> (KMismatchIndex, Vec<u8>) {
     let idx = KMismatchIndex::new(genome.to_vec());
     let mut bytes = Vec::new();
-    idx.fm().save(&mut bytes).expect("in-memory save cannot fail");
+    idx.fm()
+        .save(&mut bytes)
+        .expect("in-memory save cannot fail");
     (idx, bytes)
 }
 
 #[test]
 fn loaded_index_answers_identically() {
-    let genome = kmm_dna::genome::markov(
-        20_000,
-        &kmm_dna::genome::MarkovConfig::default(),
-        44,
-    );
+    let genome = kmm_dna::genome::markov(20_000, &kmm_dna::genome::MarkovConfig::default(), 44);
     let (fresh, bytes) = build(&genome);
     let fm = FmIndex::load(&bytes[..]).unwrap();
     let loaded = {
@@ -90,7 +88,10 @@ fn version_gate() {
     let (_, mut bytes) = build(&genome);
     bytes[8] = 0x2a; // version field (little-endian u32 after 8-byte magic)
     match FmIndex::load(&bytes[..]) {
-        Err(SerializeError::BadVersion { found: 0x2a, expected }) => {
+        Err(SerializeError::BadVersion {
+            found: 0x2a,
+            expected,
+        }) => {
             assert_eq!(expected, FmIndex::FORMAT_VERSION);
         }
         other => panic!("expected BadVersion, got {other:?}"),

@@ -1,0 +1,98 @@
+//! Telemetry integration tests: a recorder is an observer, never a
+//! participant. Recording must not change any search result, and the
+//! recorded metrics must agree with the statistics the search returns.
+
+use bwt_kmismatch::telemetry::{
+    Counter, Hist, MetricsRecorder, MetricsSnapshot, NoopRecorder, Phase,
+};
+use bwt_kmismatch::{KMismatchIndex, Method};
+use proptest::prelude::*;
+
+fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..=4, 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Algorithm A returns bit-identical occurrences and statistics
+    /// whether it reports to the no-op recorder or to a live
+    /// `MetricsRecorder`.
+    #[test]
+    fn algorithm_a_is_identical_under_recording(
+        text in dna(300),
+        pattern in dna(24),
+        k in 0usize..5,
+    ) {
+        let index = KMismatchIndex::new(text);
+        let quiet = index.search_recorded(&pattern, k, Method::ALGORITHM_A, &NoopRecorder);
+        let recorder = MetricsRecorder::new();
+        let loud = index.search_recorded(&pattern, k, Method::ALGORITHM_A, &recorder);
+        prop_assert_eq!(quiet.occurrences, loud.occurrences);
+        prop_assert_eq!(quiet.stats, loud.stats);
+        // The recorder mirrors the returned stats rather than inventing
+        // its own numbers.
+        prop_assert_eq!(recorder.counter(Counter::Queries), 1);
+        prop_assert_eq!(recorder.counter(Counter::Leaves), loud.stats.leaves);
+        prop_assert_eq!(recorder.counter(Counter::Occurrences), loud.stats.occurrences);
+        prop_assert_eq!(recorder.counter(Counter::ReuseHits), loud.stats.reuse_hits);
+    }
+
+    /// The S-tree baseline under the same invariant.
+    #[test]
+    fn stree_baseline_is_identical_under_recording(
+        text in dna(200),
+        pattern in dna(16),
+        k in 0usize..4,
+    ) {
+        let index = KMismatchIndex::new(text);
+        let quiet = index.search(&pattern, k, Method::Bwt { use_phi: true });
+        let recorder = MetricsRecorder::new();
+        let loud =
+            index.search_recorded(&pattern, k, Method::Bwt { use_phi: true }, &recorder);
+        prop_assert_eq!(quiet.occurrences, loud.occurrences);
+        prop_assert_eq!(quiet.stats, loud.stats);
+        prop_assert_eq!(recorder.counter(Counter::PhiPrunes), loud.stats.phi_prunes);
+    }
+}
+
+#[test]
+fn snapshot_reflects_a_real_search_session() {
+    let genome = bwt_kmismatch::dna::genome::uniform(5_000, 7);
+    let recorder = MetricsRecorder::new();
+    let index = KMismatchIndex::with_config_recorded(
+        genome.clone(),
+        bwt_kmismatch::bwt::FmBuildConfig::default(),
+        &recorder,
+    );
+    for start in [100usize, 900, 2_500] {
+        let pattern = genome[start..start + 40].to_vec();
+        let res = index.search_recorded(&pattern, 2, Method::ALGORITHM_A, &recorder);
+        assert!(res.occurrences.iter().any(|o| o.position == start));
+    }
+    let snap = recorder.snapshot();
+    // Every query ticked the search phase and the latency histogram.
+    assert_eq!(snap.counter(Counter::Queries), 3);
+    assert_eq!(snap.phase(Phase::SearchQuery).entries, 3);
+    assert!(snap.phase(Phase::SearchQuery).total_ns > 0);
+    let latency = snap
+        .histogram(Hist::SearchLatencyNs)
+        .expect("latency histogram");
+    assert_eq!(latency.count, 3);
+    // Index construction phases were timed.
+    for phase in [
+        Phase::IndexSa,
+        Phase::IndexBwt,
+        Phase::IndexRankall,
+        Phase::IndexSampledSa,
+    ] {
+        assert_eq!(snap.phase(phase).entries, 1, "{:?}", phase);
+    }
+    // The snapshot survives its own JSON encoding.
+    let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back.counter(Counter::Queries), 3);
+    assert_eq!(
+        back.phase(Phase::SearchQuery).total_ns,
+        snap.phase(Phase::SearchQuery).total_ns
+    );
+}
