@@ -23,6 +23,7 @@ fn bench_rankall_rate(c: &mut Criterion) {
             FmBuildConfig {
                 occ_rate: rate,
                 sa_rate: 16,
+                ..FmBuildConfig::default()
             },
         );
         group.bench_with_input(BenchmarkId::new("exact_count", rate), &fm, |b, fm| {

@@ -11,6 +11,7 @@
 //!   table2    M-tree leaf counts n' (paper Table 2)
 //!   fig12     per-genome comparison at k = 5 (reconstructed Fig. 12)
 //!   ablation  rankall rate + reuse/φ ablations (DESIGN.md A1/A2)
+//!   parscale  batch-search throughput vs worker count (thread scaling)
 //!   all       everything above
 //! ```
 //!
@@ -18,15 +19,20 @@
 //! (default 0.1, i.e. 1:1000 of the real assemblies — a laptop-friendly
 //! regime; use `--scale 1.0` to run at the full scaled sizes).
 //!
+//! `--threads N` (or `-j N`) caps the widest worker count swept by
+//! `parscale` (default: 8); the sweep always starts at 1 thread.
+//!
 //! `--out-dir DIR` additionally writes the measurements behind the
 //! printed tables as machine-readable `BENCH_fig11.json`,
-//! `BENCH_table2.json` and `BENCH_fig12.json` artifacts (method, n, m,
-//! k, wall-time, and every `SearchStats` counter per record).
+//! `BENCH_table2.json`, `BENCH_fig12.json` and `BENCH_par.json`
+//! artifacts (method, n, m, k, wall-time, and every `SearchStats`
+//! counter per record; threads and throughput for `parscale`).
 
 use std::path::PathBuf;
 
 use kmm_bench::{
-    fmt_secs, format_table, run_method, simulate_reads, write_bench_json, BenchRecord, Workload,
+    fmt_secs, format_table, run_method, simulate_reads, write_bench_json, write_par_scaling_json,
+    BenchRecord, ParScalingRecord, Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
@@ -37,6 +43,7 @@ struct Opts {
     scale: f64,
     reads: usize,
     read_len: usize,
+    threads: usize,
     out_dir: Option<PathBuf>,
 }
 
@@ -46,6 +53,7 @@ impl Default for Opts {
             scale: 0.1,
             reads: 50,
             read_len: 100,
+            threads: 8,
             out_dir: None,
         }
     }
@@ -67,9 +75,18 @@ fn main() {
                     .parse()
                     .expect("bad read len")
             }
+            "--threads" | "-j" => {
+                let v = it.next().expect("--threads N");
+                opts.threads = match v.parse::<usize>() {
+                    Ok(0) | Err(_) => {
+                        panic!("bad value for --threads: '{v}' (expected a positive integer)")
+                    }
+                    Ok(n) => n,
+                };
+            }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|all] [--scale F] [--reads N] [--read-len L] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -78,6 +95,7 @@ fn main() {
     }
     // (experiment name, records) pairs destined for BENCH_<name>.json.
     let mut artifacts: Vec<(&str, Vec<BenchRecord>)> = Vec::new();
+    let mut par_records: Vec<ParScalingRecord> = Vec::new();
     match command.as_str() {
         "table1" => table1(&opts),
         "fig11a" => artifacts.push(("fig11", fig11a(&opts))),
@@ -86,6 +104,7 @@ fn main() {
         "fig12" => artifacts.push(("fig12", fig12(&opts))),
         "ablation" => ablation(&opts),
         "extended" => extended(&opts),
+        "parscale" => par_records = parscale(&opts),
         "all" => {
             table1(&opts);
             let mut fig11 = fig11a(&opts);
@@ -95,6 +114,7 @@ fn main() {
             artifacts.push(("fig12", fig12(&opts)));
             ablation(&opts);
             extended(&opts);
+            par_records = parscale(&opts);
         }
         other => panic!("unknown command {other}"),
     }
@@ -104,7 +124,74 @@ fn main() {
                 .unwrap_or_else(|e| panic!("writing BENCH_{experiment}.json: {e}"));
             eprintln!("wrote {} ({} records)", path.display(), records.len());
         }
+        if !par_records.is_empty() {
+            let path = write_par_scaling_json(dir, &par_records)
+                .unwrap_or_else(|e| panic!("writing BENCH_par.json: {e}"));
+            eprintln!("wrote {} ({} records)", path.display(), par_records.len());
+        }
     }
+}
+
+/// Thread-scaling sweep: one batch of reads searched at worker counts
+/// 1, 2, 4, ... up to `--threads` (default 8). Results are bit-identical
+/// at every width, so only wall-clock and throughput vary; on a single
+/// hardware thread the sweep degenerates to an overhead measurement.
+fn parscale(opts: &Opts) -> Vec<ParScalingRecord> {
+    println!(
+        "\n== Thread scaling: batch search throughput vs workers  (Rat stand-in, {} reads x {} bp, k = 2) ==\n",
+        opts.reads.max(200),
+        opts.read_len
+    );
+    let w = Workload::paper(
+        ReferenceGenome::Rat,
+        opts.scale,
+        opts.reads.max(200),
+        opts.read_len,
+    );
+    println!(
+        "genome: {} ({} bp); host parallelism: {}",
+        w.name,
+        w.genome.len(),
+        kmm_par::available_threads()
+    );
+    let idx = w.index();
+    let mut widths = vec![1usize];
+    while *widths.last().unwrap() * 2 <= opts.threads {
+        widths.push(widths.last().unwrap() * 2);
+    }
+    if *widths.last().unwrap() != opts.threads {
+        widths.push(opts.threads);
+    }
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &threads in &widths {
+        let rec = ParScalingRecord::measure(
+            &idx,
+            &w.reads,
+            opts.read_len,
+            2,
+            Method::ALGORITHM_A,
+            threads,
+        );
+        rows.push(vec![
+            threads.to_string(),
+            fmt_secs(rec.seconds),
+            format!("{:.0}", rec.reads_per_sec),
+            format!(
+                "{:.2}x",
+                records
+                    .first()
+                    .map_or(1.0, |f: &ParScalingRecord| f.seconds / rec.seconds)
+            ),
+            rec.occurrences.to_string(),
+        ]);
+        records.push(rec);
+    }
+    println!(
+        "{}",
+        format_table(&["threads", "time", "reads/s", "speedup", "occ"], &rows)
+    );
+    records
 }
 
 /// Paper Table 1: characteristics of genomes.
@@ -339,6 +426,7 @@ fn ablation(opts: &Opts) {
             FmBuildConfig {
                 occ_rate: rate,
                 sa_rate: 16,
+                ..FmBuildConfig::default()
             },
         );
         let start = std::time::Instant::now();

@@ -12,6 +12,7 @@ use std::time::Instant;
 use kmm_core::{KMismatchIndex, Method, SearchStats};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
+use kmm_par::ThreadPool;
 use kmm_telemetry::Json;
 
 /// Schema tag stamped into every `BENCH_*.json` artifact.
@@ -88,6 +89,113 @@ pub fn run_method(index: &KMismatchIndex, reads: &[Vec<u8>], k: usize, method: M
         occurrences,
         stats,
     }
+}
+
+/// [`run_method`] across a thread pool: the whole batch is fanned out
+/// with [`KMismatchIndex::search_batch_par`] and timed as one unit.
+/// Occurrence lists and accumulated stats are bit-identical to the
+/// serial run at any thread count; only `seconds` varies.
+pub fn run_method_par(
+    index: &KMismatchIndex,
+    reads: &[Vec<u8>],
+    k: usize,
+    method: Method,
+    pool: &ThreadPool,
+) -> TimedRun {
+    if matches!(method, Method::Cole) {
+        index.suffix_tree();
+    }
+    let start = Instant::now();
+    let (per_read, stats) = index.search_batch_par(reads, k, method, pool);
+    TimedRun {
+        method: method.label(),
+        seconds: start.elapsed().as_secs_f64(),
+        occurrences: per_read.iter().map(Vec::len).sum(),
+        stats,
+    }
+}
+
+/// One thread-scaling measurement destined for `BENCH_par.json`.
+#[derive(Debug, Clone)]
+pub struct ParScalingRecord {
+    /// Worker count the batch ran with.
+    pub threads: usize,
+    /// Number of reads in the batch.
+    pub reads: usize,
+    /// Read length in bp.
+    pub read_len: usize,
+    /// Mismatch budget.
+    pub k: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub seconds: f64,
+    /// Batch throughput (`reads / seconds`).
+    pub reads_per_sec: f64,
+    /// Total occurrences reported (thread-count invariant).
+    pub occurrences: usize,
+}
+
+impl ParScalingRecord {
+    /// Measure one batch at one thread count.
+    pub fn measure(
+        index: &KMismatchIndex,
+        reads: &[Vec<u8>],
+        read_len: usize,
+        k: usize,
+        method: Method,
+        threads: usize,
+    ) -> ParScalingRecord {
+        let pool = ThreadPool::new(threads);
+        let run = run_method_par(index, reads, k, method, &pool);
+        ParScalingRecord {
+            threads,
+            reads: reads.len(),
+            read_len,
+            k,
+            seconds: run.seconds,
+            reads_per_sec: if run.seconds > 0.0 {
+                reads.len() as f64 / run.seconds
+            } else {
+                0.0
+            },
+            occurrences: run.occurrences,
+        }
+    }
+
+    /// Serialise as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::UInt(self.threads as u64)),
+            ("reads", Json::UInt(self.reads as u64)),
+            ("read_len", Json::UInt(self.read_len as u64)),
+            ("k", Json::UInt(self.k as u64)),
+            ("seconds", Json::Float(self.seconds)),
+            ("reads_per_sec", Json::Float(self.reads_per_sec)),
+            ("occurrences", Json::UInt(self.occurrences as u64)),
+        ])
+    }
+}
+
+/// Wrap thread-scaling records in the `BENCH_par.json` envelope.
+pub fn par_scaling_document(records: &[ParScalingRecord]) -> Json {
+    Json::obj([
+        ("schema", Json::Str(BENCH_SCHEMA.to_string())),
+        ("experiment", Json::Str("par".to_string())),
+        (
+            "records",
+            Json::Arr(records.iter().map(ParScalingRecord::to_json).collect()),
+        ),
+    ])
+}
+
+/// Write `BENCH_par.json` into `dir` and return its path.
+pub fn write_par_scaling_json(
+    dir: &Path,
+    records: &[ParScalingRecord],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_par.json");
+    std::fs::write(&path, par_scaling_document(records).to_pretty())?;
+    Ok(path)
 }
 
 /// One benchmark measurement destined for a `BENCH_*.json` artifact:
@@ -239,6 +347,53 @@ mod tests {
         // And the result must match the naive scan.
         let naive = run_method(&idx, &w.reads, 2, Method::Naive);
         assert_eq!(run.occurrences, naive.occurrences);
+    }
+
+    #[test]
+    fn run_method_par_matches_serial() {
+        let w = Workload::paper(ReferenceGenome::CMerolae, 0.02, 6, 30);
+        let idx = w.index();
+        let serial = run_method(&idx, &w.reads, 2, Method::ALGORITHM_A);
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let par = run_method_par(&idx, &w.reads, 2, Method::ALGORITHM_A, &pool);
+            // Only wall-clock may differ across thread counts.
+            assert_eq!(par.occurrences, serial.occurrences, "threads={threads}");
+            assert_eq!(par.stats, serial.stats, "threads={threads}");
+            assert_eq!(par.method, serial.method);
+        }
+    }
+
+    #[test]
+    fn par_scaling_json_artifact_round_trips() {
+        let w = Workload::paper(ReferenceGenome::CMerolae, 0.02, 5, 30);
+        let idx = w.index();
+        let records: Vec<ParScalingRecord> = [1usize, 2]
+            .iter()
+            .map(|&t| ParScalingRecord::measure(&idx, &w.reads, 30, 2, Method::ALGORITHM_A, t))
+            .collect();
+        // Occurrence totals are thread-count invariant.
+        assert_eq!(records[0].occurrences, records[1].occurrences);
+        let dir = std::env::temp_dir().join("kmm-bench-tests");
+        let path = write_par_scaling_json(&dir, &records).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "BENCH_par.json"
+        );
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("par"));
+        let recs = doc.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].get("threads").and_then(Json::as_u64), Some(1));
+        assert_eq!(recs[1].get("threads").and_then(Json::as_u64), Some(2));
+        for r in recs {
+            assert!(r.get("seconds").and_then(Json::as_f64).is_some());
+            assert!(r.get("reads_per_sec").and_then(Json::as_f64).is_some());
+            assert_eq!(r.get("reads").and_then(Json::as_u64), Some(5));
+            assert_eq!(r.get("read_len").and_then(Json::as_u64), Some(30));
+            assert_eq!(r.get("k").and_then(Json::as_u64), Some(2));
+        }
     }
 
     #[test]

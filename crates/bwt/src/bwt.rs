@@ -11,6 +11,7 @@
 //! which in 0-based terms is `L[i] = text[SA[i] - 1]` with wrap-around to
 //! the sentinel when `SA[i] = 0`.
 
+use kmm_par::{aligned_spans, ThreadPool};
 use kmm_suffix::sais::suffix_array;
 
 /// Compute `BWT(text)` from scratch (builds the suffix array internally).
@@ -21,16 +22,33 @@ pub fn bwt(text: &[u8], sigma: usize) -> Vec<u8> {
 
 /// Compute the BWT given a precomputed suffix array.
 pub fn bwt_from_sa(text: &[u8], sa: &[u32]) -> Vec<u8> {
+    bwt_from_sa_with(text, sa, &ThreadPool::serial())
+}
+
+/// [`bwt_from_sa`] with the gather split across a thread pool. Each
+/// position of `L` depends only on `SA[i]`, so chunks are independent
+/// and the merged result is identical at any thread count.
+pub fn bwt_from_sa_with(text: &[u8], sa: &[u32], pool: &ThreadPool) -> Vec<u8> {
     assert_eq!(text.len(), sa.len(), "text/SA length mismatch");
-    sa.iter()
-        .map(|&p| {
-            if p == 0 {
-                text[text.len() - 1]
-            } else {
-                text[p as usize - 1]
-            }
-        })
-        .collect()
+    let gather = |&p: &u32| {
+        if p == 0 {
+            text[text.len() - 1]
+        } else {
+            text[p as usize - 1]
+        }
+    };
+    if pool.is_serial() {
+        return sa.iter().map(gather).collect();
+    }
+    let spans = aligned_spans(sa.len(), pool.threads() * 4, 1);
+    let chunks = pool.par_map(&spans, |_, span| {
+        sa[span.clone()].iter().map(gather).collect::<Vec<u8>>()
+    });
+    let mut out = Vec::with_capacity(sa.len());
+    for chunk in chunks {
+        out.extend_from_slice(&chunk);
+    }
+    out
 }
 
 /// Invert a BWT back to the original sentinel-terminated text.
@@ -126,6 +144,22 @@ mod tests {
     #[test]
     fn empty_inverse() {
         assert_eq!(inverse_bwt(&[], kmm_dna::SIGMA), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn parallel_bwt_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for n in [1usize, 2, 65, 300, 1024] {
+            let mut text: Vec<u8> = (0..n - 1).map(|_| rng.gen_range(1..=4)).collect();
+            text.push(0);
+            let sa = suffix_array(&text, kmm_dna::SIGMA);
+            let serial = bwt_from_sa(&text, &sa);
+            for threads in [2usize, 3, 8] {
+                let par = bwt_from_sa_with(&text, &sa, &ThreadPool::new(threads));
+                assert_eq!(par, serial, "n={n} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! (paper Section IV, Definition 1).
 
 use kmm_dna::{SENTINEL, SIGMA};
+use kmm_par::ThreadPool;
 use kmm_suffix::sais::suffix_array;
 use kmm_telemetry::{NoopRecorder, Phase, Recorder};
 
-use crate::bwt::bwt_from_sa;
+use crate::bwt::bwt_from_sa_with;
 use crate::interval::{Interval, Pair};
+use crate::limits::{check_text_len, TextTooLarge};
 use crate::occ::RankAll;
 use crate::sampled_sa::SampledSuffixArray;
 
@@ -27,6 +29,11 @@ pub struct FmBuildConfig {
     pub occ_rate: usize,
     /// Suffix-array sampling rate for `locate` (1 = store the full SA).
     pub sa_rate: usize,
+    /// Worker threads for the data-parallel construction passes (BWT
+    /// gather, rankall packing/checkpoints, sampled-SA extraction). The
+    /// built index is bit-identical at any value; 1 (the default) keeps
+    /// library builds single-threaded unless a caller opts in.
+    pub threads: usize,
 }
 
 impl Default for FmBuildConfig {
@@ -34,6 +41,7 @@ impl Default for FmBuildConfig {
         FmBuildConfig {
             occ_rate: 64,
             sa_rate: 16,
+            threads: 1,
         }
     }
 }
@@ -45,7 +53,18 @@ impl FmBuildConfig {
         FmBuildConfig {
             occ_rate: 4,
             sa_rate: 16,
+            ..Self::default()
         }
+    }
+
+    /// Same layout, building on `threads` workers (0 is treated as 1).
+    pub fn with_threads(self, threads: usize) -> Self {
+        FmBuildConfig { threads, ..self }
+    }
+
+    /// The thread pool the construction passes run on.
+    fn pool(&self) -> ThreadPool {
+        ThreadPool::new(self.threads.max(1))
     }
 }
 
@@ -67,11 +86,30 @@ impl FmIndex {
     /// [`Self::new`] with construction phases timed on `recorder`
     /// (`index.sa`, `index.bwt`, `index.rankall`, `index.sampled_sa`).
     pub fn new_recorded<R: Recorder>(text: &[u8], config: FmBuildConfig, recorder: &R) -> Self {
+        match Self::try_new_recorded(text, config, recorder) {
+            Ok(fm) => fm,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// [`Self::new`], rejecting texts too long for the `u32` index layout
+    /// instead of panicking.
+    pub fn try_new(text: &[u8], config: FmBuildConfig) -> Result<Self, TextTooLarge> {
+        Self::try_new_recorded(text, config, &NoopRecorder)
+    }
+
+    /// [`Self::try_new`] with construction phases timed on `recorder`.
+    pub fn try_new_recorded<R: Recorder>(
+        text: &[u8],
+        config: FmBuildConfig,
+        recorder: &R,
+    ) -> Result<Self, TextTooLarge> {
+        check_text_len(text.len())?;
         let sa = {
             let _span = recorder.span(Phase::IndexSa);
             suffix_array(text, SIGMA)
         };
-        Self::from_sa_recorded(text, &sa, config, recorder)
+        Self::try_from_sa_recorded(text, &sa, config, recorder)
     }
 
     /// Index `text` given its precomputed suffix array.
@@ -86,27 +124,43 @@ impl FmIndex {
         config: FmBuildConfig,
         recorder: &R,
     ) -> Self {
+        match Self::try_from_sa_recorded(text, sa, config, recorder) {
+            Ok(fm) => fm,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// [`Self::from_sa`], rejecting oversized texts instead of panicking.
+    /// The `config.threads` pool drives every data-parallel pass; the
+    /// result is bit-identical at any thread count.
+    pub fn try_from_sa_recorded<R: Recorder>(
+        text: &[u8],
+        sa: &[u32],
+        config: FmBuildConfig,
+        recorder: &R,
+    ) -> Result<Self, TextTooLarge> {
+        check_text_len(text.len())?;
+        let pool = config.pool();
         let l = {
             let _span = recorder.span(Phase::IndexBwt);
-            bwt_from_sa(text, sa)
+            bwt_from_sa_with(text, sa, &pool)
         };
         let (rank, c) = {
             let _span = recorder.span(Phase::IndexRankall);
-            let rank = RankAll::new(&l, config.occ_rate);
+            let rank = RankAll::try_new_with(&l, config.occ_rate, &pool)?;
+            // C is the exclusive prefix sum of the symbol totals the
+            // rankall build already counted.
             let mut c = [0u32; SIGMA + 1];
-            for &x in &l {
-                c[x as usize + 1] += 1;
-            }
             for i in 0..SIGMA {
-                c[i + 1] += c[i];
+                c[i + 1] = c[i] + rank.count(i as u8);
             }
             (rank, c)
         };
         let ssa = {
             let _span = recorder.span(Phase::IndexSampledSa);
-            SampledSuffixArray::new(sa, config.sa_rate)
+            SampledSuffixArray::try_new_with(sa, config.sa_rate, &pool)?
         };
-        FmIndex { l: rank, c, ssa }
+        Ok(FmIndex { l: rank, c, ssa })
     }
 
     /// Text length, sentinel included.
@@ -401,7 +455,12 @@ mod tests {
         let text = kmm_dna::encode_text(b"ctagctagcatgcat").unwrap();
         let sa = kmm_suffix::suffix_array(&text, kmm_dna::SIGMA);
         for (occ_rate, sa_rate) in [(4, 1), (4, 4), (64, 16), (8, 32)] {
-            let fm = FmIndex::from_sa(&text, &sa, FmBuildConfig { occ_rate, sa_rate });
+            let cfg = FmBuildConfig {
+                occ_rate,
+                sa_rate,
+                ..FmBuildConfig::default()
+            };
+            let fm = FmIndex::from_sa(&text, &sa, cfg);
             for (row, &v) in sa.iter().enumerate() {
                 assert_eq!(fm.sa_value(row as u32), v);
             }
@@ -417,6 +476,24 @@ mod tests {
         assert_eq!(a.backward_search(&pat), b.backward_search(&pat));
         // The paper layout checkpoints more densely and thus uses more space.
         assert!(b.heap_bytes() > a.heap_bytes());
+    }
+
+    #[test]
+    fn threaded_build_is_byte_identical() {
+        let ascii: Vec<u8> = (0..3000)
+            .map(|i: usize| b"acgt"[(i * 7 + i / 9) % 4])
+            .collect();
+        let text = kmm_dna::encode_text(&ascii).unwrap();
+        for base in [FmBuildConfig::default(), FmBuildConfig::paper()] {
+            let mut serial_bytes = Vec::new();
+            FmIndex::new(&text, base).save(&mut serial_bytes).unwrap();
+            for threads in [2usize, 8] {
+                let fm = FmIndex::try_new(&text, base.with_threads(threads)).unwrap();
+                let mut bytes = Vec::new();
+                fm.save(&mut bytes).unwrap();
+                assert_eq!(bytes, serial_bytes, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -8,14 +8,16 @@
 pub mod bwt;
 pub mod fm_index;
 pub mod interval;
+pub mod limits;
 pub mod occ;
 pub mod rle;
 pub mod sampled_sa;
 pub mod serialize;
 
-pub use bwt::{bwt, bwt_from_sa, inverse_bwt};
+pub use bwt::{bwt, bwt_from_sa, bwt_from_sa_with, inverse_bwt};
 pub use fm_index::{FmBuildConfig, FmIndex};
 pub use interval::{Interval, Pair};
+pub use limits::{check_text_len, TextTooLarge, MAX_TEXT_LEN};
 pub use occ::RankAll;
 pub use rle::{run_stats, RleBwt, RunStats};
 pub use sampled_sa::{BitRank, SampledSuffixArray};
@@ -61,7 +63,10 @@ mod proptests {
             text in dna_text(),
             pat in proptest::collection::vec(1u8..=4, 1..6),
         ) {
-            let fm = FmIndex::new(&text, FmBuildConfig { occ_rate: 4, sa_rate: 4 });
+            let fm = FmIndex::new(
+                &text,
+                FmBuildConfig { occ_rate: 4, sa_rate: 4, ..FmBuildConfig::default() },
+            );
             let iv = fm.backward_search(&pat);
             for p in fm.locate(iv) {
                 let p = p as usize;

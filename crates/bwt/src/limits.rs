@@ -1,0 +1,78 @@
+//! Guard rails for the index's `u32` representation.
+//!
+//! Every row and position in the index is a `u32`: suffix-array entries,
+//! rankall checkpoint counts and `totals`, sampled-SA values, the `C`
+//! array, and `Interval` bounds. A text of length `n` needs `n` itself to
+//! be representable (the whole-index interval is `[0, n)`), so texts of
+//! `u32::MAX` characters or more cannot be indexed. Before this module
+//! the builders would silently wrap counts on such inputs; now every
+//! build path checks [`check_text_len`] up front and reports
+//! [`TextTooLarge`] (the panicking constructors panic with its message).
+
+use std::fmt;
+
+/// Largest indexable text length, sentinel included. One less than
+/// `u32::MAX` so the exclusive upper bound of the whole-index interval
+/// and every per-symbol count stay representable.
+pub const MAX_TEXT_LEN: usize = u32::MAX as usize - 1;
+
+/// Build error: the input is too long for the index's `u32` layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextTooLarge {
+    /// Length of the rejected input.
+    pub len: usize,
+}
+
+impl fmt::Display for TextTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "text of {} characters exceeds the u32-indexed maximum of {} \
+             (suffix-array rows, rankall counts and locate samples are all 32-bit)",
+            self.len, MAX_TEXT_LEN
+        )
+    }
+}
+
+impl std::error::Error for TextTooLarge {}
+
+/// Check that a text/BWT/SA of `len` elements fits the `u32` layout.
+#[inline]
+pub fn check_text_len(len: usize) -> Result<(), TextTooLarge> {
+    if len > MAX_TEXT_LEN {
+        Err(TextTooLarge { len })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_is_exact() {
+        // The guard is pure arithmetic on the length, so the boundary is
+        // testable without allocating a 4 GiB text.
+        assert!(check_text_len(0).is_ok());
+        assert!(check_text_len(1_000_000).is_ok());
+        assert!(check_text_len(MAX_TEXT_LEN).is_ok());
+        assert_eq!(
+            check_text_len(MAX_TEXT_LEN + 1),
+            Err(TextTooLarge {
+                len: MAX_TEXT_LEN + 1
+            })
+        );
+        assert!(check_text_len(u32::MAX as usize).is_err());
+        assert!(check_text_len(usize::MAX).is_err());
+    }
+
+    #[test]
+    fn error_message_names_the_limit() {
+        let err = check_text_len(usize::MAX).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("u32"), "{msg}");
+        assert!(msg.contains(&MAX_TEXT_LEN.to_string()), "{msg}");
+        let _: &dyn std::error::Error = &err;
+    }
+}

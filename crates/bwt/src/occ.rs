@@ -14,9 +14,37 @@
 //! `occ(c, i) = |{ j < i : L[j] = c }|` in `O(rate/32)` word steps.
 
 use kmm_dna::{BASES, SENTINEL, SIGMA};
+use kmm_par::{aligned_spans, ThreadPool};
+
+use crate::limits::{check_text_len, TextTooLarge};
 
 /// Symbols stored per `u64` word (2 bits each).
 const SLOTS_PER_WORD: usize = 32;
+
+/// Least common multiple; segment boundaries must sit on both the packed
+/// word grid and the checkpoint grid.
+fn lcm(a: usize, b: usize) -> usize {
+    fn gcd(mut a: usize, mut b: usize) -> usize {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    a / gcd(a, b) * b
+}
+
+/// Per-segment output of the parallel build's scan pass.
+struct SegScan {
+    /// Packed words covering the segment (word-aligned start).
+    words: Vec<u64>,
+    /// Checkpoint rows for blocks starting in the segment, with counts
+    /// relative to the segment start.
+    rows: Vec<u32>,
+    /// Per-symbol totals within the segment (sentinel included).
+    counts: [u32; SIGMA],
+    /// Sentinel positions seen (globally there must be exactly one).
+    dollars: Vec<usize>,
+}
 
 /// Rank structure over an `L` column.
 #[derive(Debug, Clone)]
@@ -88,57 +116,137 @@ impl RankAll {
     /// `rate` must be a positive multiple of 4; the paper's layout
     /// corresponds to `rate = 4`, the default index uses 64.
     pub fn new(l: &[u8], rate: usize) -> Self {
+        Self::new_with(l, rate, &ThreadPool::serial())
+    }
+
+    /// [`Self::new`] on a thread pool; panics on oversized inputs.
+    pub fn new_with(l: &[u8], rate: usize, pool: &ThreadPool) -> Self {
+        match Self::try_new_with(l, rate, pool) {
+            Ok(rank) => rank,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible single-threaded build (see [`Self::try_new_with`]).
+    pub fn try_new(l: &[u8], rate: usize) -> Result<Self, TextTooLarge> {
+        Self::try_new_with(l, rate, &ThreadPool::serial())
+    }
+
+    /// Build over an `L` column, rejecting inputs too long for the `u32`
+    /// checkpoint/total layout instead of silently wrapping counts.
+    ///
+    /// The build is data-parallel over `pool`: segment boundaries are
+    /// aligned to both the 32-slot word grid and the checkpoint grid, so
+    /// every packed word and every checkpoint row is produced by exactly
+    /// one worker and the merged structure is bit-identical to the serial
+    /// build at any thread count.
+    pub fn try_new_with(l: &[u8], rate: usize, pool: &ThreadPool) -> Result<Self, TextTooLarge> {
         assert!(
             rate >= 4 && rate.is_multiple_of(4),
             "rate must be a positive multiple of 4"
         );
-        let dollar_pos = l
-            .iter()
-            .position(|&c| c == SENTINEL)
-            .expect("L must contain the sentinel");
-        assert_eq!(
-            l.iter().filter(|&&c| c == SENTINEL).count(),
-            1,
-            "L must contain exactly one sentinel"
-        );
-
+        check_text_len(l.len())?;
         let n = l.len();
-        let mut packed = vec![0u64; n.div_ceil(SLOTS_PER_WORD)];
+
+        // Pass 1 (parallel): pack, count, and emit segment-local
+        // checkpoint rows. The sentinel packs as code 0 wherever it is,
+        // so the pass needs no global information.
+        let spans = aligned_spans(n, pool.threads() * 4, lcm(rate, SLOTS_PER_WORD));
+        let segs = pool.par_map(&spans, |_, span| {
+            let len = span.end - span.start;
+            let mut words = vec![0u64; len.div_ceil(SLOTS_PER_WORD)];
+            let mut rows = Vec::with_capacity(len.div_ceil(rate) * BASES);
+            let mut counts = [0u32; SIGMA];
+            let mut running = [0u32; BASES];
+            let mut dollars = Vec::new();
+            for (off, &c) in l[span.clone()].iter().enumerate() {
+                let i = span.start + off;
+                assert!((c as usize) < SIGMA, "symbol {c} out of alphabet");
+                if i.is_multiple_of(rate) {
+                    rows.extend_from_slice(&running);
+                }
+                counts[c as usize] += 1;
+                let two = if c == SENTINEL {
+                    dollars.push(i);
+                    0
+                } else {
+                    running[(c - 1) as usize] += 1;
+                    (c - 1) as u64
+                };
+                words[off / SLOTS_PER_WORD] |= two << ((i % SLOTS_PER_WORD) * 2);
+            }
+            SegScan {
+                words,
+                rows,
+                counts,
+                dollars,
+            }
+        });
+
         let mut totals = [0u32; SIGMA];
-        for (i, &c) in l.iter().enumerate() {
-            assert!((c as usize) < SIGMA, "symbol {c} out of alphabet");
-            totals[c as usize] += 1;
-            let two = if i == dollar_pos { 0 } else { (c - 1) as u64 };
-            packed[i / SLOTS_PER_WORD] |= two << ((i % SLOTS_PER_WORD) * 2);
+        let mut dollars = Vec::new();
+        for seg in &segs {
+            for (t, &c) in totals.iter_mut().zip(&seg.counts) {
+                *t += c;
+            }
+            dollars.extend_from_slice(&seg.dollars);
         }
+        assert!(!dollars.is_empty(), "L must contain the sentinel");
+        assert_eq!(dollars.len(), 1, "L must contain exactly one sentinel");
+        let dollar_pos = dollars[0];
 
+        // Exclusive prefix of per-segment counts (serial, O(segments))
+        // seeds each segment's checkpoint rows.
+        let seg_bases: Vec<[u32; BASES]> = {
+            let mut base = [0u32; BASES];
+            segs.iter()
+                .map(|seg| {
+                    let this = base;
+                    for (lane, b) in base.iter_mut().enumerate() {
+                        *b += seg.counts[lane + 1];
+                    }
+                    this
+                })
+                .collect()
+        };
+
+        // Pass 2 (parallel): promote segment-local rows to global counts.
+        let fixed_rows = pool.par_map(&seg_bases, |s, base| {
+            let mut rows = segs[s].rows.clone();
+            for row in rows.chunks_exact_mut(BASES) {
+                for (lane, slot) in row.iter_mut().enumerate() {
+                    *slot += base[lane];
+                }
+            }
+            rows
+        });
+
+        let mut packed = Vec::with_capacity(n.div_ceil(SLOTS_PER_WORD));
+        for seg in &segs {
+            packed.extend_from_slice(&seg.words);
+        }
         let blocks = n / rate + 1;
-        let mut checkpoints = vec![0u32; blocks * BASES];
-        let mut running = [0u32; BASES];
-        for (i, &c) in l.iter().enumerate() {
-            if i % rate == 0 {
-                checkpoints[(i / rate) * BASES..(i / rate) * BASES + BASES]
-                    .copy_from_slice(&running);
-            }
-            if c != SENTINEL {
-                running[(c - 1) as usize] += 1;
-            }
+        let mut checkpoints = Vec::with_capacity(blocks * BASES);
+        for rows in &fixed_rows {
+            checkpoints.extend_from_slice(rows);
         }
-        if n.is_multiple_of(rate) && n > 0 {
-            let b = n / rate;
-            if b < blocks {
-                checkpoints[b * BASES..b * BASES + BASES].copy_from_slice(&running);
-            }
+        // Rows are emitted at block *starts*; when `n` lands exactly on a
+        // block boundary the final row (= the per-base totals) has no
+        // start position inside `l` to trigger it.
+        let total_row: [u32; BASES] = std::array::from_fn(|lane| totals[lane + 1]);
+        while checkpoints.len() < blocks * BASES {
+            checkpoints.extend_from_slice(&total_row);
         }
+        debug_assert_eq!(checkpoints.len(), blocks * BASES);
 
-        RankAll {
+        Ok(RankAll {
             packed,
             checkpoints,
             rate,
             dollar_pos,
             len: n,
             totals,
-        }
+        })
     }
 
     /// Length of `L`.
@@ -394,6 +502,44 @@ mod tests {
         assert_eq!(r.count(3), 2);
         assert_eq!(r.count(4), 2);
         assert_eq!(r.count(0), 1);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for rate in [4usize, 64] {
+            // Lengths around the word, checkpoint, and segment boundaries.
+            for n in [1usize, 5, 31, 32, 33, 127, 128, 500, 2048] {
+                let dollar = rng.gen_range(0..n);
+                let l: Vec<u8> = (0..n)
+                    .map(|i| if i == dollar { 0 } else { rng.gen_range(1..=4) })
+                    .collect();
+                let mut serial_bytes = Vec::new();
+                RankAll::new(&l, rate)
+                    .write_to(&mut crate::serialize::SerWriter::new(&mut serial_bytes))
+                    .unwrap();
+                for threads in [2usize, 3, 8] {
+                    let par = RankAll::new_with(&l, rate, &ThreadPool::new(threads));
+                    let mut par_bytes = Vec::new();
+                    par.write_to(&mut crate::serialize::SerWriter::new(&mut par_bytes))
+                        .unwrap();
+                    assert_eq!(
+                        par_bytes, serial_bytes,
+                        "n={n} rate={rate} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_accepts_small_texts() {
+        let l = [1u8, 0, 2, 3, 4];
+        let rank = RankAll::try_new(&l, 4).unwrap();
+        assert_eq!(rank.len(), 5);
+        // The u32 boundary itself is exercised arithmetically in
+        // `crate::limits` — a real 4 GiB allocation has no place in tests.
     }
 
     #[test]

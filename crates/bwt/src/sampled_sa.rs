@@ -9,6 +9,10 @@
 //! resolved by LF-stepping until a sampled row is hit — at most
 //! `rate - 1` steps.
 
+use kmm_par::{aligned_spans, ThreadPool};
+
+use crate::limits::{check_text_len, TextTooLarge};
+
 /// A bit vector with O(1) rank support (one u32 prefix count per 64-bit word).
 #[derive(Debug, Clone)]
 pub struct BitRank {
@@ -83,24 +87,68 @@ pub struct SampledSuffixArray {
 impl SampledSuffixArray {
     /// Sample a full suffix array at the given rate (`rate = 1` keeps all).
     pub fn new(sa: &[u32], rate: usize) -> Self {
-        assert!(rate >= 1, "sampling rate must be >= 1");
-        let bits: Vec<bool> = sa
-            .iter()
-            .map(|&v| (v as usize).is_multiple_of(rate))
-            .collect();
-        let marked = BitRank::new(&bits);
-        let mut samples = Vec::with_capacity(sa.len() / rate + 1);
-        for (row, &v) in sa.iter().enumerate() {
-            if bits[row] {
-                debug_assert_eq!(samples.len(), marked.rank(row) as usize);
-                samples.push(v);
-            }
+        Self::new_with(sa, rate, &ThreadPool::serial())
+    }
+
+    /// [`Self::new`] on a thread pool; panics on oversized inputs.
+    pub fn new_with(sa: &[u32], rate: usize, pool: &ThreadPool) -> Self {
+        match Self::try_new_with(sa, rate, pool) {
+            Ok(ssa) => ssa,
+            Err(err) => panic!("{err}"),
         }
-        SampledSuffixArray {
-            marked,
+    }
+
+    /// Fallible single-threaded build (see [`Self::try_new_with`]).
+    pub fn try_new(sa: &[u32], rate: usize) -> Result<Self, TextTooLarge> {
+        Self::try_new_with(sa, rate, &ThreadPool::serial())
+    }
+
+    /// Sample a suffix array, rejecting inputs too long for the `u32`
+    /// sample layout.
+    ///
+    /// Mark-bitmap words and retained samples are extracted per
+    /// 64-row-aligned segment across `pool` (each worker owns whole
+    /// bitmap words; samples stay in row order because segments are
+    /// merged in order), then the rank directory is rebuilt with one
+    /// cheap serial prefix pass. Output is bit-identical to the serial
+    /// build at any thread count.
+    pub fn try_new_with(sa: &[u32], rate: usize, pool: &ThreadPool) -> Result<Self, TextTooLarge> {
+        assert!(rate >= 1, "sampling rate must be >= 1");
+        check_text_len(sa.len())?;
+        let spans = aligned_spans(sa.len(), pool.threads() * 4, 64);
+        let parts = pool.par_map(&spans, |_, span| {
+            let mut words = vec![0u64; (span.end - span.start).div_ceil(64)];
+            let mut samples = Vec::new();
+            for (off, &v) in sa[span.clone()].iter().enumerate() {
+                if (v as usize).is_multiple_of(rate) {
+                    words[off / 64] |= 1u64 << (off % 64);
+                    samples.push(v);
+                }
+            }
+            (words, samples)
+        });
+        let mut words = Vec::with_capacity(sa.len().div_ceil(64));
+        let mut samples = Vec::with_capacity(sa.len() / rate + 1);
+        for (w, s) in parts {
+            words.extend(w);
+            samples.extend(s);
+        }
+        let mut prefix = Vec::with_capacity(words.len() + 1);
+        let mut acc = 0u32;
+        prefix.push(0);
+        for &w in &words {
+            acc += w.count_ones();
+            prefix.push(acc);
+        }
+        Ok(SampledSuffixArray {
+            marked: BitRank {
+                words,
+                prefix,
+                len: sa.len(),
+            },
             samples,
             rate,
-        }
+        })
     }
 
     /// If `row` is sampled, its SA value.
@@ -272,5 +320,36 @@ mod tests {
     #[should_panic(expected = "rate must be >= 1")]
     fn rejects_zero_rate() {
         SampledSuffixArray::new(&[0], 0);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for n in [1usize, 63, 64, 65, 500, 4096] {
+            // A permutation-like SA stand-in: distinct values in 0..n.
+            let mut sa: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                sa.swap(i, rng.gen_range(0..=i));
+            }
+            for rate in [1usize, 4, 16] {
+                let mut serial_bytes = Vec::new();
+                SampledSuffixArray::new(&sa, rate)
+                    .write_to(&mut crate::serialize::SerWriter::new(&mut serial_bytes))
+                    .unwrap();
+                for threads in [2usize, 3, 8] {
+                    let par = SampledSuffixArray::new_with(&sa, rate, &ThreadPool::new(threads));
+                    let mut par_bytes = Vec::new();
+                    par.write_to(&mut crate::serialize::SerWriter::new(&mut par_bytes))
+                        .unwrap();
+                    assert_eq!(
+                        par_bytes, serial_bytes,
+                        "n={n} rate={rate} threads={threads}"
+                    );
+                    assert_eq!(par.get(0), SampledSuffixArray::new(&sa, rate).get(0));
+                }
+            }
+        }
+        assert!(SampledSuffixArray::try_new(&[0, 1, 2], 2).is_ok());
     }
 }

@@ -8,7 +8,8 @@
 
 use kmm_classic::Occurrence;
 use kmm_dna::reverse_complement;
-use kmm_telemetry::{Counter, NoopRecorder, Recorder};
+use kmm_par::ThreadPool;
+use kmm_telemetry::{Counter, MetricsRecorder, NoopRecorder, Recorder};
 
 use crate::matcher::{KMismatchIndex, Method};
 
@@ -164,6 +165,49 @@ impl<'a> ReadMapper<'a> {
             }
         };
         MapReport { outcome, all, mapq }
+    }
+
+    /// Map a batch of reads across a thread pool. Reads are independent,
+    /// so the reports are bit-identical to mapping each read serially and
+    /// come back in input order at any thread count.
+    pub fn map_batch<Rd: AsRef<[u8]> + Sync>(
+        &self,
+        reads: &[Rd],
+        pool: &ThreadPool,
+    ) -> Vec<MapReport> {
+        self.map_batch_recorded(reads, pool, &NoopRecorder)
+    }
+
+    /// [`Self::map_batch`] with telemetry: each worker records into a
+    /// private [`MetricsRecorder`] shard (no shared atomics on the query
+    /// path), absorbed into `recorder` after the join.
+    pub fn map_batch_recorded<Rd, R>(
+        &self,
+        reads: &[Rd],
+        pool: &ThreadPool,
+        recorder: &R,
+    ) -> Vec<MapReport>
+    where
+        Rd: AsRef<[u8]> + Sync,
+        R: Recorder + Sync,
+    {
+        if matches!(self.config.method, Method::Cole) {
+            self.index.suffix_tree();
+        }
+        let shard_metrics = recorder.enabled();
+        pool.par_map_init(
+            reads,
+            || shard_metrics.then(MetricsRecorder::new),
+            |shard, _i, read| match shard {
+                Some(shard) => self.map_recorded(read.as_ref(), shard),
+                None => self.map(read.as_ref()),
+            },
+            |shard| {
+                if let Some(shard) = shard {
+                    recorder.absorb(&shard.snapshot());
+                }
+            },
+        )
     }
 }
 

@@ -2,14 +2,15 @@
 //! search methods — the four compared in the paper's Section V plus two
 //! reference scanners.
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use kmm_bwt::{FmBuildConfig, FmIndex};
 use kmm_classic::{amir, kangaroo, naive, Occurrence};
 use kmm_dna::SIGMA;
+use kmm_par::ThreadPool;
 use kmm_suffix::SuffixTree;
-use kmm_telemetry::{Counter, Hist, NoopRecorder, Phase, Recorder};
+use kmm_telemetry::{Counter, Hist, MetricsRecorder, NoopRecorder, Phase, Recorder};
 
 use crate::algorithm_a::AlgorithmA;
 use crate::cole::ColeSearch;
@@ -295,6 +296,72 @@ impl KMismatchIndex {
             all.push(r.occurrences);
         }
         (all, stats)
+    }
+
+    /// [`Self::search_batch`] across a thread pool. Queries are
+    /// independent, so the occurrence lists are bit-identical to the
+    /// serial batch and arrive in input order at any thread count; the
+    /// accumulated [`SearchStats`] are merged commutatively and equal the
+    /// serial totals.
+    pub fn search_batch_par<P: AsRef<[u8]> + Sync>(
+        &self,
+        patterns: &[P],
+        k: usize,
+        method: Method,
+        pool: &ThreadPool,
+    ) -> (Vec<Vec<Occurrence>>, SearchStats) {
+        self.search_batch_par_recorded(patterns, k, method, pool, &NoopRecorder)
+    }
+
+    /// [`Self::search_batch_par`] with telemetry. Each participating
+    /// worker records into a private [`MetricsRecorder`] shard — the
+    /// query hot path touches no shared atomics — and the shards are
+    /// absorbed into `recorder` after the join, so order-independent
+    /// aggregates (counters, histogram counts, phase entry counts) match
+    /// a serial run exactly.
+    pub fn search_batch_par_recorded<P, R>(
+        &self,
+        patterns: &[P],
+        k: usize,
+        method: Method,
+        pool: &ThreadPool,
+        recorder: &R,
+    ) -> (Vec<Vec<Occurrence>>, SearchStats)
+    where
+        P: AsRef<[u8]> + Sync,
+        R: Recorder + Sync,
+    {
+        if matches!(method, Method::Cole) {
+            // Materialise the lazy suffix tree once, up front, instead of
+            // having every worker block on the OnceLock initialiser.
+            self.suffix_tree();
+        }
+        let shard_metrics = recorder.enabled();
+        let total = Mutex::new(SearchStats::default());
+        let results = pool.par_map_init(
+            patterns,
+            || {
+                (
+                    shard_metrics.then(MetricsRecorder::new),
+                    SearchStats::default(),
+                )
+            },
+            |(shard, stats), _i, pattern| {
+                let r = match shard {
+                    Some(shard) => self.search_recorded(pattern.as_ref(), k, method, shard),
+                    None => self.search(pattern.as_ref(), k, method),
+                };
+                stats.accumulate(&r.stats);
+                r.occurrences
+            },
+            |(shard, stats)| {
+                if let Some(shard) = shard {
+                    recorder.absorb(&shard.snapshot());
+                }
+                total.lock().unwrap().accumulate(&stats);
+            },
+        );
+        (results, total.into_inner().unwrap())
     }
 }
 

@@ -9,7 +9,8 @@
 //! `(record, local offset)` coordinates.
 
 use kmm_classic::Occurrence;
-use kmm_telemetry::{Counter, NoopRecorder, Recorder};
+use kmm_par::ThreadPool;
+use kmm_telemetry::{Counter, MetricsRecorder, NoopRecorder, Recorder};
 
 use crate::matcher::{KMismatchIndex, Method};
 use crate::stats::SearchStats;
@@ -133,6 +134,65 @@ impl MultiIndex {
             )
             .collect();
         (occ, res.stats)
+    }
+
+    /// Run many queries across a thread pool, returning per-query hit
+    /// lists in input order (bit-identical at any thread count) plus the
+    /// merged statistics.
+    pub fn search_batch_par<P: AsRef<[u8]> + Sync>(
+        &self,
+        patterns: &[P],
+        k: usize,
+        method: Method,
+        pool: &ThreadPool,
+    ) -> (Vec<Vec<MultiOccurrence>>, SearchStats) {
+        self.search_batch_par_recorded(patterns, k, method, pool, &NoopRecorder)
+    }
+
+    /// [`Self::search_batch_par`] with telemetry, sharded per worker and
+    /// absorbed into `recorder` after the join (including the
+    /// `multi.boundary_filtered` ticks).
+    pub fn search_batch_par_recorded<P, R>(
+        &self,
+        patterns: &[P],
+        k: usize,
+        method: Method,
+        pool: &ThreadPool,
+        recorder: &R,
+    ) -> (Vec<Vec<MultiOccurrence>>, SearchStats)
+    where
+        P: AsRef<[u8]> + Sync,
+        R: Recorder + Sync,
+    {
+        if matches!(method, Method::Cole) {
+            self.index.suffix_tree();
+        }
+        let shard_metrics = recorder.enabled();
+        let total = std::sync::Mutex::new(SearchStats::default());
+        let results = pool.par_map_init(
+            patterns,
+            || {
+                (
+                    shard_metrics.then(MetricsRecorder::new),
+                    SearchStats::default(),
+                )
+            },
+            |(shard, stats), _i, pattern| {
+                let (occ, s) = match shard {
+                    Some(shard) => self.search_recorded(pattern.as_ref(), k, method, shard),
+                    None => self.search(pattern.as_ref(), k, method),
+                };
+                stats.accumulate(&s);
+                occ
+            },
+            |(shard, stats)| {
+                if let Some(shard) = shard {
+                    recorder.absorb(&shard.snapshot());
+                }
+                total.lock().unwrap().accumulate(&stats);
+            },
+        );
+        (results, total.into_inner().unwrap())
     }
 }
 

@@ -1,0 +1,378 @@
+//! # kmm-par
+//!
+//! Zero-dependency (std-only) data parallelism for the bwt-kmismatch
+//! workspace: a scoped [`ThreadPool`], chunked [`ThreadPool::par_map`]
+//! over slices, and a shared-counter scheduler that behaves like work
+//! stealing for uneven per-item cost — each worker repeatedly claims the
+//! next unclaimed chunk from one atomic counter, so a slow item never
+//! stalls the rest of the batch behind a static partition.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Every parallel operation returns results in input
+//!    order, bit-identical at any thread count; worker-local state is
+//!    merged through commutative folds only.
+//! 2. **Offline-build safety.** No crates.io dependencies; everything is
+//!    `std::thread::scope` + relaxed atomics.
+//! 3. **Zero cost at `threads = 1`.** A serial pool runs the closure
+//!    inline on the calling thread — no spawns, no atomics, no
+//!    allocation beyond the output vector — so the single-threaded path
+//!    is exactly the code that ran before this crate existed.
+//!
+//! ```
+//! use kmm_par::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the host offers (`available_parallelism`,
+/// falling back to 1 when the runtime cannot tell).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scoped thread pool of a fixed logical width.
+///
+/// The pool is a lightweight handle (just the configured width): workers
+/// are spawned per batch via `std::thread::scope`, which lets closures
+/// borrow from the caller's stack and guarantees every worker is joined
+/// before the call returns — no detached threads, no `'static` bounds,
+/// no unsafe lifetime erasure. Worker 0 runs on the calling thread, so a
+/// pool of width 1 never spawns at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    /// A pool as wide as the host ([`available_threads`]).
+    fn default() -> Self {
+        ThreadPool::with_available()
+    }
+}
+
+impl ThreadPool {
+    /// A pool of exactly `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is 0 (reject zero at the argv layer; a pool
+    /// always has at least the calling thread).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a thread pool needs at least one thread");
+        ThreadPool { threads }
+    }
+
+    /// A pool as wide as the host ([`available_threads`]).
+    pub fn with_available() -> Self {
+        ThreadPool::new(available_threads())
+    }
+
+    /// The single-threaded pool: every operation runs inline.
+    pub fn serial() -> Self {
+        ThreadPool::new(1)
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when the pool runs everything inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Run `worker(thread_id)` once per pool thread, in parallel, and
+    /// block until all return. Worker 0 executes on the calling thread.
+    /// A panicking worker propagates the panic to the caller.
+    ///
+    /// This is the pool's scoped-execution primitive; the `par_*`
+    /// combinators are built on it.
+    pub fn broadcast<F>(&self, worker: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            worker(0);
+            return;
+        }
+        std::thread::scope(|s| {
+            let worker = &worker;
+            let mut handles = Vec::with_capacity(self.threads - 1);
+            for t in 1..self.threads {
+                handles.push(s.spawn(move || worker(t)));
+            }
+            worker(0);
+            for h in handles {
+                // A worker panic surfaces here (scope would also abort
+                // on implicit join, but an explicit join keeps the
+                // panic payload).
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    /// Chunk size heuristic for a shared-counter schedule: small enough
+    /// that uneven items rebalance (≥ ~4 claims per worker), large
+    /// enough that the counter is not contended per item.
+    fn chunk_size(&self, len: usize) -> usize {
+        (len / (self.threads * 4)).clamp(1, 64)
+    }
+
+    /// Parallel map over a slice, returning results **in input order**
+    /// regardless of thread count. `f` receives `(index, &item)`.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.par_map_init(items, || (), |_, i, t| f(i, t), |_| ())
+    }
+
+    /// [`Self::par_map`] with worker-local state: `init()` runs once per
+    /// participating worker, `f(&mut state, index, &item)` maps each
+    /// item, and `drain(state)` consumes the worker's state after its
+    /// last item (use it to merge telemetry shards or statistics — keep
+    /// the merge commutative so results stay deterministic).
+    ///
+    /// Items are claimed in chunks from one shared atomic counter, so a
+    /// worker stuck on an expensive item does not strand the tail of
+    /// the batch. Output order is input order at any thread count.
+    pub fn par_map_init<T, U, S, I, F, D>(&self, items: &[T], init: I, f: F, drain: D) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> U + Sync,
+        D: Fn(S) + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let mut state = init();
+            let out = items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
+            drain(state);
+            return out;
+        }
+        let chunk = self.chunk_size(items.len());
+        let next = AtomicUsize::new(0);
+        // Workers emit (start, results) runs; runs are re-assembled into
+        // input order afterwards. This keeps the scheduler safe Rust —
+        // no shared mutable output buffer — at the cost of one move per
+        // result, which is noise next to a search query.
+        let parts: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+        self.broadcast(|_| {
+            let mut state = init();
+            let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + chunk).min(items.len());
+                let mut run = Vec::with_capacity(end - start);
+                for (i, item) in items[start..end].iter().enumerate() {
+                    run.push(f(&mut state, start + i, item));
+                }
+                local.push((start, run));
+            }
+            drain(state);
+            parts.lock().unwrap().append(&mut local);
+        });
+        let mut parts = parts.into_inner().unwrap();
+        parts.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(items.len());
+        for (start, run) in parts {
+            debug_assert_eq!(start, out.len(), "non-contiguous run re-assembly");
+            out.extend(run);
+        }
+        assert_eq!(out.len(), items.len());
+        out
+    }
+}
+
+/// Split `0..len` into contiguous spans whose starts are multiples of
+/// `align` — the shape index-construction passes need (word- and
+/// checkpoint-aligned blocks). Produces at most `pieces` spans (fewer
+/// when `len` is small), covering `0..len` exactly, in order.
+///
+/// # Panics
+/// Panics if `align` is 0 or `pieces` is 0.
+pub fn aligned_spans(len: usize, pieces: usize, align: usize) -> Vec<Range<usize>> {
+    assert!(align > 0, "alignment must be positive");
+    assert!(pieces > 0, "at least one piece required");
+    if len == 0 {
+        return Vec::new();
+    }
+    // Ceil-divide the aligned-unit count so every span is a whole number
+    // of alignment units (the last span absorbs the remainder of len).
+    let units = len.div_ceil(align);
+    let pieces = pieces.min(units);
+    let units_per_piece = units.div_ceil(pieces);
+    let span = units_per_piece * align;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + span).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn available_is_positive() {
+        assert!(available_threads() >= 1);
+        assert_eq!(ThreadPool::default().threads(), available_threads());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_width_pool_is_rejected() {
+        ThreadPool::new(0);
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_every_width() {
+        let items: Vec<u64> = (0..997).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 8, 32] {
+            let pool = ThreadPool::new(threads);
+            let got = pool.par_map(&items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_and_empty_inputs() {
+        let pool = ThreadPool::new(8);
+        assert_eq!(pool.par_map::<u8, u8, _>(&[], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(pool.par_map(&[9u8], |i, &x| (i as u8, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn par_map_rebalances_uneven_work() {
+        // One item 1000x more expensive than the rest: the shared
+        // counter lets other workers drain the tail. (Correctness, not
+        // timing, is asserted — single-core CI cannot observe speedup.)
+        let items: Vec<u32> = (0..256).collect();
+        let pool = ThreadPool::new(4);
+        let got = pool.par_map(&items, |_, &x| {
+            let spins = if x == 0 { 100_000 } else { 100 };
+            (0..spins).fold(x as u64, |a, b| a.wrapping_add(b))
+        });
+        let want: Vec<u64> = items
+            .iter()
+            .map(|&x| {
+                let spins = if x == 0 { 100_000u64 } else { 100 };
+                (0..spins).fold(x as u64, |a, b| a.wrapping_add(b))
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_init_drains_each_workers_state_once() {
+        let items: Vec<u32> = (0..500).collect();
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            let drained = AtomicUsize::new(0);
+            let total = AtomicU64::new(0);
+            let out = pool.par_map_init(
+                &items,
+                || 0u64,
+                |local, _, &x| {
+                    *local += x as u64;
+                    x
+                },
+                |local| {
+                    drained.fetch_add(1, Ordering::Relaxed);
+                    total.fetch_add(local, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(out, items, "threads={threads}");
+            // Worker-local sums always merge to the serial total, and
+            // every participating worker drains exactly once.
+            assert_eq!(
+                total.load(Ordering::Relaxed),
+                items.iter().map(|&x| x as u64).sum()
+            );
+            assert!(drained.load(Ordering::Relaxed) >= 1);
+            assert!(drained.load(Ordering::Relaxed) <= threads);
+        }
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker() {
+        let pool = ThreadPool::new(6);
+        let seen = Mutex::new(vec![false; 6]);
+        pool.broadcast(|tid| {
+            seen.lock().unwrap()[tid] = true;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(4);
+        let r = std::panic::catch_unwind(|| {
+            pool.par_map(&[1u8, 2, 3, 4, 5, 6, 7, 8], |_, &x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn aligned_spans_cover_exactly_and_stay_aligned() {
+        for (len, pieces, align) in [
+            (0usize, 4usize, 32usize),
+            (1, 4, 32),
+            (31, 4, 32),
+            (32, 4, 32),
+            (1000, 3, 64),
+            (1_048_577, 8, 128),
+            (100, 200, 4),
+        ] {
+            let spans = aligned_spans(len, pieces, align);
+            if len == 0 {
+                assert!(spans.is_empty());
+                continue;
+            }
+            assert!(spans.len() <= pieces);
+            assert_eq!(spans.first().unwrap().start, 0);
+            assert_eq!(spans.last().unwrap().end, len);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap between spans");
+            }
+            for s in &spans {
+                assert!(s.start % align == 0, "span start {} unaligned", s.start);
+                assert!(!s.is_empty());
+            }
+        }
+    }
+}

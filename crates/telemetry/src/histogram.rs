@@ -83,6 +83,29 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Fold a detached snapshot into this histogram (used to merge
+    /// per-worker shards after a parallel batch). Equivalent to having
+    /// observed the shard's values here: bucket counts and sums add,
+    /// min/max widen. Empty snapshots are a no-op.
+    pub fn absorb(&self, shard: &HistogramSnapshot) {
+        if shard.count == 0 {
+            return;
+        }
+        for (i, &n) in shard.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(shard.count, Ordering::Relaxed);
+        self.sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(shard.sum))
+            })
+            .ok();
+        self.min.fetch_min(shard.min, Ordering::Relaxed);
+        self.max.fetch_max(shard.max, Ordering::Relaxed);
+    }
+
     /// Consistent point-in-time copy (consistent only when no writer races).
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
@@ -198,6 +221,26 @@ mod tests {
         assert_eq!(s.max, u64::MAX);
         // Sum saturates rather than wrapping.
         assert_eq!(s.sum, u64::MAX);
+    }
+
+    #[test]
+    fn absorb_equals_direct_observation() {
+        let whole = Histogram::new();
+        let shard_a = Histogram::new();
+        let shard_b = Histogram::new();
+        for v in [0u64, 3, 3, 17, 1_000_000] {
+            whole.observe(v);
+            shard_a.observe(v);
+        }
+        for v in [1u64, 255, u64::MAX] {
+            whole.observe(v);
+            shard_b.observe(v);
+        }
+        let merged = Histogram::new();
+        merged.absorb(&shard_a.snapshot());
+        merged.absorb(&shard_b.snapshot());
+        merged.absorb(&HistogramSnapshot::empty()); // no-op
+        assert_eq!(merged.snapshot(), whole.snapshot());
     }
 
     #[test]

@@ -233,6 +233,15 @@ pub trait Recorder {
     #[inline]
     fn phase_add(&self, _phase: Phase, _nanos: u64) {}
 
+    /// Fold a detached snapshot into this recorder. Parallel batch paths
+    /// give each worker its own [`MetricsRecorder`] shard (so the query
+    /// hot path touches no contended atomics) and absorb the shards into
+    /// the caller's recorder after the join. Counters, phase totals and
+    /// histogram buckets add; histogram min/max widen. The default is a
+    /// no-op, matching [`NoopRecorder`].
+    #[inline]
+    fn absorb(&self, _snapshot: &MetricsSnapshot) {}
+
     /// Open a scoped timer for `phase`; time is credited when the
     /// returned guard drops.
     #[inline]
@@ -363,6 +372,34 @@ impl Recorder for MetricsRecorder {
         self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
         self.phase_entries[phase.index()].fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Merge a shard snapshot: unknown names (from older/newer schema
+    /// documents) are ignored rather than rejected.
+    fn absorb(&self, snapshot: &MetricsSnapshot) {
+        for p in &snapshot.phases {
+            if let Some(phase) = Phase::ALL.iter().find(|x| x.name() == p.name) {
+                let i = phase.index();
+                if p.total_ns > 0 {
+                    self.phase_nanos[i].fetch_add(p.total_ns, Ordering::Relaxed);
+                }
+                if p.entries > 0 {
+                    self.phase_entries[i].fetch_add(p.entries, Ordering::Relaxed);
+                }
+            }
+        }
+        for c in &snapshot.counters {
+            if c.value > 0 {
+                if let Some(counter) = Counter::ALL.iter().find(|x| x.name() == c.name) {
+                    self.add(*counter, c.value);
+                }
+            }
+        }
+        for (name, shard) in &snapshot.histograms {
+            if let Some(hist) = Hist::ALL.iter().find(|x| x.name() == *name) {
+                self.hists[hist.index()].absorb(shard);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +473,33 @@ mod tests {
             "credited {last}ns exceeds enclosing wall time {wall}ns"
         );
         assert_eq!(rec.snapshot().phase(Phase::SearchQuery).entries, 5);
+    }
+
+    #[test]
+    fn absorbing_shards_equals_direct_recording() {
+        // Two worker shards vs one recorder that saw every event.
+        let direct = MetricsRecorder::new();
+        let shard_a = MetricsRecorder::new();
+        let shard_b = MetricsRecorder::new();
+        for rec in [&direct, &shard_a] {
+            rec.add(Counter::Queries, 2);
+            rec.add(Counter::Occurrences, 7);
+            rec.observe(Hist::SearchLatencyNs, 1500);
+            rec.phase_add(Phase::SearchQuery, 1500);
+        }
+        for rec in [&direct, &shard_b] {
+            rec.add(Counter::Queries, 1);
+            rec.observe(Hist::SearchLatencyNs, 90);
+            rec.observe(Hist::IntervalWidth, 4);
+            rec.phase_add(Phase::SearchQuery, 90);
+        }
+        let merged = MetricsRecorder::new();
+        merged.absorb(&shard_a.snapshot());
+        merged.absorb(&shard_b.snapshot());
+        merged.absorb(&MetricsRecorder::new().snapshot()); // empty no-op
+        assert_eq!(merged.snapshot(), direct.snapshot());
+        // NoopRecorder silently accepts the same call.
+        NoopRecorder.absorb(&shard_a.snapshot());
     }
 
     #[test]

@@ -34,4 +34,30 @@ for needle in kmm-telemetry/v1 index.load preprocess.rarray search.query; do
     grep -q "$needle" "$tmp/stats.json"
 done
 
+echo "== kmm search --threads 4 smoke test (multi-threaded batch) =="
+# Index construction and batch search across 4 workers must reproduce
+# the single-threaded hits byte for byte.
+"$kmm" index --reference "$tmp/ref.fa" -o "$tmp/ref-mt.idx" --threads 4
+cmp "$tmp/ref.idx" "$tmp/ref-mt.idx"
+"$kmm" search --index "$tmp/ref-mt.idx" --pattern "$pattern" -k 2 --threads 4 \
+    --stats > "$tmp/hits-mt.tsv" 2> "$tmp/summary-mt.txt"
+grep -q "occurrences" "$tmp/summary-mt.txt"
+grep -q "search.queries" "$tmp/summary-mt.txt"
+cmp "$tmp/hits.tsv" "$tmp/hits-mt.tsv"
+# Multi-pattern batch: two patterns fan out across the pool; output lines
+# are prefixed with the 0-based pattern index, in input order.
+pattern2=$(sed -n 2p "$tmp/ref.fa" | cut -c41-80)
+"$kmm" search --index "$tmp/ref-mt.idx" --pattern "$pattern" --pattern "$pattern2" \
+    -k 2 -j 4 > "$tmp/hits-multi.tsv" 2> "$tmp/summary-multi.txt"
+grep -q "across 2 patterns" "$tmp/summary-multi.txt"
+grep -q "^0	" "$tmp/hits-multi.tsv"
+grep -q "^1	" "$tmp/hits-multi.tsv"
+# Flag validation: zero and junk thread counts must be rejected.
+if "$kmm" search --index "$tmp/ref-mt.idx" --pattern "$pattern" --threads 0 2>/dev/null; then
+    echo "verify: --threads 0 was not rejected" >&2; exit 1
+fi
+if "$kmm" search --index "$tmp/ref-mt.idx" --pattern "$pattern" --threads nope 2>/dev/null; then
+    echo "verify: --threads nope was not rejected" >&2; exit 1
+fi
+
 echo "verify: OK"

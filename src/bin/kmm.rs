@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! kmm generate --genome rat --scale 0.01 -o ref.fa
-//! kmm index    --reference ref.fa -o ref.idx
+//! kmm index    --reference ref.fa -o ref.idx [--threads N]
 //! kmm simulate --reference ref.fa --reads 100 --len 100 -o reads.fq
-//! kmm map      --index ref.idx --reads reads.fq -k 5 [--method a]
-//! kmm search   --index ref.idx --pattern ACGTT... -k 3 [--method bwt]
+//! kmm map      --index ref.idx --reads reads.fq -k 5 [--method a] [--threads N]
+//! kmm search   --index ref.idx --pattern ACGTT... -k 3 [--method bwt] [--threads N]
 //! ```
 
 use std::path::PathBuf;
@@ -19,15 +19,20 @@ usage: kmm <command> [options]
 commands:
   generate  --genome <rat|zebrafish|rat-chr1|celegans|cmerolae>
             [--scale F] -o <out.fa>
-  index     --reference <ref.fa> -o <out.idx>
+  index     --reference <ref.fa> -o <out.idx> [--threads N]
   simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
   map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
-            [--both-strands true] [--stats] [--stats-json <out.json>]
-  search    --index <ref.idx> --pattern <DNA> [-k K] [--method M]
-            [--stats] [--stats-json <out.json>]
+            [--both-strands true] [--threads N] [--stats]
+            [--stats-json <out.json>]
+  search    --index <ref.idx> --pattern <DNA> [--pattern <DNA> ...] [-k K]
+            [--method M] [--threads N] [--stats] [--stats-json <out.json>]
 
 methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
          kangaroo | naive | seed
+
+--threads N (or -j N) sets the worker count for index construction and
+batch map/search; it defaults to the machine's available parallelism.
+Results are bit-identical at any thread count.
 
 --stats prints a telemetry table (phase timings, counters, histograms)
 with the summary; --stats-json writes the same snapshot as JSON.";
@@ -35,16 +40,50 @@ with the summary; --stats-json writes the same snapshot as JSON.";
 /// Flags that take no value; their presence means `true`.
 const BOOLEAN_FLAGS: &[&str] = &["stats"];
 
+/// Per-command accepted flags (after `-j` canonicalises to `threads`).
+const GENERATE_FLAGS: &[&str] = &["genome", "scale", "o"];
+const INDEX_FLAGS: &[&str] = &["reference", "o", "threads"];
+const SIMULATE_FLAGS: &[&str] = &["reference", "reads", "len", "seed", "o"];
+const MAP_FLAGS: &[&str] = &[
+    "index",
+    "reads",
+    "k",
+    "method",
+    "both-strands",
+    "threads",
+    "stats",
+    "stats-json",
+];
+const SEARCH_FLAGS: &[&str] = &[
+    "index",
+    "pattern",
+    "k",
+    "method",
+    "threads",
+    "stats",
+    "stats-json",
+];
+
 struct Args {
     flags: Vec<(String, String)>,
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Result<Args, CliError> {
+    fn parse(argv: &[String], known: &[&str]) -> Result<Args, CliError> {
         let mut flags = Vec::new();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                // `-j N` is shorthand for `--threads N` wherever threads
+                // are accepted.
+                let name = if name == "j" { "threads" } else { name };
+                if !known.contains(&name) {
+                    let valid: Vec<String> = known.iter().map(|f| format!("--{f}")).collect();
+                    return Err(CliError(format!(
+                        "unknown flag --{name} (valid: {})",
+                        valid.join(", ")
+                    )));
+                }
                 if BOOLEAN_FLAGS.contains(&name) {
                     flags.push((name.to_string(), "true".to_string()));
                     continue;
@@ -67,6 +106,14 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    fn get_all(&self, name: &str) -> Vec<String> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
     fn require(&self, name: &str) -> Result<&str, CliError> {
         self.get(name)
             .ok_or_else(|| CliError(format!("missing required flag --{name}")))
@@ -78,6 +125,21 @@ impl Args {
             Some(v) => v
                 .parse()
                 .map_err(|_| CliError(format!("bad value for --{name}: {v}"))),
+        }
+    }
+
+    /// `--threads N` / `-j N`: defaults to the available parallelism;
+    /// rejects zero and non-numeric values.
+    fn threads(&self) -> Result<usize, CliError> {
+        match self.get("threads") {
+            None => Ok(bwt_kmismatch::par::available_threads()),
+            Some(v) => match v.parse::<usize>() {
+                Ok(0) => Err(CliError("--threads must be at least 1 (got 0)".to_string())),
+                Ok(n) => Ok(n),
+                Err(_) => Err(CliError(format!(
+                    "bad value for --threads: '{v}' (expected a positive integer)"
+                ))),
+            },
         }
     }
 }
@@ -94,26 +156,34 @@ fn run() -> Result<String, CliError> {
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError(USAGE.to_string()));
     };
-    let args = Args::parse(rest)?;
     let out_path = |a: &Args| -> Result<PathBuf, CliError> { Ok(PathBuf::from(a.require("o")?)) };
     match command.as_str() {
         "generate" => {
+            let args = Args::parse(rest, GENERATE_FLAGS)?;
             let genome = cli::parse_genome(args.require("genome")?)?;
             let scale: f64 = args.parsed("scale", 0.01)?;
             cli::generate(genome, scale, &out_path(&args)?)
         }
-        "index" => cli::index(
-            &PathBuf::from(args.require("reference")?),
-            &out_path(&args)?,
-        ),
-        "simulate" => cli::simulate(
-            &PathBuf::from(args.require("reference")?),
-            args.parsed("reads", 50usize)?,
-            args.parsed("len", 100usize)?,
-            args.parsed("seed", 42u64)?,
-            &out_path(&args)?,
-        ),
+        "index" => {
+            let args = Args::parse(rest, INDEX_FLAGS)?;
+            cli::index(
+                &PathBuf::from(args.require("reference")?),
+                &out_path(&args)?,
+                args.threads()?,
+            )
+        }
+        "simulate" => {
+            let args = Args::parse(rest, SIMULATE_FLAGS)?;
+            cli::simulate(
+                &PathBuf::from(args.require("reference")?),
+                args.parsed("reads", 50usize)?,
+                args.parsed("len", 100usize)?,
+                args.parsed("seed", 42u64)?,
+                &out_path(&args)?,
+            )
+        }
         "map" => {
+            let args = Args::parse(rest, MAP_FLAGS)?;
             let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
             let both = args
                 .get("both-strands")
@@ -127,19 +197,26 @@ fn run() -> Result<String, CliError> {
                 args.parsed("k", 5usize)?,
                 method,
                 both,
+                args.threads()?,
                 &stats,
                 &mut stdout,
             )
         }
         "search" => {
+            let args = Args::parse(rest, SEARCH_FLAGS)?;
             let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
             let stats = stats_options(&args);
+            let patterns = args.get_all("pattern");
+            if patterns.is_empty() {
+                return Err(CliError("missing required flag --pattern".to_string()));
+            }
             let mut stdout = std::io::stdout().lock();
-            cli::search_pattern(
+            cli::search_patterns(
                 &PathBuf::from(args.require("index")?),
-                args.require("pattern")?,
+                &patterns,
                 args.parsed("k", 3usize)?,
                 method,
+                args.threads()?,
                 &stats,
                 &mut stdout,
             )

@@ -6,10 +6,11 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use kmm_bwt::FmIndex;
+use kmm_bwt::{FmBuildConfig, FmIndex};
 use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::{fasta, fastq};
+use kmm_par::ThreadPool;
 use kmm_telemetry::{MetricsRecorder, NoopRecorder, Recorder};
 
 /// CLI-level errors with user-facing messages.
@@ -139,9 +140,12 @@ pub fn simulate(
 /// record boundaries. Pipelines that need per-chromosome coordinates and
 /// boundary filtering should use `kmm_core::MultiIndex` directly (the
 /// saved index format holds a single text).
-pub fn index(reference: &Path, out: &Path) -> CliResult<String> {
+pub fn index(reference: &Path, out: &Path, threads: usize) -> CliResult<String> {
     let genome = load_fasta_single(reference)?;
-    let idx = KMismatchIndex::new(genome);
+    let idx = KMismatchIndex::with_config(
+        genome,
+        FmBuildConfig::default().with_threads(threads.max(1)),
+    );
     let mut w = BufWriter::new(File::create(out)?);
     idx.fm().save(&mut w)?;
     w.flush()?;
@@ -209,13 +213,17 @@ fn finish_stats(
     Ok(())
 }
 
-/// `kmm map`: align every FASTQ read against a saved index.
+/// `kmm map`: align every FASTQ read against a saved index, fanning the
+/// batch across `threads` workers (reports stay in input order and are
+/// bit-identical at any thread count).
+#[allow(clippy::too_many_arguments)]
 pub fn map_reads(
     index_path: &Path,
     reads_path: &Path,
     k: usize,
     method: Method,
     both_strands: bool,
+    threads: usize,
     stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
@@ -227,6 +235,7 @@ pub fn map_reads(
             k,
             method,
             both_strands,
+            threads,
             &recorder,
             out,
         )?;
@@ -239,6 +248,7 @@ pub fn map_reads(
             k,
             method,
             both_strands,
+            threads,
             &NoopRecorder,
             out,
         )
@@ -246,12 +256,14 @@ pub fn map_reads(
 }
 
 /// [`map_reads`] against an explicit recorder.
-fn map_reads_with<R: Recorder>(
+#[allow(clippy::too_many_arguments)]
+fn map_reads_with<R: Recorder + Sync>(
     index_path: &Path,
     reads_path: &Path,
     k: usize,
     method: Method,
     both_strands: bool,
+    threads: usize,
     recorder: &R,
     out: &mut dyn Write,
 ) -> CliResult<String> {
@@ -267,12 +279,14 @@ fn map_reads_with<R: Recorder>(
             method,
         },
     );
+    let pool = ThreadPool::new(threads.max(1));
+    let seqs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
+    let reports = mapper.map_batch_recorded(&seqs, &pool, recorder);
     writeln!(out, "#read\tposition\tstrand\tmismatches\tmapq")?;
     let mut mapped = 0usize;
     let mut unique = 0usize;
     let mut hits = 0usize;
-    for rec in &reads {
-        let report = mapper.map_recorded(&rec.seq, recorder);
+    for (rec, report) in reads.iter().zip(&reports) {
         match &report.outcome {
             MapOutcome::Unmapped => continue,
             MapOutcome::Unique(_) => {
@@ -305,7 +319,49 @@ fn map_reads_with<R: Recorder>(
     ))
 }
 
-/// `kmm search`: one ad-hoc pattern against a saved index.
+/// `kmm search`: ad-hoc pattern(s) against a saved index.
+///
+/// A single pattern prints `position\tmismatches` lines. With several
+/// patterns (repeated `--pattern` flags) the batch fans out across
+/// `threads` workers and each line is prefixed with the 0-based pattern
+/// index: `pattern\tposition\tmismatches`. Output order is the input
+/// pattern order at any thread count.
+pub fn search_patterns(
+    index_path: &Path,
+    patterns_ascii: &[String],
+    k: usize,
+    method: Method,
+    threads: usize,
+    stats: &StatsOptions,
+    out: &mut dyn Write,
+) -> CliResult<String> {
+    if stats.active() {
+        let recorder = MetricsRecorder::new();
+        let mut summary = search_patterns_with(
+            index_path,
+            patterns_ascii,
+            k,
+            method,
+            threads,
+            &recorder,
+            out,
+        )?;
+        finish_stats(&recorder, stats, &mut summary)?;
+        Ok(summary)
+    } else {
+        search_patterns_with(
+            index_path,
+            patterns_ascii,
+            k,
+            method,
+            threads,
+            &NoopRecorder,
+            out,
+        )
+    }
+}
+
+/// Single-pattern convenience wrapper over [`search_patterns`].
 pub fn search_pattern(
     index_path: &Path,
     pattern_ascii: &str,
@@ -314,38 +370,57 @@ pub fn search_pattern(
     stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
-    if stats.active() {
-        let recorder = MetricsRecorder::new();
-        let mut summary =
-            search_pattern_with(index_path, pattern_ascii, k, method, &recorder, out)?;
-        finish_stats(&recorder, stats, &mut summary)?;
-        Ok(summary)
-    } else {
-        search_pattern_with(index_path, pattern_ascii, k, method, &NoopRecorder, out)
-    }
+    search_patterns(
+        index_path,
+        std::slice::from_ref(&pattern_ascii.to_string()),
+        k,
+        method,
+        1,
+        stats,
+        out,
+    )
 }
 
-/// [`search_pattern`] against an explicit recorder.
-fn search_pattern_with<R: Recorder>(
+/// [`search_patterns`] against an explicit recorder.
+fn search_patterns_with<R: Recorder + Sync>(
     index_path: &Path,
-    pattern_ascii: &str,
+    patterns_ascii: &[String],
     k: usize,
     method: Method,
+    threads: usize,
     recorder: &R,
     out: &mut dyn Write,
 ) -> CliResult<String> {
-    let idx = load_index_recorded(index_path, recorder)?;
-    let pattern = kmm_dna::encode(pattern_ascii.as_bytes())
-        .map_err(|e| CliError(format!("bad pattern: {e}")))?;
-    let res = idx.search_recorded(&pattern, k, method, recorder);
-    for occ in &res.occurrences {
-        writeln!(out, "{}\t{}", occ.position, occ.mismatches)?;
+    if patterns_ascii.is_empty() {
+        return err("at least one --pattern is required");
     }
-    Ok(format!(
-        "{} occurrences (stats: {})",
-        res.occurrences.len(),
-        res.stats
-    ))
+    let idx = load_index_recorded(index_path, recorder)?;
+    let patterns: Vec<Vec<u8>> = patterns_ascii
+        .iter()
+        .map(|p| kmm_dna::encode(p.as_bytes()).map_err(|e| CliError(format!("bad pattern: {e}"))))
+        .collect::<CliResult<_>>()?;
+    let pool = ThreadPool::new(threads.max(1));
+    let (per_pattern, stats) = idx.search_batch_par_recorded(&patterns, k, method, &pool, recorder);
+    let single = patterns.len() == 1;
+    let mut total = 0usize;
+    for (pi, occs) in per_pattern.iter().enumerate() {
+        total += occs.len();
+        for occ in occs {
+            if single {
+                writeln!(out, "{}\t{}", occ.position, occ.mismatches)?;
+            } else {
+                writeln!(out, "{pi}\t{}\t{}", occ.position, occ.mismatches)?;
+            }
+        }
+    }
+    if single {
+        Ok(format!("{total} occurrences (stats: {stats})"))
+    } else {
+        Ok(format!(
+            "{total} occurrences across {} patterns (stats: {stats})",
+            patterns.len()
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -365,7 +440,7 @@ mod tests {
         let fq = tmp("pipeline.fq");
 
         generate(ReferenceGenome::CMerolae, 0.05, &fa).unwrap();
-        index(&fa, &idxf).unwrap();
+        index(&fa, &idxf, 2).unwrap();
         simulate(&fa, 10, 60, 7, &fq).unwrap();
 
         let mut out = Vec::new();
@@ -375,6 +450,7 @@ mod tests {
             4,
             Method::ALGORITHM_A,
             true,
+            2,
             &StatsOptions::default(),
             &mut out,
         )
@@ -395,7 +471,7 @@ mod tests {
         let fa = tmp("roundtrip.fa");
         let idxf = tmp("roundtrip.idx");
         generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
-        index(&fa, &idxf).unwrap();
+        index(&fa, &idxf, 2).unwrap();
 
         let genome = load_fasta_single(&fa).unwrap();
         let fresh = KMismatchIndex::new(genome.clone());
@@ -415,7 +491,7 @@ mod tests {
         let fa = tmp("search.fa");
         let idxf = tmp("search.idx");
         generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
-        index(&fa, &idxf).unwrap();
+        index(&fa, &idxf, 2).unwrap();
         let genome = load_fasta_single(&fa).unwrap();
         let probe = kmm_dna::decode_string(&genome[50..90]);
         let mut out = Vec::new();
@@ -434,13 +510,71 @@ mod tests {
     }
 
     #[test]
+    fn multi_pattern_search_prefixes_pattern_index() {
+        let fa = tmp("multisearch.fa");
+        let idxf = tmp("multisearch.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf, 2).unwrap();
+        let genome = load_fasta_single(&fa).unwrap();
+        let probes = vec![
+            kmm_dna::decode_string(&genome[50..90]),
+            kmm_dna::decode_string(&genome[300..340]),
+        ];
+        let mut out = Vec::new();
+        let summary = search_patterns(
+            &idxf,
+            &probes,
+            1,
+            Method::ALGORITHM_A,
+            4,
+            &StatsOptions::default(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(summary.contains("across 2 patterns"), "{summary}");
+        let text = String::from_utf8(out).unwrap();
+        // Each planted probe is found at its home locus, prefixed with its
+        // 0-based pattern index, and pattern 0's lines precede pattern 1's.
+        assert!(text.lines().any(|l| l.starts_with("0\t50\t")), "{text}");
+        assert!(text.lines().any(|l| l.starts_with("1\t300\t")), "{text}");
+        let first_of = |p: &str| text.lines().position(|l| l.starts_with(p)).unwrap();
+        assert!(first_of("0\t") < first_of("1\t"));
+
+        // The parallel batch prints byte-identically to a serial run.
+        let mut serial = Vec::new();
+        search_patterns(
+            &idxf,
+            &probes,
+            1,
+            Method::ALGORITHM_A,
+            1,
+            &StatsOptions::default(),
+            &mut serial,
+        )
+        .unwrap();
+        assert_eq!(text.as_bytes(), serial.as_slice());
+
+        // Empty pattern lists are rejected.
+        assert!(search_patterns(
+            &idxf,
+            &[],
+            1,
+            Method::ALGORITHM_A,
+            1,
+            &StatsOptions::default(),
+            &mut Vec::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
     fn search_stats_json_has_phases_and_counters() {
         use kmm_telemetry::Json;
         let fa = tmp("stats.fa");
         let idxf = tmp("stats.idx");
         let json = tmp("stats.json");
         generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
-        index(&fa, &idxf).unwrap();
+        index(&fa, &idxf, 2).unwrap();
         let genome = load_fasta_single(&fa).unwrap();
         let probe = kmm_dna::decode_string(&genome[200..260]);
 

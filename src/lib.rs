@@ -12,7 +12,9 @@
 //! * [`bwt`] — the Burrows–Wheeler index (rankall arrays, FM-index);
 //! * [`classic`] — exact matchers and online k-mismatch baselines;
 //! * [`core`] — the paper's Algorithm A, the S-tree baseline, φ pruning
-//!   and the unified [`KMismatchIndex`] front-end.
+//!   and the unified [`KMismatchIndex`] front-end;
+//! * [`par`] — a zero-dependency scoped thread pool driving the
+//!   deterministic parallel batch and index-construction paths.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +37,7 @@ pub use kmm_bwt as bwt;
 pub use kmm_classic as classic;
 pub use kmm_core as core;
 pub use kmm_dna as dna;
+pub use kmm_par as par;
 pub use kmm_suffix as suffix;
 pub use kmm_telemetry as telemetry;
 
