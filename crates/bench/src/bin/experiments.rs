@@ -183,13 +183,17 @@ fn parscale(opts: &Opts) -> Vec<ParScalingRecord> {
                     .first()
                     .map_or(1.0, |f: &ParScalingRecord| f.seconds / rec.seconds)
             ),
+            fmt_secs(rec.latency.p99 / 1e9),
             rec.occurrences.to_string(),
         ]);
         records.push(rec);
     }
     println!(
         "{}",
-        format_table(&["threads", "time", "reads/s", "speedup", "occ"], &rows)
+        format_table(
+            &["threads", "time", "reads/s", "speedup", "p99", "occ"],
+            &rows
+        )
     );
     records
 }

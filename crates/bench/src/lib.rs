@@ -13,7 +13,7 @@ use kmm_core::{KMismatchIndex, Method, SearchStats};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
 use kmm_par::ThreadPool;
-use kmm_telemetry::Json;
+use kmm_telemetry::{Hist, Json, MetricsRecorder};
 
 /// Schema tag stamped into every `BENCH_*.json` artifact.
 pub const BENCH_SCHEMA: &str = "kmm-bench/v1";
@@ -55,6 +55,32 @@ pub fn simulate_reads(genome: &[u8], count: usize, read_len: usize, seed: u64) -
     sim.reads(count).into_iter().map(|r| r.seq).collect()
 }
 
+/// Per-query latency percentiles (ns) interpolated from the telemetry
+/// `search.latency_ns` histogram accumulated over a timed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyNs {
+    /// Median per-query latency.
+    pub p50: f64,
+    /// 95th-percentile per-query latency.
+    pub p95: f64,
+    /// 99th-percentile (tail) per-query latency.
+    pub p99: f64,
+}
+
+impl LatencyNs {
+    /// Harvest the percentiles from a run's recorder.
+    fn from_recorder(recorder: &MetricsRecorder) -> LatencyNs {
+        match recorder.snapshot().histogram(Hist::SearchLatencyNs) {
+            Some(h) => LatencyNs {
+                p50: h.percentile(0.50),
+                p95: h.percentile(0.95),
+                p99: h.percentile(0.99),
+            },
+            None => LatencyNs::default(),
+        }
+    }
+}
+
 /// The outcome of running one method over a read batch.
 #[derive(Debug, Clone)]
 pub struct TimedRun {
@@ -66,6 +92,8 @@ pub struct TimedRun {
     pub occurrences: usize,
     /// Accumulated method counters.
     pub stats: SearchStats,
+    /// Per-query latency percentiles over the batch.
+    pub latency: LatencyNs,
 }
 
 /// Run `method` over every read and time the batch.
@@ -75,11 +103,12 @@ pub fn run_method(index: &KMismatchIndex, reads: &[Vec<u8>], k: usize, method: M
     if matches!(method, Method::Cole) {
         index.suffix_tree();
     }
+    let recorder = MetricsRecorder::new();
     let start = Instant::now();
     let mut stats = SearchStats::default();
     let mut occurrences = 0usize;
     for r in reads {
-        let res = index.search(r, k, method);
+        let res = index.search_recorded(r, k, method, &recorder);
         occurrences += res.occurrences.len();
         stats.accumulate(&res.stats);
     }
@@ -88,13 +117,15 @@ pub fn run_method(index: &KMismatchIndex, reads: &[Vec<u8>], k: usize, method: M
         seconds: start.elapsed().as_secs_f64(),
         occurrences,
         stats,
+        latency: LatencyNs::from_recorder(&recorder),
     }
 }
 
 /// [`run_method`] across a thread pool: the whole batch is fanned out
 /// with [`KMismatchIndex::search_batch_par`] and timed as one unit.
 /// Occurrence lists and accumulated stats are bit-identical to the
-/// serial run at any thread count; only `seconds` varies.
+/// serial run at any thread count; only `seconds` (and the latency
+/// percentiles, which measure real per-query wall time) vary.
 pub fn run_method_par(
     index: &KMismatchIndex,
     reads: &[Vec<u8>],
@@ -105,13 +136,15 @@ pub fn run_method_par(
     if matches!(method, Method::Cole) {
         index.suffix_tree();
     }
+    let recorder = MetricsRecorder::new();
     let start = Instant::now();
-    let (per_read, stats) = index.search_batch_par(reads, k, method, pool);
+    let (per_read, stats) = index.search_batch_par_recorded(reads, k, method, pool, &recorder);
     TimedRun {
         method: method.label(),
         seconds: start.elapsed().as_secs_f64(),
         occurrences: per_read.iter().map(Vec::len).sum(),
         stats,
+        latency: LatencyNs::from_recorder(&recorder),
     }
 }
 
@@ -132,6 +165,8 @@ pub struct ParScalingRecord {
     pub reads_per_sec: f64,
     /// Total occurrences reported (thread-count invariant).
     pub occurrences: usize,
+    /// Per-query latency percentiles over the batch.
+    pub latency: LatencyNs,
 }
 
 impl ParScalingRecord {
@@ -158,6 +193,7 @@ impl ParScalingRecord {
                 0.0
             },
             occurrences: run.occurrences,
+            latency: run.latency,
         }
     }
 
@@ -171,6 +207,9 @@ impl ParScalingRecord {
             ("seconds", Json::Float(self.seconds)),
             ("reads_per_sec", Json::Float(self.reads_per_sec)),
             ("occurrences", Json::UInt(self.occurrences as u64)),
+            ("latency_p50_ns", Json::Float(self.latency.p50)),
+            ("latency_p95_ns", Json::Float(self.latency.p95)),
+            ("latency_p99_ns", Json::Float(self.latency.p99)),
         ])
     }
 }
@@ -217,6 +256,8 @@ pub struct BenchRecord {
     pub occurrences: usize,
     /// Accumulated method counters.
     pub stats: SearchStats,
+    /// Per-query latency percentiles over the batch.
+    pub latency: LatencyNs,
 }
 
 impl BenchRecord {
@@ -230,6 +271,7 @@ impl BenchRecord {
             seconds: run.seconds,
             occurrences: run.occurrences,
             stats: run.stats,
+            latency: run.latency,
         }
     }
 
@@ -249,6 +291,9 @@ impl BenchRecord {
             ("k", Json::UInt(self.k as u64)),
             ("seconds", Json::Float(self.seconds)),
             ("occurrences", Json::UInt(self.occurrences as u64)),
+            ("latency_p50_ns", Json::Float(self.latency.p50)),
+            ("latency_p95_ns", Json::Float(self.latency.p95)),
+            ("latency_p99_ns", Json::Float(self.latency.p99)),
             ("stats", stats),
         ])
     }
@@ -344,6 +389,11 @@ mod tests {
         assert!(run.occurrences >= 1);
         assert!(run.seconds >= 0.0);
         assert_eq!(run.method, "A(.)");
+        // The recorder saw every query, so the percentiles are populated
+        // and ordered.
+        assert!(run.latency.p50 > 0.0);
+        assert!(run.latency.p50 <= run.latency.p95);
+        assert!(run.latency.p95 <= run.latency.p99);
         // And the result must match the naive scan.
         let naive = run_method(&idx, &w.reads, 2, Method::Naive);
         assert_eq!(run.occurrences, naive.occurrences);
@@ -426,6 +476,11 @@ mod tests {
                 seconds: 0.25,
                 occurrences: 42,
                 stats,
+                latency: LatencyNs {
+                    p50: 1000.0,
+                    p95: 2000.0,
+                    p99: 4000.0,
+                },
             },
             BenchRecord {
                 method: "BWT [34]",
@@ -435,6 +490,7 @@ mod tests {
                 seconds: 1.5,
                 occurrences: 42,
                 stats: SearchStats::default(),
+                latency: LatencyNs::default(),
             },
         ];
         let dir = std::env::temp_dir().join("kmm-bench-tests");
@@ -453,6 +509,14 @@ mod tests {
         assert_eq!(first.get("k").and_then(Json::as_u64), Some(5));
         assert_eq!(first.get("seconds").and_then(Json::as_f64), Some(0.25));
         assert_eq!(first.get("occurrences").and_then(Json::as_u64), Some(42));
+        assert_eq!(
+            first.get("latency_p50_ns").and_then(Json::as_f64),
+            Some(1000.0)
+        );
+        assert_eq!(
+            first.get("latency_p99_ns").and_then(Json::as_f64),
+            Some(4000.0)
+        );
         let js = first.get("stats").unwrap();
         // Every SearchStats field survives under its canonical name.
         for (name, value) in stats.as_pairs() {

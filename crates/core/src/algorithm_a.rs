@@ -179,24 +179,28 @@ impl<'a> AlgorithmA<'a> {
             audit: audit.then(DerivationAudit::default),
             ctx: None,
         };
-        // Root level: the virtual root <-,[0,n)> expands into the F-blocks
-        // (one backward extension per symbol), paper Fig. 3's v1..v3.
-        for y in 1..=BASES as u8 {
-            let is_match = y == pattern[0];
-            if !is_match && k == 0 {
-                continue;
-            }
-            q.stats.rank_extensions += 1;
-            let iv = q.fm.extend_backward(q.fm.whole(), y);
-            if iv.is_empty() {
-                continue;
-            }
-            let cost = usize::from(!is_match);
-            if iv.len() == 1 {
-                q.walk_chain(iv.lo, 0, cost);
-            } else {
-                let node = q.intern(y, 0, iv);
-                q.walk(node, 0, cost);
+        {
+            let _span = recorder.span(Phase::SearchDescend);
+            // Root level: the virtual root <-,[0,n)> expands into the
+            // F-blocks (one backward extension per symbol), paper
+            // Fig. 3's v1..v3.
+            for y in 1..=BASES as u8 {
+                let is_match = y == pattern[0];
+                if !is_match && k == 0 {
+                    continue;
+                }
+                q.stats.rank_extensions += 1;
+                let iv = q.fm.extend_backward(q.fm.whole(), y);
+                if iv.is_empty() {
+                    continue;
+                }
+                let cost = usize::from(!is_match);
+                if iv.len() == 1 {
+                    q.walk_chain(iv.lo, 0, cost);
+                } else {
+                    let node = q.intern(y, 0, iv);
+                    q.walk(node, 0, cost);
+                }
             }
         }
         let Query {

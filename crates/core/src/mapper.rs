@@ -9,7 +9,7 @@
 use kmm_classic::Occurrence;
 use kmm_dna::reverse_complement;
 use kmm_par::ThreadPool;
-use kmm_telemetry::{Counter, MetricsRecorder, NoopRecorder, Recorder};
+use kmm_telemetry::{Counter, NoopRecorder, Phase, Recorder, TraceRecorder};
 
 use crate::matcher::{KMismatchIndex, Method};
 
@@ -100,7 +100,24 @@ impl<'a> ReadMapper<'a> {
     /// [`Self::map`] with telemetry: both strand queries record their
     /// search phases/counters, plus `map.reads_total` and
     /// `map.reads_mapped` ticks.
+    ///
+    /// Under a span-collecting recorder the whole read becomes one root
+    /// `search.read` span with the strand queries nested inside it, so a
+    /// trace shows where a slow read spent its budget.
     pub fn map_recorded<R: Recorder>(&self, read: &[u8], recorder: &R) -> MapReport {
+        let tracing = recorder.wants_spans();
+        if tracing {
+            recorder.annotate(&format!("read_len={} k={}", read.len(), self.config.k));
+            recorder.span_begin(Phase::SearchRead);
+        }
+        let report = self.map_traced(read, recorder);
+        if tracing {
+            recorder.span_end(Phase::SearchRead);
+        }
+        report
+    }
+
+    fn map_traced<R: Recorder>(&self, read: &[u8], recorder: &R) -> MapReport {
         let mut all: Vec<Alignment> = Vec::new();
         let collect = |occ: Vec<Occurrence>, strand: Strand, all: &mut Vec<Alignment>| {
             for o in occ {
@@ -179,8 +196,9 @@ impl<'a> ReadMapper<'a> {
     }
 
     /// [`Self::map_batch`] with telemetry: each worker records into a
-    /// private [`MetricsRecorder`] shard (no shared atomics on the query
-    /// path), absorbed into `recorder` after the join.
+    /// private [`TraceRecorder`] shard (no shared atomics on the query
+    /// path), absorbed into `recorder` after the join. Span-collecting
+    /// recorders get per-read trace trees tagged with the worker id.
     pub fn map_batch_recorded<Rd, R>(
         &self,
         reads: &[Rd],
@@ -195,16 +213,26 @@ impl<'a> ReadMapper<'a> {
             self.index.suffix_tree();
         }
         let shard_metrics = recorder.enabled();
+        let tracing = recorder.wants_spans();
+        let epoch = recorder.trace_epoch();
         pool.par_map_init(
             reads,
-            || shard_metrics.then(MetricsRecorder::new),
-            |shard, _i, read| match shard {
-                Some(shard) => self.map_recorded(read.as_ref(), shard),
+            |worker| shard_metrics.then(|| TraceRecorder::shard(epoch, worker as u32 + 1, tracing)),
+            |shard, i, read| match shard {
+                Some(shard) => {
+                    if tracing {
+                        shard.annotate(&format!("q={i}"));
+                    }
+                    self.map_recorded(read.as_ref(), shard)
+                }
                 None => self.map(read.as_ref()),
             },
             |shard| {
                 if let Some(shard) = shard {
                     recorder.absorb(&shard.snapshot());
+                    if tracing {
+                        recorder.absorb_traces(shard.drain());
+                    }
                 }
             },
         )

@@ -10,7 +10,7 @@ use kmm_classic::{amir, kangaroo, naive, Occurrence};
 use kmm_dna::SIGMA;
 use kmm_par::ThreadPool;
 use kmm_suffix::SuffixTree;
-use kmm_telemetry::{Counter, Hist, MetricsRecorder, NoopRecorder, Phase, Recorder};
+use kmm_telemetry::{Counter, Hist, NoopRecorder, Phase, Recorder, TraceRecorder};
 
 use crate::algorithm_a::AlgorithmA;
 use crate::cole::ColeSearch;
@@ -194,6 +194,11 @@ impl KMismatchIndex {
     /// `search.queries` tick is added, and the method's [`SearchStats`]
     /// land in the `search.*` counters. With a
     /// [`kmm_telemetry::NoopRecorder`] this is exactly [`Self::search`].
+    ///
+    /// Under a span-collecting recorder ([`TraceRecorder`]) the query
+    /// additionally becomes one root `search.query` span — with the
+    /// method's internal phases nested inside it — annotated with the
+    /// pattern length, `k`, and method label.
     pub fn search_recorded<R: Recorder>(
         &self,
         pattern: &[u8],
@@ -201,6 +206,15 @@ impl KMismatchIndex {
         method: Method,
         recorder: &R,
     ) -> SearchResult {
+        let tracing = recorder.wants_spans();
+        if tracing {
+            recorder.annotate(&format!(
+                "m={} k={k} method={}",
+                pattern.len(),
+                method.label()
+            ));
+            recorder.span_begin(Phase::SearchQuery);
+        }
         let start = recorder.enabled().then(Instant::now);
         let result = match method {
             Method::Naive => SearchResult {
@@ -245,6 +259,11 @@ impl KMismatchIndex {
             recorder.observe(Hist::SearchLatencyNs, ns);
         }
         recorder.add(Counter::Queries, 1);
+        if tracing {
+            // Close the root after the query counter so the trace's
+            // per-query counter deltas include it.
+            recorder.span_end(Phase::SearchQuery);
+        }
         result
     }
 
@@ -290,7 +309,10 @@ impl KMismatchIndex {
     ) -> (Vec<Vec<Occurrence>>, SearchStats) {
         let mut all = Vec::new();
         let mut stats = SearchStats::default();
-        for p in patterns {
+        for (i, p) in patterns.into_iter().enumerate() {
+            if recorder.wants_spans() {
+                recorder.annotate(&format!("q={i}"));
+            }
             let r = self.search_recorded(p, k, method, recorder);
             stats.accumulate(&r.stats);
             all.push(r.occurrences);
@@ -314,11 +336,14 @@ impl KMismatchIndex {
     }
 
     /// [`Self::search_batch_par`] with telemetry. Each participating
-    /// worker records into a private [`MetricsRecorder`] shard — the
-    /// query hot path touches no shared atomics — and the shards are
-    /// absorbed into `recorder` after the join, so order-independent
-    /// aggregates (counters, histogram counts, phase entry counts) match
-    /// a serial run exactly.
+    /// worker records into a private [`TraceRecorder`] shard — the query
+    /// hot path touches no shared atomics — and the shards are absorbed
+    /// into `recorder` after the join, so order-independent aggregates
+    /// (counters, histogram counts, phase entry counts) match a serial
+    /// run exactly. When `recorder` collects spans, the shards share its
+    /// trace epoch, tag spans with their 1-based worker id, and hand
+    /// their traces plus slowest-query candidates back through
+    /// [`Recorder::absorb_traces`].
     pub fn search_batch_par_recorded<P, R>(
         &self,
         patterns: &[P],
@@ -337,18 +362,25 @@ impl KMismatchIndex {
             self.suffix_tree();
         }
         let shard_metrics = recorder.enabled();
+        let tracing = recorder.wants_spans();
+        let epoch = recorder.trace_epoch();
         let total = Mutex::new(SearchStats::default());
         let results = pool.par_map_init(
             patterns,
-            || {
+            |worker| {
                 (
-                    shard_metrics.then(MetricsRecorder::new),
+                    shard_metrics.then(|| TraceRecorder::shard(epoch, worker as u32 + 1, tracing)),
                     SearchStats::default(),
                 )
             },
-            |(shard, stats), _i, pattern| {
+            |(shard, stats), i, pattern| {
                 let r = match shard {
-                    Some(shard) => self.search_recorded(pattern.as_ref(), k, method, shard),
+                    Some(shard) => {
+                        if tracing {
+                            shard.annotate(&format!("q={i}"));
+                        }
+                        self.search_recorded(pattern.as_ref(), k, method, shard)
+                    }
                     None => self.search(pattern.as_ref(), k, method),
                 };
                 stats.accumulate(&r.stats);
@@ -357,6 +389,9 @@ impl KMismatchIndex {
             |(shard, stats)| {
                 if let Some(shard) = shard {
                     recorder.absorb(&shard.snapshot());
+                    if tracing {
+                        recorder.absorb_traces(shard.drain());
+                    }
                 }
                 total.lock().unwrap().accumulate(&stats);
             },

@@ -10,7 +10,7 @@
 
 use kmm_classic::Occurrence;
 use kmm_par::ThreadPool;
-use kmm_telemetry::{Counter, MetricsRecorder, NoopRecorder, Recorder};
+use kmm_telemetry::{Counter, NoopRecorder, Recorder, TraceRecorder};
 
 use crate::matcher::{KMismatchIndex, Method};
 use crate::stats::SearchStats;
@@ -168,18 +168,25 @@ impl MultiIndex {
             self.index.suffix_tree();
         }
         let shard_metrics = recorder.enabled();
+        let tracing = recorder.wants_spans();
+        let epoch = recorder.trace_epoch();
         let total = std::sync::Mutex::new(SearchStats::default());
         let results = pool.par_map_init(
             patterns,
-            || {
+            |worker| {
                 (
-                    shard_metrics.then(MetricsRecorder::new),
+                    shard_metrics.then(|| TraceRecorder::shard(epoch, worker as u32 + 1, tracing)),
                     SearchStats::default(),
                 )
             },
-            |(shard, stats), _i, pattern| {
+            |(shard, stats), i, pattern| {
                 let (occ, s) = match shard {
-                    Some(shard) => self.search_recorded(pattern.as_ref(), k, method, shard),
+                    Some(shard) => {
+                        if tracing {
+                            shard.annotate(&format!("q={i}"));
+                        }
+                        self.search_recorded(pattern.as_ref(), k, method, shard)
+                    }
                     None => self.search(pattern.as_ref(), k, method),
                 };
                 stats.accumulate(&s);
@@ -188,6 +195,9 @@ impl MultiIndex {
             |(shard, stats)| {
                 if let Some(shard) = shard {
                     recorder.absorb(&shard.snapshot());
+                    if tracing {
+                        recorder.absorb_traces(shard.drain());
+                    }
                 }
                 total.lock().unwrap().accumulate(&stats);
             },

@@ -92,17 +92,20 @@ impl<'a> STreeSearch<'a> {
             None
         };
         let mut out = Vec::new();
-        self.dfs(
-            self.fm.whole(),
-            0,
-            0,
-            pattern,
-            k,
-            phi.as_deref(),
-            &mut out,
-            &mut stats,
-            recorder,
-        );
+        {
+            let _span = recorder.span(Phase::SearchDescend);
+            self.dfs(
+                self.fm.whole(),
+                0,
+                0,
+                pattern,
+                k,
+                phi.as_deref(),
+                &mut out,
+                &mut stats,
+                recorder,
+            );
+        }
         out.sort_unstable();
         stats.occurrences = out.len() as u64;
         stats.record_into(recorder);

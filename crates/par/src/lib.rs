@@ -137,14 +137,16 @@ impl ThreadPool {
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
-        self.par_map_init(items, || (), |_, i, t| f(i, t), |_| ())
+        self.par_map_init(items, |_| (), |_, i, t| f(i, t), |_| ())
     }
 
-    /// [`Self::par_map`] with worker-local state: `init()` runs once per
-    /// participating worker, `f(&mut state, index, &item)` maps each
-    /// item, and `drain(state)` consumes the worker's state after its
-    /// last item (use it to merge telemetry shards or statistics — keep
-    /// the merge commutative so results stay deterministic).
+    /// [`Self::par_map`] with worker-local state: `init(worker_id)` runs
+    /// once per participating worker (id 0 on the serial fast path), `f(&mut
+    /// state, index, &item)` maps each item, and `drain(state)` consumes
+    /// the worker's state after its last item (use it to merge telemetry
+    /// shards or statistics — keep the merge commutative so results stay
+    /// deterministic). The worker id lets shards tag their output with
+    /// the thread that produced it (e.g. trace spans).
     ///
     /// Items are claimed in chunks from one shared atomic counter, so a
     /// worker stuck on an expensive item does not strand the tail of
@@ -153,12 +155,12 @@ impl ThreadPool {
     where
         T: Sync,
         U: Send,
-        I: Fn() -> S + Sync,
+        I: Fn(usize) -> S + Sync,
         F: Fn(&mut S, usize, &T) -> U + Sync,
         D: Fn(S) + Sync,
     {
         if self.threads == 1 || items.len() <= 1 {
-            let mut state = init();
+            let mut state = init(0);
             let out = items
                 .iter()
                 .enumerate()
@@ -174,8 +176,8 @@ impl ThreadPool {
         // no shared mutable output buffer — at the cost of one move per
         // result, which is noise next to a search query.
         let parts: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
-        self.broadcast(|_| {
-            let mut state = init();
+        self.broadcast(|tid| {
+            let mut state = init(tid);
             let mut local: Vec<(usize, Vec<U>)> = Vec::new();
             loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -301,7 +303,7 @@ mod tests {
             let total = AtomicU64::new(0);
             let out = pool.par_map_init(
                 &items,
-                || 0u64,
+                |_| 0u64,
                 |local, _, &x| {
                     *local += x as u64;
                     x

@@ -35,6 +35,16 @@ pub fn bucket_lower_bound(index: usize) -> u64 {
     }
 }
 
+/// Largest value that lands in bucket `index` (inclusive).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
 /// Concurrent histogram; all mutation is relaxed-atomic.
 #[derive(Debug)]
 pub struct Histogram {
@@ -174,6 +184,37 @@ impl HistogramSnapshot {
         }
         bucket_lower_bound(BUCKETS - 1)
     }
+
+    /// Interpolated percentile (`q` in [0,1]).
+    ///
+    /// Finds the bucket containing the `q·count`-th observation and
+    /// interpolates linearly between the bucket's bounds by the rank's
+    /// position within it, then clamps to the observed `[min, max]` so a
+    /// histogram whose values all share one bucket reports those values
+    /// exactly (e.g. all-4s → `percentile(0.5) == 4.0`). Returns 0.0
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += n;
+            if seen as f64 >= rank {
+                let lo = bucket_lower_bound(i) as f64;
+                let hi = bucket_upper_bound(i) as f64;
+                let frac = ((rank - before) / n as f64).clamp(0.0, 1.0);
+                let v = lo + frac * (hi - lo);
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
 }
 
 #[cfg(test)]
@@ -263,5 +304,68 @@ mod tests {
         // lower bound, p99 reaches the bucket holding 1000 ([512,1024)).
         assert_eq!(s.quantile(0.5), 4);
         assert_eq!(s.quantile(0.99), 512);
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_range_in_single_bucket() {
+        // All observations identical: every percentile is that value,
+        // not a point interpolated across the bucket's [4, 8) span.
+        let h = Histogram::new();
+        for _ in 0..5 {
+            h.observe(4);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), 4.0);
+        assert_eq!(s.percentile(0.5), 4.0);
+        assert_eq!(s.percentile(1.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_at_bucket_boundaries() {
+        // 1 lives in bucket 1 ([1,1]), 2 in bucket 2 ([2,3]).
+        let h = Histogram::new();
+        h.observe(1);
+        h.observe(2);
+        let s = h.snapshot();
+        // rank(0.5) = 1.0 lands exactly on the last observation of
+        // bucket 1; full interpolation across [1,1] stays at 1.
+        assert_eq!(s.percentile(0.5), 1.0);
+        // rank(1.0) = 2.0 fully crosses bucket 2 ([2,3]) but clamps to
+        // the observed max.
+        assert_eq!(s.percentile(1.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_bucket() {
+        // Four values in bucket 5 ([16, 31]): p50 sits halfway through
+        // the bucket's occupants → lo + 0.5 * (hi - lo) = 23.5.
+        let h = Histogram::new();
+        for v in [16u64, 20, 25, 31] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 23.5);
+        assert_eq!(s.percentile(0.0), 16.0);
+        assert_eq!(s.percentile(1.0), 31.0);
+    }
+
+    #[test]
+    fn percentile_empty_and_extreme_buckets() {
+        assert_eq!(HistogramSnapshot::empty().percentile(0.5), 0.0);
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(1.0), u64::MAX as f64);
+    }
+
+    #[test]
+    fn upper_bounds_invert_bucket_index() {
+        for i in 0..BUCKETS {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i);
+            assert!(hi >= bucket_lower_bound(i));
+        }
     }
 }

@@ -31,12 +31,23 @@
 
 mod histogram;
 pub mod json;
+mod prometheus;
 mod recorder;
 mod snapshot;
+mod trace;
+mod window;
 
-pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use histogram::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS,
+};
 pub use json::{Json, JsonError};
+pub use prometheus::prometheus_text;
 pub use recorder::{
     Counter, Hist, MetricsRecorder, NoopRecorder, Phase, PhaseSpan, Recorder, Stage,
 };
 pub use snapshot::{CounterSnapshot, MetricsSnapshot, PhaseSnapshot, SCHEMA};
+pub use trace::{
+    chrome_trace_json, slow_queries_json, FlightRecorder, QueryTrace, SpanEvent, TraceBundle,
+    TraceConfig, TraceRecorder,
+};
+pub use window::{SlidingWindow, WindowSummary};

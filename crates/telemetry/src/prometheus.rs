@@ -1,0 +1,145 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! Emits format version 0.0.4 (the plain-text format every Prometheus
+//! scraper accepts): counters as `kmm_<name>_total`, phase timers as a
+//! labelled seconds counter plus an entry counter, and each log2
+//! histogram as a native Prometheus histogram with cumulative
+//! `_bucket{le="..."}` series, `_sum`, and `_count`. Dots in our metric
+//! names become underscores (`search.nodes_visited` →
+//! `kmm_search_nodes_visited_total`).
+//!
+//! Bucket boundaries are the histograms' inclusive upper bounds
+//! re-expressed as Prometheus `le` thresholds; buckets above the highest
+//! populated one are elided (they would all repeat the final cumulative
+//! count), keeping the exposition small while remaining cumulative and
+//! `+Inf`-terminated as the format requires.
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot};
+use crate::snapshot::MetricsSnapshot;
+
+/// Rewrite a dotted metric name into a Prometheus metric identifier.
+fn prom_name(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+/// Append one `# TYPE`-prefixed histogram in exposition format.
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let highest = h.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate().take(highest + 1) {
+        cumulative += n;
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            bucket_upper_bound(i)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Render the whole snapshot as Prometheus text exposition.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    for c in &snapshot.counters {
+        let name = format!("kmm_{}_total", prom_name(&c.name));
+        out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+    }
+
+    out.push_str("# TYPE kmm_phase_seconds_total counter\n");
+    for p in &snapshot.phases {
+        out.push_str(&format!(
+            "kmm_phase_seconds_total{{phase=\"{}\"}} {}\n",
+            p.name,
+            p.total_ns as f64 / 1e9
+        ));
+    }
+    out.push_str("# TYPE kmm_phase_entries_total counter\n");
+    for p in &snapshot.phases {
+        out.push_str(&format!(
+            "kmm_phase_entries_total{{phase=\"{}\"}} {}\n",
+            p.name, p.entries
+        ));
+    }
+
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, &format!("kmm_{}", prom_name(name)), h);
+    }
+
+    out
+}
+
+impl MetricsSnapshot {
+    /// Prometheus text exposition of this snapshot
+    /// (see [`prometheus_text`]).
+    pub fn to_prometheus(&self) -> String {
+        prometheus_text(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counter, Hist, MetricsRecorder, Phase, Recorder};
+
+    fn sample() -> MetricsSnapshot {
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::Queries, 7);
+        {
+            let _span = rec.span(Phase::SearchQuery);
+        }
+        for v in [3u64, 5, 100] {
+            rec.observe(Hist::SearchLatencyNs, v);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn exposition_has_typed_counters_and_histograms() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE kmm_search_queries_total counter"));
+        assert!(text.contains("kmm_search_queries_total 7"));
+        assert!(text.contains("# TYPE kmm_search_latency_ns histogram"));
+        assert!(text.contains("kmm_phase_entries_total{phase=\"search.query\"} 1"));
+        // Every non-comment line is `name{labels} value` with a numeric
+        // value; every metric line is preceded somewhere by its # TYPE.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inf_terminated() {
+        let text = sample().to_prometheus();
+        // Observations 3, 5, 100 → buckets le="3":1, le="7":2, then the
+        // elided middle, and le="127":3 as the highest populated bucket.
+        assert!(text.contains("kmm_search_latency_ns_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("kmm_search_latency_ns_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("kmm_search_latency_ns_bucket{le=\"127\"} 3\n"));
+        assert!(text.contains("kmm_search_latency_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("kmm_search_latency_ns_sum 108\n"));
+        assert!(text.contains("kmm_search_latency_ns_count 3\n"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("kmm_search_latency_ns_bucket") {
+                let v: u64 = rest.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(v >= last);
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_valid_text() {
+        let text = MetricsRecorder::new().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE"));
+        assert!(text.contains("kmm_search_latency_ns_bucket{le=\"+Inf\"} 0\n"));
+    }
+}

@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use crate::histogram::Histogram;
 use crate::snapshot::{CounterSnapshot, MetricsSnapshot, PhaseSnapshot};
+use crate::trace::TraceBundle;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Coarse grouping of phases, mirroring the pipeline of the paper's
@@ -55,10 +56,15 @@ pub enum Phase {
     /// out (Algorithm A walk or S-tree DFS, including rank extensions,
     /// M-tree derivations, and resumes).
     SearchQuery,
+    /// The tree walk inside one query (Algorithm A's mismatching-tree
+    /// expansion or the S-tree DFS), excluding pattern preprocessing.
+    SearchDescend,
+    /// One mapped read: both strand queries plus best-hit selection.
+    SearchRead,
 }
 
 impl Phase {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::IndexSa,
         Phase::IndexBwt,
@@ -68,6 +74,8 @@ impl Phase {
         Phase::PreprocessRarray,
         Phase::PreprocessPhi,
         Phase::SearchQuery,
+        Phase::SearchDescend,
+        Phase::SearchRead,
     ];
 
     pub fn name(self) -> &'static str {
@@ -80,6 +88,8 @@ impl Phase {
             Phase::PreprocessRarray => "preprocess.rarray",
             Phase::PreprocessPhi => "preprocess.phi",
             Phase::SearchQuery => "search.query",
+            Phase::SearchDescend => "search.descend",
+            Phase::SearchRead => "search.read",
         }
     }
 
@@ -91,11 +101,24 @@ impl Phase {
             | Phase::IndexSampledSa
             | Phase::IndexLoad => Stage::Index,
             Phase::PreprocessRarray | Phase::PreprocessPhi => Stage::Preprocess,
-            Phase::SearchQuery => Stage::Search,
+            Phase::SearchQuery | Phase::SearchDescend | Phase::SearchRead => Stage::Search,
         }
     }
 
-    fn index(self) -> usize {
+    /// Whether this phase roots one query's span tree (a search or a
+    /// mapped read). Only traces rooted here compete for the slow-query
+    /// flight recorder; other top-level phases (index load, standalone
+    /// preprocessing) are still traced but never ranked as "queries".
+    pub fn is_query_root(self) -> bool {
+        matches!(self, Phase::SearchQuery | Phase::SearchRead)
+    }
+
+    /// Parse a dotted phase name back to the enum.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    pub(crate) fn index(self) -> usize {
         Phase::ALL.iter().position(|&p| p == self).unwrap()
     }
 }
@@ -133,10 +156,14 @@ pub enum Counter {
     ReadsTotal,
     /// Hits dropped for straddling a chromosome boundary (multi).
     BoundaryFiltered,
+    /// HTTP requests answered by `kmm serve`.
+    ServeRequests,
+    /// HTTP requests that failed (bad input, handler panic, i/o error).
+    ServeErrors,
 }
 
 impl Counter {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -151,6 +178,8 @@ impl Counter {
         Counter::ReadsMapped,
         Counter::ReadsTotal,
         Counter::BoundaryFiltered,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
     ];
 
     pub fn name(self) -> &'static str {
@@ -168,10 +197,12 @@ impl Counter {
             Counter::ReadsMapped => "map.reads_mapped",
             Counter::ReadsTotal => "map.reads_total",
             Counter::BoundaryFiltered => "multi.boundary_filtered",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeErrors => "serve.errors",
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         Counter::ALL.iter().position(|&c| c == self).unwrap()
     }
 }
@@ -242,6 +273,46 @@ pub trait Recorder {
     #[inline]
     fn absorb(&self, _snapshot: &MetricsSnapshot) {}
 
+    /// Whether this recorder collects hierarchical span events. Guards
+    /// per-span bookkeeping (and the per-query label allocations at call
+    /// sites), so metrics-only recorders pay nothing for tracing.
+    #[inline]
+    fn wants_spans(&self) -> bool {
+        false
+    }
+
+    /// The monotonic epoch span offsets are measured from, when this
+    /// recorder traces. Worker shards are created against the parent's
+    /// epoch so merged span timestamps share one timeline.
+    #[inline]
+    fn trace_epoch(&self) -> Option<Instant> {
+        None
+    }
+
+    /// A span opened: called by [`Recorder::span`] before the clock read.
+    /// Tracing recorders push onto their span stack here.
+    #[inline]
+    fn span_begin(&self, _phase: Phase) {}
+
+    /// The matching close of [`Recorder::span_begin`]; called by
+    /// [`PhaseSpan::drop`] after the phase time is credited. Closing the
+    /// outermost span finalises one [`crate::QueryTrace`].
+    #[inline]
+    fn span_end(&self, _phase: Phase) {}
+
+    /// Attach a label fragment to the current query trace (or to the
+    /// next one, when no span is open). Callers should guard the label
+    /// formatting with [`Recorder::wants_spans`].
+    #[inline]
+    fn annotate(&self, _label: &str) {}
+
+    /// Fold a detached trace bundle (completed query traces plus
+    /// flight-recorder candidates) into this recorder — the span-level
+    /// sibling of [`Recorder::absorb`], fed by worker shards after a
+    /// parallel batch. The default discards the bundle.
+    #[inline]
+    fn absorb_traces(&self, _bundle: TraceBundle) {}
+
     /// Open a scoped timer for `phase`; time is credited when the
     /// returned guard drops.
     #[inline]
@@ -253,6 +324,7 @@ pub trait Recorder {
             recorder: self,
             phase,
             start: if self.enabled() {
+                self.span_begin(phase);
                 Some(Instant::now())
             } else {
                 None
@@ -276,6 +348,7 @@ impl<R: Recorder> Drop for PhaseSpan<'_, R> {
         if let Some(start) = self.start {
             self.recorder
                 .phase_add(self.phase, start.elapsed().as_nanos() as u64);
+            self.recorder.span_end(self.phase);
         }
     }
 }

@@ -116,6 +116,12 @@ impl MetricsSnapshot {
                                     ("sum", Json::UInt(h.sum)),
                                     ("min", Json::UInt(h.min)),
                                     ("max", Json::UInt(h.max)),
+                                    // Derived, recomputable fields for
+                                    // consumers that don't want to walk
+                                    // buckets; from_json ignores them.
+                                    ("p50", Json::Float(h.percentile(0.50))),
+                                    ("p95", Json::Float(h.percentile(0.95))),
+                                    ("p99", Json::Float(h.percentile(0.99))),
                                     (
                                         "buckets",
                                         Json::Arr(
@@ -263,21 +269,32 @@ impl MetricsSnapshot {
             .collect();
         if !populated.is_empty() {
             out.push_str(
-                "histogram                   count       min       p50       p99       max\n",
+                "histogram                   count       min       p50       p95       p99       max\n",
             );
             for (name, h) in populated {
                 out.push_str(&format!(
-                    "  {:<24} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+                    "  {:<24} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
                     name,
                     h.count,
                     h.min,
-                    h.quantile(0.5),
-                    h.quantile(0.99),
+                    fmt_f64(h.percentile(0.50)),
+                    fmt_f64(h.percentile(0.95)),
+                    fmt_f64(h.percentile(0.99)),
                     h.max,
                 ));
             }
         }
         out
+    }
+}
+
+/// Render an interpolated percentile compactly: integers without a
+/// fraction, everything else with one decimal.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
     }
 }
 
@@ -381,6 +398,26 @@ mod tests {
         // Untouched phases and counters stay out of the table.
         assert!(!text.contains("index.load"));
         assert!(!text.contains("map.reads_total"));
+    }
+
+    #[test]
+    fn json_carries_derived_percentiles() {
+        let snap = populated_snapshot();
+        let json = snap.to_json();
+        let h = json
+            .get("histograms")
+            .unwrap()
+            .get("search.latency_ns")
+            .unwrap();
+        for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let emitted = h.get(key).unwrap().as_f64().unwrap();
+            let expected = snap.histogram(Hist::SearchLatencyNs).unwrap().percentile(q);
+            assert_eq!(emitted, expected, "{key} mismatch");
+        }
+        let text = snap.render();
+        assert!(text.contains("p50"));
+        assert!(text.contains("p95"));
+        assert!(text.contains("p99"));
     }
 
     #[test]

@@ -60,4 +60,59 @@ if "$kmm" search --index "$tmp/ref-mt.idx" --pattern "$pattern" --threads nope 2
     echo "verify: --threads nope was not rejected" >&2; exit 1
 fi
 
+echo "== kmm search --trace-out smoke test (span tracing) =="
+"$kmm" search --index "$tmp/ref.idx" --pattern "$pattern" -k 2 \
+    --trace-out "$tmp/nested/dir/trace.json" --slowest 3 \
+    > /dev/null 2> "$tmp/summary-trace.txt"
+grep -q "trace ->" "$tmp/summary-trace.txt"
+grep -q "slowest" "$tmp/summary-trace.txt"
+# The artifact is Chrome trace-event JSON (loadable in Perfetto).
+grep -q '"traceEvents"' "$tmp/nested/dir/trace.json"
+grep -q '"ph": "X"' "$tmp/nested/dir/trace.json"
+
+echo "== kmm serve smoke test =="
+# Start the daemon on an ephemeral port, discover it via --port-file.
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --port-file "$tmp/port" 2> "$tmp/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port" ] || { echo "verify: serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port")
+# Tiny HTTP client over bash's /dev/tcp (no curl dependency).
+http_get() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'GET %s HTTP/1.1\r\nHost: v\r\nConnection: close\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+http_post() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'POST %s HTTP/1.1\r\nHost: v\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+        "$1" "${#2}" "$2" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+http_get /healthz | grep -q "200 OK"
+# /metrics speaks Prometheus: typed series with real samples.
+metrics=$(http_get /metrics)
+echo "$metrics" | grep -q "^# TYPE "
+echo "$metrics" | grep -q "kmm_http_requests_total"
+# POST /search reports the same positions as the CLI search path.
+http_post /search "{\"pattern\": \"$pattern\", \"k\": 2}" > "$tmp/http-search.json"
+grep -q '"occurrences"' "$tmp/http-search.json"
+cli_positions=$(cut -f1 "$tmp/hits.tsv" | sort -n | tr '\n' ',')
+http_positions=$(grep -o '"position": [0-9]*' "$tmp/http-search.json" \
+    | grep -o '[0-9]*' | sort -n | tr '\n' ',')
+if [ "$cli_positions" != "$http_positions" ]; then
+    echo "verify: POST /search ($http_positions) != CLI search ($cli_positions)" >&2
+    exit 1
+fi
+# Clean shutdown: the daemon acknowledges and the process exits.
+http_post /shutdown "" | grep -q "200 OK"
+wait "$serve_pid"
+grep -q "served" "$tmp/serve.log"
+
 echo "verify: OK"

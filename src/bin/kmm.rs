@@ -6,6 +6,7 @@
 //! kmm simulate --reference ref.fa --reads 100 --len 100 -o reads.fq
 //! kmm map      --index ref.idx --reads reads.fq -k 5 [--method a] [--threads N]
 //! kmm search   --index ref.idx --pattern ACGTT... -k 3 [--method bwt] [--threads N]
+//! kmm serve    --index ref.idx [--addr 127.0.0.1:8080] [--threads N]
 //! ```
 
 use std::path::PathBuf;
@@ -23,9 +24,13 @@ commands:
   simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
   map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
             [--both-strands true] [--threads N] [--stats]
-            [--stats-json <out.json>]
+            [--stats-json <out.json>] [--trace-out <trace.json>]
+            [--slowest K]
   search    --index <ref.idx> --pattern <DNA> [--pattern <DNA> ...] [-k K]
             [--method M] [--threads N] [--stats] [--stats-json <out.json>]
+            [--trace-out <trace.json>] [--slowest K]
+  serve     --index <ref.idx> [--addr HOST:PORT] [--threads N] [-k K]
+            [--method M] [--slowest K] [--port-file <path>]
 
 methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
          kangaroo | naive | seed
@@ -34,8 +39,16 @@ methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
 batch map/search; it defaults to the machine's available parallelism.
 Results are bit-identical at any thread count.
 
---stats prints a telemetry table (phase timings, counters, histograms)
-with the summary; --stats-json writes the same snapshot as JSON.";
+--stats prints a telemetry table (phase timings, counters, histograms,
+latency percentiles) with the summary; --stats-json writes the same
+snapshot as JSON. --trace-out records per-query spans and writes a
+Chrome trace-event JSON (open in Perfetto / chrome://tracing);
+--slowest K prints the K slowest queries from the flight recorder.
+
+serve starts a blocking HTTP/1.1 daemon over a loaded index with
+GET /healthz, /metrics (Prometheus), /stats.json, /slow.json,
+/trace.json and POST /search, /map, /shutdown. --addr defaults to
+127.0.0.1:0 (ephemeral port; use --port-file to discover it).";
 
 /// Flags that take no value; their presence means `true`.
 const BOOLEAN_FLAGS: &[&str] = &["stats"];
@@ -53,6 +66,8 @@ const MAP_FLAGS: &[&str] = &[
     "threads",
     "stats",
     "stats-json",
+    "trace-out",
+    "slowest",
 ];
 const SEARCH_FLAGS: &[&str] = &[
     "index",
@@ -62,6 +77,18 @@ const SEARCH_FLAGS: &[&str] = &[
     "threads",
     "stats",
     "stats-json",
+    "trace-out",
+    "slowest",
+];
+const SERVE_FLAGS: &[&str] = &[
+    "index",
+    "addr",
+    "threads",
+    "k",
+    "method",
+    "slowest",
+    "port-file",
+    "panic-pattern",
 ];
 
 struct Args {
@@ -144,11 +171,20 @@ impl Args {
     }
 }
 
-fn stats_options(args: &Args) -> cli::StatsOptions {
-    cli::StatsOptions {
+fn stats_options(args: &Args) -> Result<cli::StatsOptions, CliError> {
+    Ok(cli::StatsOptions {
         table: args.get("stats").is_some(),
         json_path: args.get("stats-json").map(PathBuf::from),
-    }
+        trace_out: args.get("trace-out").map(PathBuf::from),
+        slowest: match args.get("slowest") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| {
+                CliError(format!(
+                    "bad value for --slowest: '{v}' (expected a positive integer)"
+                ))
+            })?),
+        },
+    })
 }
 
 fn run() -> Result<String, CliError> {
@@ -189,7 +225,7 @@ fn run() -> Result<String, CliError> {
                 .get("both-strands")
                 .map(|v| v == "true")
                 .unwrap_or(false);
-            let stats = stats_options(&args);
+            let stats = stats_options(&args)?;
             let mut stdout = std::io::stdout().lock();
             cli::map_reads(
                 &PathBuf::from(args.require("index")?),
@@ -205,7 +241,7 @@ fn run() -> Result<String, CliError> {
         "search" => {
             let args = Args::parse(rest, SEARCH_FLAGS)?;
             let method = cli::parse_method(args.get("method").unwrap_or("a"))?;
-            let stats = stats_options(&args);
+            let stats = stats_options(&args)?;
             let patterns = args.get_all("pattern");
             if patterns.is_empty() {
                 return Err(CliError("missing required flag --pattern".to_string()));
@@ -220,6 +256,19 @@ fn run() -> Result<String, CliError> {
                 &stats,
                 &mut stdout,
             )
+        }
+        "serve" => {
+            let args = Args::parse(rest, SERVE_FLAGS)?;
+            let config = bwt_kmismatch::serve::ServeConfig {
+                addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+                threads: args.threads()?,
+                k: args.parsed("k", 3usize)?,
+                method: cli::parse_method(args.get("method").unwrap_or("a"))?,
+                slowest: args.parsed("slowest", 16usize)?,
+                panic_pattern: args.get("panic-pattern").map(String::from),
+                port_file: args.get("port-file").map(PathBuf::from),
+            };
+            bwt_kmismatch::serve::run(&PathBuf::from(args.require("index")?), config)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),

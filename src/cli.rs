@@ -11,7 +11,10 @@ use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::{fasta, fastq};
 use kmm_par::ThreadPool;
-use kmm_telemetry::{MetricsRecorder, NoopRecorder, Recorder};
+use kmm_telemetry::{
+    chrome_trace_json, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder, TraceConfig,
+    TraceRecorder,
+};
 
 /// CLI-level errors with user-facing messages.
 #[derive(Debug)]
@@ -175,7 +178,7 @@ pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<
 }
 
 /// Telemetry options for `kmm map` / `kmm search` (`--stats`,
-/// `--stats-json PATH`).
+/// `--stats-json PATH`, `--trace-out PATH`, `--slowest K`).
 #[derive(Debug, Clone, Default)]
 pub struct StatsOptions {
     /// Append the human-readable telemetry table to the summary
@@ -183,25 +186,65 @@ pub struct StatsOptions {
     pub table: bool,
     /// Write the JSON metrics snapshot to this path (`--stats-json`).
     pub json_path: Option<PathBuf>,
+    /// Write a Chrome trace-event JSON of every query's span tree to
+    /// this path (`--trace-out`); load it in `chrome://tracing` or
+    /// Perfetto.
+    pub trace_out: Option<PathBuf>,
+    /// Append a table of the K slowest queries to the summary
+    /// (`--slowest K`).
+    pub slowest: Option<usize>,
 }
 
 impl StatsOptions {
     /// Whether any telemetry output was requested.
     pub fn active(&self) -> bool {
-        self.table || self.json_path.is_some()
+        self.table || self.json_path.is_some() || self.tracing()
+    }
+
+    /// Whether per-query span collection is needed (trace export or
+    /// slow-query table).
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some() || self.slowest.is_some()
+    }
+
+    /// A [`TraceRecorder`] sized for these options.
+    fn trace_recorder(&self) -> TraceRecorder {
+        TraceRecorder::with_config(TraceConfig {
+            flight_capacity: self
+                .slowest
+                .unwrap_or(TraceConfig::default().flight_capacity),
+            ..TraceConfig::default()
+        })
     }
 }
 
-/// Flush a recorder snapshot according to `opts`: write the JSON file if
+/// Create `path` for writing, creating any missing parent directories;
+/// failures name the offending path instead of surfacing a bare io
+/// error.
+pub(crate) fn create_output_file(path: &Path) -> CliResult<File> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.exists() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                CliError(format!(
+                    "cannot create directory {} for {}: {e}",
+                    parent.display(),
+                    path.display()
+                ))
+            })?;
+        }
+    }
+    File::create(path).map_err(|e| CliError(format!("cannot create {}: {e}", path.display())))
+}
+
+/// Flush a metrics snapshot according to `opts`: write the JSON file if
 /// requested and append the rendered table to `summary` if requested.
 fn finish_stats(
-    recorder: &MetricsRecorder,
+    snap: &MetricsSnapshot,
     opts: &StatsOptions,
     summary: &mut String,
 ) -> CliResult<()> {
-    let snap = recorder.snapshot();
     if let Some(path) = &opts.json_path {
-        let mut w = BufWriter::new(File::create(path)?);
+        let mut w = BufWriter::new(create_output_file(path)?);
         w.write_all(snap.to_json().to_pretty().as_bytes())?;
         w.flush()?;
         summary.push_str(&format!("\nstats json -> {}", path.display()));
@@ -209,6 +252,44 @@ fn finish_stats(
     if opts.table {
         summary.push('\n');
         summary.push_str(snap.render().trim_end());
+    }
+    Ok(())
+}
+
+/// Flush tracing output according to `opts`: write the Chrome
+/// trace-event file and/or append the slowest-queries table.
+fn finish_trace(
+    recorder: &TraceRecorder,
+    opts: &StatsOptions,
+    summary: &mut String,
+) -> CliResult<()> {
+    if let Some(path) = &opts.trace_out {
+        let traces = recorder.traces();
+        let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+        let mut w = BufWriter::new(create_output_file(path)?);
+        w.write_all(chrome_trace_json(&traces).to_pretty().as_bytes())?;
+        w.flush()?;
+        summary.push_str(&format!(
+            "\ntrace -> {} ({} queries, {spans} spans",
+            path.display(),
+            traces.len()
+        ));
+        if recorder.dropped_traces() > 0 {
+            summary.push_str(&format!(", {} dropped", recorder.dropped_traces()));
+        }
+        summary.push(')');
+    }
+    if let Some(kk) = opts.slowest {
+        let slowest = recorder.flight().slowest();
+        summary.push_str(&format!("\nslowest {} queries:", slowest.len().min(kk)));
+        for (rank, t) in slowest.iter().take(kk).enumerate() {
+            summary.push_str(&format!(
+                "\n  #{:<2} {:>10.3}ms  {}",
+                rank + 1,
+                t.dur_ns as f64 / 1e6,
+                t.label
+            ));
+        }
     }
     Ok(())
 }
@@ -227,7 +308,22 @@ pub fn map_reads(
     stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
-    if stats.active() {
+    if stats.tracing() {
+        let recorder = stats.trace_recorder();
+        let mut summary = map_reads_with(
+            index_path,
+            reads_path,
+            k,
+            method,
+            both_strands,
+            threads,
+            &recorder,
+            out,
+        )?;
+        finish_stats(&recorder.snapshot(), stats, &mut summary)?;
+        finish_trace(&recorder, stats, &mut summary)?;
+        Ok(summary)
+    } else if stats.active() {
         let recorder = MetricsRecorder::new();
         let mut summary = map_reads_with(
             index_path,
@@ -239,7 +335,7 @@ pub fn map_reads(
             &recorder,
             out,
         )?;
-        finish_stats(&recorder, stats, &mut summary)?;
+        finish_stats(&recorder.snapshot(), stats, &mut summary)?;
         Ok(summary)
     } else {
         map_reads_with(
@@ -335,7 +431,21 @@ pub fn search_patterns(
     stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
-    if stats.active() {
+    if stats.tracing() {
+        let recorder = stats.trace_recorder();
+        let mut summary = search_patterns_with(
+            index_path,
+            patterns_ascii,
+            k,
+            method,
+            threads,
+            &recorder,
+            out,
+        )?;
+        finish_stats(&recorder.snapshot(), stats, &mut summary)?;
+        finish_trace(&recorder, stats, &mut summary)?;
+        Ok(summary)
+    } else if stats.active() {
         let recorder = MetricsRecorder::new();
         let mut summary = search_patterns_with(
             index_path,
@@ -346,7 +456,7 @@ pub fn search_patterns(
             &recorder,
             out,
         )?;
-        finish_stats(&recorder, stats, &mut summary)?;
+        finish_stats(&recorder.snapshot(), stats, &mut summary)?;
         Ok(summary)
     } else {
         search_patterns_with(
@@ -568,6 +678,57 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_creates_parent_dirs_and_emits_chrome_json() {
+        use kmm_telemetry::Json;
+        let fa = tmp("trace.fa");
+        let idxf = tmp("trace.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf, 1).unwrap();
+        let genome = load_fasta_single(&fa).unwrap();
+        let probe = kmm_dna::decode_string(&genome[100..160]);
+
+        // Both output paths point into directories that do not exist yet;
+        // the CLI must create them rather than fail.
+        let base = tmp("trace-nested");
+        let _ = std::fs::remove_dir_all(&base);
+        let trace = base.join("runs/today/trace.json");
+        let json = base.join("runs/today/stats.json");
+        let opts = StatsOptions {
+            table: false,
+            json_path: Some(json.clone()),
+            trace_out: Some(trace.clone()),
+            slowest: Some(2),
+        };
+        let mut out = Vec::new();
+        let summary =
+            search_pattern(&idxf, &probe, 2, Method::ALGORITHM_A, &opts, &mut out).unwrap();
+        assert!(summary.contains("trace ->"), "{summary}");
+        assert!(summary.contains("slowest"), "{summary}");
+        assert!(json.exists());
+
+        // The trace file is loadable Chrome trace-event JSON.
+        let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+
+        // An uncreatable parent (a file stands where the directory must
+        // go) is reported with the offending paths, not a bare io error.
+        let blocker = base.join("blocker");
+        std::fs::write(&blocker, b"x").unwrap();
+        let bad = StatsOptions {
+            trace_out: Some(blocker.join("sub/trace.json")),
+            ..StatsOptions::default()
+        };
+        let err = search_pattern(&idxf, &probe, 2, Method::ALGORITHM_A, &bad, &mut Vec::new())
+            .unwrap_err();
+        assert!(err.0.contains("blocker"), "{}", err.0);
+        assert!(err.0.contains("trace.json"), "{}", err.0);
+    }
+
+    #[test]
     fn search_stats_json_has_phases_and_counters() {
         use kmm_telemetry::Json;
         let fa = tmp("stats.fa");
@@ -581,6 +742,7 @@ mod tests {
         let opts = StatsOptions {
             table: true,
             json_path: Some(json.clone()),
+            ..StatsOptions::default()
         };
         let mut out = Vec::new();
         let summary =

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod cli;
+pub mod serve;
 
 pub use kmm_bwt as bwt;
 pub use kmm_classic as classic;

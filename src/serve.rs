@@ -1,0 +1,707 @@
+//! `kmm serve`: a zero-dependency blocking HTTP/1.1 daemon over a loaded
+//! index.
+//!
+//! The listener is a plain [`std::net::TcpListener`]; requests are
+//! handed to `kmm-par` workers through a bounded queue (the acceptor
+//! blocks when all workers are busy and the queue is full — natural
+//! backpressure instead of unbounded fan-in), and every connection is
+//! handled one-request, `Connection: close`, which keeps the protocol
+//! surface small enough to hand-verify.
+//!
+//! Endpoints:
+//!
+//! | Route | Method | Body |
+//! |---|---|---|
+//! | `/healthz` | GET | `ok` |
+//! | `/metrics` | GET | Prometheus text exposition (process metrics, histogram buckets, per-endpoint sliding-window latency) |
+//! | `/stats.json` | GET | the `MetricsSnapshot` JSON document |
+//! | `/slow.json` | GET | the flight recorder's K slowest queries with full span trees |
+//! | `/trace.json` | GET | Chrome trace-event JSON of retained query traces |
+//! | `/search` | POST | `{"pattern": "ACGT..", "k"?, "method"?}` → occurrence list |
+//! | `/map` | POST | `{"read": "ACGT..", "k"?, "both_strands"?}` → alignment list |
+//! | `/shutdown` | POST | stop accepting, drain, exit |
+//!
+//! `POST /search` runs the exact [`KMismatchIndex::search_recorded`]
+//! path the CLI uses, so its results are identical to `kmm search`.
+//! Each request records into a private [`TraceRecorder`] shard (sharing
+//! the server's trace epoch) absorbed after the response, so the flight
+//! recorder always holds the K slowest queries the daemon has served. A
+//! handler panic — reachable deliberately through the
+//! `--panic-pattern` fault-injection hook — is caught per request: the
+//! client gets a 500, `serve.errors` ticks, and neither the recorder nor
+//! the worker pool is poisoned.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use kmm_core::{KMismatchIndex, MapOutcome, MapperConfig, Method, ReadMapper, Strand};
+use kmm_par::ThreadPool;
+use kmm_telemetry::{
+    chrome_trace_json, slow_queries_json, Counter, Json, Recorder, SlidingWindow, TraceConfig,
+    TraceRecorder,
+};
+
+use crate::cli::{self, CliError, CliResult};
+
+/// Configuration for one serving process.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker count (1 = handle connections on the acceptor thread).
+    pub threads: usize,
+    /// Default mismatch budget for `/search` and `/map` requests that
+    /// don't send their own `k`.
+    pub k: usize,
+    /// Default search method.
+    pub method: Method,
+    /// Flight-recorder capacity (`/slow.json` keeps this many).
+    pub slowest: usize,
+    /// Fault-injection hook: a `/search` or `/map` request whose
+    /// pattern equals this string panics inside the handler. Testing
+    /// only — exercises the panic-isolation path end to end.
+    pub panic_pattern: Option<String>,
+    /// Write the bound port (decimal, one line) here once listening —
+    /// lets scripts using port 0 discover the ephemeral port.
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            k: 3,
+            method: Method::ALGORITHM_A,
+            slowest: 16,
+            panic_pattern: None,
+            port_file: None,
+        }
+    }
+}
+
+/// Cap on header bytes and on declared body length — this is an
+/// operational endpoint, not a general web server.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// How long the acceptor sleeps between polls of the stop flag when no
+/// connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(15);
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// One response: status, content type, body.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    fn json(status: u16, doc: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: doc.to_pretty().into_bytes(),
+        }
+    }
+}
+
+/// Per-endpoint request accounting: lifetime totals plus a sliding
+/// one-minute latency window for p50/p95/p99.
+struct EndpointStats {
+    route: &'static str,
+    requests: std::sync::atomic::AtomicU64,
+    errors: std::sync::atomic::AtomicU64,
+    window: SlidingWindow,
+}
+
+impl EndpointStats {
+    fn new(route: &'static str) -> EndpointStats {
+        EndpointStats {
+            route,
+            requests: std::sync::atomic::AtomicU64::new(0),
+            errors: std::sync::atomic::AtomicU64::new(0),
+            window: SlidingWindow::new(1, 60),
+        }
+    }
+
+    fn record(&self, latency_ns: u64, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.window.record(latency_ns, is_error);
+    }
+}
+
+/// Routes with dedicated accounting; anything else lands in `other`.
+const ROUTES: [&str; 8] = [
+    "/healthz",
+    "/metrics",
+    "/stats.json",
+    "/slow.json",
+    "/trace.json",
+    "/search",
+    "/map",
+    "/shutdown",
+];
+
+/// Shared server state: the index, the global trace recorder, and the
+/// per-endpoint accounting. Only `&self` methods — shared across workers
+/// by reference under `std::thread::scope`.
+struct ServerState {
+    index: KMismatchIndex,
+    config: ServeConfig,
+    recorder: TraceRecorder,
+    endpoints: Vec<EndpointStats>,
+    other: EndpointStats,
+    stop: AtomicBool,
+}
+
+impl ServerState {
+    fn new(index: KMismatchIndex, config: ServeConfig) -> ServerState {
+        let recorder = TraceRecorder::with_config(TraceConfig {
+            flight_capacity: config.slowest,
+            ..TraceConfig::default()
+        });
+        ServerState {
+            index,
+            recorder,
+            endpoints: ROUTES.iter().map(|r| EndpointStats::new(r)).collect(),
+            other: EndpointStats::new("other"),
+            stop: AtomicBool::new(false),
+            config,
+        }
+    }
+
+    fn endpoint(&self, path: &str) -> &EndpointStats {
+        self.endpoints
+            .iter()
+            .find(|e| e.route == path)
+            .unwrap_or(&self.other)
+    }
+
+    fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .chain(std::iter::once(&self.other))
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn total_errors(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .chain(std::iter::once(&self.other))
+            .map(|e| e.errors.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Bounded handoff from the acceptor to the worker threads. `push`
+/// blocks while the queue is full (backpressure on `accept`), `pop`
+/// blocks while it is empty and open. Closing wakes everyone.
+struct HandoffQueue {
+    capacity: usize,
+    inner: Mutex<(std::collections::VecDeque<TcpStream>, bool)>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+impl HandoffQueue {
+    fn new(capacity: usize) -> HandoffQueue {
+        HandoffQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new((std::collections::VecDeque::new(), false)),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (std::collections::VecDeque<TcpStream>, bool)> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut guard = self.lock();
+        while guard.0.len() >= self.capacity && !guard.1 {
+            guard = self.writable.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+        if guard.1 {
+            return; // closed while waiting: drop the connection
+        }
+        guard.0.push_back(stream);
+        drop(guard);
+        self.readable.notify_one();
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut guard = self.lock();
+        loop {
+            if let Some(stream) = guard.0.pop_front() {
+                drop(guard);
+                self.writable.notify_one();
+                return Some(stream);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.readable.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        self.lock().1 = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+}
+
+/// A server running on a background thread (for tests and embedding).
+/// The CLI path ([`run`]) serves on the calling thread instead.
+pub struct Server {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<String>,
+}
+
+impl Server {
+    /// Bind and start serving `index` on a background thread.
+    pub fn start(index: KMismatchIndex, config: ServeConfig) -> CliResult<Server> {
+        let listener = bind(&config)?;
+        let addr = listener.local_addr()?;
+        let thread = std::thread::spawn(move || serve_on(listener, index, config));
+        Ok(Server { addr, thread })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the server to exit (after a `POST /shutdown`) and return
+    /// its summary line.
+    pub fn join(self) -> String {
+        self.thread
+            .join()
+            .unwrap_or_else(|_| "server thread panicked".to_string())
+    }
+}
+
+/// `kmm serve`: load the index at `index_path` and serve it on the
+/// calling thread until a `POST /shutdown` arrives. Returns the summary.
+pub fn run(index_path: &std::path::Path, config: ServeConfig) -> CliResult<String> {
+    let index = cli::load_index(index_path)?;
+    let listener = bind(&config)?;
+    let addr = listener.local_addr()?;
+    eprintln!(
+        "kmm serve: listening on {addr} ({} worker{}, {} bp indexed)",
+        config.threads,
+        if config.threads == 1 { "" } else { "s" },
+        index.len()
+    );
+    Ok(serve_on(listener, index, config))
+}
+
+fn bind(config: &ServeConfig) -> CliResult<TcpListener> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| CliError(format!("cannot bind {}: {e}", config.addr)))?;
+    if let Some(path) = &config.port_file {
+        let mut f = cli::create_output_file(path)?;
+        writeln!(f, "{}", listener.local_addr()?.port())?;
+    }
+    Ok(listener)
+}
+
+/// The accept/dispatch loop; returns the shutdown summary.
+fn serve_on(listener: TcpListener, index: KMismatchIndex, config: ServeConfig) -> String {
+    let threads = config.threads.max(1);
+    let state = ServerState::new(index, config);
+    listener
+        .set_nonblocking(true)
+        .expect("cannot poll the listener");
+    let pool = ThreadPool::new(threads);
+    if pool.is_serial() {
+        while !state.stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => handle_connection(stream, &state, 0),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL)
+                }
+                Err(_) => break,
+            }
+        }
+    } else {
+        // Worker 0 accepts; workers 1..N drain the bounded queue.
+        let queue = HandoffQueue::new(threads * 4);
+        pool.broadcast(|tid| {
+            if tid == 0 {
+                while !state.stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => queue.push(stream),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL)
+                        }
+                        Err(_) => break,
+                    }
+                }
+                queue.close();
+            } else {
+                while let Some(stream) = queue.pop() {
+                    handle_connection(stream, &state, tid);
+                }
+            }
+        });
+    }
+    format!(
+        "served {} requests ({} errors)",
+        state.total_requests(),
+        state.total_errors()
+    )
+}
+
+/// Serve one connection: read a request, route it (panic-isolated),
+/// write the response, account for it.
+fn handle_connection(mut stream: TcpStream, state: &ServerState, worker: usize) {
+    // Accepted sockets must block (the listener itself is nonblocking),
+    // and a stuck client must not pin a worker forever.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            state.other.record(0, true);
+            let _ = write_response(
+                &mut stream,
+                &Response::text(400, format!("bad request: {e}")),
+            );
+            return;
+        }
+    };
+    let start = Instant::now();
+    state.recorder.add(Counter::ServeRequests, 1);
+    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        route(state, &request, worker)
+    }))
+    .unwrap_or_else(|_| Response::text(500, "internal error: request handler panicked\n"));
+    let is_error = response.status >= 400;
+    if is_error {
+        state.recorder.add(Counter::ServeErrors, 1);
+    }
+    state
+        .endpoint(&request.path)
+        .record(start.elapsed().as_nanos() as u64, is_error);
+    let _ = write_response(&mut stream, &response);
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    use std::io::{Error, ErrorKind};
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(Error::new(ErrorKind::InvalidData, "headers too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| Error::new(ErrorKind::InvalidData, "non-utf8 headers"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "missing request path"))?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Error::new(ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "truncated body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+fn route(state: &ServerState, request: &Request, worker: usize) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: render_metrics(state).into_bytes(),
+        },
+        ("GET", "/stats.json") => Response::json(200, &state.recorder.snapshot().to_json()),
+        ("GET", "/slow.json") => {
+            Response::json(200, &slow_queries_json(&state.recorder.flight().slowest()))
+        }
+        ("GET", "/trace.json") => Response::json(200, &chrome_trace_json(&state.recorder.traces())),
+        ("POST", "/search") => handle_search(state, &request.body, worker),
+        ("POST", "/map") => handle_map(state, &request.body, worker),
+        ("POST", "/shutdown") => {
+            state.stop.store(true, Ordering::Relaxed);
+            Response::text(200, "shutting down\n")
+        }
+        ("GET", "/search" | "/map" | "/shutdown") => {
+            Response::text(405, "use POST for this endpoint\n")
+        }
+        _ => Response::text(404, format!("no route for {}\n", request.path)),
+    }
+}
+
+/// Process metrics plus per-endpoint HTTP series.
+fn render_metrics(state: &ServerState) -> String {
+    let mut out = state.recorder.snapshot().to_prometheus();
+    out.push_str("# TYPE kmm_http_requests_total counter\n");
+    for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
+        out.push_str(&format!(
+            "kmm_http_requests_total{{endpoint=\"{}\"}} {}\n",
+            e.route,
+            e.requests.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str("# TYPE kmm_http_errors_total counter\n");
+    for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
+        out.push_str(&format!(
+            "kmm_http_errors_total{{endpoint=\"{}\"}} {}\n",
+            e.route,
+            e.errors.load(Ordering::Relaxed)
+        ));
+    }
+    // Last-minute latency percentiles per endpoint (gauges: they move
+    // with the window).
+    out.push_str("# TYPE kmm_http_window_requests gauge\n");
+    out.push_str("# TYPE kmm_http_window_errors gauge\n");
+    out.push_str("# TYPE kmm_http_latency_ns gauge\n");
+    for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
+        let w = e.window.summary();
+        if w.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "kmm_http_window_requests{{endpoint=\"{}\"}} {}\n",
+            e.route, w.count
+        ));
+        out.push_str(&format!(
+            "kmm_http_window_errors{{endpoint=\"{}\"}} {}\n",
+            e.route, w.errors
+        ));
+        for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "kmm_http_latency_ns{{endpoint=\"{}\",quantile=\"{label}\"}} {}\n",
+                e.route,
+                w.hist.percentile(q)
+            ));
+        }
+    }
+    out
+}
+
+/// Per-request tracing shard sharing the server recorder's epoch; merged
+/// into the global recorder after the query so `/slow.json` and
+/// `/metrics` see every request. Creating it on panic-prone paths is
+/// deliberate: a panicking handler only loses its own shard.
+fn request_shard(state: &ServerState, worker: usize) -> TraceRecorder {
+    TraceRecorder::shard(state.recorder.trace_epoch(), worker as u32, true)
+}
+
+fn absorb_shard(state: &ServerState, shard: &TraceRecorder) {
+    state.recorder.absorb(&shard.snapshot());
+    state.recorder.absorb_traces(shard.drain());
+}
+
+fn body_json(body: &[u8]) -> Result<Json, Response> {
+    let text = std::str::from_utf8(body).map_err(|_| Response::text(400, "body is not utf-8\n"))?;
+    Json::parse(text).map_err(|e| Response::text(400, format!("bad json body: {e}\n")))
+}
+
+fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
+    let doc = match body_json(body) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(pattern) = doc.get("pattern").and_then(Json::as_str) else {
+        return Response::text(400, "missing \"pattern\"\n");
+    };
+    if state.config.panic_pattern.as_deref() == Some(pattern) {
+        panic!("injected fault: panic pattern received");
+    }
+    let k = doc
+        .get("k")
+        .and_then(Json::as_u64)
+        .map_or(state.config.k, |v| v as usize);
+    let method = match doc.get("method").and_then(Json::as_str) {
+        None => state.config.method,
+        Some(name) => match cli::parse_method(name) {
+            Ok(m) => m,
+            Err(e) => return Response::text(400, format!("{e}\n")),
+        },
+    };
+    let encoded = match kmm_dna::encode(pattern.as_bytes()) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, format!("bad pattern: {e}\n")),
+    };
+    let shard = request_shard(state, worker);
+    shard.annotate("http=/search");
+    let result = state.index.search_recorded(&encoded, k, method, &shard);
+    absorb_shard(state, &shard);
+    let occurrences: Vec<Json> = result
+        .occurrences
+        .iter()
+        .map(|o| {
+            Json::obj([
+                ("position", Json::UInt(o.position as u64)),
+                ("mismatches", Json::UInt(o.mismatches as u64)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::obj([
+            ("count", Json::UInt(occurrences.len() as u64)),
+            ("k", Json::UInt(k as u64)),
+            ("method", Json::Str(method.label().to_string())),
+            ("occurrences", Json::Arr(occurrences)),
+        ]),
+    )
+}
+
+fn handle_map(state: &ServerState, body: &[u8], worker: usize) -> Response {
+    let doc = match body_json(body) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let Some(read) = doc.get("read").and_then(Json::as_str) else {
+        return Response::text(400, "missing \"read\"\n");
+    };
+    if state.config.panic_pattern.as_deref() == Some(read) {
+        panic!("injected fault: panic pattern received");
+    }
+    let k = doc
+        .get("k")
+        .and_then(Json::as_u64)
+        .map_or(state.config.k, |v| v as usize);
+    let both_strands = doc
+        .get("both_strands")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+    let encoded = match kmm_dna::encode(read.as_bytes()) {
+        Ok(p) => p,
+        Err(e) => return Response::text(400, format!("bad read: {e}\n")),
+    };
+    let mapper = ReadMapper::new(
+        &state.index,
+        MapperConfig {
+            k,
+            both_strands,
+            method: state.config.method,
+        },
+    );
+    let shard = request_shard(state, worker);
+    shard.annotate("http=/map");
+    let report = mapper.map_recorded(&encoded, &shard);
+    absorb_shard(state, &shard);
+    let alignments: Vec<Json> = report
+        .all
+        .iter()
+        .map(|a| {
+            Json::obj([
+                ("position", Json::UInt(a.position as u64)),
+                ("mismatches", Json::UInt(a.mismatches as u64)),
+                (
+                    "strand",
+                    Json::Str(
+                        if a.strand == Strand::Forward {
+                            "+"
+                        } else {
+                            "-"
+                        }
+                        .to_string(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let outcome = match report.outcome {
+        MapOutcome::Unmapped => "unmapped",
+        MapOutcome::Unique(_) => "unique",
+        MapOutcome::Multi(_) => "multi",
+    };
+    Response::json(
+        200,
+        &Json::obj([
+            ("outcome", Json::Str(outcome.to_string())),
+            ("mapq", Json::UInt(report.mapq as u64)),
+            ("alignments", Json::Arr(alignments)),
+        ]),
+    )
+}

@@ -1,0 +1,237 @@
+//! End-to-end tests for the `kmm serve` HTTP daemon, driven over real
+//! sockets against an in-process server on an ephemeral port.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bwt_kmismatch::dna::genome::{markov, MarkovConfig};
+use bwt_kmismatch::serve::{ServeConfig, Server};
+use bwt_kmismatch::telemetry::Json;
+use bwt_kmismatch::{KMismatchIndex, Method};
+
+fn test_index() -> KMismatchIndex {
+    KMismatchIndex::new(markov(8_000, &MarkovConfig::default(), 31))
+}
+
+/// Minimal blocking HTTP/1.1 client: one request, one response.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, "GET", path, "")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    http(addr, "POST", path, body)
+}
+
+/// Decode a 60 bp probe from the indexed text so searches actually hit.
+fn probe(idx: &KMismatchIndex, at: usize) -> String {
+    bwt_kmismatch::dna::decode_string(&idx.text()[at..at + 60])
+}
+
+fn start(config: ServeConfig) -> (Server, KMismatchIndex) {
+    let idx = test_index();
+    let server = Server::start(test_index(), config).expect("server start");
+    (server, idx)
+}
+
+#[test]
+fn serves_health_stats_and_metrics() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, body) = get(addr, "/stats.json");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("stats.json parses");
+    assert!(doc.get("schema").and_then(Json::as_str).is_some());
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.lines().any(|l| l.starts_with("# TYPE ")), "{body}");
+    assert!(body.contains("kmm_http_requests_total"), "{body}");
+    // The earlier requests in this test are already accounted for.
+    assert!(
+        body.contains("kmm_http_requests_total{endpoint=\"/healthz\"} 1"),
+        "{body}"
+    );
+
+    let (status, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    let summary = server.join();
+    assert!(summary.contains("served"), "{summary}");
+}
+
+#[test]
+fn post_search_matches_direct_index_search() {
+    let (server, idx) = start(ServeConfig {
+        threads: 3,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    for at in [100usize, 500, 2000, 4000] {
+        let pattern = probe(&idx, at);
+        let body = format!("{{\"pattern\": \"{pattern}\", \"k\": 2}}");
+        let (status, response) = post(addr, "/search", &body);
+        assert_eq!(status, 200, "{response}");
+        let doc = Json::parse(&response).unwrap();
+
+        let encoded = bwt_kmismatch::dna::encode(pattern.as_bytes()).unwrap();
+        let want = idx.search(&encoded, 2, Method::ALGORITHM_A);
+        assert_eq!(
+            doc.get("count").and_then(Json::as_u64),
+            Some(want.occurrences.len() as u64)
+        );
+        let got: Vec<(u64, u64)> = doc
+            .get("occurrences")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|o| {
+                (
+                    o.get("position").and_then(Json::as_u64).unwrap(),
+                    o.get("mismatches").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect();
+        let want: Vec<(u64, u64)> = want
+            .occurrences
+            .iter()
+            .map(|o| (o.position as u64, o.mismatches as u64))
+            .collect();
+        assert_eq!(got, want, "HTTP /search diverged from the library at {at}");
+    }
+
+    // The served queries populated the flight recorder.
+    let (status, body) = get(addr, "/slow.json");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    let queries = doc.get("slowest").and_then(Json::as_array).unwrap();
+    assert!(!queries.is_empty(), "flight recorder saw no queries");
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn post_map_returns_alignments() {
+    let (server, idx) = start(ServeConfig::default());
+    let addr = server.addr();
+    let read = probe(&idx, 1234);
+    let (status, response) = post(addr, "/map", &format!("{{\"read\": \"{read}\"}}"));
+    assert_eq!(status, 200, "{response}");
+    let doc = Json::parse(&response).unwrap();
+    // An error-free read sampled from the text maps uniquely to its origin.
+    assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("unique"));
+    let aligned = doc.get("alignments").and_then(Json::as_array).unwrap();
+    assert!(aligned
+        .iter()
+        .any(|a| a.get("position").and_then(Json::as_u64) == Some(1234)));
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn bad_requests_get_4xx_not_a_wedge() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+    assert_eq!(get(addr, "/no-such-route").0, 404);
+    assert_eq!(get(addr, "/search").0, 405);
+    assert_eq!(post(addr, "/search", "not json").0, 400);
+    assert_eq!(post(addr, "/search", "{\"k\": 1}").0, 400);
+    assert_eq!(
+        post(addr, "/search", "{\"pattern\": \"QQQ\"}").0,
+        400,
+        "non-DNA pattern"
+    );
+    // The server is still healthy afterwards.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn handler_panic_is_isolated_and_counted() {
+    let (server, idx) = start(ServeConfig {
+        threads: 2,
+        panic_pattern: Some("ACGTACGT".to_string()),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // The injected fault panics inside the handler: the client sees a
+    // 500 and the worker survives.
+    let (status, body) = post(addr, "/search", "{\"pattern\": \"ACGTACGT\"}");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("panicked"), "{body}");
+
+    // The very next request on the same server works.
+    let pattern = probe(&idx, 300);
+    let (status, _) = post(addr, "/search", &format!("{{\"pattern\": \"{pattern}\"}}"));
+    assert_eq!(status, 200);
+    assert_eq!(get(addr, "/healthz").0, 200);
+
+    // The error is visible in both accounting layers.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("kmm_serve_errors_total 1"),
+        "serve.errors missing: {metrics}"
+    );
+    assert!(
+        metrics.contains("kmm_http_errors_total{endpoint=\"/search\"} 1"),
+        "{metrics}"
+    );
+    let (_, stats) = get(addr, "/stats.json");
+    let doc = Json::parse(&stats).unwrap();
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("serve.errors"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn trace_json_exports_served_queries() {
+    let (server, idx) = start(ServeConfig::default());
+    let addr = server.addr();
+    let pattern = probe(&idx, 600);
+    post(addr, "/search", &format!("{{\"pattern\": \"{pattern}\"}}"));
+    let (status, body) = get(addr, "/trace.json");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    assert!(!events.is_empty(), "no spans exported for served queries");
+    post(addr, "/shutdown", "");
+    server.join();
+}
