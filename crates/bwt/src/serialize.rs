@@ -168,13 +168,19 @@ impl<R: Read> SerReader<R> {
         Ok(u64::from_le_bytes(b))
     }
 
+    /// Initial capacity cap for length-prefixed vectors: a corrupt
+    /// length prefix must fail with an I/O error when the stream runs
+    /// dry, not commit gigabytes up front. Genuine vectors longer than
+    /// this simply grow amortised as their elements arrive.
+    const PREALLOC_CAP: usize = 1 << 20;
+
     /// Read a length-prefixed `u32` vector, with a sanity cap on length.
     pub fn vec_u32(&mut self) -> Result<Vec<u32>, SerializeError> {
         let len = self.u64()? as usize;
         if len > (1usize << 34) {
             return Err(SerializeError::Malformed("u32 vector length"));
         }
-        let mut v = Vec::with_capacity(len);
+        let mut v = Vec::with_capacity(len.min(Self::PREALLOC_CAP));
         for _ in 0..len {
             v.push(self.u32()?);
         }
@@ -187,7 +193,7 @@ impl<R: Read> SerReader<R> {
         if len > (1usize << 33) {
             return Err(SerializeError::Malformed("u64 vector length"));
         }
-        let mut v = Vec::with_capacity(len);
+        let mut v = Vec::with_capacity(len.min(Self::PREALLOC_CAP));
         for _ in 0..len {
             v.push(self.u64()?);
         }

@@ -35,6 +35,7 @@ use kmm_classic::Occurrence;
 use kmm_dna::BASES;
 use kmm_telemetry::{Hist, NoopRecorder, Phase, Recorder};
 
+use crate::cancel::{CancelToken, Gate, Outcome};
 use crate::derive::DerivationAudit;
 use crate::mtree::{MTree, ABSENT, UNKNOWN};
 use crate::rarray::RTable;
@@ -83,6 +84,7 @@ struct Query<'q, R: Recorder> {
     /// shared pairs for replay through the paper's merge derivation.
     audit: Option<DerivationAudit>,
     ctx: Option<AuditCtx>,
+    gate: &'q Gate<'q>,
 }
 
 impl<'a> AlgorithmA<'a> {
@@ -115,6 +117,23 @@ impl<'a> AlgorithmA<'a> {
         let mut tree = MTree::new();
         let (occ, stats, _) = self.run_with(pattern, k, false, &mut tree, recorder);
         (occ, stats)
+    }
+
+    /// [`Self::search_recorded`] under a cancellation token: the walk
+    /// polls `token` at node-expansion granularity and unwinds once it
+    /// expires, returning [`Outcome::Truncated`] with every occurrence
+    /// verified so far.
+    pub fn search_deadline_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        token: &CancelToken,
+        recorder: &R,
+    ) -> Outcome<(Vec<Occurrence>, SearchStats)> {
+        let mut tree = MTree::new();
+        let gate = Gate::new(Some(token));
+        let (occ, stats, _) = self.run_gated(pattern, k, false, &mut tree, &gate, recorder);
+        Outcome::from_parts((occ, stats), gate.tripped())
     }
 
     /// As [`Self::search`], additionally collecting derivation-audit
@@ -156,6 +175,19 @@ impl<'a> AlgorithmA<'a> {
         tree: &mut MTree,
         recorder: &R,
     ) -> (Vec<Occurrence>, SearchStats, Option<DerivationAudit>) {
+        let gate = Gate::open();
+        self.run_gated(pattern, k, audit, tree, &gate, recorder)
+    }
+
+    fn run_gated<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        audit: bool,
+        tree: &mut MTree,
+        gate: &Gate<'_>,
+        recorder: &R,
+    ) -> (Vec<Occurrence>, SearchStats, Option<DerivationAudit>) {
         let m = pattern.len();
         if m == 0 || m > self.text_len {
             return (Vec::new(), SearchStats::default(), None);
@@ -178,6 +210,7 @@ impl<'a> AlgorithmA<'a> {
             stats: SearchStats::default(),
             audit: audit.then(DerivationAudit::default),
             ctx: None,
+            gate,
         };
         {
             let _span = recorder.span(Phase::SearchDescend);
@@ -185,6 +218,9 @@ impl<'a> AlgorithmA<'a> {
             // F-blocks (one backward extension per symbol), paper
             // Fig. 3's v1..v3.
             for y in 1..=BASES as u8 {
+                if gate.should_stop() {
+                    break;
+                }
                 let is_match = y == pattern[0];
                 if !is_match && k == 0 {
                     continue;
@@ -214,6 +250,7 @@ impl<'a> AlgorithmA<'a> {
         out.sort_unstable();
         stats.occurrences = out.len() as u64;
         stats.nodes_materialized = tree.len() as u64;
+        stats.timeouts = u64::from(gate.tripped());
         stats.record_into(recorder);
         (out, stats, audit)
     }
@@ -244,6 +281,22 @@ impl<'a> BatchSearcher<'a> {
             .alg
             .run_with(pattern, k, false, &mut self.tree, recorder);
         (occ, stats)
+    }
+
+    /// As [`AlgorithmA::search_deadline_recorded`], reusing scratch
+    /// allocations across the batch.
+    pub fn search_deadline_recorded<R: Recorder>(
+        &mut self,
+        pattern: &[u8],
+        k: usize,
+        token: &CancelToken,
+        recorder: &R,
+    ) -> Outcome<(Vec<Occurrence>, SearchStats)> {
+        let gate = Gate::new(Some(token));
+        let (occ, stats, _) =
+            self.alg
+                .run_gated(pattern, k, false, &mut self.tree, &gate, recorder);
+        Outcome::from_parts((occ, stats), gate.tripped())
     }
 
     /// Current arena capacity (retained across queries).
@@ -338,6 +391,11 @@ impl<'q, R: Recorder> Query<'q, R> {
     }
 
     fn walk_inner(&mut self, node: u32, p: usize, mism: usize) {
+        // One relaxed load per node expansion; singleton chains are
+        // bounded by m and checked once at entry.
+        if self.gate.should_stop() {
+            return;
+        }
         self.stats.nodes_visited += 1;
         let m = self.pattern.len();
         if p + 1 == m {
@@ -419,6 +477,9 @@ impl<'q, R: Recorder> Query<'q, R> {
     /// Follow a singleton (1-row) interval chain: each step has exactly one
     /// possible extension, by `L[row]`, costing a single rank lookup.
     fn walk_chain(&mut self, mut row: u32, mut p: usize, mut mism: usize) {
+        if self.gate.should_stop() {
+            return;
+        }
         let m = self.pattern.len();
         loop {
             self.stats.nodes_visited += 1;

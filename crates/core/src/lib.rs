@@ -22,6 +22,7 @@
 //! ```
 
 pub mod algorithm_a;
+pub mod cancel;
 pub mod cole;
 pub mod derive;
 pub mod k_errors;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod stree;
 
 pub use algorithm_a::{AlgorithmA, BatchSearcher};
+pub use cancel::{CancelToken, Outcome};
 pub use cole::ColeSearch;
 pub use derive::{derive_path, mi_creation, DerivationAudit, StoredPath};
 pub use k_errors::{find_k_errors_naive, EditOccurrence, KErrorsSearch};

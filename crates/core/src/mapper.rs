@@ -11,6 +11,9 @@ use kmm_dna::reverse_complement;
 use kmm_par::ThreadPool;
 use kmm_telemetry::{Counter, NoopRecorder, Phase, Recorder, TraceRecorder};
 
+use std::time::Duration;
+
+use crate::cancel::{CancelToken, Outcome};
 use crate::matcher::{KMismatchIndex, Method};
 
 /// Strand of a mapping.
@@ -110,15 +113,53 @@ impl<'a> ReadMapper<'a> {
             recorder.annotate(&format!("read_len={} k={}", read.len(), self.config.k));
             recorder.span_begin(Phase::SearchRead);
         }
-        let report = self.map_traced(read, recorder);
+        let report = self.map_traced(read, None, recorder).into_inner();
         if tracing {
             recorder.span_end(Phase::SearchRead);
         }
         report
     }
 
-    fn map_traced<R: Recorder>(&self, read: &[u8], recorder: &R) -> MapReport {
+    /// [`Self::map`] under a cancellation/deadline token shared by both
+    /// strand queries: the read's whole work is bounded, and a read
+    /// whose budget expires mid-search returns [`Outcome::Truncated`]
+    /// with the alignments found so far (classification/mapq computed
+    /// over the partial set — flagged, never silently dropped).
+    pub fn map_with_deadline(&self, read: &[u8], token: &CancelToken) -> Outcome<MapReport> {
+        self.map_with_deadline_recorded(read, token, &NoopRecorder)
+    }
+
+    /// [`Self::map_with_deadline`] with telemetry; truncated reads
+    /// annotate their `search.read` span with `cancelled`.
+    pub fn map_with_deadline_recorded<R: Recorder>(
+        &self,
+        read: &[u8],
+        token: &CancelToken,
+        recorder: &R,
+    ) -> Outcome<MapReport> {
+        let tracing = recorder.wants_spans();
+        if tracing {
+            recorder.annotate(&format!("read_len={} k={}", read.len(), self.config.k));
+            recorder.span_begin(Phase::SearchRead);
+        }
+        let report = self.map_traced(read, Some(token), recorder);
+        if tracing {
+            if report.is_truncated() {
+                recorder.annotate("cancelled");
+            }
+            recorder.span_end(Phase::SearchRead);
+        }
+        report
+    }
+
+    fn map_traced<R: Recorder>(
+        &self,
+        read: &[u8],
+        token: Option<&CancelToken>,
+        recorder: &R,
+    ) -> Outcome<MapReport> {
         let mut all: Vec<Alignment> = Vec::new();
+        let mut truncated = false;
         let collect = |occ: Vec<Occurrence>, strand: Strand, all: &mut Vec<Alignment>| {
             for o in occ {
                 all.push(Alignment {
@@ -128,15 +169,28 @@ impl<'a> ReadMapper<'a> {
                 });
             }
         };
-        let fwd = self
-            .index
-            .search_recorded(read, self.config.k, self.config.method, recorder);
+        let search = |pattern: &[u8], truncated: &mut bool| match token {
+            Some(token) => {
+                let r = self.index.search_with_deadline_recorded(
+                    pattern,
+                    self.config.k,
+                    self.config.method,
+                    token,
+                    recorder,
+                );
+                *truncated |= r.is_truncated();
+                r.into_inner()
+            }
+            None => {
+                self.index
+                    .search_recorded(pattern, self.config.k, self.config.method, recorder)
+            }
+        };
+        let fwd = search(read, &mut truncated);
         collect(fwd.occurrences, Strand::Forward, &mut all);
         if self.config.both_strands {
             let rc = reverse_complement(read);
-            let rev = self
-                .index
-                .search_recorded(&rc, self.config.k, self.config.method, recorder);
+            let rev = search(&rc, &mut truncated);
             collect(rev.occurrences, Strand::Reverse, &mut all);
         }
         recorder.add(Counter::ReadsTotal, 1);
@@ -181,7 +235,7 @@ impl<'a> ReadMapper<'a> {
                 }
             }
         };
-        MapReport { outcome, all, mapq }
+        Outcome::from_parts(MapReport { outcome, all, mapq }, truncated)
     }
 
     /// Map a batch of reads across a thread pool. Reads are independent,
@@ -226,6 +280,63 @@ impl<'a> ReadMapper<'a> {
                     self.map_recorded(read.as_ref(), shard)
                 }
                 None => self.map(read.as_ref()),
+            },
+            |shard| {
+                if let Some(shard) = shard {
+                    recorder.absorb(&shard.snapshot());
+                    if tracing {
+                        recorder.absorb_traces(shard.drain());
+                    }
+                }
+            },
+        )
+    }
+
+    /// [`Self::map_batch`] with a **per-read** time budget: each read's
+    /// token is stamped as its mapping starts, so one pathological read
+    /// is truncated without starving the batch.
+    pub fn map_batch_with_deadline<Rd: AsRef<[u8]> + Sync>(
+        &self,
+        reads: &[Rd],
+        pool: &ThreadPool,
+        per_read: Duration,
+    ) -> Vec<Outcome<MapReport>> {
+        self.map_batch_with_deadline_recorded(reads, pool, per_read, &NoopRecorder)
+    }
+
+    /// [`Self::map_batch_with_deadline`] with telemetry, sharded per
+    /// worker like [`Self::map_batch_recorded`].
+    pub fn map_batch_with_deadline_recorded<Rd, R>(
+        &self,
+        reads: &[Rd],
+        pool: &ThreadPool,
+        per_read: Duration,
+        recorder: &R,
+    ) -> Vec<Outcome<MapReport>>
+    where
+        Rd: AsRef<[u8]> + Sync,
+        R: Recorder + Sync,
+    {
+        if matches!(self.config.method, Method::Cole) {
+            self.index.suffix_tree();
+        }
+        let shard_metrics = recorder.enabled();
+        let tracing = recorder.wants_spans();
+        let epoch = recorder.trace_epoch();
+        pool.par_map_init(
+            reads,
+            |worker| shard_metrics.then(|| TraceRecorder::shard(epoch, worker as u32 + 1, tracing)),
+            |shard, i, read| {
+                let token = CancelToken::with_deadline(per_read);
+                match shard {
+                    Some(shard) => {
+                        if tracing {
+                            shard.annotate(&format!("q={i}"));
+                        }
+                        self.map_with_deadline_recorded(read.as_ref(), &token, shard)
+                    }
+                    None => self.map_with_deadline(read.as_ref(), &token),
+                }
             },
             |shard| {
                 if let Some(shard) = shard {

@@ -3,7 +3,7 @@
 //! reference scanners.
 
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kmm_bwt::{FmBuildConfig, FmIndex};
 use kmm_classic::{amir, kangaroo, naive, Occurrence};
@@ -13,6 +13,7 @@ use kmm_suffix::SuffixTree;
 use kmm_telemetry::{Counter, Hist, NoopRecorder, Phase, Recorder, TraceRecorder};
 
 use crate::algorithm_a::AlgorithmA;
+use crate::cancel::{CancelToken, Gate, Outcome};
 use crate::cole::ColeSearch;
 use crate::seed_filter::SeedFilterSearch;
 use crate::stats::SearchStats;
@@ -267,6 +268,174 @@ impl KMismatchIndex {
         result
     }
 
+    /// [`Self::search`] under a cancellation/deadline token: see
+    /// [`Self::search_with_deadline_recorded`].
+    pub fn search_with_deadline(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        method: Method,
+        token: &CancelToken,
+    ) -> Outcome<SearchResult> {
+        self.search_with_deadline_recorded(pattern, k, method, token, &NoopRecorder)
+    }
+
+    /// [`Self::search_recorded`] under a cancellation/deadline token.
+    ///
+    /// The tree methods (`Bwt`, `AlgorithmA`) poll the token at
+    /// node-expansion granularity; the online scanners (`Naive`,
+    /// `Kangaroo`, `Amir`) poll between ~4 Ki-position text chunks; the
+    /// remaining baselines (`Cole`, `SeedFilter`) only honour a token
+    /// that is already expired at entry (they are comparison baselines,
+    /// not serving paths). A truncated query returns
+    /// [`Outcome::Truncated`] carrying every occurrence verified before
+    /// the budget expired, sets `stats.timeouts = 1` (ticking the
+    /// `search.timeouts` counter), and — under a tracing recorder —
+    /// annotates its span with `cancelled`.
+    pub fn search_with_deadline_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        method: Method,
+        token: &CancelToken,
+        recorder: &R,
+    ) -> Outcome<SearchResult> {
+        let tracing = recorder.wants_spans();
+        if tracing {
+            recorder.annotate(&format!(
+                "m={} k={k} method={}",
+                pattern.len(),
+                method.label()
+            ));
+            recorder.span_begin(Phase::SearchQuery);
+        }
+        let start = recorder.enabled().then(Instant::now);
+        let outcome = match method {
+            Method::Naive => {
+                self.scan_with_deadline(pattern, k, token, recorder, naive::find_k_mismatch)
+            }
+            Method::Kangaroo => {
+                self.scan_with_deadline(pattern, k, token, recorder, kangaroo::find_k_mismatch)
+            }
+            Method::Amir => {
+                self.scan_with_deadline(pattern, k, token, recorder, amir::find_k_mismatch)
+            }
+            Method::Cole => {
+                if token.is_expired() {
+                    Outcome::Truncated(self.truncated_at_entry(recorder))
+                } else {
+                    let (occurrences, stats) =
+                        ColeSearch::new(self.suffix_tree()).search(pattern, k);
+                    stats.record_into(recorder);
+                    Outcome::Complete(SearchResult { occurrences, stats })
+                }
+            }
+            Method::Bwt { use_phi } => {
+                let mut st = STreeSearch::new(&self.fm, self.text.len());
+                st.use_phi = use_phi;
+                st.search_deadline_recorded(pattern, k, token, recorder)
+                    .map(|(occurrences, stats)| SearchResult { occurrences, stats })
+            }
+            Method::AlgorithmA { reuse } => {
+                let mut alg = AlgorithmA::new(&self.fm, self.text.len());
+                alg.reuse = reuse;
+                alg.search_deadline_recorded(pattern, k, token, recorder)
+                    .map(|(occurrences, stats)| SearchResult { occurrences, stats })
+            }
+            Method::SeedFilter => {
+                if token.is_expired() {
+                    Outcome::Truncated(self.truncated_at_entry(recorder))
+                } else {
+                    let sf = SeedFilterSearch::new(&self.fm, &self.text);
+                    let (occurrences, stats) = sf.search(pattern, k);
+                    stats.record_into(recorder);
+                    Outcome::Complete(SearchResult { occurrences, stats })
+                }
+            }
+        };
+        if let Some(start) = start {
+            let ns = start.elapsed().as_nanos() as u64;
+            recorder.phase_add(Phase::SearchQuery, ns);
+            recorder.observe(Hist::SearchLatencyNs, ns);
+        }
+        recorder.add(Counter::Queries, 1);
+        if tracing {
+            if outcome.is_truncated() {
+                recorder.annotate("cancelled");
+            }
+            recorder.span_end(Phase::SearchQuery);
+        }
+        outcome
+    }
+
+    /// An empty truncated result for methods that only honour the token
+    /// at entry.
+    fn truncated_at_entry<R: Recorder>(&self, recorder: &R) -> SearchResult {
+        let stats = SearchStats {
+            timeouts: 1,
+            ..Default::default()
+        };
+        recorder.add(Counter::Timeouts, 1);
+        SearchResult {
+            occurrences: Vec::new(),
+            stats,
+        }
+    }
+
+    /// Positions scanned between deadline polls by the online methods.
+    const SCAN_CHUNK: usize = 4096;
+
+    /// Drive an online scanner (naive/kangaroo/amir) in text chunks so
+    /// it can be truncated: each chunk covers [`Self::SCAN_CHUNK`] start
+    /// positions (plus the `m - 1` overlap its windows read), so the
+    /// concatenated hit list is bit-identical to one whole-text scan.
+    fn scan_with_deadline<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        token: &CancelToken,
+        recorder: &R,
+        scan: impl Fn(&[u8], &[u8], usize) -> Vec<Occurrence>,
+    ) -> Outcome<SearchResult> {
+        let n = self.text.len();
+        let m = pattern.len();
+        if m == 0 || m > n {
+            return Outcome::Complete(SearchResult {
+                occurrences: scan(&self.text, pattern, k),
+                stats: SearchStats::default(),
+            });
+        }
+        let gate = Gate::new(Some(token));
+        let last_start = n - m;
+        let mut occurrences = Vec::new();
+        let mut c = 0usize;
+        let mut truncated = false;
+        while c <= last_start {
+            // Chunks arrive ~µs apart, far below the gate's countdown
+            // rate — force the deadline read every time.
+            if gate.poll_now() {
+                truncated = true;
+                break;
+            }
+            let hi = (c + Self::SCAN_CHUNK - 1).min(last_start);
+            for o in scan(&self.text[c..hi + m], pattern, k) {
+                occurrences.push(Occurrence {
+                    position: o.position + c,
+                    mismatches: o.mismatches,
+                });
+            }
+            c = hi + 1;
+        }
+        let stats = SearchStats {
+            timeouts: u64::from(truncated),
+            ..Default::default()
+        };
+        if truncated {
+            recorder.add(Counter::Timeouts, 1);
+        }
+        Outcome::from_parts(SearchResult { occurrences, stats }, truncated)
+    }
+
     /// Number of occurrences with at most `k` mismatches, without
     /// resolving positions (skips `locate`; only meaningful for the
     /// index-tree methods, and cheapest through Algorithm A).
@@ -385,6 +554,130 @@ impl KMismatchIndex {
                 };
                 stats.accumulate(&r.stats);
                 r.occurrences
+            },
+            |(shard, stats)| {
+                if let Some(shard) = shard {
+                    recorder.absorb(&shard.snapshot());
+                    if tracing {
+                        recorder.absorb_traces(shard.drain());
+                    }
+                }
+                total.lock().unwrap().accumulate(&stats);
+            },
+        );
+        (results, total.into_inner().unwrap())
+    }
+
+    /// [`Self::search_batch`] with a **per-query** time budget: each
+    /// pattern gets its own [`CancelToken`] stamped as its search
+    /// starts, so one pathological query is truncated without starving
+    /// the rest of the batch. Per-query outcomes keep the truncation
+    /// flag; `stats.timeouts` counts the truncated queries.
+    pub fn search_batch_with_deadline<'p>(
+        &self,
+        patterns: impl IntoIterator<Item = &'p [u8]>,
+        k: usize,
+        method: Method,
+        per_query: Duration,
+    ) -> (Vec<Outcome<Vec<Occurrence>>>, SearchStats) {
+        self.search_batch_with_deadline_recorded(patterns, k, method, per_query, &NoopRecorder)
+    }
+
+    /// [`Self::search_batch_with_deadline`] with telemetry.
+    pub fn search_batch_with_deadline_recorded<'p, R: Recorder>(
+        &self,
+        patterns: impl IntoIterator<Item = &'p [u8]>,
+        k: usize,
+        method: Method,
+        per_query: Duration,
+        recorder: &R,
+    ) -> (Vec<Outcome<Vec<Occurrence>>>, SearchStats) {
+        let mut all = Vec::new();
+        let mut stats = SearchStats::default();
+        for (i, p) in patterns.into_iter().enumerate() {
+            if recorder.wants_spans() {
+                recorder.annotate(&format!("q={i}"));
+            }
+            let token = CancelToken::with_deadline(per_query);
+            let r = self.search_with_deadline_recorded(p, k, method, &token, recorder);
+            stats.accumulate(&r.value().stats);
+            all.push(r.map(|sr| sr.occurrences));
+        }
+        (all, stats)
+    }
+
+    /// [`Self::search_batch_with_deadline`] across a thread pool:
+    /// per-query tokens bound each worker's work, results arrive in
+    /// input order, and — unlike a shared batch deadline — the outcome
+    /// set is independent of worker scheduling for queries that fit
+    /// their budget.
+    pub fn search_batch_par_with_deadline<P: AsRef<[u8]> + Sync>(
+        &self,
+        patterns: &[P],
+        k: usize,
+        method: Method,
+        pool: &ThreadPool,
+        per_query: Duration,
+    ) -> (Vec<Outcome<Vec<Occurrence>>>, SearchStats) {
+        self.search_batch_par_with_deadline_recorded(
+            patterns,
+            k,
+            method,
+            pool,
+            per_query,
+            &NoopRecorder,
+        )
+    }
+
+    /// [`Self::search_batch_par_with_deadline`] with telemetry, sharded
+    /// per worker like [`Self::search_batch_par_recorded`].
+    pub fn search_batch_par_with_deadline_recorded<P, R>(
+        &self,
+        patterns: &[P],
+        k: usize,
+        method: Method,
+        pool: &ThreadPool,
+        per_query: Duration,
+        recorder: &R,
+    ) -> (Vec<Outcome<Vec<Occurrence>>>, SearchStats)
+    where
+        P: AsRef<[u8]> + Sync,
+        R: Recorder + Sync,
+    {
+        if matches!(method, Method::Cole) {
+            self.suffix_tree();
+        }
+        let shard_metrics = recorder.enabled();
+        let tracing = recorder.wants_spans();
+        let epoch = recorder.trace_epoch();
+        let total = Mutex::new(SearchStats::default());
+        let results = pool.par_map_init(
+            patterns,
+            |worker| {
+                (
+                    shard_metrics.then(|| TraceRecorder::shard(epoch, worker as u32 + 1, tracing)),
+                    SearchStats::default(),
+                )
+            },
+            |(shard, stats), i, pattern| {
+                let token = CancelToken::with_deadline(per_query);
+                let r = match shard {
+                    Some(shard) => {
+                        if tracing {
+                            shard.annotate(&format!("q={i}"));
+                        }
+                        self.search_with_deadline_recorded(
+                            pattern.as_ref(),
+                            k,
+                            method,
+                            &token,
+                            shard,
+                        )
+                    }
+                    None => self.search_with_deadline(pattern.as_ref(), k, method, &token),
+                };
+                stats.accumulate(&r.value().stats);
+                r.map(|sr| sr.occurrences)
             },
             |(shard, stats)| {
                 if let Some(shard) = shard {

@@ -33,6 +33,9 @@ pub struct SearchStats {
     pub occurrences: u64,
     /// Branches pruned by the `φ` heuristic (BWT baseline only).
     pub phi_prunes: u64,
+    /// Searches truncated by a deadline/cancellation (0 or 1 per query;
+    /// summed across a batch). Partial results were still reported.
+    pub timeouts: u64,
 }
 
 impl SearchStats {
@@ -51,6 +54,7 @@ impl SearchStats {
             resumes,
             occurrences,
             phi_prunes,
+            timeouts,
         } = *other;
         self.leaves += leaves;
         self.nodes_visited += nodes_visited;
@@ -61,11 +65,12 @@ impl SearchStats {
         self.resumes += resumes;
         self.occurrences += occurrences;
         self.phi_prunes += phi_prunes;
+        self.timeouts += timeouts;
     }
 
     /// Every field as a `(canonical_name, value)` pair, in declaration
     /// order. The names are the stable keys used by the JSON emitters.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 9] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 10] {
         let SearchStats {
             leaves,
             nodes_visited,
@@ -76,6 +81,7 @@ impl SearchStats {
             resumes,
             occurrences,
             phi_prunes,
+            timeouts,
         } = *self;
         [
             ("leaves", leaves),
@@ -87,6 +93,7 @@ impl SearchStats {
             ("resumes", resumes),
             ("occurrences", occurrences),
             ("phi_prunes", phi_prunes),
+            ("timeouts", timeouts),
         ]
     }
 
@@ -102,6 +109,7 @@ impl SearchStats {
             resumes,
             occurrences,
             phi_prunes,
+            timeouts,
         } = *self;
         recorder.add(Counter::Leaves, leaves);
         recorder.add(Counter::NodesVisited, nodes_visited);
@@ -112,6 +120,7 @@ impl SearchStats {
         recorder.add(Counter::Resumes, resumes);
         recorder.add(Counter::Occurrences, occurrences);
         recorder.add(Counter::PhiPrunes, phi_prunes);
+        recorder.add(Counter::Timeouts, timeouts);
     }
 
     /// Fraction of extension work answered by reuse instead of live
@@ -139,11 +148,12 @@ impl std::fmt::Display for SearchStats {
             resumes,
             occurrences,
             phi_prunes,
+            timeouts,
         } = *self;
         write!(
             f,
             "n'(leaves)={} visited={} materialized={} rank_ext={} reuse={} merges={} \
-             resumes={} occ={} phi_prunes={} reuse_ratio={:.3}",
+             resumes={} occ={} phi_prunes={} timeouts={} reuse_ratio={:.3}",
             leaves,
             nodes_visited,
             nodes_materialized,
@@ -153,6 +163,7 @@ impl std::fmt::Display for SearchStats {
             resumes,
             occurrences,
             phi_prunes,
+            timeouts,
             self.reuse_ratio(),
         )
     }
@@ -211,13 +222,14 @@ mod tests {
             resumes: 7,
             occurrences: 8,
             phi_prunes: 9,
+            timeouts: 10,
         };
         let pairs = stats.as_pairs();
         let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
         names.dedup();
-        assert_eq!(names.len(), 9, "duplicate field names in as_pairs");
+        assert_eq!(names.len(), 10, "duplicate field names in as_pairs");
     }
 
     #[test]

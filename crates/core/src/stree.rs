@@ -16,6 +16,7 @@ use kmm_classic::Occurrence;
 use kmm_dna::BASES;
 use kmm_telemetry::{Hist, NoopRecorder, Phase, Recorder};
 
+use crate::cancel::{CancelToken, Gate, Outcome};
 use crate::phi::phi_table;
 use crate::stats::SearchStats;
 
@@ -80,10 +81,39 @@ impl<'a> STreeSearch<'a> {
         k: usize,
         recorder: &R,
     ) -> (Vec<Occurrence>, SearchStats) {
+        let gate = Gate::open();
+        match self.search_gated(pattern, k, &gate, recorder) {
+            Outcome::Complete(r) => r,
+            Outcome::Truncated(_) => unreachable!("open gate cannot trip"),
+        }
+    }
+
+    /// [`Self::search_recorded`] under a cancellation token: the DFS
+    /// polls `token` at node-expansion granularity and unwinds once it
+    /// expires, returning [`Outcome::Truncated`] with every occurrence
+    /// verified so far.
+    pub fn search_deadline_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        token: &CancelToken,
+        recorder: &R,
+    ) -> Outcome<(Vec<Occurrence>, SearchStats)> {
+        let gate = Gate::new(Some(token));
+        self.search_gated(pattern, k, &gate, recorder)
+    }
+
+    fn search_gated<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        gate: &Gate<'_>,
+        recorder: &R,
+    ) -> Outcome<(Vec<Occurrence>, SearchStats)> {
         let mut stats = SearchStats::default();
         let m = pattern.len();
         if m == 0 || m > self.text_len {
-            return (Vec::new(), stats);
+            return Outcome::Complete((Vec::new(), stats));
         }
         let phi = if self.use_phi {
             let _span = recorder.span(Phase::PreprocessPhi);
@@ -101,6 +131,7 @@ impl<'a> STreeSearch<'a> {
                 pattern,
                 k,
                 phi.as_deref(),
+                gate,
                 &mut out,
                 &mut stats,
                 recorder,
@@ -108,8 +139,9 @@ impl<'a> STreeSearch<'a> {
         }
         out.sort_unstable();
         stats.occurrences = out.len() as u64;
+        stats.timeouts = u64::from(gate.tripped());
         stats.record_into(recorder);
-        (out, stats)
+        Outcome::from_parts((out, stats), gate.tripped())
     }
 
     /// Interval width at or below which the search reads the `L` rows
@@ -126,10 +158,16 @@ impl<'a> STreeSearch<'a> {
         pattern: &[u8],
         k: usize,
         phi: Option<&[u32]>,
+        gate: &Gate<'_>,
         out: &mut Vec<Occurrence>,
         stats: &mut SearchStats,
         recorder: &R,
     ) {
+        // One relaxed load per node expansion; chains below are bounded
+        // by m, so per-expansion is as fine as cancellation needs.
+        if gate.should_stop() {
+            return;
+        }
         let m = pattern.len();
         // Singleton fast path: a 1-row interval has exactly one possible
         // extension (by `L[row]`), so the chain is followed with one rank
@@ -230,6 +268,7 @@ impl<'a> STreeSearch<'a> {
                 pattern,
                 k,
                 phi,
+                gate,
                 out,
                 stats,
                 recorder,

@@ -1,0 +1,476 @@
+//! # kmm-faults — deterministic fault injection
+//!
+//! A zero-dependency failpoint layer. Production code names its failure
+//! sites once:
+//!
+//! ```
+//! # fn load() -> std::io::Result<()> {
+//! kmm_faults::io_gate("index.load.io")?; // no-op unless armed
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! and tests (or an operator, via `KMM_FAILPOINTS` / `--failpoints`) arm
+//! them with a deterministic trigger and an action:
+//!
+//! ```
+//! kmm_faults::arm("index.load.io=err").unwrap();          // always fail
+//! kmm_faults::arm("serve.handler.slow=sleep50").unwrap(); // 50 ms stall
+//! kmm_faults::arm("serve.handler.err=1in3.err").unwrap(); // every 3rd hit
+//! kmm_faults::arm("pool.worker.panic=after2.panic").unwrap(); // 3rd hit on
+//! kmm_faults::disarm_all();
+//! ```
+//!
+//! ## Grammar
+//!
+//! `SPEC      := site '=' [trigger '.'] action`
+//! `trigger   := '1in' N   (deterministic: hits where a seeded counter`
+//! `                        stream says so, exactly 1-in-N on average)`
+//! `           | 'after' N (dormant for the first N hits, then always)`
+//! `action    := 'err' | 'panic' | 'sleep' MS | 'off'`
+//!
+//! Multiple specs may be joined with `;`. `site=off` disarms one site.
+//!
+//! ## Cost when disarmed
+//!
+//! One relaxed load of a global [`AtomicBool`] that is `false` unless
+//! *some* site is armed — the registry mutex is never touched on the
+//! common path, and no strings are hashed.
+//!
+//! ## Determinism
+//!
+//! `1inN` does not roll dice: each site keeps a hit counter and fires
+//! when `splitmix64(seed ^ hit/N-block) % N` selects the hit within its
+//! block, so the same arming + same hit sequence always fires on the
+//! same hits. `afterN` is a plain threshold. There is no wall-clock or
+//! OS randomness anywhere.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Fast-path guard: true iff at least one site is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Registry of armed sites. Only locked when [`ARMED`] is true (or when
+/// arming/disarming/inspecting).
+static REGISTRY: Mutex<Vec<Site>> = Mutex::new(Vec::new());
+
+#[derive(Debug, Clone)]
+struct Site {
+    name: String,
+    trigger: Trigger,
+    action: Action,
+    /// Total times the site was evaluated while armed.
+    hits: u64,
+    /// Times the action actually fired.
+    fired: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// Fire on every hit.
+    Always,
+    /// Fire on a deterministic 1-in-N subset of hits.
+    OneIn(u64),
+    /// Dormant for the first N hits, then fire on every hit.
+    After(u64),
+}
+
+/// What an armed site does when its trigger fires. Returned to the call
+/// site, which interprets it (sleeps are performed by [`check`] itself;
+/// `Err`/`Panic` are surfaced so the caller can fail through its own
+/// error path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Stall for the given number of milliseconds (already performed by
+    /// the time [`check`] returns it).
+    Sleep(u64),
+    /// The caller should fail with an injected error.
+    Err,
+    /// The caller should panic (or [`check`] panics for it via
+    /// [`panic_gate`]).
+    Panic,
+}
+
+/// Errors from [`arm`]: the offending spec fragment plus a reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    pub spec: String,
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad failpoint spec '{}': {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// splitmix64: tiny, seedable, statistically fine for trigger selection.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Seed folded into the `1inN` stream so distinct sites fire on
+/// distinct hit indices even when armed identically.
+fn site_seed(name: &str) -> u64 {
+    // FNV-1a, matching the serializer's checksum style.
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Trigger {
+    fn fires(self, seed: u64, hit: u64) -> bool {
+        match self {
+            Trigger::Always => true,
+            Trigger::After(n) => hit >= n,
+            Trigger::OneIn(n) => {
+                // Partition hits into blocks of N; fire on exactly one
+                // deterministic position per block.
+                let block = hit / n;
+                hit % n == splitmix64(seed ^ block) % n
+            }
+        }
+    }
+}
+
+/// Parse and arm one or more `;`-separated specs. Re-arming a site
+/// replaces its trigger/action and resets its counters; `site=off`
+/// disarms that site.
+pub fn arm(specs: &str) -> Result<(), SpecError> {
+    let err = |spec: &str, reason| {
+        Err(SpecError {
+            spec: spec.to_string(),
+            reason,
+        })
+    };
+    let mut parsed: Vec<(String, Option<(Trigger, Action)>)> = Vec::new();
+    for spec in specs.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((site, rhs)) = spec.split_once('=') else {
+            return err(spec, "expected site=action");
+        };
+        let (site, rhs) = (site.trim(), rhs.trim());
+        if site.is_empty() {
+            return err(spec, "empty site name");
+        }
+        if rhs == "off" {
+            parsed.push((site.to_string(), None));
+            continue;
+        }
+        // Optional "trigger." prefix — but "sleep50" contains no '.'
+        // and actions never do, so split on the first '.' only.
+        let (trigger, action) = match rhs.split_once('.') {
+            Some((t, a)) => {
+                let t = t.trim();
+                let trigger = if let Some(n) = t.strip_prefix("1in") {
+                    match n.trim().parse::<u64>() {
+                        Ok(n) if n >= 1 => Trigger::OneIn(n),
+                        _ => return err(spec, "1inN needs N >= 1"),
+                    }
+                } else if let Some(n) = t.strip_prefix("after") {
+                    match n.trim().parse::<u64>() {
+                        Ok(n) => Trigger::After(n),
+                        _ => return err(spec, "afterN needs an integer N"),
+                    }
+                } else {
+                    return err(spec, "unknown trigger (want 1inN or afterN)");
+                };
+                (trigger, a.trim())
+            }
+            None => (Trigger::Always, rhs),
+        };
+        let action = if action == "err" {
+            Action::Err
+        } else if action == "panic" {
+            Action::Panic
+        } else if let Some(ms) = action.strip_prefix("sleep") {
+            match ms
+                .trim()
+                .trim_start_matches('(')
+                .trim_end_matches(')')
+                .parse::<u64>()
+            {
+                Ok(ms) => Action::Sleep(ms),
+                _ => return err(spec, "sleepMS needs an integer millisecond count"),
+            }
+        } else {
+            return err(spec, "unknown action (want err, panic, sleepMS, or off)");
+        };
+        parsed.push((site.to_string(), Some((trigger, action))));
+    }
+
+    let mut reg = REGISTRY.lock().unwrap();
+    for (name, armed) in parsed {
+        reg.retain(|s| s.name != name);
+        if let Some((trigger, action)) = armed {
+            reg.push(Site {
+                name,
+                trigger,
+                action,
+                hits: 0,
+                fired: 0,
+            });
+        }
+    }
+    ARMED.store(!reg.is_empty(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Arm from the `KMM_FAILPOINTS` environment variable, if set. Returns
+/// the parse error (if any) so `main` can report it; an unset variable
+/// is fine.
+pub fn arm_from_env() -> Result<(), SpecError> {
+    match std::env::var("KMM_FAILPOINTS") {
+        Ok(specs) if !specs.trim().is_empty() => arm(&specs),
+        _ => Ok(()),
+    }
+}
+
+/// Disarm every site and reset all counters.
+pub fn disarm_all() {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.clear();
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Evaluate the failpoint `site`. Disarmed (the overwhelmingly common
+/// case): one relaxed atomic load, no locks, returns `None`. Armed:
+/// advances the site's deterministic trigger; [`Action::Sleep`] is
+/// performed here and still returned (so callers can count it), while
+/// `Err`/`Panic` are returned for the caller to enact.
+#[inline]
+pub fn check(site: &str) -> Option<Action> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_slow(site)
+}
+
+#[cold]
+fn check_slow(site: &str) -> Option<Action> {
+    let action = {
+        let mut reg = REGISTRY.lock().unwrap();
+        let s = reg.iter_mut().find(|s| s.name == site)?;
+        let hit = s.hits;
+        s.hits += 1;
+        if !s.trigger.fires(site_seed(&s.name), hit) {
+            return None;
+        }
+        s.fired += 1;
+        s.action
+    }; // drop the lock before sleeping
+    if let Action::Sleep(ms) = action {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    Some(action)
+}
+
+/// [`check`] specialised for I/O paths: fires `Err` as an
+/// `io::Error` (kind `Other`, message naming the site), panics on
+/// `Panic`, and sleeps through `Sleep`.
+#[inline]
+pub fn io_gate(site: &str) -> std::io::Result<()> {
+    match check(site) {
+        None | Some(Action::Sleep(_)) => Ok(()),
+        Some(Action::Err) => Err(std::io::Error::other(format!(
+            "injected fault at failpoint '{site}'"
+        ))),
+        Some(Action::Panic) => panic!("injected panic at failpoint '{site}'"),
+    }
+}
+
+/// [`check`] for sites whose only meaningful actions are `Panic` (which
+/// panics here) and `Sleep`; `Err` is treated as a panic too, so arming
+/// the wrong action is loud rather than silent.
+#[inline]
+pub fn panic_gate(site: &str) {
+    match check(site) {
+        None | Some(Action::Sleep(_)) => {}
+        Some(Action::Err) | Some(Action::Panic) => {
+            panic!("injected panic at failpoint '{site}'")
+        }
+    }
+}
+
+/// How many times `site` has fired (not merely been evaluated) since it
+/// was last (re-)armed. Zero for unknown/disarmed sites.
+pub fn fired(site: &str) -> u64 {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|s| s.name == site)
+        .map_or(0, |s| s.fired)
+}
+
+/// How many times `site` has been evaluated while armed.
+pub fn hits(site: &str) -> u64 {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|s| s.name == site)
+        .map_or(0, |s| s.hits)
+}
+
+/// Names of all currently armed sites (for diagnostics / `serve` logs).
+pub fn armed_sites() -> Vec<String> {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    // The registry is process-global; serialize the tests that touch it.
+    static LOCK: Mutex<()> = Mutex::new(());
+    fn exclusive() -> MutexGuard<'static, ()> {
+        let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        g
+    }
+
+    #[test]
+    fn disarmed_is_none() {
+        let _g = exclusive();
+        assert_eq!(check("index.load.io"), None);
+        assert!(io_gate("index.load.io").is_ok());
+        panic_gate("pool.worker.panic");
+    }
+
+    #[test]
+    fn always_err_fires_every_time() {
+        let _g = exclusive();
+        arm("index.load.io=err").unwrap();
+        for _ in 0..3 {
+            assert_eq!(check("index.load.io"), Some(Action::Err));
+        }
+        assert!(io_gate("index.load.io").is_err());
+        assert_eq!(fired("index.load.io"), 4);
+        disarm_all();
+        assert_eq!(check("index.load.io"), None);
+    }
+
+    #[test]
+    fn after_n_is_dormant_then_fires() {
+        let _g = exclusive();
+        arm("pool.worker.panic=after3.err").unwrap();
+        let fires: Vec<bool> = (0..6)
+            .map(|_| check("pool.worker.panic").is_some())
+            .collect();
+        assert_eq!(fires, [false, false, false, true, true, true]);
+        disarm_all();
+    }
+
+    #[test]
+    fn one_in_n_is_deterministic_and_exact_per_block() {
+        let _g = exclusive();
+        let run = |n: usize| -> Vec<bool> {
+            arm("serve.handler.err=1in4.err").unwrap();
+            let v = (0..n)
+                .map(|_| check("serve.handler.err").is_some())
+                .collect();
+            disarm_all();
+            v
+        };
+        let a = run(40);
+        let b = run(40);
+        assert_eq!(a, b, "same arming must fire on the same hits");
+        // Exactly one firing per block of 4.
+        for block in a.chunks(4) {
+            assert_eq!(block.iter().filter(|&&f| f).count(), 1);
+        }
+    }
+
+    #[test]
+    fn distinct_sites_have_distinct_streams() {
+        let _g = exclusive();
+        arm("a.site=1in8.err;b.site=1in8.err").unwrap();
+        let a: Vec<bool> = (0..64).map(|_| check("a.site").is_some()).collect();
+        let b: Vec<bool> = (0..64).map(|_| check("b.site").is_some()).collect();
+        assert_ne!(a, b, "seeded per-site streams should differ");
+        disarm_all();
+    }
+
+    #[test]
+    fn sleep_action_sleeps_and_reports() {
+        let _g = exclusive();
+        arm("serve.handler.slow=sleep20").unwrap();
+        let t = std::time::Instant::now();
+        assert_eq!(check("serve.handler.slow"), Some(Action::Sleep(20)));
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        // Parenthesised form parses too.
+        arm("serve.handler.slow=sleep(5)").unwrap();
+        assert_eq!(check("serve.handler.slow"), Some(Action::Sleep(5)));
+        disarm_all();
+    }
+
+    #[test]
+    fn off_disarms_one_site_only() {
+        let _g = exclusive();
+        arm("a.site=err;b.site=err").unwrap();
+        arm("a.site=off").unwrap();
+        assert_eq!(check("a.site"), None);
+        assert_eq!(check("b.site"), Some(Action::Err));
+        disarm_all();
+    }
+
+    #[test]
+    fn rearming_resets_counters() {
+        let _g = exclusive();
+        arm("x=err").unwrap();
+        check("x");
+        check("x");
+        assert_eq!(fired("x"), 2);
+        arm("x=after1.err").unwrap();
+        assert_eq!(fired("x"), 0);
+        assert_eq!(check("x"), None, "counter restarted, first hit dormant");
+        assert_eq!(check("x"), Some(Action::Err));
+        disarm_all();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = exclusive();
+        for bad in [
+            "no-equals",
+            "=err",
+            "x=1in0.err",
+            "x=1inQ.err",
+            "x=afterQ.err",
+            "x=frob",
+            "x=sleepQ",
+            "x=sometimes.err",
+        ] {
+            assert!(arm(bad).is_err(), "spec '{bad}' should be rejected");
+        }
+        // A rejected batch must not half-arm.
+        assert!(arm("good=err;x=frob").is_err());
+        assert_eq!(check("good"), None);
+        disarm_all();
+    }
+
+    #[test]
+    fn env_arming_handles_absence() {
+        let _g = exclusive();
+        std::env::remove_var("KMM_FAILPOINTS");
+        assert!(arm_from_env().is_ok());
+        assert!(armed_sites().is_empty());
+        disarm_all();
+    }
+}

@@ -160,10 +160,15 @@ pub enum Counter {
     ServeRequests,
     /// HTTP requests that failed (bad input, handler panic, i/o error).
     ServeErrors,
+    /// Searches truncated by a deadline or cancellation before the walk
+    /// finished (partial results were still returned).
+    Timeouts,
+    /// HTTP requests shed with 429 because the handoff queue was full.
+    ServeShed,
 }
 
 impl Counter {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -180,6 +185,8 @@ impl Counter {
         Counter::BoundaryFiltered,
         Counter::ServeRequests,
         Counter::ServeErrors,
+        Counter::Timeouts,
+        Counter::ServeShed,
     ];
 
     pub fn name(self) -> &'static str {
@@ -199,6 +206,8 @@ impl Counter {
             Counter::BoundaryFiltered => "multi.boundary_filtered",
             Counter::ServeRequests => "serve.requests",
             Counter::ServeErrors => "serve.errors",
+            Counter::Timeouts => "search.timeouts",
+            Counter::ServeShed => "serve.shed",
         }
     }
 

@@ -115,4 +115,75 @@ http_post /shutdown "" | grep -q "200 OK"
 wait "$serve_pid"
 grep -q "served" "$tmp/serve.log"
 
+echo "== chaos smoke: failpoint arming and deadline flags =="
+# Bad failpoint specs are rejected up front with a clear error.
+if KMM_FAILPOINTS='x=frobnicate' "$kmm" search --index "$tmp/ref.idx" \
+    --pattern "$pattern" 2> "$tmp/badspec.txt"; then
+    echo "verify: bad KMM_FAILPOINTS spec was not rejected" >&2; exit 1
+fi
+grep -q "bad failpoint spec" "$tmp/badspec.txt"
+# An injected index-load failure surfaces as an ordinary CLI error.
+if KMM_FAILPOINTS='index.load.io=err' "$kmm" search --index "$tmp/ref.idx" \
+    --pattern "$pattern" 2> "$tmp/ioerr.txt"; then
+    echo "verify: injected index.load.io error did not fail the search" >&2; exit 1
+fi
+grep -q "injected fault" "$tmp/ioerr.txt"
+# Deadline flags: zero is rejected, a generous budget is bit-identical.
+if "$kmm" search --index "$tmp/ref.idx" --pattern "$pattern" --timeout-ms 0 2>/dev/null; then
+    echo "verify: --timeout-ms 0 was not rejected" >&2; exit 1
+fi
+"$kmm" search --index "$tmp/ref.idx" --pattern "$pattern" -k 2 --timeout-ms 60000 \
+    > "$tmp/hits-deadline.tsv" 2>/dev/null
+cmp "$tmp/hits.tsv" "$tmp/hits-deadline.tsv"
+
+echo "== chaos smoke: daemon survives injected worker panics =="
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --port-file "$tmp/port-chaos" --failpoints 'pool.worker.panic=after1.panic' \
+    2> "$tmp/serve-chaos.log" &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-chaos" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-chaos" ] || { echo "verify: chaos serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-chaos")
+# The first hit is dormant, then every request panics inside the worker;
+# the daemon answers 500 each time instead of dying. Capture responses
+# into variables (grep -q on a live pipe races SIGPIPE under pipefail).
+resp=$(http_get /healthz)
+echo "$resp" | grep -q "200 OK"
+resp=$(http_get /healthz)
+echo "$resp" | grep -q "500 Internal Server Error"
+resp=$(http_get /healthz)
+echo "$resp" | grep -q "panicked"
+kill "$chaos_pid" 2>/dev/null || true
+wait "$chaos_pid" 2>/dev/null || true
+
+echo "== chaos smoke: slow handler + per-request deadline =="
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --port-file "$tmp/port-slow" --failpoints 'serve.handler.slow=sleep100' \
+    2> "$tmp/serve-slow.log" &
+slow_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-slow" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-slow" ] || { echo "verify: slow serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-slow")
+# The injected latency delays but does not fail requests...
+resp=$(http_get /healthz)
+echo "$resp" | grep -q "200 OK"
+# ...and an already-expired per-request deadline returns 504 carrying
+# the partial-results marker, ticking the timeout counter.
+http_post /search "{\"pattern\": \"$pattern\", \"k\": 2, \"timeout_ms\": 0}" \
+    > "$tmp/http-timeout.json"
+grep -q "504 Gateway Timeout" "$tmp/http-timeout.json"
+grep -q '"truncated": true' "$tmp/http-timeout.json"
+resp=$(http_get /metrics)
+echo "$resp" | grep -Eq '^kmm_search_timeouts_total [1-9]'
+resp=$(http_post /shutdown "")
+echo "$resp" | grep -q "200 OK"
+wait "$slow_pid"
+grep -q "served" "$tmp/serve-slow.log"
+
 echo "verify: OK"

@@ -23,14 +23,16 @@ commands:
   index     --reference <ref.fa> -o <out.idx> [--threads N]
   simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
   map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
-            [--both-strands true] [--threads N] [--stats]
+            [--both-strands true] [--threads N] [--timeout-ms T] [--stats]
             [--stats-json <out.json>] [--trace-out <trace.json>]
             [--slowest K]
   search    --index <ref.idx> --pattern <DNA> [--pattern <DNA> ...] [-k K]
-            [--method M] [--threads N] [--stats] [--stats-json <out.json>]
-            [--trace-out <trace.json>] [--slowest K]
+            [--method M] [--threads N] [--timeout-ms T] [--stats]
+            [--stats-json <out.json>] [--trace-out <trace.json>]
+            [--slowest K]
   serve     --index <ref.idx> [--addr HOST:PORT] [--threads N] [-k K]
             [--method M] [--slowest K] [--port-file <path>]
+            [--timeout-ms T] [--max-body-bytes B] [--failpoints SPEC]
 
 methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
          kangaroo | naive | seed
@@ -45,10 +47,23 @@ snapshot as JSON. --trace-out records per-query spans and writes a
 Chrome trace-event JSON (open in Perfetto / chrome://tracing);
 --slowest K prints the K slowest queries from the flight recorder.
 
+--timeout-ms T gives each query/read a cooperative deadline: work past
+the budget stops at the next poll point and returns the verified partial
+results, flagged as truncated (CLI summaries count them; serve answers
+504 with 'truncated': true). Without it, results are exhaustive.
+
 serve starts a blocking HTTP/1.1 daemon over a loaded index with
 GET /healthz, /metrics (Prometheus), /stats.json, /slow.json,
 /trace.json and POST /search, /map, /shutdown. --addr defaults to
-127.0.0.1:0 (ephemeral port; use --port-file to discover it).";
+127.0.0.1:0 (ephemeral port; use --port-file to discover it). When all
+workers are busy and the handoff queue is full, new connections get an
+immediate 429 + Retry-After; bodies over --max-body-bytes get 413.
+
+--failpoints SPEC (or the KMM_FAILPOINTS env var) arms deterministic
+fault-injection sites, e.g. 'serve.handler.err=1in10.err' or
+'index.load.io=after2.err;serve.handler.slow=sleep50'. Sites:
+index.load.io, index.save.io, pool.worker.panic, serve.handler.slow,
+serve.handler.err. Testing only; disarmed sites cost one atomic load.";
 
 /// Flags that take no value; their presence means `true`.
 const BOOLEAN_FLAGS: &[&str] = &["stats"];
@@ -64,6 +79,7 @@ const MAP_FLAGS: &[&str] = &[
     "method",
     "both-strands",
     "threads",
+    "timeout-ms",
     "stats",
     "stats-json",
     "trace-out",
@@ -75,6 +91,7 @@ const SEARCH_FLAGS: &[&str] = &[
     "k",
     "method",
     "threads",
+    "timeout-ms",
     "stats",
     "stats-json",
     "trace-out",
@@ -89,6 +106,9 @@ const SERVE_FLAGS: &[&str] = &[
     "slowest",
     "port-file",
     "panic-pattern",
+    "timeout-ms",
+    "max-body-bytes",
+    "failpoints",
 ];
 
 struct Args {
@@ -171,6 +191,22 @@ impl Args {
     }
 }
 
+/// `--timeout-ms T`: per-query/per-read cooperative deadline.
+fn timeout(args: &Args) -> Result<Option<std::time::Duration>, CliError> {
+    match args.get("timeout-ms") {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => Err(CliError(
+                "--timeout-ms must be at least 1 (got 0)".to_string(),
+            )),
+            Ok(ms) => Ok(Some(std::time::Duration::from_millis(ms))),
+            Err(_) => Err(CliError(format!(
+                "bad value for --timeout-ms: '{v}' (expected milliseconds)"
+            ))),
+        },
+    }
+}
+
 fn stats_options(args: &Args) -> Result<cli::StatsOptions, CliError> {
     Ok(cli::StatsOptions {
         table: args.get("stats").is_some(),
@@ -188,6 +224,9 @@ fn stats_options(args: &Args) -> Result<cli::StatsOptions, CliError> {
 }
 
 fn run() -> Result<String, CliError> {
+    // Arm failpoints from the environment before anything can hit a
+    // site; a bad spec is a startup error, not a silently inert one.
+    kmm_faults::arm_from_env().map_err(|e| CliError(format!("KMM_FAILPOINTS: {e}")))?;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError(USAGE.to_string()));
@@ -234,6 +273,7 @@ fn run() -> Result<String, CliError> {
                 method,
                 both,
                 args.threads()?,
+                timeout(&args)?,
                 &stats,
                 &mut stdout,
             )
@@ -253,12 +293,16 @@ fn run() -> Result<String, CliError> {
                 args.parsed("k", 3usize)?,
                 method,
                 args.threads()?,
+                timeout(&args)?,
                 &stats,
                 &mut stdout,
             )
         }
         "serve" => {
             let args = Args::parse(rest, SERVE_FLAGS)?;
+            if let Some(spec) = args.get("failpoints") {
+                kmm_faults::arm(spec).map_err(|e| CliError(format!("--failpoints: {e}")))?;
+            }
             let config = bwt_kmismatch::serve::ServeConfig {
                 addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
                 threads: args.threads()?,
@@ -267,6 +311,14 @@ fn run() -> Result<String, CliError> {
                 slowest: args.parsed("slowest", 16usize)?,
                 panic_pattern: args.get("panic-pattern").map(String::from),
                 port_file: args.get("port-file").map(PathBuf::from),
+                timeout_ms: match args.get("timeout-ms") {
+                    None => None,
+                    Some(_) => timeout(&args)?.map(|d| d.as_millis() as u64),
+                },
+                max_body_bytes: args.parsed(
+                    "max-body-bytes",
+                    bwt_kmismatch::serve::DEFAULT_MAX_BODY_BYTES,
+                )?,
             };
             bwt_kmismatch::serve::run(&PathBuf::from(args.require("index")?), config)
         }

@@ -5,6 +5,7 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use kmm_bwt::{FmBuildConfig, FmIndex};
 use kmm_core::{KMismatchIndex, Method};
@@ -149,15 +150,44 @@ pub fn index(reference: &Path, out: &Path, threads: usize) -> CliResult<String> 
         genome,
         FmBuildConfig::default().with_threads(threads.max(1)),
     );
-    let mut w = BufWriter::new(File::create(out)?);
-    idx.fm().save(&mut w)?;
-    w.flush()?;
+    atomic_save(out, |w| idx.fm().save(w).map_err(std::io::Error::other))?;
     Ok(format!(
         "indexed {} bp -> {} ({} bytes of rank/SA structures)",
         idx.len(),
         out.display(),
         idx.fm().heap_bytes()
     ))
+}
+
+/// Write a file atomically: the payload goes to `<path>.tmp`, is fsynced,
+/// and is renamed over `path` only once complete — a crash mid-save never
+/// leaves a truncated file at the target, and a pre-existing index there
+/// survives a failed re-index untouched. The `index.save.io` failpoint
+/// injects write failures for testing the cleanup path.
+pub fn atomic_save(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>,
+) -> CliResult<()> {
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    let attempt = (|| -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        kmm_faults::io_gate("index.save.io")?;
+        write(&mut w)?;
+        w.flush()?;
+        w.into_inner()
+            .map_err(|e| std::io::Error::other(format!("flush failed: {e}")))?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = attempt {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(CliError(format!("cannot save {}: {e}", path.display())));
+    }
+    Ok(())
 }
 
 /// Load a saved index, recovering the forward text from the BWT.
@@ -168,6 +198,10 @@ pub fn load_index(path: &Path) -> CliResult<KMismatchIndex> {
 /// [`load_index`] with telemetry: deserialisation is timed as the
 /// `index.load` phase.
 pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<KMismatchIndex> {
+    // Failpoint: `index.load.io=err` makes every load fail the way a
+    // vanished/unreadable file would.
+    kmm_faults::io_gate("index.load.io")
+        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     let fm = FmIndex::load_recorded(BufReader::new(File::open(path)?), recorder)
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     // The index stores reverse(text) + $; invert and flip to recover text.
@@ -305,6 +339,7 @@ pub fn map_reads(
     method: Method,
     both_strands: bool,
     threads: usize,
+    timeout: Option<Duration>,
     stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
@@ -317,6 +352,7 @@ pub fn map_reads(
             method,
             both_strands,
             threads,
+            timeout,
             &recorder,
             out,
         )?;
@@ -332,6 +368,7 @@ pub fn map_reads(
             method,
             both_strands,
             threads,
+            timeout,
             &recorder,
             out,
         )?;
@@ -345,6 +382,7 @@ pub fn map_reads(
             method,
             both_strands,
             threads,
+            timeout,
             &NoopRecorder,
             out,
         )
@@ -360,6 +398,7 @@ fn map_reads_with<R: Recorder + Sync>(
     method: Method,
     both_strands: bool,
     threads: usize,
+    timeout: Option<Duration>,
     recorder: &R,
     out: &mut dyn Write,
 ) -> CliResult<String> {
@@ -377,7 +416,21 @@ fn map_reads_with<R: Recorder + Sync>(
     );
     let pool = ThreadPool::new(threads.max(1));
     let seqs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
-    let reports = mapper.map_batch_recorded(&seqs, &pool, recorder);
+    let (reports, truncated) = match timeout {
+        Some(per_read) => {
+            let outcomes =
+                mapper.map_batch_with_deadline_recorded(&seqs, &pool, per_read, recorder);
+            let truncated = outcomes.iter().filter(|o| o.is_truncated()).count();
+            (
+                outcomes
+                    .into_iter()
+                    .map(kmm_core::Outcome::into_inner)
+                    .collect::<Vec<_>>(),
+                truncated,
+            )
+        }
+        None => (mapper.map_batch_recorded(&seqs, &pool, recorder), 0),
+    };
     writeln!(out, "#read\tposition\tstrand\tmismatches\tmapq")?;
     let mut mapped = 0usize;
     let mut unique = 0usize;
@@ -408,11 +461,15 @@ fn map_reads_with<R: Recorder + Sync>(
             )?;
         }
     }
-    Ok(format!(
+    let mut summary = format!(
         "mapped {mapped}/{} reads ({unique} unique, {hits} hits) with {} at k={k}",
         reads.len(),
         method.label()
-    ))
+    );
+    if truncated > 0 {
+        summary.push_str(&format!(" [{truncated} reads truncated by deadline]"));
+    }
+    Ok(summary)
 }
 
 /// `kmm search`: ad-hoc pattern(s) against a saved index.
@@ -428,6 +485,7 @@ pub fn search_patterns(
     k: usize,
     method: Method,
     threads: usize,
+    timeout: Option<Duration>,
     stats: &StatsOptions,
     out: &mut dyn Write,
 ) -> CliResult<String> {
@@ -439,6 +497,7 @@ pub fn search_patterns(
             k,
             method,
             threads,
+            timeout,
             &recorder,
             out,
         )?;
@@ -453,6 +512,7 @@ pub fn search_patterns(
             k,
             method,
             threads,
+            timeout,
             &recorder,
             out,
         )?;
@@ -465,6 +525,7 @@ pub fn search_patterns(
             k,
             method,
             threads,
+            timeout,
             &NoopRecorder,
             out,
         )
@@ -486,18 +547,21 @@ pub fn search_pattern(
         k,
         method,
         1,
+        None,
         stats,
         out,
     )
 }
 
 /// [`search_patterns`] against an explicit recorder.
+#[allow(clippy::too_many_arguments)]
 fn search_patterns_with<R: Recorder + Sync>(
     index_path: &Path,
     patterns_ascii: &[String],
     k: usize,
     method: Method,
     threads: usize,
+    timeout: Option<Duration>,
     recorder: &R,
     out: &mut dyn Write,
 ) -> CliResult<String> {
@@ -510,7 +574,27 @@ fn search_patterns_with<R: Recorder + Sync>(
         .map(|p| kmm_dna::encode(p.as_bytes()).map_err(|e| CliError(format!("bad pattern: {e}"))))
         .collect::<CliResult<_>>()?;
     let pool = ThreadPool::new(threads.max(1));
-    let (per_pattern, stats) = idx.search_batch_par_recorded(&patterns, k, method, &pool, recorder);
+    let (per_pattern, stats, truncated) = match timeout {
+        Some(per_query) => {
+            let (outcomes, stats) = idx.search_batch_par_with_deadline_recorded(
+                &patterns, k, method, &pool, per_query, recorder,
+            );
+            let truncated = outcomes.iter().filter(|o| o.is_truncated()).count();
+            (
+                outcomes
+                    .into_iter()
+                    .map(kmm_core::Outcome::into_inner)
+                    .collect::<Vec<_>>(),
+                stats,
+                truncated,
+            )
+        }
+        None => {
+            let (per_pattern, stats) =
+                idx.search_batch_par_recorded(&patterns, k, method, &pool, recorder);
+            (per_pattern, stats, 0)
+        }
+    };
     let single = patterns.len() == 1;
     let mut total = 0usize;
     for (pi, occs) in per_pattern.iter().enumerate() {
@@ -523,14 +607,20 @@ fn search_patterns_with<R: Recorder + Sync>(
             }
         }
     }
-    if single {
-        Ok(format!("{total} occurrences (stats: {stats})"))
+    let mut summary = if single {
+        format!("{total} occurrences (stats: {stats})")
     } else {
-        Ok(format!(
+        format!(
             "{total} occurrences across {} patterns (stats: {stats})",
             patterns.len()
-        ))
+        )
+    };
+    if truncated > 0 {
+        summary.push_str(&format!(
+            " [{truncated} queries truncated by deadline; results are partial]"
+        ));
     }
+    Ok(summary)
 }
 
 #[cfg(test)]
@@ -561,6 +651,7 @@ mod tests {
             Method::ALGORITHM_A,
             true,
             2,
+            None,
             &StatsOptions::default(),
             &mut out,
         )
@@ -637,6 +728,7 @@ mod tests {
             1,
             Method::ALGORITHM_A,
             4,
+            None,
             &StatsOptions::default(),
             &mut out,
         )
@@ -658,6 +750,7 @@ mod tests {
             1,
             Method::ALGORITHM_A,
             1,
+            None,
             &StatsOptions::default(),
             &mut serial,
         )
@@ -671,6 +764,7 @@ mod tests {
             1,
             Method::ALGORITHM_A,
             1,
+            None,
             &StatsOptions::default(),
             &mut Vec::new(),
         )

@@ -2,11 +2,13 @@
 //! index.
 //!
 //! The listener is a plain [`std::net::TcpListener`]; requests are
-//! handed to `kmm-par` workers through a bounded queue (the acceptor
-//! blocks when all workers are busy and the queue is full — natural
-//! backpressure instead of unbounded fan-in), and every connection is
-//! handled one-request, `Connection: close`, which keeps the protocol
-//! surface small enough to hand-verify.
+//! handed to `kmm-par` workers through a bounded queue. When all workers
+//! are busy and the queue is full the acceptor does not block: it sheds
+//! the connection with an immediate `429 Too Many Requests` (plus
+//! `Retry-After`), so `accept` keeps running and health checks stay
+//! responsive under overload. Every connection is handled one-request,
+//! `Connection: close`, which keeps the protocol surface small enough to
+//! hand-verify.
 //!
 //! Endpoints:
 //!
@@ -27,9 +29,17 @@
 //! the server's trace epoch) absorbed after the response, so the flight
 //! recorder always holds the K slowest queries the daemon has served. A
 //! handler panic — reachable deliberately through the
-//! `--panic-pattern` fault-injection hook — is caught per request: the
-//! client gets a 500, `serve.errors` ticks, and neither the recorder nor
-//! the worker pool is poisoned.
+//! `--panic-pattern` fault-injection hook or the `pool.worker.panic`
+//! failpoint — is caught per request: the client gets a 500,
+//! `serve.errors` ticks, and neither the recorder nor the worker pool is
+//! poisoned.
+//!
+//! With `--timeout-ms` (or a per-request `"timeout_ms"` body field), the
+//! search/map runs under a cooperative deadline: a query that exceeds
+//! its budget returns `504 Gateway Timeout` whose JSON body carries
+//! `"truncated": true` along with the (verified, partial) results found
+//! so far. The `serve.handler.slow` and `serve.handler.err` failpoints
+//! inject latency and failures at route entry for chaos testing.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,7 +48,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use kmm_core::{KMismatchIndex, MapOutcome, MapperConfig, Method, ReadMapper, Strand};
+use kmm_core::{
+    CancelToken, KMismatchIndex, MapOutcome, MapperConfig, Method, Outcome, ReadMapper, Strand,
+};
 use kmm_par::ThreadPool;
 use kmm_telemetry::{
     chrome_trace_json, slow_queries_json, Counter, Json, Recorder, SlidingWindow, TraceConfig,
@@ -68,6 +80,13 @@ pub struct ServeConfig {
     /// Write the bound port (decimal, one line) here once listening —
     /// lets scripts using port 0 discover the ephemeral port.
     pub port_file: Option<PathBuf>,
+    /// Default per-request deadline for `/search` and `/map` in
+    /// milliseconds; a request body may override it with `"timeout_ms"`.
+    /// `None` means no deadline.
+    pub timeout_ms: Option<u64>,
+    /// Reject request bodies whose declared `Content-Length` exceeds
+    /// this, with a `413` sent before reading the body.
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,14 +99,18 @@ impl Default for ServeConfig {
             slowest: 16,
             panic_pattern: None,
             port_file: None,
+            timeout_ms: None,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
         }
     }
 }
 
-/// Cap on header bytes and on declared body length — this is an
-/// operational endpoint, not a general web server.
+/// Cap on header bytes and (default) on declared body length — this is
+/// an operational endpoint, not a general web server.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
-const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Default for [`ServeConfig::max_body_bytes`].
+pub const DEFAULT_MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
 /// How long the acceptor sleeps between polls of the stop flag when no
 /// connection is pending.
@@ -100,11 +123,12 @@ struct Request {
     body: Vec<u8>,
 }
 
-/// One response: status, content type, body.
+/// One response: status, content type, body, optional `Retry-After`.
 struct Response {
     status: u16,
     content_type: &'static str,
     body: Vec<u8>,
+    retry_after: Option<u64>,
 }
 
 impl Response {
@@ -113,6 +137,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -121,7 +146,13 @@ impl Response {
             status,
             content_type: "application/json",
             body: doc.to_pretty().into_bytes(),
+            retry_after: None,
         }
+    }
+
+    fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -217,14 +248,15 @@ impl ServerState {
     }
 }
 
-/// Bounded handoff from the acceptor to the worker threads. `push`
-/// blocks while the queue is full (backpressure on `accept`), `pop`
-/// blocks while it is empty and open. Closing wakes everyone.
+/// Bounded handoff from the acceptor to the worker threads. `try_push`
+/// never blocks: a full queue hands the stream back so the acceptor can
+/// shed it with a `429` instead of stalling `accept`. `pop` blocks while
+/// the queue is empty and open; closing wakes everyone and lets workers
+/// drain what is already queued.
 struct HandoffQueue {
     capacity: usize,
     inner: Mutex<(std::collections::VecDeque<TcpStream>, bool)>,
     readable: Condvar,
-    writable: Condvar,
 }
 
 impl HandoffQueue {
@@ -233,7 +265,6 @@ impl HandoffQueue {
             capacity: capacity.max(1),
             inner: Mutex::new((std::collections::VecDeque::new(), false)),
             readable: Condvar::new(),
-            writable: Condvar::new(),
         }
     }
 
@@ -241,25 +272,23 @@ impl HandoffQueue {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn push(&self, stream: TcpStream) {
+    /// Enqueue unless full or closed; on either, the stream comes back
+    /// to the caller, which decides how to refuse it.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
         let mut guard = self.lock();
-        while guard.0.len() >= self.capacity && !guard.1 {
-            guard = self.writable.wait(guard).unwrap_or_else(|p| p.into_inner());
-        }
-        if guard.1 {
-            return; // closed while waiting: drop the connection
+        if guard.1 || guard.0.len() >= self.capacity {
+            return Err(stream);
         }
         guard.0.push_back(stream);
         drop(guard);
         self.readable.notify_one();
+        Ok(())
     }
 
     fn pop(&self) -> Option<TcpStream> {
         let mut guard = self.lock();
         loop {
             if let Some(stream) = guard.0.pop_front() {
-                drop(guard);
-                self.writable.notify_one();
                 return Some(stream);
             }
             if guard.1 {
@@ -272,7 +301,6 @@ impl HandoffQueue {
     fn close(&self) {
         self.lock().1 = true;
         self.readable.notify_all();
-        self.writable.notify_all();
     }
 }
 
@@ -350,19 +378,28 @@ fn serve_on(listener: TcpListener, index: KMismatchIndex, config: ServeConfig) -
             }
         }
     } else {
-        // Worker 0 accepts; workers 1..N drain the bounded queue.
+        // Worker 0 accepts; workers 1..N drain the bounded queue. A full
+        // queue sheds the connection with an immediate 429 rather than
+        // blocking the acceptor — overload slows clients down, it never
+        // stops `accept`.
         let queue = HandoffQueue::new(threads * 4);
         pool.broadcast(|tid| {
             if tid == 0 {
                 while !state.stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => queue.push(stream),
+                        Ok((stream, _)) => {
+                            if let Err(stream) = queue.try_push(stream) {
+                                shed_connection(stream, &state);
+                            }
+                        }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(ACCEPT_POLL)
                         }
                         Err(_) => break,
                     }
                 }
+                // Graceful drain: stop admitting, let workers finish
+                // what is already queued and in flight.
                 queue.close();
             } else {
                 while let Some(stream) = queue.pop() {
@@ -378,28 +415,68 @@ fn serve_on(listener: TcpListener, index: KMismatchIndex, config: ServeConfig) -
     )
 }
 
+/// Refuse a connection the queue would not take: best-effort `429` with
+/// `Retry-After`, written on the acceptor thread with a short write
+/// timeout so a slow client cannot stall `accept` either.
+fn shed_connection(mut stream: TcpStream, state: &ServerState) {
+    state.recorder.add(Counter::ServeShed, 1);
+    state.other.record(0, true);
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(250)))
+            .is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(250)))
+            .is_err()
+    {
+        return;
+    }
+    let _ = write_response(
+        &mut stream,
+        &Response::text(429, "server overloaded, retry later\n").with_retry_after(1),
+    );
+    // Drain whatever the client managed to send: closing with unread
+    // bytes in the receive buffer would RST the connection and can
+    // destroy the 429 before the client reads it.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Prepare an accepted socket: blocking mode plus read/write timeouts so
+/// a stuck client cannot pin a worker forever. A socket that refuses its
+/// options is already broken — report failure instead of proceeding with
+/// an unbounded read.
+fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    Ok(())
+}
+
 /// Serve one connection: read a request, route it (panic-isolated),
 /// write the response, account for it.
 fn handle_connection(mut stream: TcpStream, state: &ServerState, worker: usize) {
-    // Accepted sockets must block (the listener itself is nonblocking),
-    // and a stuck client must not pin a worker forever.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let request = match read_request(&mut stream) {
+    if configure_stream(&stream).is_err() {
+        // No timeouts means no safe way to read or respond: close.
+        state.other.record(0, true);
+        return;
+    }
+    let request = match read_request(&mut stream, state.config.max_body_bytes) {
         Ok(r) => r,
-        Err(e) => {
+        Err(response) => {
             state.other.record(0, true);
-            let _ = write_response(
-                &mut stream,
-                &Response::text(400, format!("bad request: {e}")),
-            );
+            state.recorder.add(Counter::ServeErrors, 1);
+            let _ = write_response(&mut stream, &response);
             return;
         }
     };
     let start = Instant::now();
     state.recorder.add(Counter::ServeRequests, 1);
     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Failpoint: `pool.worker.panic` exercises the panic-isolation
+        // path — the catch below keeps the daemon up.
+        kmm_faults::panic_gate("pool.worker.panic");
         route(state, &request, worker)
     }))
     .unwrap_or_else(|_| Response::text(500, "internal error: request handler panicked\n"));
@@ -413,8 +490,12 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, worker: usize) 
     let _ = write_response(&mut stream, &response);
 }
 
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
-    use std::io::{Error, ErrorKind};
+/// Read one request. Failures come back as the response to send: `413`
+/// for a declared body over `max_body` (refused before reading a byte of
+/// it), `411` for a `POST` without `Content-Length`, `400` for anything
+/// malformed.
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, Response> {
+    let bad = |what: &str| Response::text(400, format!("bad request: {what}\n"));
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let header_end = loop {
@@ -422,46 +503,59 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
             break pos;
         }
         if buf.len() > MAX_HEADER_BYTES {
-            return Err(Error::new(ErrorKind::InvalidData, "headers too large"));
+            return Err(bad("headers too large"));
         }
-        let n = stream.read(&mut chunk)?;
+        let n = stream.read(&mut chunk).map_err(|e| bad(&e.to_string()))?;
         if n == 0 {
-            return Err(Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+            return Err(bad("connection closed"));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| Error::new(ErrorKind::InvalidData, "non-utf8 headers"))?;
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| bad("non-utf8 headers"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "empty request line"))?
+        .ok_or_else(|| bad("empty request line"))?
         .to_string();
     let path = parts
         .next()
-        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "missing request path"))?
+        .ok_or_else(|| bad("missing request path"))?
         .to_string();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("unparseable content-length"))?,
+                );
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(Error::new(ErrorKind::InvalidData, "body too large"));
+    let content_length = match content_length {
+        Some(len) => len,
+        // A POST without a length has a body we cannot frame — refuse it
+        // rather than guess (chunked encoding is not supported here).
+        None if method == "POST" => {
+            return Err(Response::text(411, "POST requires Content-Length\n"))
+        }
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(Response::text(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit\n"),
+        ));
     }
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
+        let n = stream.read(&mut chunk).map_err(|e| bad(&e.to_string()))?;
         if n == 0 {
-            return Err(Error::new(ErrorKind::UnexpectedEof, "truncated body"));
+            return Err(bad("truncated body"));
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -479,26 +573,50 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Resul
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.content_type,
         response.body.len()
     );
+    if let Some(seconds) = response.retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
 }
 
 fn route(state: &ServerState, request: &Request, worker: usize) -> Response {
+    // Failpoints at route entry: `serve.handler.slow` injects latency
+    // (the sleep happens inside `check`), `serve.handler.err` fails the
+    // request with a 500 (or panics, exercising the catch_unwind above).
+    let _ = kmm_faults::check("serve.handler.slow");
+    match kmm_faults::check("serve.handler.err") {
+        Some(kmm_faults::Action::Err) => {
+            return Response::text(500, "injected fault at failpoint 'serve.handler.err'\n")
+        }
+        Some(kmm_faults::Action::Panic) => {
+            panic!("injected fault at failpoint 'serve.handler.err'")
+        }
+        _ => {}
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: render_metrics(state).into_bytes(),
+            retry_after: None,
         },
         ("GET", "/stats.json") => Response::json(200, &state.recorder.snapshot().to_json()),
         ("GET", "/slow.json") => {
@@ -584,6 +702,17 @@ fn body_json(body: &[u8]) -> Result<Json, Response> {
     Json::parse(text).map_err(|e| Response::text(400, format!("bad json body: {e}\n")))
 }
 
+/// Effective deadline for a request: the body's `"timeout_ms"` overrides
+/// the server default; `0` is rejected upstream by token semantics (an
+/// already-expired token truncates immediately, which is the documented
+/// meaning of a zero budget).
+fn request_timeout(state: &ServerState, doc: &Json) -> Option<Duration> {
+    doc.get("timeout_ms")
+        .and_then(Json::as_u64)
+        .or(state.config.timeout_ms)
+        .map(Duration::from_millis)
+}
+
 fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
     let doc = match body_json(body) {
         Ok(d) => d,
@@ -612,7 +741,22 @@ fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
     };
     let shard = request_shard(state, worker);
     shard.annotate("http=/search");
-    let result = state.index.search_recorded(&encoded, k, method, &shard);
+    let (result, truncated) = match request_timeout(state, &doc) {
+        Some(budget) => {
+            let token = CancelToken::with_deadline(budget);
+            match state
+                .index
+                .search_with_deadline_recorded(&encoded, k, method, &token, &shard)
+            {
+                Outcome::Complete(r) => (r, false),
+                Outcome::Truncated(r) => (r, true),
+            }
+        }
+        None => (
+            state.index.search_recorded(&encoded, k, method, &shard),
+            false,
+        ),
+    };
     absorb_shard(state, &shard);
     let occurrences: Vec<Json> = result
         .occurrences
@@ -624,12 +768,15 @@ fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
             ])
         })
         .collect();
+    // A truncated search is a 504 — but the body still carries every
+    // verified match found before the deadline, flagged as partial.
     Response::json(
-        200,
+        if truncated { 504 } else { 200 },
         &Json::obj([
             ("count", Json::UInt(occurrences.len() as u64)),
             ("k", Json::UInt(k as u64)),
             ("method", Json::Str(method.label().to_string())),
+            ("truncated", Json::Bool(truncated)),
             ("occurrences", Json::Arr(occurrences)),
         ]),
     )
@@ -668,7 +815,16 @@ fn handle_map(state: &ServerState, body: &[u8], worker: usize) -> Response {
     );
     let shard = request_shard(state, worker);
     shard.annotate("http=/map");
-    let report = mapper.map_recorded(&encoded, &shard);
+    let (report, truncated) = match request_timeout(state, &doc) {
+        Some(budget) => {
+            let token = CancelToken::with_deadline(budget);
+            match mapper.map_with_deadline_recorded(&encoded, &token, &shard) {
+                Outcome::Complete(r) => (r, false),
+                Outcome::Truncated(r) => (r, true),
+            }
+        }
+        None => (mapper.map_recorded(&encoded, &shard), false),
+    };
     absorb_shard(state, &shard);
     let alignments: Vec<Json> = report
         .all
@@ -697,10 +853,11 @@ fn handle_map(state: &ServerState, body: &[u8], worker: usize) -> Response {
         MapOutcome::Multi(_) => "multi",
     };
     Response::json(
-        200,
+        if truncated { 504 } else { 200 },
         &Json::obj([
             ("outcome", Json::Str(outcome.to_string())),
             ("mapq", Json::UInt(report.mapq as u64)),
+            ("truncated", Json::Bool(truncated)),
             ("alignments", Json::Arr(alignments)),
         ]),
     )

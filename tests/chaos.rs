@@ -1,0 +1,279 @@
+//! Chaos tests: every failure path driven deterministically through the
+//! `kmm-faults` failpoint layer — no sleeps-and-hope. Failpoints are
+//! process-global, so this binary keeps them in their own test file and
+//! serialises the armed sections behind a mutex.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use bwt_kmismatch::dna::genome::{markov, MarkovConfig};
+use bwt_kmismatch::serve::{ServeConfig, Server};
+use bwt_kmismatch::telemetry::Json;
+use bwt_kmismatch::KMismatchIndex;
+
+/// Serialises tests that arm failpoints (they share global state).
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn armed(specs: &str) -> impl Drop {
+    struct Disarm<'a>(Option<std::sync::MutexGuard<'a, ()>>);
+    impl Drop for Disarm<'_> {
+        fn drop(&mut self) {
+            kmm_faults::disarm_all();
+            self.0.take();
+        }
+    }
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    kmm_faults::disarm_all();
+    kmm_faults::arm(specs).expect("valid failpoint spec");
+    Disarm(Some(guard))
+}
+
+fn test_index() -> KMismatchIndex {
+    KMismatchIndex::new(markov(6_000, &MarkovConfig::default(), 19))
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, payload)
+}
+
+#[test]
+fn worker_panic_failpoint_is_isolated_and_counted() {
+    let _armed = armed("pool.worker.panic=panic");
+    let server = Server::start(test_index(), ServeConfig::default()).expect("start");
+    let addr = server.addr();
+
+    // Every request panics inside the worker; the daemon survives each.
+    for _ in 0..3 {
+        let (status, _, body) = http(addr, "GET", "/healthz", "");
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("panicked"), "{body}");
+    }
+
+    // Disarm: the very same server, same workers, is healthy again.
+    kmm_faults::disarm_all();
+    let (status, _, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "daemon did not survive worker panics: {body}");
+    let (_, _, stats) = http(addr, "GET", "/stats.json", "");
+    let doc = Json::parse(&stats).unwrap();
+    let errors = doc
+        .get("counters")
+        .and_then(|c| c.get("serve.errors"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(errors >= 3, "serve.errors did not tick: {errors}");
+
+    http(addr, "POST", "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn handler_err_failpoint_fails_requests_deterministically() {
+    let _armed = armed("serve.handler.err=1in2.err");
+    let server = Server::start(test_index(), ServeConfig::default()).expect("start");
+    let addr = server.addr();
+
+    // `1in2` fires on a deterministic half of the hits: over 10 requests
+    // exactly 5 fail with the injected 500.
+    let mut injected = 0;
+    for _ in 0..10 {
+        let (status, _, body) = http(addr, "GET", "/healthz", "");
+        match status {
+            500 => {
+                assert!(body.contains("injected fault"), "{body}");
+                injected += 1;
+            }
+            200 => {}
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(injected, 5, "1in2 is exactly one per 2-hit block");
+    assert_eq!(kmm_faults::fired("serve.handler.err"), 5);
+
+    // Disarm before shutting down: the failpoint sits at route entry,
+    // so an injected 500 on the shutdown request would leave the server
+    // running and `join` below would never return.
+    kmm_faults::disarm_all();
+    http(addr, "POST", "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    // One worker (thread 0 accepts), queue capacity threads*4 = 8, and
+    // every handled request stalls 300 ms at the slow failpoint — so a
+    // burst of 30 concurrent requests must overflow the queue and the
+    // overflow must be shed, not block the acceptor.
+    let _armed = armed("serve.handler.slow=sleep300");
+    let server = Server::start(
+        test_index(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let results: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..30)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, head, _) = http(addr, "GET", "/healthz", "");
+                    (status, head)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let shed: Vec<_> = results.iter().filter(|(s, _)| *s == 429).collect();
+    let served = results.iter().filter(|(s, _)| *s == 200).count();
+    assert!(
+        !shed.is_empty(),
+        "burst of 30 against 1 slow worker never shed; statuses: {:?}",
+        results.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+    );
+    assert!(served >= 1, "nothing was served at all");
+    for (_, head) in &shed {
+        assert!(
+            head.contains("Retry-After:"),
+            "429 without Retry-After: {head}"
+        );
+    }
+
+    // Shedding is visible in metrics, and the acceptor never wedged:
+    // this probe goes straight through once the burst drains.
+    kmm_faults::disarm_all();
+    let (status, _, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let shed_line = metrics
+        .lines()
+        .find(|l| l.starts_with("kmm_serve_shed_total"))
+        .expect("kmm_serve_shed_total series");
+    let count: u64 = shed_line
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(count as usize, shed.len());
+
+    http(addr, "POST", "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    // Slow handler, several queued requests, then a shutdown: every
+    // already-accepted request still gets its response (drain), and the
+    // server exits afterwards.
+    let _armed = armed("serve.handler.slow=sleep100");
+    let server = Server::start(
+        test_index(),
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let summary = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..4)
+            .map(|_| scope.spawn(move || http(addr, "GET", "/healthz", "").0))
+            .collect();
+        // Give the burst a moment to be accepted and queued, then ask
+        // for shutdown; the shutdown request itself queues behind them.
+        std::thread::sleep(Duration::from_millis(50));
+        let (status, _, _) = http(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        for c in clients {
+            assert_eq!(c.join().unwrap(), 200, "queued request dropped on drain");
+        }
+        server.join()
+    });
+    assert!(summary.contains("served"), "{summary}");
+}
+
+#[test]
+fn index_load_failpoint_surfaces_as_cli_error() {
+    let _armed = armed("index.load.io=err");
+    let err = bwt_kmismatch::cli::load_index(std::path::Path::new("/tmp/kmm-chaos-any.idx"))
+        .expect_err("armed load must fail");
+    assert!(
+        err.to_string().contains("injected fault"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn index_save_failpoint_leaves_no_tmp_and_keeps_the_old_index() {
+    let dir = std::env::temp_dir().join("kmm-chaos-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let fa = dir.join("save.fa");
+    let idx = dir.join("save.idx");
+    let tmp = dir.join("save.idx.tmp");
+    let _ = std::fs::remove_file(&idx);
+    let _ = std::fs::remove_file(&tmp);
+
+    bwt_kmismatch::cli::generate(
+        bwt_kmismatch::dna::genome::ReferenceGenome::CMerolae,
+        0.01,
+        &fa,
+    )
+    .unwrap();
+
+    // First save succeeds and leaves a loadable index.
+    bwt_kmismatch::cli::index(&fa, &idx, 1).unwrap();
+    let before = std::fs::read(&idx).unwrap();
+
+    // Re-indexing with the save failpoint armed fails…
+    {
+        let _armed = armed("index.save.io=err");
+        let err = bwt_kmismatch::cli::index(&fa, &idx, 1).expect_err("armed save must fail");
+        assert!(err.to_string().contains("cannot save"), "{err}");
+    }
+    // …without leaving a temp file and without touching the old index:
+    // the atomic rename never happened.
+    assert!(!tmp.exists(), "failed save left {} behind", tmp.display());
+    assert_eq!(
+        std::fs::read(&idx).unwrap(),
+        before,
+        "failed re-index corrupted the existing index"
+    );
+    assert!(bwt_kmismatch::cli::load_index(&idx).is_ok());
+}
+
+#[test]
+fn bad_failpoint_specs_are_rejected_wholesale() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    kmm_faults::disarm_all();
+    // One bad spec rejects the whole batch: nothing is half-armed.
+    assert!(kmm_faults::arm("a=err;b=frobnicate").is_err());
+    assert!(kmm_faults::armed_sites().is_empty());
+    assert!(kmm_faults::arm("=err").is_err());
+    assert!(kmm_faults::arm("site=1in0.err").is_err());
+}

@@ -1,0 +1,127 @@
+//! Corruption-matrix tests for the saved index format: flip one byte in
+//! each region of a real serialized index (magic, version, C array,
+//! payload, length prefixes, checksum) and assert the load fails with
+//! the matching [`SerializeError`] variant — never a panic, and never a
+//! runaway allocation from a corrupt length prefix.
+
+use bwt_kmismatch::bwt::{FmIndex, SerializeError};
+use bwt_kmismatch::dna::genome::{markov, MarkovConfig};
+
+/// A real serialized index, as `kmm index` would write it.
+fn saved_index() -> Vec<u8> {
+    let text = markov(4_000, &MarkovConfig::default(), 7);
+    let idx = bwt_kmismatch::KMismatchIndex::new(text);
+    let mut buf = Vec::new();
+    idx.fm().save(&mut buf).expect("save to memory");
+    buf
+}
+
+fn load(bytes: &[u8]) -> Result<FmIndex, SerializeError> {
+    FmIndex::load(bytes)
+}
+
+#[test]
+fn clean_bytes_load() {
+    let buf = saved_index();
+    assert!(load(&buf).is_ok());
+}
+
+#[test]
+fn flipped_magic_is_bad_magic() {
+    let buf = saved_index();
+    // Every byte of the 8-byte magic tag is load-bearing.
+    for off in 0..8 {
+        let mut bad = buf.clone();
+        bad[off] ^= 0x01;
+        assert!(
+            matches!(load(&bad), Err(SerializeError::BadMagic)),
+            "offset {off} should trip the magic check"
+        );
+    }
+}
+
+#[test]
+fn flipped_version_is_bad_version() {
+    let buf = saved_index();
+    // Bytes 8..12 hold the little-endian format version.
+    for off in 8..12 {
+        let mut bad = buf.clone();
+        bad[off] ^= 0x10;
+        match load(&bad) {
+            Err(SerializeError::BadVersion { found, expected }) => {
+                assert_ne!(found, expected, "offset {off}");
+            }
+            other => panic!(
+                "offset {off}: expected BadVersion, got {other:?}",
+                other = other.err()
+            ),
+        }
+    }
+}
+
+#[test]
+fn flipped_checksum_is_corrupt() {
+    let buf = saved_index();
+    // The trailing 8 bytes are the FNV checksum of everything before.
+    for off in buf.len() - 8..buf.len() {
+        let mut bad = buf.clone();
+        bad[off] ^= 0x01;
+        assert!(
+            matches!(load(&bad), Err(SerializeError::Corrupt)),
+            "offset {off} should trip the checksum"
+        );
+    }
+}
+
+#[test]
+fn flipped_payload_never_loads_cleanly() {
+    let buf = saved_index();
+    // A single flipped bit anywhere in the payload (between the header
+    // and the checksum) must surface as *some* error: usually Corrupt
+    // (checksum catches it), sometimes Io/Malformed when the flip lands
+    // in a length prefix and the stream runs dry first. Never Ok, never
+    // a panic.
+    let mut checked = 0usize;
+    for off in (12..buf.len() - 8).step_by(97) {
+        let mut bad = buf.clone();
+        bad[off] ^= 0x01;
+        match load(&bad) {
+            Err(SerializeError::Corrupt | SerializeError::Io(_) | SerializeError::Malformed(_)) => {
+            }
+            Err(other) => panic!("offset {off}: unexpected variant {other}"),
+            Ok(_) => panic!("offset {off}: corrupt index loaded cleanly"),
+        }
+        checked += 1;
+    }
+    assert!(checked > 20, "sweep covered only {checked} offsets");
+}
+
+#[test]
+fn corrupt_length_prefix_fails_without_huge_allocation() {
+    let buf = saved_index();
+    // The first vector length prefix sits right after the 36-byte header
+    // (magic 8 + version 4 + C array 24). Setting its high bytes claims
+    // a multi-billion-element vector; the loader must fail when the
+    // stream runs dry (or via the sanity cap) without committing the
+    // claimed capacity up front.
+    for high_byte in [39usize, 40, 41, 42] {
+        let mut bad = buf.clone();
+        bad[high_byte] = 0xff;
+        match load(&bad) {
+            Err(SerializeError::Io(_) | SerializeError::Malformed(_) | SerializeError::Corrupt) => {
+            }
+            Err(other) => panic!("byte {high_byte}: unexpected variant {other}"),
+            Ok(_) => panic!("byte {high_byte}: absurd length accepted"),
+        }
+    }
+}
+
+#[test]
+fn truncated_file_is_an_error_everywhere() {
+    let buf = saved_index();
+    // Cut the file at a spread of points, including mid-header.
+    for cut in [0usize, 5, 11, 20, 36, buf.len() / 2, buf.len() - 1] {
+        let bad = &buf[..cut];
+        assert!(load(bad).is_err(), "truncation at {cut} loaded cleanly");
+    }
+}

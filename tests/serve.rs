@@ -235,3 +235,151 @@ fn trace_json_exports_served_queries() {
     post(addr, "/shutdown", "");
     server.join();
 }
+
+/// Raw request writer for malformed-framing tests the `http` helper
+/// can't express (it always sends a Content-Length).
+fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn post_without_content_length_gets_411() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+    let (status, body) = raw(
+        addr,
+        "POST /search HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 411, "{body}");
+    // GETs without a length are fine, and the server is still healthy.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn unparseable_content_length_gets_400() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+    let (status, body) = raw(
+        addr,
+        "POST /search HTTP/1.1\r\nHost: test\r\nContent-Length: banana\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(get(addr, "/healthz").0, 200);
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn oversized_declared_body_gets_413_before_reading_it() {
+    let (server, _idx) = start(ServeConfig {
+        max_body_bytes: 1024,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    // Declare a 100 MB body but never send a byte of it: the refusal
+    // must come from the declared length alone.
+    let (status, body) = raw(
+        addr,
+        "POST /search HTTP/1.1\r\nHost: test\r\nContent-Length: 104857600\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("exceeds"), "{body}");
+    // A request inside the cap still works.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn expired_deadline_returns_504_with_truncated_marker() {
+    let (server, idx) = start(ServeConfig::default());
+    let addr = server.addr();
+    let pattern = probe(&idx, 900);
+
+    // timeout_ms 0 = already expired at entry: deterministic truncation.
+    let (status, body) = post(
+        addr,
+        "/search",
+        &format!("{{\"pattern\": \"{pattern}\", \"k\": 2, \"timeout_ms\": 0}}"),
+    );
+    assert_eq!(status, 504, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("truncated").and_then(Json::as_bool), Some(true));
+    assert!(doc.get("occurrences").and_then(Json::as_array).is_some());
+
+    // Same for /map.
+    let (status, body) = post(
+        addr,
+        "/map",
+        &format!("{{\"read\": \"{pattern}\", \"timeout_ms\": 0}}"),
+    );
+    assert_eq!(status, 504, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("truncated").and_then(Json::as_bool), Some(true));
+
+    // A generous budget completes with the marker set to false and the
+    // exact no-deadline results.
+    let (status, body) = post(
+        addr,
+        "/search",
+        &format!("{{\"pattern\": \"{pattern}\", \"k\": 2, \"timeout_ms\": 600000}}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("truncated").and_then(Json::as_bool), Some(false));
+    let encoded = bwt_kmismatch::dna::encode(pattern.as_bytes()).unwrap();
+    let want = idx.search(&encoded, 2, Method::ALGORITHM_A);
+    assert_eq!(
+        doc.get("count").and_then(Json::as_u64),
+        Some(want.occurrences.len() as u64)
+    );
+
+    // The timeout is visible in the metrics.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("kmm_search_timeouts_total"),
+        "search.timeouts series missing: {metrics}"
+    );
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn server_side_default_timeout_applies_without_body_field() {
+    let (server, idx) = start(ServeConfig {
+        timeout_ms: Some(600_000),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let pattern = probe(&idx, 1500);
+    let (status, body) = post(
+        addr,
+        "/search",
+        &format!("{{\"pattern\": \"{pattern}\", \"k\": 1}}"),
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    // The deadline path ran (marker present) but the budget was ample.
+    assert_eq!(doc.get("truncated").and_then(Json::as_bool), Some(false));
+    post(addr, "/shutdown", "");
+    server.join();
+}
