@@ -1,0 +1,71 @@
+//! Fused rank scaling: `extend_all` vs four `extend_backward` calls.
+//!
+//! PR 5 rebuilt `RankAll` around interleaved cache-line blocks so a full
+//! 4-way node expansion touches two blocks instead of eight scattered
+//! checkpoint rows. This bench times both expansion styles over an
+//! identical, deterministically harvested interval worklist at several
+//! checkpoint rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmm_bench::occbench_intervals;
+use kmm_bwt::{FmBuildConfig, FmIndex};
+use kmm_dna::genome::ReferenceGenome;
+
+fn bench_occ_scaling(c: &mut Criterion) {
+    let genome = ReferenceGenome::RatChr1.generate_scaled(0.1);
+    let mut rev = genome;
+    rev.reverse();
+    rev.push(0);
+    let mut group = c.benchmark_group("occ_scaling");
+    group.sample_size(10);
+    for rate in [32usize, 64, 128] {
+        let fm = FmIndex::new(
+            &rev,
+            FmBuildConfig {
+                occ_rate: rate,
+                sa_rate: 16,
+                ..FmBuildConfig::default()
+            },
+        );
+        let work = occbench_intervals(&fm, 2_000, 0x00cc_5eed);
+        group.bench_with_input(
+            BenchmarkId::new("four_extend_backward", rate),
+            &(&fm, &work),
+            |b, (fm, work)| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &iv in work.iter() {
+                        for y in 1..=4u8 {
+                            let child = fm.extend_backward(iv, y);
+                            acc = acc
+                                .wrapping_add(child.lo as u64)
+                                .wrapping_add((child.hi as u64) << 32);
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_extend_all", rate),
+            &(&fm, &work),
+            |b, (fm, work)| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &iv in work.iter() {
+                        for child in fm.extend_all(iv) {
+                            acc = acc
+                                .wrapping_add(child.lo as u64)
+                                .wrapping_add((child.hi as u64) << 32);
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_occ_scaling);
+criterion_main!(benches);

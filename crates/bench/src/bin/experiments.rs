@@ -12,6 +12,7 @@
 //!   fig12     per-genome comparison at k = 5 (reconstructed Fig. 12)
 //!   ablation  rankall rate + reuse/φ ablations (DESIGN.md A1/A2)
 //!   parscale  batch-search throughput vs worker count (thread scaling)
+//!   occbench  fused occ_all vs 4x extend_backward node expansion
 //!   all       everything above
 //! ```
 //!
@@ -24,15 +25,15 @@
 //!
 //! `--out-dir DIR` additionally writes the measurements behind the
 //! printed tables as machine-readable `BENCH_fig11.json`,
-//! `BENCH_table2.json`, `BENCH_fig12.json` and `BENCH_par.json`
-//! artifacts (method, n, m, k, wall-time, and every `SearchStats`
+//! `BENCH_table2.json`, `BENCH_fig12.json`, `BENCH_par.json` and
+//! `BENCH_occ.json` artifacts (method, n, m, k, wall-time, and every `SearchStats`
 //! counter per record; threads and throughput for `parscale`).
 
 use std::path::PathBuf;
 
 use kmm_bench::{
-    fmt_secs, format_table, run_method, simulate_reads, write_bench_json, write_par_scaling_json,
-    BenchRecord, ParScalingRecord, Workload,
+    fmt_secs, format_table, run_method, run_occbench, simulate_reads, write_bench_json,
+    write_par_scaling_json, BenchRecord, ParScalingRecord, Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
@@ -86,7 +87,7 @@ fn main() {
             }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -105,6 +106,7 @@ fn main() {
         "ablation" => ablation(&opts),
         "extended" => extended(&opts),
         "parscale" => par_records = parscale(&opts),
+        "occbench" => artifacts.push(("occ", occbench(&opts))),
         "all" => {
             table1(&opts);
             let mut fig11 = fig11a(&opts);
@@ -115,6 +117,7 @@ fn main() {
             ablation(&opts);
             extended(&opts);
             par_records = parscale(&opts);
+            artifacts.push(("occ", occbench(&opts)));
         }
         other => panic!("unknown command {other}"),
     }
@@ -196,6 +199,35 @@ fn parscale(opts: &Opts) -> Vec<ParScalingRecord> {
         )
     );
     records
+}
+
+/// Fused-occ microbenchmark: full 4-way node expansion over an interval
+/// worklist, four `extend_backward` calls (eight rank lookups) against
+/// one `extend_all` (two interleaved-block visits). Both modes checksum
+/// identically; only the wall-clock differs.
+fn occbench(opts: &Opts) -> Vec<BenchRecord> {
+    println!("\n== occ scaling: fused occ_all vs 4x extend_backward  (RatChr1 stand-in) ==\n");
+    let genome = ReferenceGenome::RatChr1.generate_scaled(opts.scale);
+    println!("genome: {} bp", genome.len());
+    let outcome = run_occbench(&genome, 4_000, 25);
+    let rows: Vec<Vec<String>> = outcome
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.to_string(),
+                fmt_secs(r.seconds),
+                r.stats.rank_extensions.to_string(),
+                r.stats.occ_fused.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["mode", "time", "rank lookups", "fused sweeps"], &rows)
+    );
+    println!("fused speedup: {:.2}x", outcome.speedup);
+    outcome.records
 }
 
 /// Paper Table 1: characteristics of genomes.

@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use kmm_bwt::{FmBuildConfig, FmIndex, Interval};
 use kmm_core::{KMismatchIndex, Method, SearchStats};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::reads::{ReadSimConfig, ReadSimulator};
@@ -237,6 +238,132 @@ pub fn write_par_scaling_json(
     Ok(path)
 }
 
+/// Harvest a deterministic worklist of `count` non-empty SA intervals by
+/// random backward descents from the whole range — the interval
+/// population a k-mismatch tree search actually expands, spanning the
+/// width spectrum from the full range down to singletons.
+pub fn occbench_intervals(fm: &FmIndex, count: usize, seed: u64) -> Vec<Interval> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // splitmix64 step: deterministic, well-mixed, zero-dependency.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut out = Vec::with_capacity(count);
+    let mut iv = fm.whole();
+    while out.len() < count {
+        out.push(iv);
+        let y = (next() % 4) as u8 + 1;
+        let child = fm.extend_backward(iv, y);
+        // Restart the descent once it dies or narrows to a chain.
+        iv = if child.len() < 2 { fm.whole() } else { child };
+    }
+    out
+}
+
+/// Outcome of the occ microbenchmark: one record per mode plus the
+/// headline ratio.
+#[derive(Debug, Clone)]
+pub struct OccBenchOutcome {
+    /// `method = "occ"` (four independent `extend_backward` calls, eight
+    /// rank lookups) and `method = "occ_all"` (one fused `extend_all`).
+    pub records: Vec<BenchRecord>,
+    /// Plain-occ seconds over fused seconds: > 1 means `extend_all` wins.
+    pub speedup: f64,
+}
+
+/// Time full 4-way node expansion over a deterministic interval worklist,
+/// once per mode: four `extend_backward` calls against one `extend_all`.
+/// Both modes visit identical intervals and their interval checksums are
+/// asserted equal, so the comparison cannot silently diverge.
+pub fn run_occbench(genome: &[u8], expansions: usize, reps: usize) -> OccBenchOutcome {
+    let fm = {
+        let mut rev = genome.to_vec();
+        rev.reverse();
+        rev.push(0);
+        FmIndex::new(&rev, FmBuildConfig::default())
+    };
+    let intervals = occbench_intervals(&fm, expansions, 0x0cc5eed);
+
+    let checksum_occ = |ivs: &[Interval]| -> u64 {
+        let mut sum = 0u64;
+        for &iv in ivs {
+            for y in 1..=4u8 {
+                let c = fm.extend_backward(iv, y);
+                sum = sum
+                    .wrapping_add(c.lo as u64)
+                    .wrapping_add((c.hi as u64) << 32);
+            }
+        }
+        sum
+    };
+    let checksum_all = |ivs: &[Interval]| -> u64 {
+        let mut sum = 0u64;
+        for &iv in ivs {
+            for c in fm.extend_all(iv) {
+                sum = sum
+                    .wrapping_add(c.lo as u64)
+                    .wrapping_add((c.hi as u64) << 32);
+            }
+        }
+        sum
+    };
+
+    // Warm both paths (and the cache) once, proving they agree.
+    let expect = checksum_occ(&intervals);
+    assert_eq!(
+        expect,
+        checksum_all(&intervals),
+        "fused extension diverged from 4x extend_backward"
+    );
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(checksum_occ(&intervals), expect);
+    }
+    let occ_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(checksum_all(&intervals), expect);
+    }
+    let all_secs = start.elapsed().as_secs_f64();
+
+    let total = (expansions * reps) as u64;
+    let occ_stats = SearchStats {
+        rank_extensions: total * 4,
+        ..Default::default()
+    };
+    let all_stats = SearchStats {
+        rank_extensions: total,
+        occ_fused: total,
+        ..Default::default()
+    };
+    let record = |method: &'static str, seconds: f64, stats: SearchStats| BenchRecord {
+        method,
+        n: genome.len(),
+        m: 0,
+        k: 0,
+        seconds,
+        occurrences: total as usize,
+        stats,
+        latency: LatencyNs::default(),
+    };
+    OccBenchOutcome {
+        records: vec![
+            record("occ", occ_secs, occ_stats),
+            record("occ_all", all_secs, all_stats),
+        ],
+        speedup: if all_secs > 0.0 {
+            occ_secs / all_secs
+        } else {
+            0.0
+        },
+    }
+}
+
 /// One benchmark measurement destined for a `BENCH_*.json` artifact:
 /// the experimental coordinates (method, n, m, k), the wall-clock time
 /// and the accumulated [`SearchStats`] counters.
@@ -444,6 +571,36 @@ mod tests {
             assert_eq!(r.get("read_len").and_then(Json::as_u64), Some(30));
             assert_eq!(r.get("k").and_then(Json::as_u64), Some(2));
         }
+    }
+
+    #[test]
+    fn occbench_is_deterministic_and_self_checking() {
+        let genome = ReferenceGenome::CMerolae.generate_scaled(0.01);
+        let out = run_occbench(&genome, 200, 2);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.records[0].method, "occ");
+        assert_eq!(out.records[1].method, "occ_all");
+        // Both modes expanded the same worklist...
+        assert_eq!(out.records[0].occurrences, out.records[1].occurrences);
+        assert_eq!(out.records[0].occurrences, 400);
+        // ...with the fused mode doing a quarter of the rank extensions.
+        assert_eq!(
+            out.records[0].stats.rank_extensions,
+            4 * out.records[1].stats.rank_extensions
+        );
+        assert_eq!(out.records[1].stats.occ_fused, 400);
+        assert!(out.speedup > 0.0);
+        // The interval worklist is reproducible run to run.
+        let fm = {
+            let mut rev = genome.clone();
+            rev.reverse();
+            rev.push(0);
+            FmIndex::new(&rev, FmBuildConfig::default())
+        };
+        assert_eq!(
+            occbench_intervals(&fm, 50, 7),
+            occbench_intervals(&fm, 50, 7)
+        );
     }
 
     #[test]

@@ -210,6 +210,24 @@ impl FmIndex {
         Interval::new(lo, hi)
     }
 
+    /// Fused 4-way backward step: extend `iv` by every base at once.
+    ///
+    /// `extend_all(iv)[z - 1] == extend_backward(iv, z)` for each base
+    /// code `z`, but the four extensions share the interval's two rank
+    /// block visits (one per boundary) instead of performing eight
+    /// independent `occ` lookups — the cache-interleaved analogue of
+    /// BWA's `bwt_2occ4`. Callers iterating children should skip empty
+    /// entries before any per-child work.
+    #[inline]
+    pub fn extend_all(&self, iv: Interval) -> [Interval; 4] {
+        let lo = self.l.occ_all(iv.lo as usize);
+        let hi = self.l.occ_all(iv.hi as usize);
+        std::array::from_fn(|j| {
+            let c = self.c[j + 1];
+            Interval::new(c + lo[j], c + hi[j])
+        })
+    }
+
     /// Targeted LF step: the row of the suffix obtained by prepending
     /// `sym`, assuming `L[row] == sym` (i.e. one `occ` lookup instead of
     /// the two of a full interval extension). This is the singleton-
@@ -292,6 +310,17 @@ impl FmIndex {
         self.l.heap_bytes() + self.ssa.heap_bytes()
     }
 
+    /// Bytes of 2-bit packed `L` payload inside the rank structure.
+    pub fn rank_payload_bytes(&self) -> usize {
+        self.l.payload_bytes()
+    }
+
+    /// Bytes of per-block checkpoint headers inside the rank structure —
+    /// the price of O(1) rank on top of the packed text.
+    pub fn rank_overhead_bytes(&self) -> usize {
+        self.l.overhead_bytes()
+    }
+
     /// Serialize the whole index (magic, version, payload, checksum).
     pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
         let mut w = crate::serialize::SerWriter::new(writer);
@@ -346,8 +375,11 @@ impl FmIndex {
 
     /// File magic tag for serialized indexes.
     pub const MAGIC: &'static [u8; 8] = b"KMMFMIDX";
-    /// Current serialization format version.
-    pub const FORMAT_VERSION: u32 = 1;
+    /// Current serialization format version. Version 2 switched the rank
+    /// structure to cache-interleaved blocks (checkpoints co-located with
+    /// the packed `L` words); version-1 files must be rebuilt with
+    /// `kmm index`.
+    pub const FORMAT_VERSION: u32 = 2;
 
     /// Reconstruct the indexed text (sentinel included) by LF-walking.
     /// O(n · occ); used by tests and the index explorer example.
@@ -469,7 +501,8 @@ mod tests {
 
     #[test]
     fn paper_rate_config_matches_default() {
-        let text = kmm_dna::encode_text(b"acagacatttgacag").unwrap();
+        let ascii: Vec<u8> = (0..600).map(|i: usize| b"acgt"[(i * 3 + 1) % 4]).collect();
+        let text = kmm_dna::encode_text(&ascii).unwrap();
         let a = FmIndex::new(&text, FmBuildConfig::default());
         let b = FmIndex::new(&text, FmBuildConfig::paper());
         let pat = kmm_dna::encode(b"aca").unwrap();
@@ -584,6 +617,36 @@ mod tests {
                 for sym in 1..=4u8 {
                     let extends = !fm.extend_backward(iv, sym).is_empty();
                     assert_eq!(mask & (1 << (sym - 1)) != 0, extends, "iv={iv} sym={sym}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_all_matches_extend_backward() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(911);
+        for cfg in [FmBuildConfig::default(), FmBuildConfig::paper()] {
+            let n = rng.gen_range(50..400);
+            let ascii: Vec<u8> = (0..n).map(|_| b"acgt"[rng.gen_range(0..4usize)]).collect();
+            let text = kmm_dna::encode_text(&ascii).unwrap();
+            let fm = FmIndex::new(&text, cfg);
+            let total = fm.len() as u32;
+            // All narrow intervals plus the whole range and empties.
+            let mut ivs = vec![fm.whole(), Interval::empty()];
+            for lo in 0..total {
+                for hi in lo..=(lo + 3).min(total) {
+                    ivs.push(Interval::new(lo, hi));
+                }
+            }
+            for iv in ivs {
+                let fused = fm.extend_all(iv);
+                for z in 1..=4u8 {
+                    assert_eq!(
+                        fused[(z - 1) as usize],
+                        fm.extend_backward(iv, z),
+                        "iv={iv} z={z}"
+                    );
                 }
             }
         }

@@ -7,11 +7,15 @@
 //! but at cost of some more searches", Fig. 2). The experiments use 2 bits
 //! per `L` character and one 32-bit rankall row every 4 elements.
 //!
-//! [`RankAll`] packs `L` at 2 bits/base into `u64` words (the single `$`
-//! is kept out of band), stores checkpoint rows every `rate` positions and
-//! resolves the tail with branch-free XOR/popcount word counting (the
-//! technique BWA popularised), answering
-//! `occ(c, i) = |{ j < i : L[j] = c }|` in `O(rate/32)` word steps.
+//! [`RankAll`] stores `L` in *cache-interleaved blocks*, the layout BWA
+//! popularised for its occ arrays: each block holds the four `u32`
+//! checkpoint counts immediately followed by the 2-bit packed `L` words it
+//! covers, so resolving an `occ` touches one contiguous run of memory — a
+//! single cache miss — instead of a checkpoint row and a packed word in
+//! two unrelated arrays. The tail scan is branch-free XOR/popcount word
+//! counting, answering `occ(c, i) = |{ j < i : L[j] = c }|` in
+//! `O(block_span/32)` word steps, and [`RankAll::occ_all`] resolves all
+//! four bases in one sweep of the same block.
 
 use kmm_dna::{BASES, SENTINEL, SIGMA};
 use kmm_par::{aligned_spans, ThreadPool};
@@ -21,8 +25,11 @@ use crate::limits::{check_text_len, TextTooLarge};
 /// Symbols stored per `u64` word (2 bits each).
 const SLOTS_PER_WORD: usize = 32;
 
-/// Least common multiple; segment boundaries must sit on both the packed
-/// word grid and the checkpoint grid.
+/// Words of checkpoint header per block: four `u32` counts in two words.
+const HEADER_WORDS: usize = 2;
+
+/// Least common multiple; block spans must sit on both the packed word
+/// grid and the checkpoint grid.
 fn lcm(a: usize, b: usize) -> usize {
     fn gcd(mut a: usize, mut b: usize) -> usize {
         while b != 0 {
@@ -35,28 +42,33 @@ fn lcm(a: usize, b: usize) -> usize {
 
 /// Per-segment output of the parallel build's scan pass.
 struct SegScan {
-    /// Packed words covering the segment (word-aligned start).
-    words: Vec<u64>,
-    /// Checkpoint rows for blocks starting in the segment, with counts
-    /// relative to the segment start.
-    rows: Vec<u32>,
+    /// Interleaved blocks covering the segment (block-aligned start),
+    /// headers holding counts relative to the segment start.
+    blocks: Vec<u64>,
     /// Per-symbol totals within the segment (sentinel included).
     counts: [u32; SIGMA],
     /// Sentinel positions seen (globally there must be exactly one).
     dollars: Vec<usize>,
 }
 
-/// Rank structure over an `L` column.
+/// Rank structure over an `L` column, stored as cache-interleaved blocks.
+///
+/// Every block is `HEADER_WORDS + block_span/32` words: the four base
+/// checkpoint counts (occurrences in `L[0 .. block_start)`) packed as two
+/// `u64`s, then the 2-bit packed `L` slice the block covers. The sentinel
+/// slot is packed as base 0 (`a`) and excluded from counts via
+/// `dollar_pos`.
 #[derive(Debug, Clone)]
 pub struct RankAll {
-    /// 2-bit packed bases of `L` (32 per word), with the sentinel slot
-    /// packed as base 0 (`a`) and excluded from counts via `dollar_pos`.
-    packed: Vec<u64>,
-    /// Checkpoints: `checkpoints[block * BASES + c]` = occurrences of base
-    /// `c + 1` in `L[0 .. block * rate)`.
-    checkpoints: Vec<u32>,
-    /// Sampling rate (positions between checkpoint rows).
+    /// Interleaved blocks, `blocks_len() * block_words` words.
+    blocks: Vec<u64>,
+    /// Configured checkpoint rate (kept for the API and serialization;
+    /// the effective span is `lcm(rate, 32)`).
     rate: usize,
+    /// Positions covered per block (`lcm(rate, SLOTS_PER_WORD)`).
+    block_span: usize,
+    /// Words per block (`HEADER_WORDS + block_span / SLOTS_PER_WORD`).
+    block_words: usize,
     /// Position of the unique sentinel in `L`.
     dollar_pos: usize,
     /// Total length of `L`.
@@ -110,6 +122,33 @@ fn count_code(packed: &[u64], two: u64, start: usize, end: usize) -> u32 {
     count
 }
 
+/// Add the per-code occurrence counts of slots `[0, end)` of `payload`
+/// into `counts` — all four 2-bit codes in one sweep. Each word is
+/// decomposed into its high/low bit planes; three popcounts classify
+/// codes 1..3 and code 0 falls out by subtraction from the slot total.
+#[inline]
+fn count_all_into(payload: &[u64], end: usize, counts: &mut [u32; 4]) {
+    const LSB: u64 = 0x5555_5555_5555_5555;
+    let (last_word, last_slot) = (end / SLOTS_PER_WORD, end % SLOTS_PER_WORD);
+    let mut tally = |w: u64, keep: u64| {
+        let hi = (w >> 1) & keep;
+        let lo = w & keep;
+        let c3 = (hi & lo).count_ones();
+        let c2 = (hi & !lo).count_ones();
+        let c1 = (!hi & lo).count_ones();
+        counts[0] += keep.count_ones() - c3 - c2 - c1;
+        counts[1] += c1;
+        counts[2] += c2;
+        counts[3] += c3;
+    };
+    for &w in &payload[..last_word] {
+        tally(w, LSB);
+    }
+    if last_slot != 0 {
+        tally(payload[last_word], LSB & ((1u64 << (2 * last_slot)) - 1));
+    }
+}
+
 impl RankAll {
     /// Build over an `L` column containing exactly one sentinel.
     ///
@@ -136,10 +175,10 @@ impl RankAll {
     /// checkpoint/total layout instead of silently wrapping counts.
     ///
     /// The build is data-parallel over `pool`: segment boundaries are
-    /// aligned to both the 32-slot word grid and the checkpoint grid, so
-    /// every packed word and every checkpoint row is produced by exactly
-    /// one worker and the merged structure is bit-identical to the serial
-    /// build at any thread count.
+    /// aligned to the block span, so every interleaved block is produced
+    /// by exactly one worker; a serial fix-up then promotes the block
+    /// headers from segment-local to global counts. The merged structure
+    /// is bit-identical to the serial build at any thread count.
     pub fn try_new_with(l: &[u8], rate: usize, pool: &ThreadPool) -> Result<Self, TextTooLarge> {
         assert!(
             rate >= 4 && rate.is_multiple_of(4),
@@ -147,23 +186,26 @@ impl RankAll {
         );
         check_text_len(l.len())?;
         let n = l.len();
+        let block_span = lcm(rate, SLOTS_PER_WORD);
+        let block_words = HEADER_WORDS + block_span / SLOTS_PER_WORD;
 
-        // Pass 1 (parallel): pack, count, and emit segment-local
-        // checkpoint rows. The sentinel packs as code 0 wherever it is,
-        // so the pass needs no global information.
-        let spans = aligned_spans(n, pool.threads() * 4, lcm(rate, SLOTS_PER_WORD));
+        // Pass 1 (parallel): pack and count whole blocks, headers relative
+        // to the segment start. The sentinel packs as code 0 wherever it
+        // is, so the pass needs no global information.
+        let spans = aligned_spans(n, pool.threads() * 4, block_span);
         let segs = pool.par_map(&spans, |_, span| {
             let len = span.end - span.start;
-            let mut words = vec![0u64; len.div_ceil(SLOTS_PER_WORD)];
-            let mut rows = Vec::with_capacity(len.div_ceil(rate) * BASES);
+            let mut blocks = vec![0u64; len.div_ceil(block_span) * block_words];
             let mut counts = [0u32; SIGMA];
             let mut running = [0u32; BASES];
             let mut dollars = Vec::new();
             for (off, &c) in l[span.clone()].iter().enumerate() {
                 let i = span.start + off;
                 assert!((c as usize) < SIGMA, "symbol {c} out of alphabet");
-                if i.is_multiple_of(rate) {
-                    rows.extend_from_slice(&running);
+                let base = off / block_span * block_words;
+                if off.is_multiple_of(block_span) {
+                    blocks[base] = running[0] as u64 | (running[1] as u64) << 32;
+                    blocks[base + 1] = running[2] as u64 | (running[3] as u64) << 32;
                 }
                 counts[c as usize] += 1;
                 let two = if c == SENTINEL {
@@ -173,11 +215,11 @@ impl RankAll {
                     running[(c - 1) as usize] += 1;
                     (c - 1) as u64
                 };
-                words[off / SLOTS_PER_WORD] |= two << ((i % SLOTS_PER_WORD) * 2);
+                let word = base + HEADER_WORDS + (off % block_span) / SLOTS_PER_WORD;
+                blocks[word] |= two << ((off % SLOTS_PER_WORD) * 2);
             }
             SegScan {
-                words,
-                rows,
+                blocks,
                 counts,
                 dollars,
             }
@@ -195,54 +237,30 @@ impl RankAll {
         assert_eq!(dollars.len(), 1, "L must contain exactly one sentinel");
         let dollar_pos = dollars[0];
 
-        // Exclusive prefix of per-segment counts (serial, O(segments))
-        // seeds each segment's checkpoint rows.
-        let seg_bases: Vec<[u32; BASES]> = {
-            let mut base = [0u32; BASES];
-            segs.iter()
-                .map(|seg| {
-                    let this = base;
-                    for (lane, b) in base.iter_mut().enumerate() {
-                        *b += seg.counts[lane + 1];
-                    }
-                    this
-                })
-                .collect()
-        };
-
-        // Pass 2 (parallel): promote segment-local rows to global counts.
-        let fixed_rows = pool.par_map(&seg_bases, |s, base| {
-            let mut rows = segs[s].rows.clone();
-            for row in rows.chunks_exact_mut(BASES) {
-                for (lane, slot) in row.iter_mut().enumerate() {
-                    *slot += base[lane];
-                }
-            }
-            rows
-        });
-
-        let mut packed = Vec::with_capacity(n.div_ceil(SLOTS_PER_WORD));
+        // Pass 2 (serial, O(blocks)): concatenate and promote block
+        // headers to global counts with an exclusive prefix of the
+        // per-segment totals. Two word writes per block — not worth
+        // fanning out, and trivially deterministic.
+        let mut blocks = Vec::with_capacity(n.div_ceil(block_span) * block_words);
+        let mut base = [0u32; BASES];
         for seg in &segs {
-            packed.extend_from_slice(&seg.words);
+            let first = blocks.len();
+            blocks.extend_from_slice(&seg.blocks);
+            for header in blocks[first..].chunks_exact_mut(block_words) {
+                header[0] += base[0] as u64 | (base[1] as u64) << 32;
+                header[1] += base[2] as u64 | (base[3] as u64) << 32;
+            }
+            for (lane, b) in base.iter_mut().enumerate() {
+                *b += seg.counts[lane + 1];
+            }
         }
-        let blocks = n / rate + 1;
-        let mut checkpoints = Vec::with_capacity(blocks * BASES);
-        for rows in &fixed_rows {
-            checkpoints.extend_from_slice(rows);
-        }
-        // Rows are emitted at block *starts*; when `n` lands exactly on a
-        // block boundary the final row (= the per-base totals) has no
-        // start position inside `l` to trigger it.
-        let total_row: [u32; BASES] = std::array::from_fn(|lane| totals[lane + 1]);
-        while checkpoints.len() < blocks * BASES {
-            checkpoints.extend_from_slice(&total_row);
-        }
-        debug_assert_eq!(checkpoints.len(), blocks * BASES);
+        debug_assert_eq!(blocks.len(), n.div_ceil(block_span) * block_words);
 
         Ok(RankAll {
-            packed,
-            checkpoints,
+            blocks,
             rate,
+            block_span,
+            block_words,
             dollar_pos,
             len: n,
             totals,
@@ -267,6 +285,13 @@ impl RankAll {
         self.dollar_pos
     }
 
+    /// The four checkpoint counts of the block containing position `i`.
+    #[inline]
+    fn header(&self, base: usize) -> [u32; 4] {
+        let (w0, w1) = (self.blocks[base], self.blocks[base + 1]);
+        [w0 as u32, (w0 >> 32) as u32, w1 as u32, (w1 >> 32) as u32]
+    }
+
     /// The symbol `L[i]`.
     #[inline]
     pub fn symbol(&self, i: usize) -> u8 {
@@ -274,13 +299,17 @@ impl RankAll {
         if i == self.dollar_pos {
             SENTINEL
         } else {
-            ((self.packed[i / SLOTS_PER_WORD] >> ((i % SLOTS_PER_WORD) * 2)) & 0b11) as u8 + 1
+            let word = i / self.block_span * self.block_words
+                + HEADER_WORDS
+                + (i % self.block_span) / SLOTS_PER_WORD;
+            ((self.blocks[word] >> ((i % SLOTS_PER_WORD) * 2)) & 0b11) as u8 + 1
         }
     }
 
     /// Number of occurrences of base `c` (codes 1..=4) in `L[0..i)`.
     ///
-    /// This is the paper's `A_c[i - 1]` (their arrays are 1-based).
+    /// This is the paper's `A_c[i - 1]` (their arrays are 1-based). One
+    /// block visit: header counts and the packed tail share a block.
     #[inline]
     pub fn occ(&self, c: u8, i: usize) -> u32 {
         debug_assert!(
@@ -288,17 +317,42 @@ impl RankAll {
             "occ is defined for bases only"
         );
         debug_assert!(i <= self.len, "occ index {i} beyond len {}", self.len);
+        if i == self.len {
+            return self.totals[c as usize];
+        }
         let lane = (c - 1) as usize;
-        let block = i / self.rate;
-        let start = block * self.rate;
-        let mut count = self.checkpoints[block * BASES + lane]
-            + count_code(&self.packed, lane as u64, start, i);
+        let block = i / self.block_span;
+        let start = block * self.block_span;
+        let base = block * self.block_words;
+        let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
+        let mut count = self.header(base)[lane] + count_code(payload, lane as u64, 0, i - start);
         // The sentinel slot was packed as base 0; cancel it if counted in
-        // the scanned region (checkpoints already exclude it).
+        // the scanned region (headers already exclude it).
         if lane == 0 && self.dollar_pos >= start && self.dollar_pos < i {
             count -= 1;
         }
         count
+    }
+
+    /// Occurrence counts of all four bases in `L[0..i)` — the fused form
+    /// of four `occ` calls, resolved with the same single block visit:
+    /// `occ_all(i)[c - 1] == occ(c, i)` for every base code `c`.
+    #[inline]
+    pub fn occ_all(&self, i: usize) -> [u32; 4] {
+        debug_assert!(i <= self.len, "occ index {i} beyond len {}", self.len);
+        if i == self.len {
+            return std::array::from_fn(|lane| self.totals[lane + 1]);
+        }
+        let block = i / self.block_span;
+        let start = block * self.block_span;
+        let base = block * self.block_words;
+        let mut counts = self.header(base);
+        let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
+        count_all_into(payload, i - start, &mut counts);
+        if self.dollar_pos >= start && self.dollar_pos < i {
+            counts[0] -= 1;
+        }
+        counts
     }
 
     /// Total number of occurrences of symbol `c` in `L`.
@@ -307,14 +361,37 @@ impl RankAll {
         self.totals[c as usize]
     }
 
-    /// Heap bytes used (packed text + checkpoints), for the space ablation.
+    /// Number of interleaved blocks.
+    #[inline]
+    fn blocks_len(&self) -> usize {
+        self.blocks.len() / self.block_words
+    }
+
+    /// Heap bytes used (the interleaved block array), for the space
+    /// ablation. Equals [`Self::payload_bytes`] + [`Self::overhead_bytes`].
     pub fn heap_bytes(&self) -> usize {
-        self.packed.len() * 8 + self.checkpoints.len() * std::mem::size_of::<u32>()
+        self.blocks.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes holding 2-bit packed `L` payload (incl. tail padding).
+    pub fn payload_bytes(&self) -> usize {
+        self.blocks_len() * (self.block_words - HEADER_WORDS) * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes of per-block checkpoint headers — the rank acceleration
+    /// overhead on top of the packed text.
+    pub fn overhead_bytes(&self) -> usize {
+        self.blocks_len() * HEADER_WORDS * std::mem::size_of::<u64>()
     }
 
     /// The configured checkpoint rate.
     pub fn rate(&self) -> usize {
         self.rate
+    }
+
+    /// Positions covered per interleaved block (`lcm(rate, 32)`).
+    pub fn block_span(&self) -> usize {
+        self.block_span
     }
 
     /// Serialize into a [`SerWriter`](crate::serialize::SerWriter) stream.
@@ -328,8 +405,7 @@ impl RankAll {
         for &t in &self.totals {
             w.u32(t)?;
         }
-        w.vec_u64(&self.packed)?;
-        w.vec_u32(&self.checkpoints)
+        w.vec_u64(&self.blocks)
     }
 
     /// Deserialize from a [`SerReader`](crate::serialize::SerReader) stream.
@@ -350,18 +426,17 @@ impl RankAll {
         for t in totals.iter_mut() {
             *t = r.u32()?;
         }
-        let packed = r.vec_u64()?;
-        if packed.len() != len.div_ceil(SLOTS_PER_WORD) {
-            return Err(SerializeError::Malformed("packed length"));
-        }
-        let checkpoints = r.vec_u32()?;
-        if checkpoints.len() != (len / rate + 1) * BASES {
-            return Err(SerializeError::Malformed("checkpoint length"));
+        let block_span = lcm(rate, SLOTS_PER_WORD);
+        let block_words = HEADER_WORDS + block_span / SLOTS_PER_WORD;
+        let blocks = r.vec_u64()?;
+        if blocks.len() != len.div_ceil(block_span) * block_words {
+            return Err(SerializeError::Malformed("block array length"));
         }
         Ok(RankAll {
-            packed,
-            checkpoints,
+            blocks,
             rate,
+            block_span,
+            block_words,
             dollar_pos,
             len,
             totals,
@@ -372,6 +447,7 @@ impl RankAll {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn naive_occ(l: &[u8], c: u8, i: usize) -> u32 {
         l[..i].iter().filter(|&&x| x == c).count() as u32
@@ -381,11 +457,18 @@ mod tests {
         let r = RankAll::new(l, rate);
         assert_eq!(r.len(), l.len());
         for i in 0..=l.len() {
+            let fused = r.occ_all(i);
             for c in 1..SIGMA as u8 {
                 assert_eq!(
                     r.occ(c, i),
                     naive_occ(l, c, i),
                     "occ({c}, {i}) rate {rate} l={l:?}"
+                );
+                assert_eq!(
+                    fused[(c - 1) as usize],
+                    r.occ(c, i),
+                    "occ_all({i})[{}] rate {rate} l={l:?}",
+                    c - 1
                 );
             }
         }
@@ -414,6 +497,7 @@ mod tests {
         assert_eq!(r.occ(2, 0), 0);
         assert_eq!(r.occ(2, 5), 2);
         assert_eq!(r.dollar_pos(), 3);
+        assert_eq!(r.occ_all(8), [4, 2, 1, 0]);
     }
 
     #[test]
@@ -479,6 +563,44 @@ mod tests {
         assert_eq!(r.occ(1, 64), 63);
         assert_eq!(r.occ(1, 63), 63);
         assert_eq!(r.occ(2, 64), 0);
+        assert_eq!(r.occ_all(0), [0, 0, 0, 0]);
+        assert_eq!(r.occ_all(64), [63, 0, 0, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `occ_all(i)[c - 1] == occ(c, i)` on random columns at every
+        /// checkpoint rate, including the exact boundary positions
+        /// {0, len, dollar_pos - 1, dollar_pos, dollar_pos + 1}.
+        #[test]
+        fn occ_all_agrees_with_occ(
+            bases in proptest::collection::vec(1u8..=4, 1..300),
+            dollar in any::<prop::sample::Index>(),
+        ) {
+            let mut l = bases;
+            let dollar_pos = dollar.index(l.len());
+            l[dollar_pos] = 0;
+            for rate in [4usize, 32, 64, 128] {
+                let r = RankAll::new(&l, rate);
+                let mut probes = vec![0, l.len(), dollar_pos, dollar_pos + 1];
+                if dollar_pos > 0 {
+                    probes.push(dollar_pos - 1);
+                }
+                probes.extend((0..=l.len()).step_by(7));
+                for i in probes {
+                    prop_assert!(i <= l.len());
+                    let fused = r.occ_all(i);
+                    for c in 1..=4u8 {
+                        prop_assert_eq!(
+                            fused[(c - 1) as usize],
+                            r.occ(c, i),
+                            "rate={} i={} c={}", rate, i, c
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -490,6 +612,19 @@ mod tests {
         assert!(coarse.heap_bytes() < fine.heap_bytes());
         assert_eq!(fine.rate(), 4);
         assert_eq!(coarse.rate(), 128);
+    }
+
+    #[test]
+    fn byte_accounting_is_exact() {
+        let mut l: Vec<u8> = (0..1000).map(|i| (i % 4 + 1) as u8).collect();
+        l[999] = 0;
+        for rate in [4usize, 64, 128] {
+            let r = RankAll::new(&l, rate);
+            assert_eq!(r.heap_bytes(), r.payload_bytes() + r.overhead_bytes());
+            let blocks = 1000usize.div_ceil(r.block_span());
+            assert_eq!(r.overhead_bytes(), blocks * HEADER_WORDS * 8);
+            assert_eq!(r.payload_bytes(), blocks * (r.block_span() / 32) * 8);
+        }
     }
 
     #[test]
@@ -509,7 +644,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         for rate in [4usize, 64] {
-            // Lengths around the word, checkpoint, and segment boundaries.
+            // Lengths around the word, block, and segment boundaries.
             for n in [1usize, 5, 31, 32, 33, 127, 128, 500, 2048] {
                 let dollar = rng.gen_range(0..n);
                 let l: Vec<u8> = (0..n)
@@ -530,6 +665,29 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 700;
+        let dollar = rng.gen_range(0..n);
+        let l: Vec<u8> = (0..n)
+            .map(|i| if i == dollar { 0 } else { rng.gen_range(1..=4) })
+            .collect();
+        for rate in [4usize, 64] {
+            let r = RankAll::new(&l, rate);
+            let mut bytes = Vec::new();
+            r.write_to(&mut crate::serialize::SerWriter::new(&mut bytes))
+                .unwrap();
+            let loaded =
+                RankAll::read_from(&mut crate::serialize::SerReader::new(&bytes[..])).unwrap();
+            for i in (0..=n).step_by(13) {
+                assert_eq!(loaded.occ_all(i), r.occ_all(i));
+            }
+            assert_eq!(loaded.heap_bytes(), r.heap_bytes());
         }
     }
 

@@ -101,6 +101,25 @@ impl RleBwt {
         count
     }
 
+    /// Occurrence counts of all four bases in `L[0..i)` — the fused form
+    /// of four [`Self::occ`] calls sharing one run lookup:
+    /// `occ_all(i)[c - 1] == occ(c, i)` for base codes 1..=4.
+    #[inline]
+    pub fn occ_all(&self, i: usize) -> [u32; 4] {
+        debug_assert!(i <= self.len);
+        if i == 0 {
+            return [0; 4];
+        }
+        let run = self.run_of(i - 1);
+        let cum = &self.cum[run];
+        let mut counts = [cum[1], cum[2], cum[3], cum[4]];
+        let sym = self.syms[run];
+        if sym >= 1 {
+            counts[(sym - 1) as usize] += (i as u32) - self.starts[run];
+        }
+        counts
+    }
+
     /// Total occurrences of `c`.
     pub fn count(&self, c: u8) -> u32 {
         self.totals[c as usize]
@@ -193,6 +212,7 @@ mod tests {
                 for c in 1..SIGMA as u8 {
                     assert_eq!(rle.occ(c, i), ra.occ(c, i), "occ({c}, {i})");
                 }
+                assert_eq!(rle.occ_all(i), ra.occ_all(i), "occ_all({i})");
             }
             for (i, &c) in l.iter().enumerate() {
                 assert_eq!(rle.symbol(i), c);
@@ -247,10 +267,17 @@ mod tests {
             c[sym + 1] = c[sym] + rle.count(sym as u8);
         }
         let pat = kmm_dna::encode(b"aca").unwrap();
+        // Fused step: one occ_all per boundary resolves all four bases;
+        // the searched symbol's lane must agree with the plain occ path.
         let (mut lo, mut hi) = (0u32, text.len() as u32);
         for &sym in pat.iter().rev() {
-            lo = c[sym as usize] + rle.occ(sym, lo as usize);
-            hi = c[sym as usize] + rle.occ(sym, hi as usize);
+            let lane = (sym - 1) as usize;
+            let lo_all = rle.occ_all(lo as usize);
+            let hi_all = rle.occ_all(hi as usize);
+            assert_eq!(lo_all[lane], rle.occ(sym, lo as usize));
+            assert_eq!(hi_all[lane], rle.occ(sym, hi as usize));
+            lo = c[sym as usize] + lo_all[lane];
+            hi = c[sym as usize] + hi_all[lane];
         }
         let iv = fm.backward_search(&pat);
         assert_eq!((lo, hi), (iv.lo, iv.hi));

@@ -6,6 +6,14 @@
 //! simple: a magic tag, a format version, length-prefixed primitive
 //! arrays, and a running FNV checksum verified on load — no external
 //! serialization dependency.
+//!
+//! Version history:
+//!
+//! - **v1** — separate checkpoint-row and packed-`L` arrays.
+//! - **v2** (current) — `RankAll` stores interleaved cache-line blocks
+//!   (four `u32` checkpoint counts + the packed `L` words they cover).
+//!   v1 files are incompatible and are refused with
+//!   [`SerializeError::BadVersion`]; rebuild the index with `kmm index`.
 
 use std::io::{self, Read, Write};
 

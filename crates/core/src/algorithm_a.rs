@@ -192,6 +192,9 @@ impl<'a> AlgorithmA<'a> {
         if m == 0 || m > self.text_len {
             return (Vec::new(), SearchStats::default(), None);
         }
+        // A warm arena (batch reuse) means this query allocates nothing
+        // for its node storage and pair table.
+        let reused_arena = tree.capacity() > 0;
         tree.clear();
         let rtable = {
             let _span = recorder.span(Phase::PreprocessRarray);
@@ -212,22 +215,25 @@ impl<'a> AlgorithmA<'a> {
             ctx: None,
             gate,
         };
+        q.stats.alloc_reused += u64::from(reused_arena);
         {
             let _span = recorder.span(Phase::SearchDescend);
-            // Root level: the virtual root <-,[0,n)> expands into the
-            // F-blocks (one backward extension per symbol), paper
-            // Fig. 3's v1..v3.
+            // Root level: one fused rank sweep expands the virtual root
+            // <-,[0,n)> into the F-blocks at once, paper Fig. 3's v1..v3;
+            // empty blocks are skipped before any per-child work.
+            q.stats.rank_extensions += 1;
+            q.stats.occ_fused += 1;
+            let roots = q.fm.extend_all(q.fm.whole());
             for y in 1..=BASES as u8 {
                 if gate.should_stop() {
                     break;
                 }
-                let is_match = y == pattern[0];
-                if !is_match && k == 0 {
+                let iv = roots[(y - 1) as usize];
+                if iv.is_empty() {
                     continue;
                 }
-                q.stats.rank_extensions += 1;
-                let iv = q.fm.extend_backward(q.fm.whole(), y);
-                if iv.is_empty() {
+                let is_match = y == pattern[0];
+                if !is_match && k == 0 {
                     continue;
                 }
                 let cost = usize::from(!is_match);
@@ -329,10 +335,6 @@ impl<'q, R: Recorder> Query<'q, R> {
         }
     }
 
-    /// Interval width at or below which children are resolved by scanning
-    /// the `L` rows instead of probing all four symbols with rank lookups.
-    const SCAN_WIDTH: u32 = 24;
-
     /// Depth-first walk from `node` (which consumed `pattern[p]`) with
     /// `mism` mismatches accumulated so far. Wraps [`Self::walk_inner`]
     /// with the optional derivation-audit bookkeeping: when the walk
@@ -408,51 +410,48 @@ impl<'q, R: Recorder> Query<'q, R> {
             return;
         }
         let next = p + 1;
-        // First visit: resolve absent symbols in one L-scan when the
-        // interval is narrow (cheaper than four rank probes).
-        let nd = self.tree.node(node);
-        let iv = nd.interval;
-        if iv.len() <= Self::SCAN_WIDTH && nd.children.contains(&UNKNOWN) {
-            let mask = self.fm.symbol_mask(iv);
+        // First visit (or D2 "resume" of a subtree stored shallower than
+        // this alignment's budget needs): resolve every unresolved child
+        // slot with one fused rank sweep — two block visits produce all
+        // four child intervals at once, and empty extensions are marked
+        // ABSENT before any per-child work.
+        let (iv, resumed) = {
+            let nd = self.tree.node(node);
+            (nd.interval, nd.align as usize != p)
+        };
+        if self.tree.node(node).children.contains(&UNKNOWN) {
+            if resumed {
+                self.stats.resumes += 1;
+            }
+            self.stats.rank_extensions += 1;
+            self.stats.occ_fused += 1;
+            let children = self.fm.extend_all(iv);
             for y in 1..=BASES as u8 {
-                if mask & (1 << (y - 1)) == 0 && self.tree.child(node, y) == UNKNOWN {
-                    self.tree.set_child(node, y, ABSENT);
+                if self.tree.child(node, y) != UNKNOWN {
+                    continue;
                 }
+                let civ = children[(y - 1) as usize];
+                let slot = if civ.is_empty() {
+                    ABSENT
+                } else if civ.len() == 1 {
+                    // Singleton subtrees stay out of the arena: they
+                    // are deterministic LF chains, cheaper to re-walk
+                    // than to memoise (see module docs).
+                    civ.lo | SINGLETON
+                } else {
+                    self.intern(y, next as u32, civ)
+                };
+                self.tree.set_child(node, y, slot);
             }
         }
         let mut walked_any = false;
         for y in 1..=BASES as u8 {
-            let cost = usize::from(y != self.pattern[next]);
-            if mism + cost > self.k {
+            let slot = self.tree.child(node, y);
+            if slot == ABSENT {
                 continue;
             }
-            let slot = match self.tree.child(node, y) {
-                UNKNOWN => {
-                    // Materialise on demand (live backward search). This is
-                    // both first-time exploration and the D2 "resume" when a
-                    // shared subtree is shallower than the new alignment
-                    // needs.
-                    if self.tree.node(node).align as usize != p {
-                        self.stats.resumes += 1;
-                    }
-                    self.stats.rank_extensions += 1;
-                    let civ = self.fm.extend_backward(iv, y);
-                    let slot = if civ.is_empty() {
-                        ABSENT
-                    } else if civ.len() == 1 {
-                        // Singleton subtrees stay out of the arena: they
-                        // are deterministic LF chains, cheaper to re-walk
-                        // than to memoise (see module docs).
-                        civ.lo | SINGLETON
-                    } else {
-                        self.intern(y, next as u32, civ)
-                    };
-                    self.tree.set_child(node, y, slot);
-                    slot
-                }
-                c => c,
-            };
-            if slot == ABSENT {
+            let cost = usize::from(y != self.pattern[next]);
+            if mism + cost > self.k {
                 continue;
             }
             walked_any = true;

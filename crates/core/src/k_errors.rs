@@ -26,6 +26,20 @@ pub struct EditOccurrence {
     pub distance: usize,
 }
 
+/// Per-query DP row arena: one row slot per trie depth, written in place
+/// as the descent advances. Replaces the per-child `Vec` the walk used to
+/// allocate at every node — the slot for depth `d + 1` is safely reusable
+/// across siblings because a child's recursion only writes deeper slots.
+struct RowArena {
+    /// `(m + k + 1)` rows of `stride` entries each, indexed by depth.
+    rows: Vec<u32>,
+    /// Row width (`m + 1`).
+    stride: usize,
+    /// Deepest slot written so far; refills of shallower slots are the
+    /// allocations the arena saved.
+    high: usize,
+}
+
 /// k-errors searcher over a reverse-text FM-index.
 #[derive(Debug, Clone, Copy)]
 pub struct KErrorsSearch<'a> {
@@ -50,19 +64,26 @@ impl<'a> KErrorsSearch<'a> {
         if m == 0 {
             return (out, stats);
         }
+        // One arena sized for the deepest possible path (depth <= m + k)
+        // holds every DP row of the descent; no per-node allocation.
+        let stride = m + 1;
+        let mut arena = RowArena {
+            rows: vec![0u32; (m + k + 1) * stride],
+            stride,
+            high: 0,
+        };
         // Root row: converting the empty substring into r[0..j] costs j
-        // insertions.
-        let root_row: Vec<u32> = (0..=m as u32).collect();
-        // The empty substring itself matches if m <= k — by convention we
-        // do not report empty occurrences.
-        let mut row_buf = Vec::with_capacity(m + 1);
+        // insertions. The empty substring itself matches if m <= k — by
+        // convention we do not report empty occurrences.
+        for (j, slot) in arena.rows[..stride].iter_mut().enumerate() {
+            *slot = j as u32;
+        }
         self.dfs(
             self.fm.whole(),
-            &root_row,
             0,
             pattern,
             k,
-            &mut row_buf,
+            &mut arena,
             &mut out,
             &mut stats,
         );
@@ -75,11 +96,10 @@ impl<'a> KErrorsSearch<'a> {
     fn dfs(
         &self,
         iv: Interval,
-        row: &[u32],
         depth: usize,
         pattern: &[u8],
         k: usize,
-        _row_buf: &mut Vec<u32>,
+        arena: &mut RowArena,
         out: &mut Vec<EditOccurrence>,
         stats: &mut SearchStats,
     ) {
@@ -90,29 +110,47 @@ impl<'a> KErrorsSearch<'a> {
             stats.leaves += 1;
             return;
         }
+        if iv.is_empty() {
+            return;
+        }
+        // One fused rank sweep resolves all four children; empty ones are
+        // skipped before any DP work on their rows.
+        stats.rank_extensions += 1;
+        stats.occ_fused += 1;
+        let children = self.fm.extend_all(iv);
         let mut any_child = false;
         for y in 1..=BASES as u8 {
-            // Compute the child's DP row first — cheaper than the rank
-            // lookup when the branch is dead.
-            let mut next = Vec::with_capacity(m + 1);
-            next.push(row[0] + 1);
-            let mut alive = next[0] <= k as u32;
-            for j in 1..=m {
-                let cost = u32::from(pattern[j - 1] != y);
-                let v = (row[j] + 1).min(next[j - 1] + 1).min(row[j - 1] + cost);
-                alive |= v <= k as u32;
-                next.push(v);
-            }
-            if !alive {
-                continue;
-            }
-            stats.rank_extensions += 1;
-            let child = self.fm.extend_backward(iv, y);
+            let child = children[(y - 1) as usize];
             if child.is_empty() {
                 continue;
             }
+            // Fill the child's DP row into the arena slot for depth + 1;
+            // the parent row lives in slot depth.
+            let (alive, final_d) = {
+                let stride = arena.stride;
+                let (parents, childs) = arena.rows.split_at_mut((depth + 1) * stride);
+                let row = &parents[depth * stride..];
+                let next = &mut childs[..stride];
+                if depth < arena.high {
+                    stats.alloc_reused += 1;
+                } else {
+                    arena.high = depth + 1;
+                }
+                next[0] = row[0] + 1;
+                let mut alive = next[0] <= k as u32;
+                for j in 1..=m {
+                    let cost = u32::from(pattern[j - 1] != y);
+                    let v = (row[j] + 1).min(next[j - 1] + 1).min(row[j - 1] + cost);
+                    alive |= v <= k as u32;
+                    next[j] = v;
+                }
+                (alive, next[m])
+            };
+            if !alive {
+                continue;
+            }
             any_child = true;
-            if next[m] <= k as u32 {
+            if final_d <= k as u32 {
                 // Every row of the child interval is an occurrence of this
                 // substring.
                 let length = depth + 1;
@@ -121,11 +159,11 @@ impl<'a> KErrorsSearch<'a> {
                     out.push(EditOccurrence {
                         position: self.text_len - p_rev - length,
                         length,
-                        distance: next[m] as usize,
+                        distance: final_d as usize,
                     });
                 }
             }
-            self.dfs(child, &next, depth + 1, pattern, k, _row_buf, out, stats);
+            self.dfs(child, depth + 1, pattern, k, arena, out, stats);
         }
         if !any_child {
             stats.leaves += 1;

@@ -36,6 +36,13 @@ pub struct SearchStats {
     /// Searches truncated by a deadline/cancellation (0 or 1 per query;
     /// summed across a batch). Partial results were still reported.
     pub timeouts: u64,
+    /// Fused 4-base rank sweeps (`extend_all` node expansions): each
+    /// resolves all four children with one pass over the interval's two
+    /// rank blocks instead of four independent extensions.
+    pub occ_fused: u64,
+    /// Per-node allocations avoided by reusing a per-query arena or
+    /// pre-sized tree storage across queries.
+    pub alloc_reused: u64,
 }
 
 impl SearchStats {
@@ -55,6 +62,8 @@ impl SearchStats {
             occurrences,
             phi_prunes,
             timeouts,
+            occ_fused,
+            alloc_reused,
         } = *other;
         self.leaves += leaves;
         self.nodes_visited += nodes_visited;
@@ -66,11 +75,13 @@ impl SearchStats {
         self.occurrences += occurrences;
         self.phi_prunes += phi_prunes;
         self.timeouts += timeouts;
+        self.occ_fused += occ_fused;
+        self.alloc_reused += alloc_reused;
     }
 
     /// Every field as a `(canonical_name, value)` pair, in declaration
     /// order. The names are the stable keys used by the JSON emitters.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 10] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 12] {
         let SearchStats {
             leaves,
             nodes_visited,
@@ -82,6 +93,8 @@ impl SearchStats {
             occurrences,
             phi_prunes,
             timeouts,
+            occ_fused,
+            alloc_reused,
         } = *self;
         [
             ("leaves", leaves),
@@ -94,6 +107,8 @@ impl SearchStats {
             ("occurrences", occurrences),
             ("phi_prunes", phi_prunes),
             ("timeouts", timeouts),
+            ("occ_fused", occ_fused),
+            ("alloc_reused", alloc_reused),
         ]
     }
 
@@ -110,6 +125,8 @@ impl SearchStats {
             occurrences,
             phi_prunes,
             timeouts,
+            occ_fused,
+            alloc_reused,
         } = *self;
         recorder.add(Counter::Leaves, leaves);
         recorder.add(Counter::NodesVisited, nodes_visited);
@@ -121,6 +138,8 @@ impl SearchStats {
         recorder.add(Counter::Occurrences, occurrences);
         recorder.add(Counter::PhiPrunes, phi_prunes);
         recorder.add(Counter::Timeouts, timeouts);
+        recorder.add(Counter::OccFused, occ_fused);
+        recorder.add(Counter::AllocReused, alloc_reused);
     }
 
     /// Fraction of extension work answered by reuse instead of live
@@ -149,11 +168,14 @@ impl std::fmt::Display for SearchStats {
             occurrences,
             phi_prunes,
             timeouts,
+            occ_fused,
+            alloc_reused,
         } = *self;
         write!(
             f,
             "n'(leaves)={} visited={} materialized={} rank_ext={} reuse={} merges={} \
-             resumes={} occ={} phi_prunes={} timeouts={} reuse_ratio={:.3}",
+             resumes={} occ={} phi_prunes={} timeouts={} occ_fused={} alloc_reused={} \
+             reuse_ratio={:.3}",
             leaves,
             nodes_visited,
             nodes_materialized,
@@ -164,6 +186,8 @@ impl std::fmt::Display for SearchStats {
             occurrences,
             phi_prunes,
             timeouts,
+            occ_fused,
+            alloc_reused,
             self.reuse_ratio(),
         )
     }
@@ -204,6 +228,8 @@ mod tests {
             "reuse=",
             "merges=",
             "occ=",
+            "occ_fused=",
+            "alloc_reused=",
             "reuse_ratio=",
         ] {
             assert!(s.contains(field), "missing {field} in {s}");
@@ -223,13 +249,15 @@ mod tests {
             occurrences: 8,
             phi_prunes: 9,
             timeouts: 10,
+            occ_fused: 11,
+            alloc_reused: 12,
         };
         let pairs = stats.as_pairs();
         let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
         let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
         names.dedup();
-        assert_eq!(names.len(), 10, "duplicate field names in as_pairs");
+        assert_eq!(names.len(), 12, "duplicate field names in as_pairs");
     }
 
     #[test]

@@ -144,11 +144,6 @@ impl<'a> STreeSearch<'a> {
         Outcome::from_parts((out, stats), gate.tripped())
     }
 
-    /// Interval width at or below which the search reads the `L` rows
-    /// directly to enumerate occurring symbols instead of probing all four
-    /// with rank lookups.
-    const SCAN_WIDTH: u32 = 24;
-
     #[allow(clippy::too_many_arguments)]
     fn dfs<R: Recorder>(
         &self,
@@ -166,6 +161,9 @@ impl<'a> STreeSearch<'a> {
         // One relaxed load per node expansion; chains below are bounded
         // by m, so per-expansion is as fine as cancellation needs.
         if gate.should_stop() {
+            return;
+        }
+        if iv.is_empty() {
             return;
         }
         let m = pattern.len();
@@ -239,25 +237,21 @@ impl<'a> STreeSearch<'a> {
                 return;
             }
         }
-        // For narrow intervals, enumerate the symbols actually present so
-        // absent ones cost no rank lookups.
-        let mask = if iv.len() <= Self::SCAN_WIDTH {
-            self.fm.symbol_mask(iv)
-        } else {
-            0b1111
-        };
+        // One fused rank sweep resolves all four children: two block
+        // visits (lo/hi boundary) replace the eight occ lookups of four
+        // independent extensions, and empty children are skipped before
+        // any per-child work.
+        stats.rank_extensions += 1;
+        stats.occ_fused += 1;
+        let children = self.fm.extend_all(iv);
         let mut any_child = false;
         for y in 1..=BASES as u8 {
-            if mask & (1 << (y - 1)) == 0 {
+            let child = children[(y - 1) as usize];
+            if child.is_empty() {
                 continue;
             }
             let is_match = y == pattern[j];
             if !is_match && mism == k {
-                continue;
-            }
-            stats.rank_extensions += 1;
-            let child = self.fm.extend_backward(iv, y);
-            if child.is_empty() {
                 continue;
             }
             any_child = true;

@@ -165,10 +165,22 @@ pub enum Counter {
     Timeouts,
     /// HTTP requests shed with 429 because the handoff queue was full.
     ServeShed,
+    /// Fused 4-base occ sweeps (`occ_all`/`extend_all`): node expansions
+    /// that resolved all children in one rank pass instead of four.
+    OccFused,
+    /// Per-node allocations avoided by reusing a per-query arena or
+    /// pre-sized tree storage.
+    AllocReused,
+    /// Bytes of 2-bit packed BWT payload in the loaded index's rank
+    /// structure (gauge, set at load).
+    RankPayloadBytes,
+    /// Bytes of interleaved checkpoint headers in the loaded index's rank
+    /// structure — the block overhead on top of the packed text.
+    RankOverheadBytes,
 }
 
 impl Counter {
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 21;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -187,6 +199,10 @@ impl Counter {
         Counter::ServeErrors,
         Counter::Timeouts,
         Counter::ServeShed,
+        Counter::OccFused,
+        Counter::AllocReused,
+        Counter::RankPayloadBytes,
+        Counter::RankOverheadBytes,
     ];
 
     pub fn name(self) -> &'static str {
@@ -208,6 +224,10 @@ impl Counter {
             Counter::ServeErrors => "serve.errors",
             Counter::Timeouts => "search.timeouts",
             Counter::ServeShed => "serve.shed",
+            Counter::OccFused => "search.occ_fused",
+            Counter::AllocReused => "search.alloc_reused",
+            Counter::RankPayloadBytes => "index.rankall_payload_bytes",
+            Counter::RankOverheadBytes => "index.rankall_block_overhead_bytes",
         }
     }
 

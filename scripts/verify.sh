@@ -115,6 +115,27 @@ http_post /shutdown "" | grep -q "200 OK"
 wait "$serve_pid"
 grep -q "served" "$tmp/serve.log"
 
+echo "== occbench smoke: BENCH_occ.json with occ and occ_all rows =="
+target/release/experiments occbench --scale 0.02 --out-dir "$tmp/bench" \
+    > "$tmp/occbench.txt"
+grep -q "fused speedup" "$tmp/occbench.txt"
+test -s "$tmp/bench/BENCH_occ.json"
+python3 -c "
+import json, sys
+doc = json.load(open('$tmp/bench/BENCH_occ.json'))
+assert doc['schema'] == 'kmm-bench/v1', doc['schema']
+methods = {r['method'] for r in doc['records']}
+assert methods == {'occ', 'occ_all'}, methods
+" || { echo "verify: BENCH_occ.json missing occ/occ_all rows" >&2; exit 1; }
+
+echo "== parallel index determinism at widths 1 and 8 =="
+# The interleaved-block rank build must stay byte-identical at any
+# thread width (width 4 is already pinned above against the default).
+"$kmm" index --reference "$tmp/ref.fa" -o "$tmp/ref-w1.idx" --threads 1
+"$kmm" index --reference "$tmp/ref.fa" -o "$tmp/ref-w8.idx" --threads 8
+cmp "$tmp/ref.idx" "$tmp/ref-w1.idx"
+cmp "$tmp/ref.idx" "$tmp/ref-w8.idx"
+
 echo "== chaos smoke: failpoint arming and deadline flags =="
 # Bad failpoint specs are rejected up front with a clear error.
 if KMM_FAILPOINTS='x=frobnicate' "$kmm" search --index "$tmp/ref.idx" \

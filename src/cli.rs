@@ -13,8 +13,8 @@ use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::{fasta, fastq};
 use kmm_par::ThreadPool;
 use kmm_telemetry::{
-    chrome_trace_json, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder, TraceConfig,
-    TraceRecorder,
+    chrome_trace_json, Counter, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder,
+    TraceConfig, TraceRecorder,
 };
 
 /// CLI-level errors with user-facing messages.
@@ -152,10 +152,13 @@ pub fn index(reference: &Path, out: &Path, threads: usize) -> CliResult<String> 
     );
     atomic_save(out, |w| idx.fm().save(w).map_err(std::io::Error::other))?;
     Ok(format!(
-        "indexed {} bp -> {} ({} bytes of rank/SA structures)",
+        "indexed {} bp -> {} ({} bytes of rank/SA structures: \
+         {} packed text + {} block checkpoints + SA samples)",
         idx.len(),
         out.display(),
-        idx.fm().heap_bytes()
+        idx.fm().heap_bytes(),
+        idx.fm().rank_payload_bytes(),
+        idx.fm().rank_overhead_bytes(),
     ))
 }
 
@@ -204,6 +207,10 @@ pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     let fm = FmIndex::load_recorded(BufReader::new(File::open(path)?), recorder)
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    // Footprint gauges for `--stats`: the rank structure's packed-text
+    // payload vs its interleaved checkpoint overhead.
+    recorder.add(Counter::RankPayloadBytes, fm.rank_payload_bytes() as u64);
+    recorder.add(Counter::RankOverheadBytes, fm.rank_overhead_bytes() as u64);
     // The index stores reverse(text) + $; invert and flip to recover text.
     let mut rev = fm.reconstruct_text();
     rev.pop(); // sentinel

@@ -99,6 +99,26 @@ fn version_gate() {
 }
 
 #[test]
+fn old_format_version_fails_cleanly() {
+    // Version 1 indexes (pre interleaved-block rank layout) must be
+    // refused with a precise BadVersion error — not a panic, not a
+    // garbage index parsed under the new layout.
+    let genome = kmm_dna::genome::uniform(400, 21);
+    let (_, mut bytes) = build(&genome);
+    const { assert!(FmIndex::FORMAT_VERSION >= 2, "layout bump must be recorded") };
+    bytes[8] = 1; // little-endian u32 version field after the 8-byte magic
+    bytes[9] = 0;
+    bytes[10] = 0;
+    bytes[11] = 0;
+    match FmIndex::load(&bytes[..]) {
+        Err(SerializeError::BadVersion { found: 1, expected }) => {
+            assert_eq!(expected, FmIndex::FORMAT_VERSION);
+        }
+        other => panic!("expected BadVersion for a v1 file, got {other:?}"),
+    }
+}
+
+#[test]
 fn paper_layout_roundtrips_too() {
     let genome = kmm_dna::genome::uniform(3_000, 13);
     let mut rev = genome.clone();
