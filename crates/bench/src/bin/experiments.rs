@@ -13,7 +13,8 @@
 //!   ablation  rankall rate + reuse/φ ablations (DESIGN.md A1/A2)
 //!   parscale  batch-search throughput vs worker count (thread scaling)
 //!   occbench  fused occ_all vs 4x extend_backward node expansion
-//!   all       everything above
+//!   baseline  fixed regression-gate workload -> BENCH_baseline.json
+//!   all       everything above (except baseline)
 //! ```
 //!
 //! `--scale` scales every genome relative to the 1:100 sizes of DESIGN.md
@@ -32,12 +33,14 @@
 use std::path::PathBuf;
 
 use kmm_bench::{
-    fmt_secs, format_table, run_method, run_occbench, simulate_reads, write_bench_json,
-    write_par_scaling_json, BenchRecord, ParScalingRecord, Workload,
+    fmt_secs, format_table, run_baseline, run_method, run_occbench, simulate_reads,
+    write_baseline_json, write_bench_json, write_par_scaling_json, BenchRecord, ParScalingRecord,
+    Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
+use kmm_telemetry::alloc::fmt_bytes;
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -87,7 +90,7 @@ fn main() {
             }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|baseline|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -107,6 +110,7 @@ fn main() {
         "extended" => extended(&opts),
         "parscale" => par_records = parscale(&opts),
         "occbench" => artifacts.push(("occ", occbench(&opts))),
+        "baseline" => baseline(&opts),
         "all" => {
             table1(&opts);
             let mut fig11 = fig11a(&opts);
@@ -132,6 +136,74 @@ fn main() {
                 .unwrap_or_else(|e| panic!("writing BENCH_par.json: {e}"));
             eprintln!("wrote {} ({} records)", path.display(), par_records.len());
         }
+    }
+}
+
+/// The fixed regression-gate workload behind `scripts/verify.sh`'s
+/// bench-regress stage: small deterministic corpus, paper methods,
+/// k = 1 and 2. Every printed counter (and the index byte attribution)
+/// is reproducible bit for bit; `kmm bench diff` compares the resulting
+/// `BENCH_baseline.json` against the committed reference.
+///
+/// `KMM_BASELINE_OCC_RATE` overrides the rankall checkpoint rate — the
+/// hook verify.sh uses to prove the gate actually fires on an injected
+/// layout regression.
+fn baseline(opts: &Opts) {
+    let occ_rate = match std::env::var("KMM_BASELINE_OCC_RATE") {
+        Ok(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad KMM_BASELINE_OCC_RATE: '{v}'")),
+        Err(_) => kmm_bwt::FmBuildConfig::default().occ_rate,
+    };
+    println!("\n== Baseline: fixed regression-gate workload  (occ rate {occ_rate}) ==\n");
+    let (records, attribution) = run_baseline(occ_rate);
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.to_string(),
+                r.k.to_string(),
+                fmt_secs(r.seconds),
+                r.occurrences.to_string(),
+                r.stats.rank_blocks_touched.to_string(),
+                r.stats.rank_bytes_scanned.to_string(),
+                r.stats.rarray_probes.to_string(),
+                r.stats.mtree_nodes_built.to_string(),
+                r.stats.mtree_nodes_reused.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "method",
+                "k",
+                "time",
+                "occ",
+                "rank blocks",
+                "rank bytes",
+                "rarray probes",
+                "mtree built",
+                "mtree reused"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "index: n={} occ_rate={} sa_rate={}  rank payload {}  rank overhead {}  sampled SA {}  total {}",
+        attribution.n,
+        attribution.occ_rate,
+        attribution.sa_rate,
+        fmt_bytes(attribution.rank_payload_bytes as u64),
+        fmt_bytes(attribution.rank_overhead_bytes as u64),
+        fmt_bytes(attribution.sampled_sa_bytes as u64),
+        fmt_bytes(attribution.total_bytes() as u64),
+    );
+    if let Some(dir) = &opts.out_dir {
+        let path = write_baseline_json(dir, &records, &attribution)
+            .unwrap_or_else(|e| panic!("writing BENCH_baseline.json: {e}"));
+        eprintln!("wrote {} ({} records)", path.display(), records.len());
     }
 }
 

@@ -6,6 +6,8 @@
 //! `experiments` binary and the Criterion benches are thin layers over
 //! this crate.
 
+pub mod diff;
+
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -426,16 +428,137 @@ impl BenchRecord {
     }
 }
 
+/// Exact per-structure byte attribution for one built index: the numbers
+/// behind `FmIndex::heap_bytes`, split so a layout change (e.g. a rankall
+/// checkpoint-rate regression) is visible as growth of the specific
+/// structure that paid for it. All fields are deterministic functions of
+/// (text, occ_rate, sa_rate), so `kmm bench diff` gates on them exactly
+/// like the search counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexAttribution {
+    /// Indexed text length (reverse text plus sentinel).
+    pub n: usize,
+    /// Rankall checkpoint rate the index was built with.
+    pub occ_rate: usize,
+    /// Suffix-array sampling rate the index was built with.
+    pub sa_rate: usize,
+    /// Bytes of 2-bit packed `L` payload inside the rank structure.
+    pub rank_payload_bytes: usize,
+    /// Bytes of per-block checkpoint headers — the price of O(1) rank.
+    pub rank_overhead_bytes: usize,
+    /// Bytes of the sampled suffix array.
+    pub sampled_sa_bytes: usize,
+}
+
+impl IndexAttribution {
+    /// Measure a built index (`config` being what it was built with).
+    pub fn measure(fm: &FmIndex, config: &FmBuildConfig) -> IndexAttribution {
+        IndexAttribution {
+            n: fm.len(),
+            occ_rate: config.occ_rate,
+            sa_rate: config.sa_rate,
+            rank_payload_bytes: fm.rank_payload_bytes(),
+            rank_overhead_bytes: fm.rank_overhead_bytes(),
+            sampled_sa_bytes: fm.sampled_sa_bytes(),
+        }
+    }
+
+    /// Total accounted heap bytes (`FmIndex::heap_bytes`).
+    pub fn total_bytes(&self) -> usize {
+        self.rank_payload_bytes + self.rank_overhead_bytes + self.sampled_sa_bytes
+    }
+
+    /// Serialise as the document-level `index` object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::UInt(self.n as u64)),
+            ("occ_rate", Json::UInt(self.occ_rate as u64)),
+            ("sa_rate", Json::UInt(self.sa_rate as u64)),
+            (
+                "rank_payload_bytes",
+                Json::UInt(self.rank_payload_bytes as u64),
+            ),
+            (
+                "rank_overhead_bytes",
+                Json::UInt(self.rank_overhead_bytes as u64),
+            ),
+            ("sampled_sa_bytes", Json::UInt(self.sampled_sa_bytes as u64)),
+            ("total_bytes", Json::UInt(self.total_bytes() as u64)),
+        ])
+    }
+}
+
 /// Wrap records in the `BENCH_*.json` envelope.
 pub fn bench_document(experiment: &str, records: &[BenchRecord]) -> Json {
-    Json::obj([
+    bench_document_with_index(experiment, records, None)
+}
+
+/// [`bench_document`] with an optional document-level `index` object
+/// carrying the per-structure byte attribution of the index the records
+/// were measured against.
+pub fn bench_document_with_index(
+    experiment: &str,
+    records: &[BenchRecord],
+    index: Option<&IndexAttribution>,
+) -> Json {
+    let mut pairs = vec![
         ("schema", Json::Str(BENCH_SCHEMA.to_string())),
         ("experiment", Json::Str(experiment.to_string())),
-        (
-            "records",
-            Json::Arr(records.iter().map(BenchRecord::to_json).collect()),
-        ),
-    ])
+    ];
+    if let Some(attribution) = index {
+        pairs.push(("index", attribution.to_json()));
+    }
+    pairs.push((
+        "records",
+        Json::Arr(records.iter().map(BenchRecord::to_json).collect()),
+    ));
+    Json::obj(pairs)
+}
+
+/// The experiment name of the regression-gate workload (and thus its
+/// artifact, `BENCH_baseline.json`).
+pub const BASELINE_EXPERIMENT: &str = "baseline";
+
+/// Run the fixed regression-gate workload: a small deterministic corpus
+/// (C. merolae stand-in at 1:2000 scale, 25 reads of 50 bp from the
+/// paper's error model, fixed seeds) searched by every paper method at
+/// k = 1 and k = 2.
+///
+/// Everything except wall-clock is a pure function of `occ_rate`, so two
+/// runs of the same binary must produce bit-identical counters and byte
+/// attribution — that is what `kmm bench diff --assert-identical` checks,
+/// and what `scripts/verify.sh` gates against the committed baseline.
+/// `occ_rate` is a parameter (rather than pinned) so the gate itself can
+/// be tested by injecting a deliberately regressive layout.
+pub fn run_baseline(occ_rate: usize) -> (Vec<BenchRecord>, IndexAttribution) {
+    let workload = Workload::paper(ReferenceGenome::CMerolae, 0.05, 25, 50);
+    let config = FmBuildConfig {
+        occ_rate,
+        ..FmBuildConfig::default()
+    };
+    let index = KMismatchIndex::with_config(workload.genome.clone(), config);
+    let attribution = IndexAttribution::measure(index.fm(), &config);
+    let mut records = Vec::new();
+    for k in [1usize, 2] {
+        for method in Method::PAPER_SET {
+            let run = run_method(&index, &workload.reads, k, method);
+            records.push(BenchRecord::from_run(&run, workload.genome.len(), 50, k));
+        }
+    }
+    (records, attribution)
+}
+
+/// Write `BENCH_baseline.json` into `dir` and return its path.
+pub fn write_baseline_json(
+    dir: &Path,
+    records: &[BenchRecord],
+    index: &IndexAttribution,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{BASELINE_EXPERIMENT}.json"));
+    let doc = bench_document_with_index(BASELINE_EXPERIMENT, records, Some(index));
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(path)
 }
 
 /// Write `BENCH_<experiment>.json` into `dir` and return its path.
@@ -695,6 +818,93 @@ mod tests {
         // And the JSON view is parseable on its own.
         let j = Json::parse(&rec.to_json().to_compact()).unwrap();
         assert_eq!(j.get("k").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn baseline_is_deterministic_and_gateable() {
+        let (a, attr_a) = run_baseline(64);
+        let (b, attr_b) = run_baseline(64);
+        // Same binary, same seeds: the deterministic side is bit-identical.
+        assert_eq!(attr_a, attr_b);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 2 * Method::PAPER_SET.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.method, rb.method);
+            assert_eq!((ra.n, ra.m, ra.k), (rb.n, rb.m, rb.k));
+            assert_eq!(ra.stats, rb.stats, "{}", ra.method);
+            assert_eq!(ra.occurrences, rb.occurrences);
+        }
+        let doc_a = bench_document_with_index(BASELINE_EXPERIMENT, &a, Some(&attr_a));
+        let doc_b = bench_document_with_index(BASELINE_EXPERIMENT, &b, Some(&attr_b));
+        let identical = diff::diff_documents(
+            &doc_a,
+            &doc_b,
+            &diff::DiffOptions {
+                assert_identical: true,
+                fail_on_regress: Some(15.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!identical.failed(), "{identical}");
+
+        // Injecting the paper's occ rate (4) makes individual scans
+        // cheaper but doubles the checkpoint overhead (the effective
+        // span clamps to the 32-slot word grid: 16 B per 32 positions
+        // instead of per 64) — the attribution gate must catch it.
+        let (c, attr_c) = run_baseline(4);
+        assert!(attr_c.rank_overhead_bytes > attr_a.rank_overhead_bytes * 3 / 2);
+        let doc_c = bench_document_with_index(BASELINE_EXPERIMENT, &c, Some(&attr_c));
+        let gated = diff::diff_documents(
+            &doc_a,
+            &doc_c,
+            &diff::DiffOptions {
+                fail_on_regress: Some(15.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(gated.failed(), "{gated}");
+        assert!(
+            gated
+                .regressions
+                .iter()
+                .any(|r| r.contains("index.rank_overhead_bytes")),
+            "{gated}"
+        );
+    }
+
+    #[test]
+    fn baseline_json_artifact_has_index_attribution() {
+        let (records, attr) = run_baseline(64);
+        let dir = std::env::temp_dir().join("kmm-bench-tests");
+        let path = write_baseline_json(&dir, &records, &attr).unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "BENCH_baseline.json"
+        );
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some(BASELINE_EXPERIMENT)
+        );
+        let index = doc.get("index").unwrap();
+        assert_eq!(
+            index.get("rank_overhead_bytes").and_then(Json::as_u64),
+            Some(attr.rank_overhead_bytes as u64)
+        );
+        assert_eq!(
+            index.get("total_bytes").and_then(Json::as_u64),
+            Some(attr.total_bytes() as u64)
+        );
+        // The deterministic cost counters ride along in every record.
+        let recs = doc.get("records").and_then(Json::as_array).unwrap();
+        let stats = recs[0].get("stats").unwrap();
+        assert!(stats
+            .get("rank_blocks_touched")
+            .and_then(Json::as_u64)
+            .is_some());
     }
 
     #[test]

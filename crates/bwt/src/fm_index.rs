@@ -321,6 +321,11 @@ impl FmIndex {
         self.l.overhead_bytes()
     }
 
+    /// Bytes of the sampled suffix array (the `locate` side of the index).
+    pub fn sampled_sa_bytes(&self) -> usize {
+        self.ssa.heap_bytes()
+    }
+
     /// Serialize the whole index (magic, version, payload, checksum).
     pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
         let mut w = crate::serialize::SerWriter::new(writer);

@@ -19,6 +19,7 @@
 
 use kmm_dna::{BASES, SENTINEL, SIGMA};
 use kmm_par::{aligned_spans, ThreadPool};
+use kmm_telemetry::cost::{self, CostKind};
 
 use crate::limits::{check_text_len, TextTooLarge};
 
@@ -302,8 +303,18 @@ impl RankAll {
             let word = i / self.block_span * self.block_words
                 + HEADER_WORDS
                 + (i % self.block_span) / SLOTS_PER_WORD;
+            cost::bump2(CostKind::RankBlocks, 1, CostKind::RankBytes, 8);
             ((self.blocks[word] >> ((i % SLOTS_PER_WORD) * 2)) & 0b11) as u8 + 1
         }
+    }
+
+    /// Bytes of block data a rank at offset `off` into its block reads:
+    /// the checkpoint header plus every packed word the tail scan
+    /// touches. Deterministic — this is the unit `search.rank_bytes_
+    /// scanned` is reported in.
+    #[inline]
+    fn scan_bytes(off: usize) -> u64 {
+        (HEADER_WORDS * 8 + off.div_ceil(SLOTS_PER_WORD) * 8) as u64
     }
 
     /// Number of occurrences of base `c` (codes 1..=4) in `L[0..i)`.
@@ -324,6 +335,12 @@ impl RankAll {
         let block = i / self.block_span;
         let start = block * self.block_span;
         let base = block * self.block_words;
+        cost::bump2(
+            CostKind::RankBlocks,
+            1,
+            CostKind::RankBytes,
+            Self::scan_bytes(i - start),
+        );
         let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
         let mut count = self.header(base)[lane] + count_code(payload, lane as u64, 0, i - start);
         // The sentinel slot was packed as base 0; cancel it if counted in
@@ -346,6 +363,12 @@ impl RankAll {
         let block = i / self.block_span;
         let start = block * self.block_span;
         let base = block * self.block_words;
+        cost::bump2(
+            CostKind::RankBlocks,
+            1,
+            CostKind::RankBytes,
+            Self::scan_bytes(i - start),
+        );
         let mut counts = self.header(base);
         let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
         count_all_into(payload, i - start, &mut counts);

@@ -10,6 +10,7 @@ use kmm_classic::{amir, kangaroo, naive, Occurrence};
 use kmm_dna::SIGMA;
 use kmm_par::ThreadPool;
 use kmm_suffix::SuffixTree;
+use kmm_telemetry::cost::{CostKind, CostSnapshot};
 use kmm_telemetry::{Counter, Hist, NoopRecorder, Phase, Recorder, TraceRecorder};
 
 use crate::algorithm_a::AlgorithmA;
@@ -70,6 +71,30 @@ impl Method {
             Method::AlgorithmA { reuse: true } => "A(.)",
             Method::AlgorithmA { reuse: false } => "A(no-reuse)",
             Method::SeedFilter => "SeedFilter",
+        }
+    }
+}
+
+/// Fill `stats`' deterministic cost fields with the work this thread
+/// performed since `before`, and mirror the deltas into the recorder's
+/// `search.*` cost counters. Called once per query, inside the query's
+/// root span, so tracing recorders attribute the costs per query. The
+/// counts are pure functions of (index, pattern, k, method) — identical
+/// whether the recorder is a no-op or live, which keeps recorded and
+/// unrecorded searches bit-identical.
+fn attribute_costs<R: Recorder>(stats: &mut SearchStats, before: &CostSnapshot, recorder: &R) {
+    let delta = CostSnapshot::now().delta(before);
+    stats.rank_blocks_touched = delta.get(CostKind::RankBlocks);
+    stats.rank_bytes_scanned = delta.get(CostKind::RankBytes);
+    stats.rarray_probes = delta.get(CostKind::RarrayProbes);
+    stats.mtree_nodes_built = delta.get(CostKind::MtreeBuilt);
+    stats.mtree_nodes_reused = delta.get(CostKind::MtreeReused);
+    if recorder.enabled() {
+        for kind in CostKind::ALL {
+            let d = delta.get(kind);
+            if d > 0 {
+                recorder.add(kind.counter(), d);
+            }
         }
     }
 }
@@ -217,7 +242,8 @@ impl KMismatchIndex {
             recorder.span_begin(Phase::SearchQuery);
         }
         let start = recorder.enabled().then(Instant::now);
-        let result = match method {
+        let cost_start = CostSnapshot::now();
+        let mut result = match method {
             Method::Naive => SearchResult {
                 occurrences: naive::find_k_mismatch(&self.text, pattern, k),
                 stats: SearchStats::default(),
@@ -254,6 +280,7 @@ impl KMismatchIndex {
                 SearchResult { occurrences, stats }
             }
         };
+        attribute_costs(&mut result.stats, &cost_start, recorder);
         if let Some(start) = start {
             let ns = start.elapsed().as_nanos() as u64;
             recorder.phase_add(Phase::SearchQuery, ns);
@@ -310,6 +337,7 @@ impl KMismatchIndex {
             recorder.span_begin(Phase::SearchQuery);
         }
         let start = recorder.enabled().then(Instant::now);
+        let cost_start = CostSnapshot::now();
         let outcome = match method {
             Method::Naive => {
                 self.scan_with_deadline(pattern, k, token, recorder, naive::find_k_mismatch)
@@ -353,6 +381,10 @@ impl KMismatchIndex {
                 }
             }
         };
+        let outcome = outcome.map(|mut sr| {
+            attribute_costs(&mut sr.stats, &cost_start, recorder);
+            sr
+        });
         if let Some(start) = start {
             let ns = start.elapsed().as_nanos() as u64;
             recorder.phase_add(Phase::SearchQuery, ns);
@@ -455,7 +487,11 @@ impl KMismatchIndex {
         pattern: &[u8],
         k: usize,
     ) -> (Vec<crate::k_errors::EditOccurrence>, SearchStats) {
-        crate::k_errors::KErrorsSearch::new(&self.fm, self.text.len()).search(pattern, k)
+        let cost_start = CostSnapshot::now();
+        let (occurrences, mut stats) =
+            crate::k_errors::KErrorsSearch::new(&self.fm, self.text.len()).search(pattern, k);
+        attribute_costs(&mut stats, &cost_start, &NoopRecorder);
+        (occurrences, stats)
     }
 
     /// Run a batch of queries, accumulating statistics.

@@ -43,6 +43,23 @@ pub struct SearchStats {
     /// Per-node allocations avoided by reusing a per-query arena or
     /// pre-sized tree storage across queries.
     pub alloc_reused: u64,
+    /// Deterministic cost: interleaved rank blocks visited by
+    /// `occ`/`occ_all`/`symbol` during the query (see
+    /// `kmm_telemetry::cost`). A pure function of (index, pattern, k,
+    /// method) — identical across runs, machines, and thread counts.
+    pub rank_blocks_touched: u64,
+    /// Deterministic cost: bytes of rank-block data examined
+    /// (checkpoint headers plus packed payload words).
+    pub rank_bytes_scanned: u64,
+    /// Deterministic cost: R-array lookups (`shift` / `R_ij`
+    /// derivations) during preprocessing and descent.
+    pub rarray_probes: u64,
+    /// Deterministic cost: mismatching-tree nodes materialised into the
+    /// arena.
+    pub mtree_nodes_built: u64,
+    /// Deterministic cost: pair-table hits that shared an existing
+    /// mismatching-tree node instead of building one.
+    pub mtree_nodes_reused: u64,
 }
 
 impl SearchStats {
@@ -64,6 +81,11 @@ impl SearchStats {
             timeouts,
             occ_fused,
             alloc_reused,
+            rank_blocks_touched,
+            rank_bytes_scanned,
+            rarray_probes,
+            mtree_nodes_built,
+            mtree_nodes_reused,
         } = *other;
         self.leaves += leaves;
         self.nodes_visited += nodes_visited;
@@ -77,11 +99,16 @@ impl SearchStats {
         self.timeouts += timeouts;
         self.occ_fused += occ_fused;
         self.alloc_reused += alloc_reused;
+        self.rank_blocks_touched += rank_blocks_touched;
+        self.rank_bytes_scanned += rank_bytes_scanned;
+        self.rarray_probes += rarray_probes;
+        self.mtree_nodes_built += mtree_nodes_built;
+        self.mtree_nodes_reused += mtree_nodes_reused;
     }
 
     /// Every field as a `(canonical_name, value)` pair, in declaration
     /// order. The names are the stable keys used by the JSON emitters.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 12] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 17] {
         let SearchStats {
             leaves,
             nodes_visited,
@@ -95,6 +122,11 @@ impl SearchStats {
             timeouts,
             occ_fused,
             alloc_reused,
+            rank_blocks_touched,
+            rank_bytes_scanned,
+            rarray_probes,
+            mtree_nodes_built,
+            mtree_nodes_reused,
         } = *self;
         [
             ("leaves", leaves),
@@ -109,6 +141,11 @@ impl SearchStats {
             ("timeouts", timeouts),
             ("occ_fused", occ_fused),
             ("alloc_reused", alloc_reused),
+            ("rank_blocks_touched", rank_blocks_touched),
+            ("rank_bytes_scanned", rank_bytes_scanned),
+            ("rarray_probes", rarray_probes),
+            ("mtree_nodes_built", mtree_nodes_built),
+            ("mtree_nodes_reused", mtree_nodes_reused),
         ]
     }
 
@@ -127,6 +164,11 @@ impl SearchStats {
             timeouts,
             occ_fused,
             alloc_reused,
+            rank_blocks_touched,
+            rank_bytes_scanned,
+            rarray_probes,
+            mtree_nodes_built,
+            mtree_nodes_reused,
         } = *self;
         recorder.add(Counter::Leaves, leaves);
         recorder.add(Counter::NodesVisited, nodes_visited);
@@ -140,6 +182,11 @@ impl SearchStats {
         recorder.add(Counter::Timeouts, timeouts);
         recorder.add(Counter::OccFused, occ_fused);
         recorder.add(Counter::AllocReused, alloc_reused);
+        recorder.add(Counter::RankBlocksTouched, rank_blocks_touched);
+        recorder.add(Counter::RankBytesScanned, rank_bytes_scanned);
+        recorder.add(Counter::RarrayProbes, rarray_probes);
+        recorder.add(Counter::MtreeNodesBuilt, mtree_nodes_built);
+        recorder.add(Counter::MtreeNodesReused, mtree_nodes_reused);
     }
 
     /// Fraction of extension work answered by reuse instead of live
@@ -170,11 +217,17 @@ impl std::fmt::Display for SearchStats {
             timeouts,
             occ_fused,
             alloc_reused,
+            rank_blocks_touched,
+            rank_bytes_scanned,
+            rarray_probes,
+            mtree_nodes_built,
+            mtree_nodes_reused,
         } = *self;
         write!(
             f,
             "n'(leaves)={} visited={} materialized={} rank_ext={} reuse={} merges={} \
              resumes={} occ={} phi_prunes={} timeouts={} occ_fused={} alloc_reused={} \
+             rank_blocks={} rank_bytes={} rarray_probes={} mtree_built={} mtree_reused={} \
              reuse_ratio={:.3}",
             leaves,
             nodes_visited,
@@ -188,6 +241,11 @@ impl std::fmt::Display for SearchStats {
             timeouts,
             occ_fused,
             alloc_reused,
+            rank_blocks_touched,
+            rank_bytes_scanned,
+            rarray_probes,
+            mtree_nodes_built,
+            mtree_nodes_reused,
             self.reuse_ratio(),
         )
     }
@@ -230,6 +288,11 @@ mod tests {
             "occ=",
             "occ_fused=",
             "alloc_reused=",
+            "rank_blocks=",
+            "rank_bytes=",
+            "rarray_probes=",
+            "mtree_built=",
+            "mtree_reused=",
             "reuse_ratio=",
         ] {
             assert!(s.contains(field), "missing {field} in {s}");
@@ -251,13 +314,21 @@ mod tests {
             timeouts: 10,
             occ_fused: 11,
             alloc_reused: 12,
+            rank_blocks_touched: 13,
+            rank_bytes_scanned: 14,
+            rarray_probes: 15,
+            mtree_nodes_built: 16,
+            mtree_nodes_reused: 17,
         };
         let pairs = stats.as_pairs();
         let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(
+            values,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]
+        );
         let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
         names.dedup();
-        assert_eq!(names.len(), 12, "duplicate field names in as_pairs");
+        assert_eq!(names.len(), 17, "duplicate field names in as_pairs");
     }
 
     #[test]
@@ -267,6 +338,8 @@ mod tests {
             rank_extensions: 22,
             reuse_hits: 33,
             occurrences: 44,
+            rank_blocks_touched: 55,
+            rarray_probes: 66,
             ..Default::default()
         };
         let rec = MetricsRecorder::new();
@@ -276,6 +349,8 @@ mod tests {
         assert_eq!(rec.counter(Counter::RankExtensions), 44);
         assert_eq!(rec.counter(Counter::ReuseHits), 66);
         assert_eq!(rec.counter(Counter::Occurrences), 88);
+        assert_eq!(rec.counter(Counter::RankBlocksTouched), 110);
+        assert_eq!(rec.counter(Counter::RarrayProbes), 132);
         assert_eq!(rec.counter(Counter::Merges), 0);
     }
 

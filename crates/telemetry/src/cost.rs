@@ -1,0 +1,174 @@
+//! Deterministic cost counters for the hot search paths.
+//!
+//! Wall-clock timings (the `Phase` spans) answer *how long* a query
+//! took; these counters answer *how much work* it did, in units the
+//! paper's cost model is stated in: rank blocks touched, packed-BWT
+//! bytes scanned, R-array probes, and mismatching-tree nodes built or
+//! shared. The counts are pure functions of (index, pattern, k,
+//! method) — no clocks, no sampling — so two runs on the same corpus
+//! and seed produce bit-identical numbers, which is what lets
+//! `kmm bench diff` gate on them in CI where timings are noise.
+//!
+//! The counters are plain thread-local [`Cell`]s, always on: a bump is
+//! an unsynchronised add (~1 ns), cheap enough for `occ` itself, and
+//! keeping them unconditional means the numbers exist even under a
+//! [`crate::NoopRecorder`] — observation never changes the work, and
+//! the work is always observable. Each query runs on exactly one
+//! thread, so a caller brackets a query with [`CostSnapshot::now`] and
+//! [`CostSnapshot::delta`] to attribute the work to that query.
+
+use std::cell::Cell;
+
+use crate::recorder::Counter;
+
+/// One deterministic work metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Interleaved rank blocks visited by `occ` / `occ_all` / `symbol`.
+    RankBlocks,
+    /// Bytes of rank-block data examined (checkpoint headers plus the
+    /// packed 2-bit payload words the tail scan touched).
+    RankBytes,
+    /// R-array lookups (`shift` / `R_ij` derivations) during pattern
+    /// preprocessing and tree descent.
+    RarrayProbes,
+    /// Mismatching-tree nodes materialised into the arena.
+    MtreeBuilt,
+    /// Mismatching-tree node hits answered by the pair table instead of
+    /// materialising a new node.
+    MtreeReused,
+}
+
+impl CostKind {
+    pub const COUNT: usize = 5;
+    pub const ALL: [CostKind; CostKind::COUNT] = [
+        CostKind::RankBlocks,
+        CostKind::RankBytes,
+        CostKind::RarrayProbes,
+        CostKind::MtreeBuilt,
+        CostKind::MtreeReused,
+    ];
+
+    /// Stable dotted name (matches the `search.*` counter family).
+    pub fn name(self) -> &'static str {
+        self.counter().name()
+    }
+
+    /// The aggregate [`Counter`] this metric feeds.
+    pub fn counter(self) -> Counter {
+        match self {
+            CostKind::RankBlocks => Counter::RankBlocksTouched,
+            CostKind::RankBytes => Counter::RankBytesScanned,
+            CostKind::RarrayProbes => Counter::RarrayProbes,
+            CostKind::MtreeBuilt => Counter::MtreeNodesBuilt,
+            CostKind::MtreeReused => Counter::MtreeNodesReused,
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+thread_local! {
+    static COSTS: [Cell<u64>; CostKind::COUNT] = const {
+        [
+            Cell::new(0),
+            Cell::new(0),
+            Cell::new(0),
+            Cell::new(0),
+            Cell::new(0),
+        ]
+    };
+}
+
+/// Add `delta` to one cost counter on this thread.
+#[inline]
+pub fn bump(kind: CostKind, delta: u64) {
+    COSTS.with(|c| {
+        let cell = &c[kind.index()];
+        cell.set(cell.get().wrapping_add(delta));
+    });
+}
+
+/// Add to two counters with a single thread-local access (the `occ`
+/// hot path bumps blocks and bytes together).
+#[inline]
+pub fn bump2(a: CostKind, da: u64, b: CostKind, db: u64) {
+    COSTS.with(|c| {
+        let ca = &c[a.index()];
+        ca.set(ca.get().wrapping_add(da));
+        let cb = &c[b.index()];
+        cb.set(cb.get().wrapping_add(db));
+    });
+}
+
+/// Point-in-time reading of this thread's cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostSnapshot {
+    values: [u64; CostKind::COUNT],
+}
+
+impl CostSnapshot {
+    /// Capture the current counter values of this thread.
+    #[inline]
+    pub fn now() -> CostSnapshot {
+        CostSnapshot {
+            values: COSTS.with(|c| std::array::from_fn(|i| c[i].get())),
+        }
+    }
+
+    /// Work done between `earlier` and `self` (same thread). The
+    /// counters only grow, so wrapping subtraction is exact.
+    pub fn delta(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            values: std::array::from_fn(|i| self.values[i].wrapping_sub(earlier.values[i])),
+        }
+    }
+
+    /// Value of one metric.
+    #[inline]
+    pub fn get(&self, kind: CostKind) -> u64 {
+        self.values[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_are_visible_in_deltas() {
+        let before = CostSnapshot::now();
+        bump(CostKind::RankBlocks, 3);
+        bump2(CostKind::RankBlocks, 1, CostKind::RankBytes, 24);
+        bump(CostKind::MtreeBuilt, 2);
+        let delta = CostSnapshot::now().delta(&before);
+        assert_eq!(delta.get(CostKind::RankBlocks), 4);
+        assert_eq!(delta.get(CostKind::RankBytes), 24);
+        assert_eq!(delta.get(CostKind::MtreeBuilt), 2);
+        assert_eq!(delta.get(CostKind::MtreeReused), 0);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        let before = CostSnapshot::now();
+        std::thread::spawn(|| bump(CostKind::RarrayProbes, 1_000_000))
+            .join()
+            .unwrap();
+        let delta = CostSnapshot::now().delta(&before);
+        assert_eq!(delta.get(CostKind::RarrayProbes), 0);
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = CostKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CostKind::COUNT);
+        for kind in CostKind::ALL {
+            assert!(kind.name().starts_with("search."), "{}", kind.name());
+        }
+    }
+}

@@ -29,6 +29,9 @@
 //! println!("{}", snap.to_json().to_pretty());
 //! ```
 
+pub mod alloc;
+pub mod cost;
+pub mod events;
 mod histogram;
 pub mod json;
 mod prometheus;
@@ -37,11 +40,14 @@ mod snapshot;
 mod trace;
 mod window;
 
+pub use alloc::{mem_stats, CountingAlloc, MemPhase, MemStats};
+pub use cost::{CostKind, CostSnapshot};
+pub use events::{EventLog, LogEvent, LogLevel};
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use json::{Json, JsonError};
-pub use prometheus::prometheus_text;
+pub use prometheus::{prometheus_mem_text, prometheus_text};
 pub use recorder::{
     Counter, Hist, MetricsRecorder, NoopRecorder, Phase, PhaseSpan, Recorder, Stage,
 };

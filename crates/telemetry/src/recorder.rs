@@ -171,16 +171,32 @@ pub enum Counter {
     /// Per-node allocations avoided by reusing a per-query arena or
     /// pre-sized tree storage.
     AllocReused,
+    /// Deterministic cost: interleaved rank blocks visited by
+    /// `occ`/`occ_all`/`symbol` (see [`crate::cost`]).
+    RankBlocksTouched,
+    /// Deterministic cost: bytes of rank-block data examined (headers
+    /// plus packed payload words).
+    RankBytesScanned,
+    /// Deterministic cost: R-array lookups (`shift` / `R_ij`).
+    RarrayProbes,
+    /// Deterministic cost: mismatching-tree nodes materialised.
+    MtreeNodesBuilt,
+    /// Deterministic cost: mismatching-tree pair-table hits that shared
+    /// an existing node instead of building one.
+    MtreeNodesReused,
     /// Bytes of 2-bit packed BWT payload in the loaded index's rank
     /// structure (gauge, set at load).
     RankPayloadBytes,
     /// Bytes of interleaved checkpoint headers in the loaded index's rank
     /// structure — the block overhead on top of the packed text.
     RankOverheadBytes,
+    /// Bytes of the loaded index's sampled suffix array (gauge, set at
+    /// load) — completes the per-structure byte attribution.
+    SampledSaBytes,
 }
 
 impl Counter {
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 27;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -201,8 +217,14 @@ impl Counter {
         Counter::ServeShed,
         Counter::OccFused,
         Counter::AllocReused,
+        Counter::RankBlocksTouched,
+        Counter::RankBytesScanned,
+        Counter::RarrayProbes,
+        Counter::MtreeNodesBuilt,
+        Counter::MtreeNodesReused,
         Counter::RankPayloadBytes,
         Counter::RankOverheadBytes,
+        Counter::SampledSaBytes,
     ];
 
     pub fn name(self) -> &'static str {
@@ -226,8 +248,14 @@ impl Counter {
             Counter::ServeShed => "serve.shed",
             Counter::OccFused => "search.occ_fused",
             Counter::AllocReused => "search.alloc_reused",
+            Counter::RankBlocksTouched => "search.rank_blocks_touched",
+            Counter::RankBytesScanned => "search.rank_bytes_scanned",
+            Counter::RarrayProbes => "search.rarray_probes",
+            Counter::MtreeNodesBuilt => "search.mtree_nodes_built",
+            Counter::MtreeNodesReused => "search.mtree_nodes_reused",
             Counter::RankPayloadBytes => "index.rankall_payload_bytes",
             Counter::RankOverheadBytes => "index.rankall_block_overhead_bytes",
+            Counter::SampledSaBytes => "index.sampled_sa_bytes",
         }
     }
 

@@ -207,4 +207,64 @@ echo "$resp" | grep -q "200 OK"
 wait "$slow_pid"
 grep -q "served" "$tmp/serve-slow.log"
 
+echo "== bench regression gate =="
+# Two identical baseline runs must agree bit-for-bit on every
+# deterministic counter (timing is reported but not gated)...
+target/release/experiments baseline --out-dir "$tmp/base-a" > /dev/null
+target/release/experiments baseline --out-dir "$tmp/base-b" > /dev/null
+"$kmm" bench diff "$tmp/base-a/BENCH_baseline.json" "$tmp/base-b/BENCH_baseline.json" \
+    --assert-identical 2> "$tmp/diff-repeat.txt"
+grep -q "deterministic counters: identical" "$tmp/diff-repeat.txt"
+# ...and the fresh run must stay within budget of the committed baseline.
+"$kmm" bench diff BENCH_baseline.json "$tmp/base-a/BENCH_baseline.json" \
+    --fail-on-regress 15 2> "$tmp/diff-committed.txt"
+grep -q "PASS" "$tmp/diff-committed.txt"
+# The gate actually gates: forcing the rank checkpoint rate to 4 roughly
+# doubles the rank-block overhead bytes, which must trip the 15% budget.
+KMM_BASELINE_OCC_RATE=4 target/release/experiments baseline \
+    --out-dir "$tmp/base-inject" > /dev/null
+if "$kmm" bench diff "$tmp/base-a/BENCH_baseline.json" \
+    "$tmp/base-inject/BENCH_baseline.json" \
+    --fail-on-regress 15 2> "$tmp/diff-inject.txt"; then
+    echo "verify: injected occ-rate regression was not caught" >&2; exit 1
+fi
+grep -q "REGRESSION" "$tmp/diff-inject.txt"
+grep -q "index.rank_overhead_bytes" "$tmp/diff-inject.txt"
+
+echo "== event log + memory accounting smoke test =="
+# --log-json writes structured JSON lines; --quiet silences stderr events.
+"$kmm" search --index "$tmp/ref.idx" --pattern "$pattern" -k 2 --stats \
+    --log-json "$tmp/events.jsonl" > /dev/null 2> "$tmp/summary-mem.txt"
+# With the default alloc-track feature, --stats reports per-phase heap.
+grep -q "heap:" "$tmp/summary-mem.txt"
+grep -q "load" "$tmp/summary-mem.txt"
+# The serve daemon logs startup/access/shutdown as structured events.
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --port-file "$tmp/port-events" --log-json "$tmp/serve-events.jsonl" \
+    2> "$tmp/serve-events.log" &
+events_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-events" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-events" ] || { echo "verify: events serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-events")
+resp=$(http_get /healthz)
+echo "$resp" | grep -q "200 OK"
+# /metrics now carries the allocator gauges.
+resp=$(http_get /metrics)
+echo "$resp" | grep -q "kmm_mem_peak_bytes"
+# A bad /search answers with a JSON error body carrying a request id...
+resp=$(http_post /search '{"k": 1}')
+echo "$resp" | grep -q '"request_id": "req-'
+req_id=$(echo "$resp" | grep -o '"request_id": "req-[0-9]*"' | grep -o 'req-[0-9]*')
+resp=$(http_post /shutdown "")
+echo "$resp" | grep -q "200 OK"
+wait "$events_pid"
+# ...and the same id appears on the access-log line for that request.
+grep -q '"target":"serve.access"' "$tmp/serve-events.jsonl"
+grep "$req_id" "$tmp/serve-events.jsonl" | grep -q '"status":"400"'
+grep -q "listening" "$tmp/serve-events.jsonl"
+grep -q "shutdown" "$tmp/serve-events.jsonl"
+
 echo "verify: OK"

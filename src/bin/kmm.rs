@@ -7,12 +7,21 @@
 //! kmm map      --index ref.idx --reads reads.fq -k 5 [--method a] [--threads N]
 //! kmm search   --index ref.idx --pattern ACGTT... -k 3 [--method bwt] [--threads N]
 //! kmm serve    --index ref.idx [--addr 127.0.0.1:8080] [--threads N]
+//! kmm bench diff BENCH_a.json BENCH_b.json [--fail-on-regress 15]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bwt_kmismatch::cli::{self, CliError};
+use kmm_telemetry::events::{self, EventLog};
+use kmm_telemetry::LogLevel;
+
+// Every kmm process allocates through the counting wrapper so
+// `--stats` can report live/peak heap per phase. With the default
+// `alloc-track` feature off the wrapper compiles to a pass-through.
+#[global_allocator]
+static ALLOC: kmm_telemetry::CountingAlloc = kmm_telemetry::CountingAlloc;
 
 const USAGE: &str = "\
 usage: kmm <command> [options]
@@ -33,6 +42,13 @@ commands:
   serve     --index <ref.idx> [--addr HOST:PORT] [--threads N] [-k K]
             [--method M] [--slowest K] [--port-file <path>]
             [--timeout-ms T] [--max-body-bytes B] [--failpoints SPEC]
+  bench diff <baseline.json> <candidate.json> [--fail-on-regress PCT]
+            [--fail-on-time-regress PCT] [--assert-identical]
+
+global options (any command):
+  --log-level <error|warn|info|debug>   stderr event verbosity (default info)
+  --quiet                               suppress stderr event lines
+  --log-json <path>                     append events as JSON lines to a file
 
 methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
          kangaroo | naive | seed
@@ -63,10 +79,18 @@ immediate 429 + Retry-After; bodies over --max-body-bytes get 413.
 fault-injection sites, e.g. 'serve.handler.err=1in10.err' or
 'index.load.io=after2.err;serve.handler.slow=sleep50'. Sites:
 index.load.io, index.save.io, pool.worker.panic, serve.handler.slow,
-serve.handler.err. Testing only; disarmed sites cost one atomic load.";
+serve.handler.err. Testing only; disarmed sites cost one atomic load.
+
+bench diff compares two BENCH_*.json artifacts (see the experiments
+binary) on wall-clock timing and on the deterministic cost counters.
+--fail-on-regress PCT exits nonzero when any deterministic counter or
+index byte attribution grows by more than PCT percent;
+--fail-on-time-regress PCT additionally gates wall-clock (off by
+default: timing is machine-dependent); --assert-identical fails on any
+deterministic delta at all (the repeat-run check).";
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["stats"];
+const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical"];
 
 /// Per-command accepted flags (after `-j` canonicalises to `threads`).
 const GENERATE_FLAGS: &[&str] = &["genome", "scale", "o"];
@@ -109,6 +133,11 @@ const SERVE_FLAGS: &[&str] = &[
     "timeout-ms",
     "max-body-bytes",
     "failpoints",
+];
+const BENCH_DIFF_FLAGS: &[&str] = &[
+    "fail-on-regress",
+    "fail-on-time-regress",
+    "assert-identical",
 ];
 
 struct Args {
@@ -223,11 +252,112 @@ fn stats_options(args: &Args) -> Result<cli::StatsOptions, CliError> {
     })
 }
 
+/// Strip the global logging flags (valid in any position, on any
+/// command) from argv and install the process-wide event log they
+/// describe. Returns the remaining arguments.
+fn init_event_log(argv: Vec<String>) -> Result<Vec<String>, CliError> {
+    let mut out = Vec::with_capacity(argv.len());
+    let mut level = LogLevel::Info;
+    let mut quiet = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--log-level" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("flag --log-level needs a value".to_string()))?;
+                level = LogLevel::from_name(&v).ok_or_else(|| {
+                    CliError(format!(
+                        "bad value for --log-level: '{v}' (expected error|warn|info|debug)"
+                    ))
+                })?;
+            }
+            "--quiet" => quiet = true,
+            "--log-json" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError("flag --log-json needs a value".to_string()))?;
+                json_path = Some(PathBuf::from(v));
+            }
+            _ => out.push(a),
+        }
+    }
+    let mut log = EventLog::new(level);
+    if quiet {
+        log = log.quiet();
+    }
+    if let Some(path) = &json_path {
+        log = log
+            .with_json_sink(path)
+            .map_err(|e| CliError(format!("--log-json {}: {e}", path.display())))?;
+    }
+    events::init_global(log);
+    Ok(out)
+}
+
+/// `--fail-on-regress` / `--fail-on-time-regress`: optional percentage.
+fn parse_pct(args: &Args, name: &str) -> Result<Option<f64>, CliError> {
+    match args.get(name) {
+        None => Ok(None),
+        Some(v) => v.parse::<f64>().map(Some).map_err(|_| {
+            CliError(format!(
+                "bad value for --{name}: '{v}' (expected a percentage)"
+            ))
+        }),
+    }
+}
+
+/// `kmm bench diff A.json B.json [...]` — the only subcommand that
+/// takes positional arguments, so it is parsed by hand before the
+/// flag-only `Args` machinery sees the rest.
+fn bench(rest: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(CliError(
+            "bench needs a subcommand (try: bench diff)".to_string(),
+        ));
+    };
+    if sub != "diff" {
+        return Err(CliError(format!(
+            "unknown bench subcommand '{sub}' (try: bench diff)"
+        )));
+    }
+    let mut paths = Vec::new();
+    let mut flag_args = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            flag_args.push(a.clone());
+            if !BOOLEAN_FLAGS.contains(&name) {
+                if let Some(v) = it.next() {
+                    flag_args.push(v.clone());
+                }
+            }
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    if paths.len() != 2 {
+        return Err(CliError(format!(
+            "bench diff needs exactly two files: <baseline.json> <candidate.json> (got {})",
+            paths.len()
+        )));
+    }
+    let args = Args::parse(&flag_args, BENCH_DIFF_FLAGS)?;
+    let opts = kmm_bench::diff::DiffOptions {
+        fail_on_regress: parse_pct(&args, "fail-on-regress")?,
+        fail_on_time_regress: parse_pct(&args, "fail-on-time-regress")?,
+        assert_identical: args.get("assert-identical").is_some(),
+    };
+    cli::bench_diff(&paths[0], &paths[1], &opts)
+}
+
 fn run() -> Result<String, CliError> {
     // Arm failpoints from the environment before anything can hit a
     // site; a bad spec is a startup error, not a silently inert one.
     kmm_faults::arm_from_env().map_err(|e| CliError(format!("KMM_FAILPOINTS: {e}")))?;
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = init_event_log(argv)?;
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError(USAGE.to_string()));
     };
@@ -322,6 +452,7 @@ fn run() -> Result<String, CliError> {
             };
             bwt_kmismatch::serve::run(&PathBuf::from(args.require("index")?), config)
         }
+        "bench" => bench(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
     }

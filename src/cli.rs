@@ -12,6 +12,7 @@ use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::{fasta, fastq};
 use kmm_par::ThreadPool;
+use kmm_telemetry::alloc::{fmt_bytes, mem_stats, phase_scope, MemPhase};
 use kmm_telemetry::{
     chrome_trace_json, Counter, MetricsRecorder, MetricsSnapshot, NoopRecorder, Recorder,
     TraceConfig, TraceRecorder,
@@ -146,20 +147,36 @@ pub fn simulate(
 /// saved index format holds a single text).
 pub fn index(reference: &Path, out: &Path, threads: usize) -> CliResult<String> {
     let genome = load_fasta_single(reference)?;
-    let idx = KMismatchIndex::with_config(
-        genome,
-        FmBuildConfig::default().with_threads(threads.max(1)),
-    );
+    let idx = {
+        let _build = phase_scope(MemPhase::Build);
+        KMismatchIndex::with_config(
+            genome,
+            FmBuildConfig::default().with_threads(threads.max(1)),
+        )
+    };
     atomic_save(out, |w| idx.fm().save(w).map_err(std::io::Error::other))?;
-    Ok(format!(
+    let mut summary = format!(
         "indexed {} bp -> {} ({} bytes of rank/SA structures: \
-         {} packed text + {} block checkpoints + SA samples)",
+         {} packed text + {} block checkpoints + {} SA samples)",
         idx.len(),
         out.display(),
         idx.fm().heap_bytes(),
         idx.fm().rank_payload_bytes(),
         idx.fm().rank_overhead_bytes(),
-    ))
+        idx.fm().sampled_sa_bytes(),
+    );
+    let mem = mem_stats();
+    if mem.enabled {
+        let build = mem.phase(MemPhase::Build);
+        summary.push_str(&format!(
+            "\nheap: build allocated {} over {} allocations (peak live {}); process peak {}",
+            fmt_bytes(build.allocated_bytes),
+            build.allocations,
+            fmt_bytes(build.peak_live_bytes),
+            fmt_bytes(mem.peak_bytes),
+        ));
+    }
+    Ok(summary)
 }
 
 /// Write a file atomically: the payload goes to `<path>.tmp`, is fsynced,
@@ -201,6 +218,7 @@ pub fn load_index(path: &Path) -> CliResult<KMismatchIndex> {
 /// [`load_index`] with telemetry: deserialisation is timed as the
 /// `index.load` phase.
 pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<KMismatchIndex> {
+    let _load = phase_scope(MemPhase::Load);
     // Failpoint: `index.load.io=err` makes every load fail the way a
     // vanished/unreadable file would.
     kmm_faults::io_gate("index.load.io")
@@ -208,9 +226,10 @@ pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<
     let fm = FmIndex::load_recorded(BufReader::new(File::open(path)?), recorder)
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     // Footprint gauges for `--stats`: the rank structure's packed-text
-    // payload vs its interleaved checkpoint overhead.
+    // payload vs its interleaved checkpoint overhead vs the SA samples.
     recorder.add(Counter::RankPayloadBytes, fm.rank_payload_bytes() as u64);
     recorder.add(Counter::RankOverheadBytes, fm.rank_overhead_bytes() as u64);
+    recorder.add(Counter::SampledSaBytes, fm.sampled_sa_bytes() as u64);
     // The index stores reverse(text) + $; invert and flip to recover text.
     let mut rev = fm.reconstruct_text();
     rev.pop(); // sentinel
@@ -293,8 +312,38 @@ fn finish_stats(
     if opts.table {
         summary.push('\n');
         summary.push_str(snap.render().trim_end());
+        summary.push_str(&render_mem_stats());
     }
     Ok(())
+}
+
+/// Human-readable heap accounting for `--stats` tables: live/peak bytes
+/// plus per-phase attribution from the counting allocator. One line
+/// explains itself when the `alloc-track` feature is off.
+fn render_mem_stats() -> String {
+    let mem = mem_stats();
+    if !mem.enabled {
+        return "\nheap: allocation tracking disabled (alloc-track feature off)".to_string();
+    }
+    let mut out = format!(
+        "\nheap: live {}  peak {}",
+        fmt_bytes(mem.live_bytes),
+        fmt_bytes(mem.peak_bytes)
+    );
+    for phase in MemPhase::ALL {
+        let p = mem.phase(phase);
+        if p.allocations == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "\n  {:<18} allocated {:>10}  allocations {:>8}  peak live {:>10}",
+            phase.name(),
+            fmt_bytes(p.allocated_bytes),
+            p.allocations,
+            fmt_bytes(p.peak_live_bytes),
+        ));
+    }
+    out
 }
 
 /// Flush tracing output according to `opts`: write the Chrome
@@ -423,6 +472,7 @@ fn map_reads_with<R: Recorder + Sync>(
     );
     let pool = ThreadPool::new(threads.max(1));
     let seqs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
+    let _search = phase_scope(MemPhase::Search);
     let (reports, truncated) = match timeout {
         Some(per_read) => {
             let outcomes =
@@ -581,6 +631,7 @@ fn search_patterns_with<R: Recorder + Sync>(
         .map(|p| kmm_dna::encode(p.as_bytes()).map_err(|e| CliError(format!("bad pattern: {e}"))))
         .collect::<CliResult<_>>()?;
     let pool = ThreadPool::new(threads.max(1));
+    let _search = phase_scope(MemPhase::Search);
     let (per_pattern, stats, truncated) = match timeout {
         Some(per_query) => {
             let (outcomes, stats) = idx.search_batch_par_with_deadline_recorded(
@@ -628,6 +679,32 @@ fn search_patterns_with<R: Recorder + Sync>(
         ));
     }
     Ok(summary)
+}
+
+/// `kmm bench diff`: compare two BENCH_*.json documents on timing and
+/// deterministic counters. Returns the rendered report; when the gate
+/// trips (regression beyond budget, or any delta under
+/// `--assert-identical`) the report comes back as `Err` so the process
+/// exits nonzero.
+pub fn bench_diff(
+    baseline: &Path,
+    candidate: &Path,
+    opts: &kmm_bench::diff::DiffOptions,
+) -> CliResult<String> {
+    let read = |path: &Path| -> CliResult<String> {
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("{}: {e}", path.display())))
+    };
+    let base_doc = kmm_bench::diff::parse_bench_doc(&read(baseline)?, "baseline")
+        .map_err(|e| CliError(format!("{}: {e}", baseline.display())))?;
+    let cand_doc = kmm_bench::diff::parse_bench_doc(&read(candidate)?, "candidate")
+        .map_err(|e| CliError(format!("{}: {e}", candidate.display())))?;
+    let report = kmm_bench::diff::diff_documents(&base_doc, &cand_doc, opts).map_err(CliError)?;
+    let rendered = report.to_string();
+    if report.failed() {
+        Err(CliError(rendered))
+    } else {
+        Ok(rendered)
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,9 +52,10 @@ use kmm_core::{
     CancelToken, KMismatchIndex, MapOutcome, MapperConfig, Method, Outcome, ReadMapper, Strand,
 };
 use kmm_par::ThreadPool;
+use kmm_telemetry::alloc::{mem_stats, phase_scope, MemPhase};
 use kmm_telemetry::{
-    chrome_trace_json, slow_queries_json, Counter, Json, Recorder, SlidingWindow, TraceConfig,
-    TraceRecorder,
+    chrome_trace_json, events, prometheus_mem_text, slow_queries_json, Counter, Json, Recorder,
+    SlidingWindow, TraceConfig, TraceRecorder,
 };
 
 use crate::cli::{self, CliError, CliResult};
@@ -208,6 +209,16 @@ struct ServerState {
     stop: AtomicBool,
 }
 
+/// Monotonic request-id source: every parsed request gets `req-N`,
+/// which tags its access-log event, its trace shard, and any JSON error
+/// body `/search` and `/map` return. Process-wide (not per-server) so
+/// ids stay unique even when several servers share one event log.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_request_id() -> String {
+    format!("req-{}", NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+}
+
 impl ServerState {
     fn new(index: KMismatchIndex, config: ServeConfig) -> ServerState {
         let recorder = TraceRecorder::with_config(TraceConfig {
@@ -340,11 +351,19 @@ pub fn run(index_path: &std::path::Path, config: ServeConfig) -> CliResult<Strin
     let index = cli::load_index(index_path)?;
     let listener = bind(&config)?;
     let addr = listener.local_addr()?;
-    eprintln!(
-        "kmm serve: listening on {addr} ({} worker{}, {} bp indexed)",
-        config.threads,
-        if config.threads == 1 { "" } else { "s" },
-        index.len()
+    events::info(
+        "serve",
+        format!(
+            "kmm serve: listening on {addr} ({} worker{}, {} bp indexed)",
+            config.threads,
+            if config.threads == 1 { "" } else { "s" },
+            index.len()
+        ),
+        &[
+            ("addr", addr.to_string()),
+            ("workers", config.threads.to_string()),
+            ("indexed_bp", index.len().to_string()),
+        ],
     );
     Ok(serve_on(listener, index, config))
 }
@@ -361,6 +380,7 @@ fn bind(config: &ServeConfig) -> CliResult<TcpListener> {
 
 /// The accept/dispatch loop; returns the shutdown summary.
 fn serve_on(listener: TcpListener, index: KMismatchIndex, config: ServeConfig) -> String {
+    let _serve = phase_scope(MemPhase::Serve);
     let threads = config.threads.max(1);
     let state = ServerState::new(index, config);
     listener
@@ -408,11 +428,20 @@ fn serve_on(listener: TcpListener, index: KMismatchIndex, config: ServeConfig) -
             }
         });
     }
-    format!(
+    let summary = format!(
         "served {} requests ({} errors)",
         state.total_requests(),
         state.total_errors()
-    )
+    );
+    events::info(
+        "serve",
+        format!("shutdown: {summary}"),
+        &[
+            ("requests", state.total_requests().to_string()),
+            ("errors", state.total_errors().to_string()),
+        ],
+    );
+    summary
 }
 
 /// Refuse a connection the queue would not take: best-effort `429` with
@@ -465,28 +494,53 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, worker: usize) 
     let request = match read_request(&mut stream, state.config.max_body_bytes) {
         Ok(r) => r,
         Err(response) => {
+            let req_id = next_request_id();
             state.other.record(0, true);
             state.recorder.add(Counter::ServeErrors, 1);
+            events::warn(
+                "serve.access",
+                format!("malformed request -> {}", response.status),
+                &[
+                    ("request_id", req_id),
+                    ("status", response.status.to_string()),
+                ],
+            );
             let _ = write_response(&mut stream, &response);
             return;
         }
     };
+    let req_id = next_request_id();
     let start = Instant::now();
     state.recorder.add(Counter::ServeRequests, 1);
     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // Failpoint: `pool.worker.panic` exercises the panic-isolation
         // path — the catch below keeps the daemon up.
         kmm_faults::panic_gate("pool.worker.panic");
-        route(state, &request, worker)
+        route(state, &request, worker, &req_id)
     }))
-    .unwrap_or_else(|_| Response::text(500, "internal error: request handler panicked\n"));
+    .unwrap_or_else(|_| error_response(500, "internal error: request handler panicked", &req_id));
     let is_error = response.status >= 400;
     if is_error {
         state.recorder.add(Counter::ServeErrors, 1);
     }
+    let elapsed = start.elapsed();
     state
         .endpoint(&request.path)
-        .record(start.elapsed().as_nanos() as u64, is_error);
+        .record(elapsed.as_nanos() as u64, is_error);
+    // One access-log event per request; its request_id is the same id a
+    // JSON error body carries, so client-side and server-side views of a
+    // failure can be joined.
+    let message = format!("{} {} -> {}", request.method, request.path, response.status);
+    let fields = [
+        ("request_id", req_id),
+        ("status", response.status.to_string()),
+        ("duration_us", elapsed.as_micros().to_string()),
+    ];
+    if is_error {
+        events::warn("serve.access", message, &fields);
+    } else {
+        events::info("serve.access", message, &fields);
+    }
     let _ = write_response(&mut stream, &response);
 }
 
@@ -596,7 +650,20 @@ fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Resul
     stream.flush()
 }
 
-fn route(state: &ServerState, request: &Request, worker: usize) -> Response {
+/// JSON error body tagged with the request id — the same id the access
+/// log records, so a client-quoted failure can be matched to the
+/// server-side line.
+fn error_response(status: u16, message: impl Into<String>, req_id: &str) -> Response {
+    Response::json(
+        status,
+        &Json::obj([
+            ("error", Json::Str(message.into())),
+            ("request_id", Json::Str(req_id.to_string())),
+        ]),
+    )
+}
+
+fn route(state: &ServerState, request: &Request, worker: usize, req_id: &str) -> Response {
     // Failpoints at route entry: `serve.handler.slow` injects latency
     // (the sleep happens inside `check`), `serve.handler.err` fails the
     // request with a 500 (or panics, exercising the catch_unwind above).
@@ -623,8 +690,8 @@ fn route(state: &ServerState, request: &Request, worker: usize) -> Response {
             Response::json(200, &slow_queries_json(&state.recorder.flight().slowest()))
         }
         ("GET", "/trace.json") => Response::json(200, &chrome_trace_json(&state.recorder.traces())),
-        ("POST", "/search") => handle_search(state, &request.body, worker),
-        ("POST", "/map") => handle_map(state, &request.body, worker),
+        ("POST", "/search") => handle_search(state, &request.body, worker, req_id),
+        ("POST", "/map") => handle_map(state, &request.body, worker, req_id),
         ("POST", "/shutdown") => {
             state.stop.store(true, Ordering::Relaxed);
             Response::text(200, "shutting down\n")
@@ -639,6 +706,7 @@ fn route(state: &ServerState, request: &Request, worker: usize) -> Response {
 /// Process metrics plus per-endpoint HTTP series.
 fn render_metrics(state: &ServerState) -> String {
     let mut out = state.recorder.snapshot().to_prometheus();
+    out.push_str("# HELP kmm_http_requests_total Requests handled since startup, by endpoint.\n");
     out.push_str("# TYPE kmm_http_requests_total counter\n");
     for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
         out.push_str(&format!(
@@ -647,6 +715,7 @@ fn render_metrics(state: &ServerState) -> String {
             e.requests.load(Ordering::Relaxed)
         ));
     }
+    out.push_str("# HELP kmm_http_errors_total Error responses (status >= 400) since startup, by endpoint.\n");
     out.push_str("# TYPE kmm_http_errors_total counter\n");
     for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
         out.push_str(&format!(
@@ -656,15 +725,19 @@ fn render_metrics(state: &ServerState) -> String {
         ));
     }
     // Last-minute latency percentiles per endpoint (gauges: they move
-    // with the window).
+    // with the window). Idle endpoints are emitted as zeros rather than
+    // skipped: a series that disappears when quiet breaks rate() and
+    // absence-based alerting downstream.
+    out.push_str("# HELP kmm_http_window_requests Requests in the trailing one-minute window.\n");
     out.push_str("# TYPE kmm_http_window_requests gauge\n");
+    out.push_str(
+        "# HELP kmm_http_window_errors Error responses in the trailing one-minute window.\n",
+    );
     out.push_str("# TYPE kmm_http_window_errors gauge\n");
+    out.push_str("# HELP kmm_http_latency_ns Latency percentiles over the trailing one-minute window (0 when idle).\n");
     out.push_str("# TYPE kmm_http_latency_ns gauge\n");
     for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
         let w = e.window.summary();
-        if w.count == 0 {
-            continue;
-        }
         out.push_str(&format!(
             "kmm_http_window_requests{{endpoint=\"{}\"}} {}\n",
             e.route, w.count
@@ -674,6 +747,8 @@ fn render_metrics(state: &ServerState) -> String {
             e.route, w.errors
         ));
         for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            // An empty window reports percentile 0 (not NaN, not an
+            // absent series).
             out.push_str(&format!(
                 "kmm_http_latency_ns{{endpoint=\"{}\",quantile=\"{label}\"}} {}\n",
                 e.route,
@@ -681,6 +756,7 @@ fn render_metrics(state: &ServerState) -> String {
             ));
         }
     }
+    out.push_str(&prometheus_mem_text(&mem_stats()));
     out
 }
 
@@ -697,9 +773,9 @@ fn absorb_shard(state: &ServerState, shard: &TraceRecorder) {
     state.recorder.absorb_traces(shard.drain());
 }
 
-fn body_json(body: &[u8]) -> Result<Json, Response> {
-    let text = std::str::from_utf8(body).map_err(|_| Response::text(400, "body is not utf-8\n"))?;
-    Json::parse(text).map_err(|e| Response::text(400, format!("bad json body: {e}\n")))
+fn body_json(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    Json::parse(text).map_err(|e| format!("bad json body: {e}"))
 }
 
 /// Effective deadline for a request: the body's `"timeout_ms"` overrides
@@ -713,13 +789,13 @@ fn request_timeout(state: &ServerState, doc: &Json) -> Option<Duration> {
         .map(Duration::from_millis)
 }
 
-fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
+fn handle_search(state: &ServerState, body: &[u8], worker: usize, req_id: &str) -> Response {
     let doc = match body_json(body) {
         Ok(d) => d,
-        Err(resp) => return resp,
+        Err(msg) => return error_response(400, msg, req_id),
     };
     let Some(pattern) = doc.get("pattern").and_then(Json::as_str) else {
-        return Response::text(400, "missing \"pattern\"\n");
+        return error_response(400, "missing \"pattern\"", req_id);
     };
     if state.config.panic_pattern.as_deref() == Some(pattern) {
         panic!("injected fault: panic pattern received");
@@ -732,15 +808,15 @@ fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
         None => state.config.method,
         Some(name) => match cli::parse_method(name) {
             Ok(m) => m,
-            Err(e) => return Response::text(400, format!("{e}\n")),
+            Err(e) => return error_response(400, e.to_string(), req_id),
         },
     };
     let encoded = match kmm_dna::encode(pattern.as_bytes()) {
         Ok(p) => p,
-        Err(e) => return Response::text(400, format!("bad pattern: {e}\n")),
+        Err(e) => return error_response(400, format!("bad pattern: {e}"), req_id),
     };
     let shard = request_shard(state, worker);
-    shard.annotate("http=/search");
+    shard.annotate(&format!("http=/search id={req_id}"));
     let (result, truncated) = match request_timeout(state, &doc) {
         Some(budget) => {
             let token = CancelToken::with_deadline(budget);
@@ -782,13 +858,13 @@ fn handle_search(state: &ServerState, body: &[u8], worker: usize) -> Response {
     )
 }
 
-fn handle_map(state: &ServerState, body: &[u8], worker: usize) -> Response {
+fn handle_map(state: &ServerState, body: &[u8], worker: usize, req_id: &str) -> Response {
     let doc = match body_json(body) {
         Ok(d) => d,
-        Err(resp) => return resp,
+        Err(msg) => return error_response(400, msg, req_id),
     };
     let Some(read) = doc.get("read").and_then(Json::as_str) else {
-        return Response::text(400, "missing \"read\"\n");
+        return error_response(400, "missing \"read\"", req_id);
     };
     if state.config.panic_pattern.as_deref() == Some(read) {
         panic!("injected fault: panic pattern received");
@@ -803,7 +879,7 @@ fn handle_map(state: &ServerState, body: &[u8], worker: usize) -> Response {
         .unwrap_or(true);
     let encoded = match kmm_dna::encode(read.as_bytes()) {
         Ok(p) => p,
-        Err(e) => return Response::text(400, format!("bad read: {e}\n")),
+        Err(e) => return error_response(400, format!("bad read: {e}"), req_id),
     };
     let mapper = ReadMapper::new(
         &state.index,
@@ -814,7 +890,7 @@ fn handle_map(state: &ServerState, body: &[u8], worker: usize) -> Response {
         },
     );
     let shard = request_shard(state, worker);
-    shard.annotate("http=/map");
+    shard.annotate(&format!("http=/map id={req_id}"));
     let (report, truncated) = match request_timeout(state, &doc) {
         Some(budget) => {
             let token = CancelToken::with_deadline(budget);

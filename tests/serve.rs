@@ -7,11 +7,31 @@ use std::time::Duration;
 
 use bwt_kmismatch::dna::genome::{markov, MarkovConfig};
 use bwt_kmismatch::serve::{ServeConfig, Server};
-use bwt_kmismatch::telemetry::Json;
+use bwt_kmismatch::telemetry::events::{self, EventLog};
+use bwt_kmismatch::telemetry::{Json, LogLevel};
 use bwt_kmismatch::{KMismatchIndex, Method};
 
 fn test_index() -> KMismatchIndex {
     KMismatchIndex::new(markov(8_000, &MarkovConfig::default(), 31))
+}
+
+/// All serve tests share one quiet JSON event log, installed by the
+/// first test to start a server: server threads then never write to the
+/// harness's stderr, and the access-log test can read the lines back.
+fn event_log_path() -> &'static std::path::PathBuf {
+    static PATH: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let path =
+            std::env::temp_dir().join(format!("kmm-serve-events-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        events::init_global(
+            EventLog::new(LogLevel::Debug)
+                .quiet()
+                .with_json_sink(&path)
+                .expect("json sink"),
+        );
+        path
+    })
 }
 
 /// Minimal blocking HTTP/1.1 client: one request, one response.
@@ -54,6 +74,7 @@ fn probe(idx: &KMismatchIndex, at: usize) -> String {
 }
 
 fn start(config: ServeConfig) -> (Server, KMismatchIndex) {
+    event_log_path();
     let idx = test_index();
     let server = Server::start(test_index(), config).expect("server start");
     (server, idx)
@@ -380,6 +401,92 @@ fn server_side_default_timeout_applies_without_body_field() {
     let doc = Json::parse(&body).unwrap();
     // The deadline path ran (marker present) but the budget was ample.
     assert_eq!(doc.get("truncated").and_then(Json::as_bool), Some(false));
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+/// A `/search` error body carries a `request_id`, and the server's
+/// access log has a `serve.access` line with the same id and status —
+/// the client-quoted id is enough to find the server-side record.
+#[test]
+fn search_error_response_id_matches_access_log_line() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = post(addr, "/search", "{\"k\": 1}");
+    assert_eq!(status, 400, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("error").and_then(Json::as_str),
+        Some("missing \"pattern\"")
+    );
+    let req_id = doc
+        .get("request_id")
+        .and_then(Json::as_str)
+        .expect("request_id in error body")
+        .to_string();
+    assert!(req_id.starts_with("req-"), "{req_id}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+
+    let logged = std::fs::read_to_string(event_log_path()).expect("event log file");
+    let mut matched = false;
+    for line in logged.lines() {
+        let Ok(event) = Json::parse(line) else {
+            continue;
+        };
+        if event.get("target").and_then(Json::as_str) != Some("serve.access") {
+            continue;
+        }
+        let Some(fields) = event.get("fields") else {
+            continue;
+        };
+        if fields.get("request_id").and_then(Json::as_str) == Some(req_id.as_str()) {
+            assert_eq!(fields.get("status").and_then(Json::as_str), Some("400"));
+            assert_eq!(event.get("level").and_then(Json::as_str), Some("warn"));
+            matched = true;
+        }
+    }
+    assert!(matched, "no serve.access line for {req_id}:\n{logged}");
+}
+
+/// `/metrics` is shape-stable: endpoints that have served nothing still
+/// expose their window gauges (zeros, percentile 0), the allocator
+/// families are present, and every `# TYPE`d family has a `# HELP`.
+#[test]
+fn metrics_expose_idle_endpoints_and_memory_families() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    // /map is idle, yet all its series are emitted.
+    assert!(
+        body.contains("kmm_http_window_requests{endpoint=\"/map\"} 0"),
+        "{body}"
+    );
+    assert!(
+        body.contains("kmm_http_window_errors{endpoint=\"/map\"} 0"),
+        "{body}"
+    );
+    assert!(
+        body.contains("kmm_http_latency_ns{endpoint=\"/map\",quantile=\"0.99\"} 0"),
+        "{body}"
+    );
+    assert!(body.contains("# TYPE kmm_mem_live_bytes gauge"), "{body}");
+    assert!(
+        body.contains("kmm_mem_phase_allocated_bytes_total{mem_phase=\"serve\"}"),
+        "{body}"
+    );
+    for line in body.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let name = line.split_whitespace().nth(2).unwrap();
+        assert!(
+            body.contains(&format!("# HELP {name} ")),
+            "no HELP for {name}"
+        );
+    }
+
     post(addr, "/shutdown", "");
     server.join();
 }

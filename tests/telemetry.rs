@@ -8,6 +8,12 @@ use bwt_kmismatch::telemetry::{
 use bwt_kmismatch::{KMismatchIndex, Method};
 use proptest::prelude::*;
 
+// The full observability stack is armed for this whole test binary —
+// counting allocator, phase ledgers, event log — precisely to prove
+// none of it perturbs search results.
+#[global_allocator]
+static ALLOC: bwt_kmismatch::telemetry::CountingAlloc = bwt_kmismatch::telemetry::CountingAlloc;
+
 fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(1u8..=4, 1..max)
 }
@@ -95,4 +101,74 @@ fn snapshot_reflects_a_real_search_session() {
         back.phase(Phase::SearchQuery).total_ns,
         snap.phase(Phase::SearchQuery).total_ns
     );
+}
+
+/// The whole observability stack — counting allocator, phase ledgers,
+/// JSON event log — is an observer: results under it are bit-identical
+/// to the plain `NoopRecorder` path, and the instruments actually see
+/// the work (heap tracked, events written).
+#[test]
+fn full_observability_stack_does_not_perturb_results() {
+    use bwt_kmismatch::telemetry::alloc::{mem_stats, phase_scope, MemPhase};
+    use bwt_kmismatch::telemetry::events::{self, EventLog};
+    use bwt_kmismatch::telemetry::LogLevel;
+
+    let log_path =
+        std::env::temp_dir().join(format!("kmm-telemetry-events-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    events::init_global(
+        EventLog::new(LogLevel::Debug)
+            .quiet()
+            .with_json_sink(&log_path)
+            .expect("json sink"),
+    );
+
+    let genome = bwt_kmismatch::dna::genome::uniform(4_000, 11);
+    let index = {
+        let _build = phase_scope(MemPhase::Build);
+        KMismatchIndex::new(genome.clone())
+    };
+
+    let mut quiet_results = Vec::new();
+    for start in [50usize, 700, 1_900, 3_200] {
+        let pattern = genome[start..start + 32].to_vec();
+        quiet_results.push(index.search_recorded(&pattern, 2, Method::ALGORITHM_A, &NoopRecorder));
+    }
+
+    let recorder = MetricsRecorder::new();
+    let loud_results: Vec<_> = {
+        let _search = phase_scope(MemPhase::Search);
+        [50usize, 700, 1_900, 3_200]
+            .iter()
+            .map(|&start| {
+                let pattern = genome[start..start + 32].to_vec();
+                events::debug("test.search", "query", &[("start", start.to_string())]);
+                index.search_recorded(&pattern, 2, Method::ALGORITHM_A, &recorder)
+            })
+            .collect()
+    };
+
+    for (quiet, loud) in quiet_results.iter().zip(&loud_results) {
+        assert_eq!(quiet.occurrences, loud.occurrences);
+        assert_eq!(quiet.stats, loud.stats);
+    }
+
+    // The allocator saw the build (this binary registers CountingAlloc,
+    // and the root crate's default `alloc-track` feature is on).
+    let mem = mem_stats();
+    assert!(mem.enabled, "alloc tracking should be live in this binary");
+    assert!(mem.peak_bytes > 0);
+    assert!(mem.phase(MemPhase::Build).allocated_bytes > 0);
+
+    // The event log captured the queries as JSON lines.
+    let logged = std::fs::read_to_string(&log_path).expect("event log file");
+    assert!(logged.lines().count() >= 4);
+    for line in logged.lines().filter(|l| l.contains("test.search")) {
+        let doc = bwt_kmismatch::telemetry::Json::parse(line).expect("valid json event");
+        assert_eq!(
+            doc.get("target").and_then(|t| t.as_str().map(String::from)),
+            Some("test.search".to_string())
+        );
+    }
+    let _ = std::fs::remove_file(&log_path);
 }
