@@ -12,9 +12,11 @@
 //!   fig12     per-genome comparison at k = 5 (reconstructed Fig. 12)
 //!   ablation  rankall rate + reuse/φ ablations (DESIGN.md A1/A2)
 //!   parscale  batch-search throughput vs worker count (thread scaling)
-//!   occbench  fused occ_all vs 4x extend_backward node expansion
+//!   occbench  fused occ_all vs 4x extend_backward node expansion,
+//!             plus the SIMD-vs-scalar occ kernel sweep across rates
+//!   coldstart index open time, read vs mmap -> BENCH_coldstart.json
 //!   baseline  fixed regression-gate workload -> BENCH_baseline.json
-//!   all       everything above (except baseline)
+//!   all       everything above (except coldstart and baseline)
 //! ```
 //!
 //! `--scale` scales every genome relative to the 1:100 sizes of DESIGN.md
@@ -33,9 +35,9 @@
 use std::path::PathBuf;
 
 use kmm_bench::{
-    fmt_secs, format_table, run_baseline, run_method, run_occbench, simulate_reads,
-    write_baseline_json, write_bench_json, write_par_scaling_json, BenchRecord, ParScalingRecord,
-    Workload,
+    fmt_secs, format_table, run_baseline, run_coldstart, run_method, run_occbench,
+    run_occbench_kernels, simulate_reads, write_baseline_json, write_bench_json,
+    write_coldstart_json, write_par_scaling_json, BenchRecord, ParScalingRecord, Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
@@ -90,7 +92,7 @@ fn main() {
             }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|baseline|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -110,6 +112,7 @@ fn main() {
         "extended" => extended(&opts),
         "parscale" => par_records = parscale(&opts),
         "occbench" => artifacts.push(("occ", occbench(&opts))),
+        "coldstart" => coldstart(&opts),
         "baseline" => baseline(&opts),
         "all" => {
             table1(&opts);
@@ -299,7 +302,78 @@ fn occbench(opts: &Opts) -> Vec<BenchRecord> {
         format_table(&["mode", "time", "rank lookups", "fused sweeps"], &rows)
     );
     println!("fused speedup: {:.2}x", outcome.speedup);
-    outcome.records
+    let mut records = outcome.records;
+
+    println!("\n== occ kernels: SIMD vs forced scalar block tally  (same worklist) ==\n");
+    let kernels = run_occbench_kernels(&genome, 4_000, 25, &[64, 256, 1024]);
+    let rows: Vec<Vec<String>> = kernels
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.to_string(),
+                r.m.to_string(),
+                fmt_secs(r.seconds),
+                r.stats.rank_extensions.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["mode", "rate", "time", "fused sweeps"], &rows)
+    );
+    println!(
+        "dispatched kernel: {}; speedup at rate 1024: {:.2}x",
+        kernels.kernel, kernels.speedup
+    );
+    records.extend(kernels.records);
+    records
+}
+
+/// Cold-start: time `FmIndex::open_path` on saved indexes of growing
+/// size, read path vs mmap path. The headline deterministic claim — mmap
+/// startup I/O stays at 0 bytes while read I/O scales with the file —
+/// lands in BENCH_coldstart.json for the regression gate.
+fn coldstart(opts: &Opts) {
+    println!(
+        "\n== Cold start: index open, read vs mmap  (C. merolae stand-in, growing scale) ==\n"
+    );
+    let scales = [opts.scale * 0.25, opts.scale * 0.5, opts.scale];
+    let records = run_coldstart(&scales, 5).unwrap_or_else(|e| panic!("coldstart: {e}"));
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.n.to_string(),
+                fmt_secs(r.seconds),
+                fmt_bytes(r.file_bytes),
+                fmt_bytes(r.io_bytes),
+                fmt_bytes(r.bytes_mapped),
+                if r.borrowed == 1 { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "mode",
+                "n",
+                "open time",
+                "file",
+                "read",
+                "mapped",
+                "borrowed"
+            ],
+            &rows
+        )
+    );
+    if let Some(dir) = &opts.out_dir {
+        let path = write_coldstart_json(dir, &records)
+            .unwrap_or_else(|e| panic!("writing BENCH_coldstart.json: {e}"));
+        eprintln!("wrote {} ({} records)", path.display(), records.len());
+    }
 }
 
 /// Paper Table 1: characteristics of genomes.

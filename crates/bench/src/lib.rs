@@ -366,6 +366,125 @@ pub fn run_occbench(genome: &[u8], expansions: usize, reps: usize) -> OccBenchOu
     }
 }
 
+/// Outcome of the SIMD-vs-scalar occ kernel microbenchmark.
+#[derive(Debug, Clone)]
+pub struct KernelBenchOutcome {
+    /// One `occ_all_scalar@rR` / `occ_all_simd@rR` record pair per rate.
+    pub records: Vec<BenchRecord>,
+    /// Scalar seconds over SIMD seconds at the widest rate benched:
+    /// > 1 means the vector kernel wins.
+    pub speedup: f64,
+    /// The kernel the dispatcher picks when nothing is forced
+    /// (`"avx2"` or `"scalar"`); on a machine without AVX2 both rows
+    /// time the same code and `speedup` hovers at 1.
+    pub kernel: &'static str,
+}
+
+/// Time fused node expansion with the vector kernel against the forced
+/// scalar kernel, across checkpoint rates. Wider rates give the SIMD
+/// tally more whole words per lookup (the AVX2 path engages at rate >=
+/// 128), so the sweep shows where vectorisation starts paying. Both
+/// kernels run the identical worklist and their interval checksums are
+/// asserted equal — the bit-identical contract, benched.
+pub fn run_occbench_kernels(
+    genome: &[u8],
+    expansions: usize,
+    reps: usize,
+    rates: &[usize],
+) -> KernelBenchOutcome {
+    let label = |rate: usize, simd: bool| -> &'static str {
+        match (rate, simd) {
+            (64, false) => "occ_all_scalar@r64",
+            (64, true) => "occ_all_simd@r64",
+            (256, false) => "occ_all_scalar@r256",
+            (256, true) => "occ_all_simd@r256",
+            (1024, false) => "occ_all_scalar@r1024",
+            (1024, true) => "occ_all_simd@r1024",
+            (_, false) => "occ_all_scalar",
+            (_, true) => "occ_all_simd",
+        }
+    };
+    let mut records = Vec::new();
+    let mut speedup = 0.0;
+    for &rate in rates {
+        let fm = {
+            let mut rev = genome.to_vec();
+            rev.reverse();
+            rev.push(0);
+            FmIndex::new(
+                &rev,
+                FmBuildConfig {
+                    occ_rate: rate,
+                    ..FmBuildConfig::default()
+                },
+            )
+        };
+        let intervals = occbench_intervals(&fm, expansions, 0x0cc5eed);
+        let checksum = |ivs: &[Interval]| -> u64 {
+            let mut sum = 0u64;
+            for &iv in ivs {
+                for c in fm.extend_all(iv) {
+                    sum = sum
+                        .wrapping_add(c.lo as u64)
+                        .wrapping_add((c.hi as u64) << 32);
+                }
+            }
+            sum
+        };
+        // Prove the kernels agree on this worklist before timing them.
+        kmm_bwt::force_scalar(true);
+        let expect = checksum(&intervals);
+        kmm_bwt::force_scalar(false);
+        assert_eq!(
+            expect,
+            checksum(&intervals),
+            "SIMD kernel diverged from scalar at rate {rate}"
+        );
+
+        let time_kernel = |forced_scalar: bool| -> f64 {
+            kmm_bwt::force_scalar(forced_scalar);
+            let start = Instant::now();
+            for _ in 0..reps {
+                assert_eq!(checksum(&intervals), expect);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            kmm_bwt::force_scalar(false);
+            secs
+        };
+        let scalar_secs = time_kernel(true);
+        let simd_secs = time_kernel(false);
+
+        let total = (expansions * reps) as u64;
+        let stats = SearchStats {
+            rank_extensions: total,
+            occ_fused: total,
+            ..Default::default()
+        };
+        let record = |method: &'static str, seconds: f64| BenchRecord {
+            method,
+            n: genome.len(),
+            m: rate,
+            k: 0,
+            seconds,
+            occurrences: total as usize,
+            stats: stats.clone(),
+            latency: LatencyNs::default(),
+        };
+        records.push(record(label(rate, false), scalar_secs));
+        records.push(record(label(rate, true), simd_secs));
+        speedup = if simd_secs > 0.0 {
+            scalar_secs / simd_secs
+        } else {
+            0.0
+        };
+    }
+    KernelBenchOutcome {
+        records,
+        speedup,
+        kernel: kmm_bwt::active_kernel(),
+    }
+}
+
 /// One benchmark measurement destined for a `BENCH_*.json` artifact:
 /// the experimental coordinates (method, n, m, k), the wall-clock time
 /// and the accumulated [`SearchStats`] counters.
@@ -561,6 +680,127 @@ pub fn write_baseline_json(
     Ok(path)
 }
 
+/// The experiment name of the serve cold-start workload (and thus its
+/// artifact, `BENCH_coldstart.json`).
+pub const COLDSTART_EXPERIMENT: &str = "coldstart";
+
+/// One cold-start measurement: open a saved index via one load mode.
+///
+/// Wall-clock is informational (machine noise); the *deterministic*
+/// story is in the byte counters — `io_bytes` equals the file size on
+/// the read path and is 0 on the mmap path regardless of index size,
+/// which is exactly the "startup does not scale with the index" claim,
+/// gateable by `kmm bench diff`.
+#[derive(Debug, Clone)]
+pub struct ColdStartRecord {
+    /// `"open_read"` or `"open_mmap"` (the record's `method` key).
+    pub mode: &'static str,
+    /// Indexed length (reverse text plus sentinel).
+    pub n: usize,
+    /// Seconds for `FmIndex::open_path` on a saved file.
+    pub seconds: f64,
+    /// Size of the index file on disk.
+    pub file_bytes: u64,
+    /// Bytes read through `read(2)` during the open.
+    pub io_bytes: u64,
+    /// Bytes mapped (zero-copy) during the open.
+    pub bytes_mapped: u64,
+    /// Whether the loaded index borrows the mapping (1) or owns copies (0).
+    pub borrowed: u64,
+}
+
+impl ColdStartRecord {
+    /// Serialise in the `BENCH_*.json` record shape (`method`/`n`/`m`/`k`
+    /// identity, deterministic counters under `stats`) so `kmm bench
+    /// diff` gates the byte counters like any other record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("method", Json::Str(self.mode.to_string())),
+            ("n", Json::UInt(self.n as u64)),
+            ("m", Json::UInt(0)),
+            ("k", Json::UInt(0)),
+            ("seconds", Json::Float(self.seconds)),
+            (
+                "stats",
+                Json::obj([
+                    ("load_file_bytes", Json::UInt(self.file_bytes)),
+                    ("load_io_bytes", Json::UInt(self.io_bytes)),
+                    ("load_bytes_mapped", Json::UInt(self.bytes_mapped)),
+                    ("load_borrowed", Json::UInt(self.borrowed)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Measure index cold-start at several corpus scales: save each index to
+/// a scratch file, then time `FmIndex::open_path` in read mode and mmap
+/// mode (`reps` opens each, best-of). Every open is checked to answer a
+/// probe search identically to the just-built index.
+pub fn run_coldstart(scales: &[f64], reps: usize) -> std::io::Result<Vec<ColdStartRecord>> {
+    let dir = std::env::temp_dir().join(format!("kmm-coldstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let mut out = Vec::new();
+    for (i, &scale) in scales.iter().enumerate() {
+        let genome = ReferenceGenome::CMerolae.generate_scaled(scale);
+        let fm = {
+            let mut rev = genome.clone();
+            rev.reverse();
+            rev.push(0);
+            FmIndex::new(&rev, FmBuildConfig::default())
+        };
+        let path = dir.join(format!("coldstart-{i}.idx"));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        fm.save(&mut w)?;
+        drop(w);
+        let probe = &genome[genome.len() / 2..genome.len() / 2 + 40];
+        let expect = fm.backward_search(probe);
+        for (mode, prefer_mmap) in [("open_read", false), ("open_mmap", true)] {
+            let mut best: Option<(f64, kmm_bwt::OpenStats, bool)> = None;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                let (opened, stats) = FmIndex::open_path(&path, prefer_mmap)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                let secs = start.elapsed().as_secs_f64();
+                assert_eq!(opened.backward_search(probe), expect, "{mode} diverged");
+                let borrowed = opened.is_borrowed();
+                if best.as_ref().is_none_or(|(b, _, _)| secs < *b) {
+                    best = Some((secs, stats, borrowed));
+                }
+            }
+            let (seconds, stats, borrowed) = best.unwrap();
+            out.push(ColdStartRecord {
+                mode,
+                n: fm.len(),
+                seconds,
+                file_bytes: stats.file_bytes,
+                io_bytes: stats.io_bytes,
+                bytes_mapped: stats.bytes_mapped,
+                borrowed: borrowed as u64,
+            });
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(&dir);
+    Ok(out)
+}
+
+/// Write `BENCH_coldstart.json` into `dir` and return its path.
+pub fn write_coldstart_json(dir: &Path, records: &[ColdStartRecord]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{COLDSTART_EXPERIMENT}.json"));
+    let doc = Json::obj([
+        ("schema", Json::Str(BENCH_SCHEMA.to_string())),
+        ("experiment", Json::Str(COLDSTART_EXPERIMENT.to_string())),
+        (
+            "records",
+            Json::Arr(records.iter().map(ColdStartRecord::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(path)
+}
+
 /// Write `BENCH_<experiment>.json` into `dir` and return its path.
 pub fn write_bench_json(
     dir: &Path,
@@ -724,6 +964,67 @@ mod tests {
             occbench_intervals(&fm, 50, 7),
             occbench_intervals(&fm, 50, 7)
         );
+    }
+
+    #[test]
+    fn kernel_bench_sweeps_rates_and_proves_bit_identity() {
+        let genome = ReferenceGenome::CMerolae.generate_scaled(0.01);
+        let out = run_occbench_kernels(&genome, 100, 1, &[64, 256]);
+        // One scalar/simd pair per rate, labelled with the rate.
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.records[0].method, "occ_all_scalar@r64");
+        assert_eq!(out.records[1].method, "occ_all_simd@r64");
+        assert_eq!(out.records[2].method, "occ_all_scalar@r256");
+        assert_eq!(out.records[3].method, "occ_all_simd@r256");
+        assert!(out.records.iter().all(|r| r.stats.occ_fused == 100));
+        assert!(out.kernel == "avx2" || out.kernel == "scalar");
+        assert!(out.speedup > 0.0);
+        // The bench must leave the dispatcher unforced for other tests.
+        assert_eq!(kmm_bwt::active_kernel(), out.kernel);
+    }
+
+    #[test]
+    fn coldstart_byte_counters_are_deterministic() {
+        let records = run_coldstart(&[0.005], 1).unwrap();
+        assert_eq!(records.len(), 2);
+        let read = &records[0];
+        let mmap = &records[1];
+        assert_eq!(read.mode, "open_read");
+        assert_eq!(mmap.mode, "open_mmap");
+        // Read path: every file byte flows through read(2), nothing maps.
+        assert!(read.file_bytes > 0);
+        assert_eq!(read.io_bytes, read.file_bytes);
+        assert_eq!(read.bytes_mapped, 0);
+        // Mmap path (where supported): zero read bytes regardless of
+        // index size — the O(1) cold-start claim.
+        if mmap.borrowed == 1 {
+            assert_eq!(mmap.io_bytes, 0);
+            assert_eq!(mmap.bytes_mapped, mmap.file_bytes);
+        } else {
+            assert_eq!(mmap.io_bytes, mmap.file_bytes);
+        }
+
+        let dir = std::env::temp_dir().join("kmm-bench-coldstart-json");
+        let path = write_coldstart_json(&dir, &records).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some(COLDSTART_EXPERIMENT)
+        );
+        // The artifact diffs cleanly against itself under the strictest
+        // gate — the counters are deterministic.
+        let report = diff::diff_documents(
+            &doc,
+            &doc,
+            &diff::DiffOptions {
+                assert_identical: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.failed(), "{report}");
+        assert!(report.counters_compared >= 8);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! target so that backward search consumes patterns left-to-right
 //! (paper Section IV, Definition 1).
 
+use std::sync::Arc;
+
 use kmm_dna::{SENTINEL, SIGMA};
 use kmm_par::ThreadPool;
 use kmm_suffix::sais::suffix_array;
@@ -18,8 +20,10 @@ use kmm_telemetry::{NoopRecorder, Phase, Recorder};
 use crate::bwt::bwt_from_sa_with;
 use crate::interval::{Interval, Pair};
 use crate::limits::{check_text_len, TextTooLarge};
+use crate::mmap::{IndexBytes, MmapRegion, U32Store, U64Store};
 use crate::occ::RankAll;
 use crate::sampled_sa::SampledSuffixArray;
+use crate::serialize::{SectionEntry, SectionPayload, SectionTable, SerializeError};
 
 /// Build-time knobs for the index.
 #[derive(Debug, Clone, Copy)]
@@ -220,12 +224,23 @@ impl FmIndex {
     /// entries before any per-child work.
     #[inline]
     pub fn extend_all(&self, iv: Interval) -> [Interval; 4] {
-        let lo = self.l.occ_all(iv.lo as usize);
-        let hi = self.l.occ_all(iv.hi as usize);
+        let (lo, hi) = self.l.occ_all_pair(iv.lo as usize, iv.hi as usize);
         std::array::from_fn(|j| {
             let c = self.c[j + 1];
             Interval::new(c + lo[j], c + hi[j])
         })
+    }
+
+    /// Hint the CPU to pull the rank blocks covering `iv`'s boundaries
+    /// into cache ahead of an [`Self::extend_all`]/[`Self::extend_backward`]
+    /// on the same interval. Purely advisory: free of side effects, cost
+    /// accounting and (off x86-64) of any work at all. Searches that
+    /// know the *next* LF target while still processing the current one
+    /// hide the dependent-load latency of the block fetch this way.
+    #[inline]
+    pub fn prefetch_interval(&self, iv: Interval) {
+        self.l.prefetch(iv.lo as usize);
+        self.l.prefetch(iv.hi as usize);
     }
 
     /// Targeted LF step: the row of the suffix obtained by prepending
@@ -326,11 +341,57 @@ impl FmIndex {
         self.ssa.heap_bytes()
     }
 
-    /// Serialize the whole index (magic, version, payload, checksum).
+    /// Serialize the whole index as a v3 section-tabled container:
+    /// magic, version, checksummed offset table, then each structure as
+    /// a 64-byte-aligned little-endian section loadable by reference.
     pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        let mut meta = Vec::with_capacity(Self::META_BYTES);
+        for v in [
+            self.l.len() as u64,
+            self.l.rate() as u64,
+            self.l.dollar_pos() as u64,
+            self.ssa.rate() as u64,
+        ] {
+            meta.extend_from_slice(&v.to_le_bytes());
+        }
+        for sym in 0..SIGMA as u8 {
+            meta.extend_from_slice(&self.l.count(sym).to_le_bytes());
+        }
+        crate::serialize::write_container(
+            writer,
+            Self::MAGIC,
+            Self::FORMAT_VERSION,
+            &[
+                (Self::SEC_META, SectionPayload::Bytes(&meta)),
+                (Self::SEC_CTAB, SectionPayload::U32s(&self.c)),
+                (
+                    Self::SEC_RANK_BLOCKS,
+                    SectionPayload::U64s(self.l.block_words_raw()),
+                ),
+                (
+                    Self::SEC_SSA_MARKS,
+                    SectionPayload::U64s(self.ssa.mark_words_raw()),
+                ),
+                (
+                    Self::SEC_SSA_PREFIX,
+                    SectionPayload::U32s(self.ssa.prefix_raw()),
+                ),
+                (
+                    Self::SEC_SSA_SAMPLES,
+                    SectionPayload::U32s(self.ssa.samples_raw()),
+                ),
+            ],
+        )
+    }
+
+    /// Serialize in the legacy v2 stream format (magic, version, raw
+    /// structures, trailing checksum). Retained only so tests and the
+    /// `kmm index upgrade` round-trip can fabricate old files.
+    #[doc(hidden)]
+    pub fn save_legacy_v2<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
         let mut w = crate::serialize::SerWriter::new(writer);
         w.bytes(Self::MAGIC)?;
-        w.u32(Self::FORMAT_VERSION)?;
+        w.u32(Self::LEGACY_FORMAT_VERSION)?;
         for &c in &self.c {
             w.u32(c)?;
         }
@@ -348,10 +409,168 @@ impl FmIndex {
         Self::load(reader)
     }
 
-    /// Load an index previously written by [`Self::save`], verifying the
-    /// magic tag, version and checksum.
-    pub fn load<R: std::io::Read>(reader: R) -> Result<Self, crate::serialize::SerializeError> {
-        use crate::serialize::SerializeError;
+    /// Load a v3 index previously written by [`Self::save`], verifying
+    /// the magic tag, version and every section checksum. The stream is
+    /// read once into an owned image; the rank/SA structures then borrow
+    /// that image in place (no per-structure copies).
+    pub fn load<R: std::io::Read>(mut reader: R) -> Result<Self, SerializeError> {
+        let base = Arc::new(IndexBytes::from_reader(&mut reader)?);
+        Self::from_image(base, true)
+    }
+
+    /// Load a v3 index from an in-memory image, verifying checksums.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SerializeError> {
+        Self::from_image(Arc::new(IndexBytes::from_bytes(bytes)), true)
+    }
+
+    /// Open an index file, preferring a zero-copy `mmap` when asked.
+    ///
+    /// With `prefer_mmap`, the file is mapped read-only and the index
+    /// borrows the mapping directly: only the header, section table and
+    /// small metadata sections are touched, so open cost is independent
+    /// of index size. Section *table* integrity is still fully enforced
+    /// (structural bounds + header checksum), but the bulk payload
+    /// checksums are **not** streamed — see DESIGN.md for the trade-off.
+    /// When mapping is unavailable (non-Linux, empty file) or
+    /// `prefer_mmap` is false, the file is read into memory with full
+    /// checksum verification, and the structures borrow the owned image.
+    pub fn open_path(
+        path: &std::path::Path,
+        prefer_mmap: bool,
+    ) -> Result<(Self, OpenStats), SerializeError> {
+        let file = std::fs::File::open(path)?;
+        if prefer_mmap {
+            if let Ok(region) = MmapRegion::map_file(&file) {
+                let base = Arc::new(IndexBytes::Mapped(region));
+                let total = base.len() as u64;
+                let fm = Self::from_image(base, false)?;
+                return Ok((
+                    fm,
+                    OpenStats {
+                        mode: LoadMode::Mapped,
+                        file_bytes: total,
+                        io_bytes: 0,
+                        bytes_mapped: total,
+                    },
+                ));
+            }
+        }
+        let mut reader = std::io::BufReader::new(file);
+        let base = Arc::new(IndexBytes::from_reader(&mut reader)?);
+        let total = base.len() as u64;
+        let fm = Self::from_image(base, true)?;
+        Ok((
+            fm,
+            OpenStats {
+                mode: LoadMode::Read,
+                file_bytes: total,
+                io_bytes: total,
+                bytes_mapped: 0,
+            },
+        ))
+    }
+
+    /// Parse a v3 container image shared behind `base`. The returned
+    /// index borrows `base` wherever alignment permits (always, for
+    /// files written by [`Self::save`]).
+    ///
+    /// `verify_checksums` selects the integrity regime: `true` streams
+    /// every section's FNV checksum (read path), `false` skips payload
+    /// checksums but instead validates the SA rank directory against
+    /// the mark bitmap (mmap path) so no well-typed access can loop or
+    /// panic on a structurally sane file.
+    fn from_image(base: Arc<IndexBytes>, verify_checksums: bool) -> Result<Self, SerializeError> {
+        let bytes = base.as_bytes();
+        if bytes.len() < 8 || bytes[..8] != Self::MAGIC[..] {
+            return Err(SerializeError::BadMagic);
+        }
+        if bytes.len() < 12 {
+            return Err(SerializeError::Malformed("container header"));
+        }
+        // Dispatch on the version *before* the table parse so legacy
+        // files fail with the migration hint, not a checksum error.
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != Self::FORMAT_VERSION {
+            return Err(SerializeError::BadVersion {
+                found: version,
+                supported: Self::SUPPORTED_VERSIONS,
+            });
+        }
+        let table = SectionTable::parse(bytes, Self::MAGIC)?;
+        if verify_checksums {
+            for entry in &table.entries {
+                entry.verify(bytes)?;
+            }
+        }
+        let meta = table.section(Self::SEC_META)?;
+        if meta.len != Self::META_BYTES {
+            return Err(SerializeError::Malformed("meta section"));
+        }
+        let m = meta.bytes(bytes);
+        let read_u64 = |off: usize| u64::from_le_bytes(m[off..off + 8].try_into().unwrap());
+        let n = read_u64(0) as usize;
+        let occ_rate = read_u64(8) as usize;
+        let dollar_pos = read_u64(16) as usize;
+        let sa_rate = read_u64(24) as usize;
+        let mut totals = [0u32; SIGMA];
+        for (i, t) in totals.iter_mut().enumerate() {
+            *t = u32::from_le_bytes(m[32 + 4 * i..36 + 4 * i].try_into().unwrap());
+        }
+        let ctab = table.section(Self::SEC_CTAB)?;
+        if ctab.elems(4)? != SIGMA + 1 {
+            return Err(SerializeError::Malformed("C array length"));
+        }
+        let cb = ctab.bytes(bytes);
+        let mut c = [0u32; SIGMA + 1];
+        for (i, slot) in c.iter_mut().enumerate() {
+            *slot = u32::from_le_bytes(cb[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        if c[SIGMA] as usize != n {
+            return Err(SerializeError::Malformed("C array total"));
+        }
+        for i in 0..SIGMA {
+            if c[i + 1].checked_sub(c[i]) != Some(totals[i]) {
+                return Err(SerializeError::Malformed("C array total"));
+            }
+        }
+        // Borrow each bulk section from the shared image; `copied` is
+        // the big-endian (or pathological-alignment) fallback and keeps
+        // the same validation story.
+        let u64_store = |entry: &SectionEntry| -> Result<U64Store, SerializeError> {
+            let elems = entry.elems(8)?;
+            U64Store::borrowed(Arc::clone(&base), entry.offset, elems)
+                .or_else(|| U64Store::copied(&base, entry.offset, elems))
+                .ok_or(SerializeError::Malformed("section bounds"))
+        };
+        let u32_store = |entry: &SectionEntry| -> Result<U32Store, SerializeError> {
+            let elems = entry.elems(4)?;
+            U32Store::borrowed(Arc::clone(&base), entry.offset, elems)
+                .or_else(|| U32Store::copied(&base, entry.offset, elems))
+                .ok_or(SerializeError::Malformed("section bounds"))
+        };
+        let l = RankAll::from_store(
+            u64_store(table.section(Self::SEC_RANK_BLOCKS)?)?,
+            occ_rate,
+            dollar_pos,
+            n,
+            totals,
+        )?;
+        let ssa = SampledSuffixArray::from_store(
+            n,
+            sa_rate,
+            u64_store(table.section(Self::SEC_SSA_MARKS)?)?,
+            u32_store(table.section(Self::SEC_SSA_PREFIX)?)?,
+            u32_store(table.section(Self::SEC_SSA_SAMPLES)?)?,
+            !verify_checksums,
+        )?;
+        debug_assert_eq!(ssa.marked_len(), n);
+        Ok(FmIndex { l, c, ssa })
+    }
+
+    /// Load a legacy v2 stream (the pre-container format). This is the
+    /// reader behind `kmm index upgrade`; [`Self::load`] refuses v2
+    /// files with the migration hint instead.
+    pub fn load_legacy_v2<R: std::io::Read>(reader: R) -> Result<Self, SerializeError> {
         let mut r = crate::serialize::SerReader::new(reader);
         let mut magic = [0u8; 8];
         r.bytes(&mut magic)?;
@@ -359,10 +578,10 @@ impl FmIndex {
             return Err(SerializeError::BadMagic);
         }
         let version = r.u32()?;
-        if version != Self::FORMAT_VERSION {
+        if version != Self::LEGACY_FORMAT_VERSION {
             return Err(SerializeError::BadVersion {
                 found: version,
-                expected: Self::FORMAT_VERSION,
+                supported: "v2 (this is the `kmm index upgrade` reader)",
             });
         }
         let mut c = [0u32; SIGMA + 1];
@@ -378,13 +597,43 @@ impl FmIndex {
         Ok(FmIndex { l, c, ssa })
     }
 
+    /// True when the index borrows a loaded/mapped file image instead of
+    /// owning its arrays (i.e. it came from a zero-copy open).
+    pub fn is_borrowed(&self) -> bool {
+        self.l.is_borrowed() || self.ssa.is_borrowed()
+    }
+
     /// File magic tag for serialized indexes.
     pub const MAGIC: &'static [u8; 8] = b"KMMFMIDX";
-    /// Current serialization format version. Version 2 switched the rank
-    /// structure to cache-interleaved blocks (checkpoints co-located with
-    /// the packed `L` words); version-1 files must be rebuilt with
+    /// Current serialization format version. Version 3 is the aligned
+    /// section-tabled container (zero-copy loadable); version 2 was the
+    /// interleaved-rank stream format, convertible with
+    /// `kmm index upgrade`; version-1 files must be rebuilt with
     /// `kmm index`.
-    pub const FORMAT_VERSION: u32 = 2;
+    pub const FORMAT_VERSION: u32 = 3;
+    /// The stream format written before the v3 container.
+    pub const LEGACY_FORMAT_VERSION: u32 = 2;
+    /// What [`Self::load`] accepts, phrased for the version error.
+    pub const SUPPORTED_VERSIONS: &'static str =
+        "v3 (v2 files: run `kmm index upgrade`; v1 files: rebuild with `kmm index`)";
+
+    /// v3 section ids (fixed; new sections append new ids).
+    pub const SEC_META: u32 = 1;
+    /// C-table section id (`σ + 1` little-endian `u32`s).
+    pub const SEC_CTAB: u32 = 2;
+    /// Interleaved rank-block words section id.
+    pub const SEC_RANK_BLOCKS: u32 = 3;
+    /// Sampled-SA mark bitmap section id.
+    pub const SEC_SSA_MARKS: u32 = 4;
+    /// Sampled-SA rank-directory prefix section id (stored, not
+    /// rebuilt, so a zero-copy open needs no O(n) pass).
+    pub const SEC_SSA_PREFIX: u32 = 5;
+    /// Sampled-SA retained-values section id.
+    pub const SEC_SSA_SAMPLES: u32 = 6;
+    /// Fixed byte length of the META section: four `u64` scalars
+    /// (length, rank rate, sentinel row, SA rate) plus `σ` `u32` symbol
+    /// totals.
+    pub const META_BYTES: usize = 4 * 8 + SIGMA * 4;
 
     /// Reconstruct the indexed text (sentinel included) by LF-walking.
     /// O(n · occ); used by tests and the index explorer example.
@@ -400,6 +649,49 @@ impl FmIndex {
         out[n - 1] = SENTINEL;
         out
     }
+}
+
+/// How [`FmIndex::open_path`] got the index bytes into the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Whole file read into an owned image, every checksum verified.
+    Read,
+    /// File mapped read-only; structures borrow the mapping.
+    Mapped,
+}
+
+impl LoadMode {
+    /// Stable telemetry label.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadMode::Read => "read",
+            LoadMode::Mapped => "mmap",
+        }
+    }
+
+    /// Stable numeric code for counters (read = 1, mmap = 2).
+    pub fn as_counter(self) -> u64 {
+        match self {
+            LoadMode::Read => 1,
+            LoadMode::Mapped => 2,
+        }
+    }
+}
+
+/// Deterministic accounting for one [`FmIndex::open_path`] call — the
+/// cold-start benchmark and the `index.load.*` counters read these
+/// instead of wall-clock I/O, so asserting "mmap opens are O(1)" is
+/// reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenStats {
+    /// Which path was taken.
+    pub mode: LoadMode,
+    /// Size of the index file in bytes.
+    pub file_bytes: u64,
+    /// Bytes pulled through `read(2)` (0 for a mapped open).
+    pub io_bytes: u64,
+    /// Bytes mapped into the address space (0 for a read open).
+    pub bytes_mapped: u64,
 }
 
 #[cfg(test)]
@@ -663,5 +955,115 @@ mod tests {
         let iv = fm.extend_backward(fm.whole(), 3);
         assert!(iv.is_empty());
         assert_eq!(fm.f_block(3).len(), 0);
+    }
+
+    #[test]
+    fn v2_files_fail_with_upgrade_hint() {
+        use crate::serialize::SerializeError;
+        let (fm, _) = index(b"gattacagattaca");
+        let mut v2 = Vec::new();
+        fm.save_legacy_v2(&mut v2).unwrap();
+        match FmIndex::load(&v2[..]) {
+            Err(SerializeError::BadVersion { found, supported }) => {
+                assert_eq!(found, 2);
+                assert!(supported.contains("kmm index upgrade"), "{supported}");
+            }
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+        // A v1 header (same shape, older version stamp) names a path too.
+        let mut v1 = v2.clone();
+        v1[8] = 1;
+        assert!(matches!(
+            FmIndex::load(&v1[..]),
+            Err(SerializeError::BadVersion { found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn legacy_v2_reader_roundtrips_for_upgrade() {
+        let (fm, text) = index(b"ctagctagcatgcatacgt");
+        let mut v2 = Vec::new();
+        fm.save_legacy_v2(&mut v2).unwrap();
+        let upgraded = FmIndex::load_legacy_v2(&v2[..]).unwrap();
+        assert_eq!(upgraded.reconstruct_text(), text);
+        // And the upgraded index saves as a loadable v3 container.
+        let mut v3 = Vec::new();
+        upgraded.save(&mut v3).unwrap();
+        assert_eq!(&v3[..8], FmIndex::MAGIC);
+        let reloaded = FmIndex::load(&v3[..]).unwrap();
+        assert_eq!(reloaded.reconstruct_text(), text);
+        // The legacy reader refuses v3 containers cleanly.
+        assert!(matches!(
+            FmIndex::load_legacy_v2(&v3[..]),
+            Err(crate::serialize::SerializeError::BadVersion { found: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn loaded_index_borrows_its_image() {
+        let (fm, _) = index(b"acgtacgtacgtacgt");
+        assert!(!fm.is_borrowed(), "a built index owns its arrays");
+        let mut buf = Vec::new();
+        fm.save(&mut buf).unwrap();
+        let loaded = FmIndex::load(&buf[..]).unwrap();
+        // Sections are 64-byte aligned in the image and the image is an
+        // owned Vec<u64>, so every store borrows (little-endian hosts).
+        if cfg!(target_endian = "little") {
+            assert!(loaded.is_borrowed());
+        }
+    }
+
+    #[test]
+    fn open_path_read_and_mmap_agree() {
+        let (fm, text) = index(b"gattacagattacaacgtacgtccggaatt");
+        let dir = std::env::temp_dir().join(format!("kmm-fm-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.v3");
+        let mut buf = Vec::new();
+        fm.save(&mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let (read_fm, read_stats) = FmIndex::open_path(&path, false).unwrap();
+        assert_eq!(read_stats.mode, LoadMode::Read);
+        assert_eq!(read_stats.io_bytes, buf.len() as u64);
+        assert_eq!(read_stats.bytes_mapped, 0);
+        assert_eq!(read_fm.reconstruct_text(), text);
+
+        let (mm_fm, mm_stats) = FmIndex::open_path(&path, true).unwrap();
+        match mm_stats.mode {
+            LoadMode::Mapped => {
+                assert_eq!(mm_stats.io_bytes, 0);
+                assert_eq!(mm_stats.bytes_mapped, buf.len() as u64);
+                assert!(mm_fm.is_borrowed());
+            }
+            // Platforms without the mmap fast path fall back to read.
+            LoadMode::Read => assert_eq!(mm_stats.io_bytes, buf.len() as u64),
+        }
+        // Both opens answer queries identically to the built index.
+        let pat = kmm_dna::encode(b"atta").unwrap();
+        for loaded in [&read_fm, &mm_fm] {
+            assert_eq!(loaded.backward_search(&pat), fm.backward_search(&pat));
+            assert_eq!(
+                loaded.locate(loaded.backward_search(&pat)),
+                fm.locate(fm.backward_search(&pat))
+            );
+            for iv in [fm.whole(), Interval::new(1, 3)] {
+                assert_eq!(loaded.extend_all(iv), fm.extend_all(iv));
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_is_pure() {
+        use kmm_telemetry::cost::{CostKind, CostSnapshot};
+        let (fm, _) = index(b"acagaca");
+        let before = CostSnapshot::now();
+        fm.prefetch_interval(fm.whole());
+        fm.prefetch_interval(Interval::empty());
+        let delta = CostSnapshot::now().delta(&before);
+        assert_eq!(delta.get(CostKind::RankBlocks), 0);
+        assert_eq!(delta.get(CostKind::RankBytes), 0);
     }
 }

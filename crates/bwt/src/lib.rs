@@ -9,19 +9,25 @@ pub mod bwt;
 pub mod fm_index;
 pub mod interval;
 pub mod limits;
+pub mod mmap;
 pub mod occ;
 pub mod rle;
 pub mod sampled_sa;
 pub mod serialize;
+pub mod simd;
 
 pub use bwt::{bwt, bwt_from_sa, bwt_from_sa_with, inverse_bwt};
-pub use fm_index::{FmBuildConfig, FmIndex};
+pub use fm_index::{FmBuildConfig, FmIndex, LoadMode, OpenStats};
 pub use interval::{Interval, Pair};
 pub use limits::{check_text_len, TextTooLarge, MAX_TEXT_LEN};
+pub use mmap::{IndexBytes, MmapRegion, U32Store, U64Store};
 pub use occ::RankAll;
 pub use rle::{run_stats, RleBwt, RunStats};
 pub use sampled_sa::{BitRank, SampledSuffixArray};
-pub use serialize::{SerReader, SerWriter, SerializeError};
+pub use serialize::{
+    SectionEntry, SectionPayload, SectionTable, SerReader, SerWriter, SerializeError,
+};
+pub use simd::{active_kernel, force_scalar};
 
 #[cfg(test)]
 mod proptests {

@@ -22,6 +22,8 @@ use kmm_par::{aligned_spans, ThreadPool};
 use kmm_telemetry::cost::{self, CostKind};
 
 use crate::limits::{check_text_len, TextTooLarge};
+use crate::mmap::U64Store;
+use crate::simd;
 
 /// Symbols stored per `u64` word (2 bits each).
 const SLOTS_PER_WORD: usize = 32;
@@ -61,8 +63,9 @@ struct SegScan {
 /// `dollar_pos`.
 #[derive(Debug, Clone)]
 pub struct RankAll {
-    /// Interleaved blocks, `blocks_len() * block_words` words.
-    blocks: Vec<u64>,
+    /// Interleaved blocks, `blocks_len() * block_words` words — owned
+    /// after a build, possibly borrowed from a mapped v3 index file.
+    blocks: U64Store,
     /// Configured checkpoint rate (kept for the API and serialization;
     /// the effective span is `lcm(rate, 32)`).
     rate: usize,
@@ -78,77 +81,11 @@ pub struct RankAll {
     totals: [u32; SIGMA],
 }
 
-/// Count occurrences of the 2-bit code `two` within slots `[start, end)`
-/// of the packed array. Branch-free per word: XOR against the broadcast
-/// code zeroes matching groups, then one popcount finds them.
-#[inline]
-fn count_code(packed: &[u64], two: u64, start: usize, end: usize) -> u32 {
-    debug_assert!(start <= end);
-    if start == end {
-        return 0;
-    }
-    const LSB: u64 = 0x5555_5555_5555_5555;
-    let broadcast = two * LSB; // replicate the 2-bit code into all slots
-    let mut count = 0u32;
-    let (first_word, first_slot) = (start / SLOTS_PER_WORD, start % SLOTS_PER_WORD);
-    let (last_word, last_slot) = (end / SLOTS_PER_WORD, end % SLOTS_PER_WORD);
-    let matches_of = |w: u64| -> u64 {
-        let x = w ^ broadcast; // matching 2-bit groups become 00
-        !(x | (x >> 1)) & LSB // LSB set exactly for matching groups
-    };
-    if first_word == last_word {
-        let mut m = matches_of(packed[first_word]);
-        m &= !0u64 << (2 * first_slot);
-        if last_slot != 0 {
-            m &= (1u64 << (2 * last_slot)) - 1;
-        } else {
-            m = 0;
-        }
-        return m.count_ones();
-    }
-    // Head partial word.
-    let mut m = matches_of(packed[first_word]);
-    m &= !0u64 << (2 * first_slot);
-    count += m.count_ones();
-    // Whole words.
-    for &w in &packed[first_word + 1..last_word] {
-        count += matches_of(w).count_ones();
-    }
-    // Tail partial word.
-    if last_slot != 0 {
-        let mut m = matches_of(packed[last_word]);
-        m &= (1u64 << (2 * last_slot)) - 1;
-        count += m.count_ones();
-    }
-    count
-}
-
-/// Add the per-code occurrence counts of slots `[0, end)` of `payload`
-/// into `counts` — all four 2-bit codes in one sweep. Each word is
-/// decomposed into its high/low bit planes; three popcounts classify
-/// codes 1..3 and code 0 falls out by subtraction from the slot total.
-#[inline]
-fn count_all_into(payload: &[u64], end: usize, counts: &mut [u32; 4]) {
-    const LSB: u64 = 0x5555_5555_5555_5555;
-    let (last_word, last_slot) = (end / SLOTS_PER_WORD, end % SLOTS_PER_WORD);
-    let mut tally = |w: u64, keep: u64| {
-        let hi = (w >> 1) & keep;
-        let lo = w & keep;
-        let c3 = (hi & lo).count_ones();
-        let c2 = (hi & !lo).count_ones();
-        let c1 = (!hi & lo).count_ones();
-        counts[0] += keep.count_ones() - c3 - c2 - c1;
-        counts[1] += c1;
-        counts[2] += c2;
-        counts[3] += c3;
-    };
-    for &w in &payload[..last_word] {
-        tally(w, LSB);
-    }
-    if last_slot != 0 {
-        tally(payload[last_word], LSB & ((1u64 << (2 * last_slot)) - 1));
-    }
-}
+// The per-word popcount tallies live in `crate::simd`: one shared
+// [`simd::plane_counts`] helper feeds the scalar kernel, the AVX2 kernel,
+// and (through [`simd::count_all`]) both `occ` and `occ_all` here, so the
+// per-base and fused paths — and the scalar and SIMD paths — cannot
+// drift apart.
 
 impl RankAll {
     /// Build over an `L` column containing exactly one sentinel.
@@ -258,7 +195,7 @@ impl RankAll {
         debug_assert_eq!(blocks.len(), n.div_ceil(block_span) * block_words);
 
         Ok(RankAll {
-            blocks,
+            blocks: blocks.into(),
             rate,
             block_span,
             block_words,
@@ -317,6 +254,27 @@ impl RankAll {
         (HEADER_WORDS * 8 + off.div_ceil(SLOTS_PER_WORD) * 8) as u64
     }
 
+    /// Tally of the block containing `i` up to `i` (exclusive): the
+    /// block's checkpoint header plus the packed-word counts of
+    /// `[block_start, i)` via the shared (dispatching) kernel, with the
+    /// sentinel slot cancelled out of lane 0. `i` must be `< len`.
+    /// Both `occ` and `occ_all` — and the pair fusion — reduce to this.
+    #[inline]
+    fn block_counts_upto(&self, i: usize) -> [u32; 4] {
+        let block = i / self.block_span;
+        let start = block * self.block_span;
+        let base = block * self.block_words;
+        let mut counts = self.header(base);
+        let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
+        simd::count_all(payload, i - start, &mut counts);
+        // The sentinel slot was packed as base 0; cancel it if counted in
+        // the scanned region (headers already exclude it).
+        if self.dollar_pos >= start && self.dollar_pos < i {
+            counts[0] -= 1;
+        }
+        counts
+    }
+
     /// Number of occurrences of base `c` (codes 1..=4) in `L[0..i)`.
     ///
     /// This is the paper's `A_c[i - 1]` (their arrays are 1-based). One
@@ -331,24 +289,13 @@ impl RankAll {
         if i == self.len {
             return self.totals[c as usize];
         }
-        let lane = (c - 1) as usize;
-        let block = i / self.block_span;
-        let start = block * self.block_span;
-        let base = block * self.block_words;
         cost::bump2(
             CostKind::RankBlocks,
             1,
             CostKind::RankBytes,
-            Self::scan_bytes(i - start),
+            Self::scan_bytes(i % self.block_span),
         );
-        let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
-        let mut count = self.header(base)[lane] + count_code(payload, lane as u64, 0, i - start);
-        // The sentinel slot was packed as base 0; cancel it if counted in
-        // the scanned region (headers already exclude it).
-        if lane == 0 && self.dollar_pos >= start && self.dollar_pos < i {
-            count -= 1;
-        }
-        count
+        self.block_counts_upto(i)[(c - 1) as usize]
     }
 
     /// Occurrence counts of all four bases in `L[0..i)` — the fused form
@@ -360,22 +307,49 @@ impl RankAll {
         if i == self.len {
             return std::array::from_fn(|lane| self.totals[lane + 1]);
         }
-        let block = i / self.block_span;
-        let start = block * self.block_span;
-        let base = block * self.block_words;
         cost::bump2(
             CostKind::RankBlocks,
             1,
             CostKind::RankBytes,
-            Self::scan_bytes(i - start),
+            Self::scan_bytes(i % self.block_span),
         );
-        let mut counts = self.header(base);
-        let payload = &self.blocks[base + HEADER_WORDS..base + self.block_words];
-        count_all_into(payload, i - start, &mut counts);
-        if self.dollar_pos >= start && self.dollar_pos < i {
-            counts[0] -= 1;
+        self.block_counts_upto(i)
+    }
+
+    /// `(occ_all(lo), occ_all(hi))` with the block visit shared when both
+    /// boundaries land in the same interleaved block — the common case
+    /// for the narrow intervals a backward search spends its time in.
+    /// One block visit instead of two; bit-identical results.
+    #[inline]
+    pub fn occ_all_pair(&self, lo: usize, hi: usize) -> ([u32; 4], [u32; 4]) {
+        debug_assert!(lo <= hi, "interval boundaries out of order");
+        debug_assert!(hi <= self.len, "occ index {hi} beyond len {}", self.len);
+        if lo == hi {
+            let c = self.occ_all(lo);
+            return (c, c);
         }
-        counts
+        if hi == self.len || lo / self.block_span != hi / self.block_span {
+            return (self.occ_all(lo), self.occ_all(hi));
+        }
+        cost::bump2(
+            CostKind::RankBlocks,
+            1,
+            CostKind::RankBytes,
+            Self::scan_bytes(hi % self.block_span),
+        );
+        (self.block_counts_upto(lo), self.block_counts_upto(hi))
+    }
+
+    /// Hint the block holding position `i` into cache without counting
+    /// anything (and without touching the cost counters — a prefetch is
+    /// a latency hint, not a rank lookup). Out-of-range positions are
+    /// ignored, so callers can pass tentative LF targets freely.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        if i < self.len {
+            let base = i / self.block_span * self.block_words;
+            simd::prefetch_read(self.blocks[base..].as_ptr() as *const u8);
+        }
     }
 
     /// Total number of occurrences of symbol `c` in `L`.
@@ -417,6 +391,51 @@ impl RankAll {
         self.block_span
     }
 
+    /// The raw interleaved block words (for the v3 section writer).
+    pub(crate) fn block_words_raw(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// True when the block array borrows a mapped/owned byte region
+    /// instead of owning a `Vec` (i.e. the index was opened zero-copy).
+    pub fn is_borrowed(&self) -> bool {
+        self.blocks.is_borrowed()
+    }
+
+    /// Assemble from storage already validated against a v3 section:
+    /// `blocks` may borrow the index file. Validation mirrors
+    /// [`Self::read_from`] and must reject every inconsistency that
+    /// could index out of bounds later.
+    pub(crate) fn from_store(
+        blocks: U64Store,
+        rate: usize,
+        dollar_pos: usize,
+        len: usize,
+        totals: [u32; SIGMA],
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        use crate::serialize::SerializeError;
+        if rate < 4 || !rate.is_multiple_of(4) {
+            return Err(SerializeError::Malformed("rankall rate"));
+        }
+        if dollar_pos >= len {
+            return Err(SerializeError::Malformed("sentinel position"));
+        }
+        let block_span = lcm(rate, SLOTS_PER_WORD);
+        let block_words = HEADER_WORDS + block_span / SLOTS_PER_WORD;
+        if blocks.len() != len.div_ceil(block_span) * block_words {
+            return Err(SerializeError::Malformed("block array length"));
+        }
+        Ok(RankAll {
+            blocks,
+            rate,
+            block_span,
+            block_words,
+            dollar_pos,
+            len,
+            totals,
+        })
+    }
+
     /// Serialize into a [`SerWriter`](crate::serialize::SerWriter) stream.
     pub fn write_to<W: std::io::Write>(
         &self,
@@ -456,7 +475,7 @@ impl RankAll {
             return Err(SerializeError::Malformed("block array length"));
         }
         Ok(RankAll {
-            blocks,
+            blocks: blocks.into(),
             rate,
             block_span,
             block_words,
@@ -497,6 +516,17 @@ mod tests {
         }
         for (i, &c) in l.iter().enumerate() {
             assert_eq!(r.symbol(i), c, "symbol({i})");
+        }
+        // The pair fusion agrees with two independent lookups for every
+        // boundary combination (same-block, cross-block, len, empty).
+        for lo in (0..=l.len()).step_by(3) {
+            for hi in (lo..=l.len()).step_by(5) {
+                assert_eq!(
+                    r.occ_all_pair(lo, hi),
+                    (r.occ_all(lo), r.occ_all(hi)),
+                    "pair({lo}, {hi}) rate {rate}"
+                );
+            }
         }
     }
 
@@ -624,6 +654,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pair_fusion_spends_fewer_block_visits() {
+        use kmm_telemetry::cost::{CostKind, CostSnapshot};
+        let blocks_since =
+            |before: &CostSnapshot| CostSnapshot::now().delta(before).get(CostKind::RankBlocks);
+        let mut l: Vec<u8> = (0..4096).map(|i| (i % 4 + 1) as u8).collect();
+        l[4095] = 0;
+        let r = RankAll::new(&l, 64);
+        // Narrow same-block interval: the pair costs one visit, the two
+        // independent lookups cost two — with identical answers.
+        let before = CostSnapshot::now();
+        let pair = r.occ_all_pair(130, 140);
+        let pair_blocks = blocks_since(&before);
+        let before = CostSnapshot::now();
+        let split = (r.occ_all(130), r.occ_all(140));
+        let split_blocks = blocks_since(&before);
+        assert_eq!(pair, split);
+        assert_eq!(pair_blocks, 1);
+        assert_eq!(split_blocks, 2);
+        // Cross-block boundaries still cost two.
+        let before = CostSnapshot::now();
+        let _ = r.occ_all_pair(10, 1000);
+        assert_eq!(blocks_since(&before), 2);
+        // Prefetch is free on the deterministic counters.
+        let before = CostSnapshot::now();
+        r.prefetch(130);
+        r.prefetch(usize::MAX);
+        assert_eq!(blocks_since(&before), 0);
     }
 
     #[test]

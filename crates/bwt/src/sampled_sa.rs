@@ -12,12 +12,13 @@
 use kmm_par::{aligned_spans, ThreadPool};
 
 use crate::limits::{check_text_len, TextTooLarge};
+use crate::mmap::{U32Store, U64Store};
 
 /// A bit vector with O(1) rank support (one u32 prefix count per 64-bit word).
 #[derive(Debug, Clone)]
 pub struct BitRank {
-    words: Vec<u64>,
-    prefix: Vec<u32>,
+    words: U64Store,
+    prefix: U32Store,
     len: usize,
 }
 
@@ -39,8 +40,8 @@ impl BitRank {
             prefix.push(acc);
         }
         BitRank {
-            words,
-            prefix,
+            words: words.into(),
+            prefix: prefix.into(),
             len: n,
         }
     }
@@ -80,7 +81,7 @@ impl BitRank {
 #[derive(Debug, Clone)]
 pub struct SampledSuffixArray {
     marked: BitRank,
-    samples: Vec<u32>,
+    samples: U32Store,
     rate: usize,
 }
 
@@ -142,13 +143,92 @@ impl SampledSuffixArray {
         }
         Ok(SampledSuffixArray {
             marked: BitRank {
-                words,
-                prefix,
+                words: words.into(),
+                prefix: prefix.into(),
                 len: sa.len(),
             },
+            samples: samples.into(),
+            rate,
+        })
+    }
+
+    /// Assemble from storage already validated against v3 sections
+    /// (`words`/`prefix`/`samples` may borrow the index file). The
+    /// structural checks mirror [`Self::read_from`] plus the rank-
+    /// directory invariants that make every later array access in-
+    /// bounds by construction on well-formed data: the stored prefix
+    /// must be exactly the popcount prefix of the stored words, and the
+    /// sample count must equal the total mark count.
+    pub(crate) fn from_store(
+        len: usize,
+        rate: usize,
+        words: U64Store,
+        prefix: U32Store,
+        samples: U32Store,
+        verify_prefix: bool,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        use crate::serialize::SerializeError;
+        if rate == 0 {
+            return Err(SerializeError::Malformed("sa sampling rate"));
+        }
+        if words.len() != len.div_ceil(64) {
+            return Err(SerializeError::Malformed("mark bitmap length"));
+        }
+        if prefix.len() != words.len() + 1 {
+            return Err(SerializeError::Malformed("rank directory length"));
+        }
+        if prefix.first() != Some(&0) && len > 0 {
+            return Err(SerializeError::Malformed("rank directory origin"));
+        }
+        if prefix.last().copied().unwrap_or(0) as usize != samples.len() {
+            return Err(SerializeError::Malformed("sample count"));
+        }
+        // With rate >= 1 the SA value 0 is always sampled, so a
+        // non-empty array without samples cannot be well-formed (and
+        // would make `resolve` walk forever).
+        if len > 0 && samples.is_empty() {
+            return Err(SerializeError::Malformed("sample count"));
+        }
+        if verify_prefix {
+            let mut acc = 0u32;
+            for (w, &p) in words.iter().zip(prefix.iter().skip(1)) {
+                acc = acc.wrapping_add(w.count_ones());
+                if p != acc {
+                    return Err(SerializeError::Malformed("rank directory"));
+                }
+            }
+        }
+        Ok(SampledSuffixArray {
+            marked: BitRank { words, prefix, len },
             samples,
             rate,
         })
+    }
+
+    /// The mark-bitmap words (for the v3 section writer).
+    pub(crate) fn mark_words_raw(&self) -> &[u64] {
+        &self.marked.words
+    }
+
+    /// The rank-directory prefix counts (for the v3 section writer —
+    /// stored so a zero-copy open needs no O(n) rebuild).
+    pub(crate) fn prefix_raw(&self) -> &[u32] {
+        &self.marked.prefix
+    }
+
+    /// The retained SA samples (for the v3 section writer).
+    pub(crate) fn samples_raw(&self) -> &[u32] {
+        &self.samples
+    }
+
+    /// Rows covered by the mark bitmap (== the indexed text length).
+    pub(crate) fn marked_len(&self) -> usize {
+        self.marked.len
+    }
+
+    /// True when any backing array borrows an index file region.
+    pub fn is_borrowed(&self) -> bool {
+        self.marked.words.is_borrowed() || self.samples.is_borrowed()
     }
 
     /// If `row` is sampled, its SA value.
@@ -226,8 +306,12 @@ impl SampledSuffixArray {
             return Err(SerializeError::Malformed("sample count"));
         }
         Ok(SampledSuffixArray {
-            marked: BitRank { words, prefix, len },
-            samples,
+            marked: BitRank {
+                words: words.into(),
+                prefix: prefix.into(),
+                len,
+            },
+            samples: samples.into(),
             rate,
         })
     }

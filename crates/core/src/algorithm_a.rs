@@ -224,6 +224,13 @@ impl<'a> AlgorithmA<'a> {
             q.stats.rank_extensions += 1;
             q.stats.occ_fused += 1;
             let roots = q.fm.extend_all(q.fm.whole());
+            // Advisory: warm each F-block child's boundary rank blocks
+            // before the walks below extend them.
+            for iv in &roots {
+                if !iv.is_empty() {
+                    q.fm.prefetch_interval(*iv);
+                }
+            }
             for y in 1..=BASES as u8 {
                 if gate.should_stop() {
                     break;
@@ -426,6 +433,13 @@ impl<'q, R: Recorder> Query<'q, R> {
             self.stats.rank_extensions += 1;
             self.stats.occ_fused += 1;
             let children = self.fm.extend_all(iv);
+            // Warm the children's boundary rank blocks while the slots
+            // are interned; the walks below re-extend each survivor.
+            for civ in &children {
+                if !civ.is_empty() {
+                    self.fm.prefetch_interval(*civ);
+                }
+            }
             for y in 1..=BASES as u8 {
                 if self.tree.child(node, y) != UNKNOWN {
                     continue;

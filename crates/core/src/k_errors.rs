@@ -118,6 +118,14 @@ impl<'a> KErrorsSearch<'a> {
         stats.rank_extensions += 1;
         stats.occ_fused += 1;
         let children = self.fm.extend_all(iv);
+        // Pull each surviving child's boundary rank blocks toward cache
+        // while the DP rows below are filled — the recursive extend_all
+        // on that child is the very next rank access to those blocks.
+        for child in &children {
+            if !child.is_empty() {
+                self.fm.prefetch_interval(*child);
+            }
+        }
         let mut any_child = false;
         for y in 1..=BASES as u8 {
             let child = children[(y - 1) as usize];

@@ -111,11 +111,16 @@ pub struct SearchResult {
 /// A k-mismatch index over one target string.
 ///
 /// Holds the FM-index of the reversed target (used by the BWT baseline and
-/// Algorithm A) and lazily builds the suffix tree of the forward target
-/// the first time the Cole method is requested.
+/// Algorithm A) and lazily materialises what the other methods need: the
+/// forward text (for the scanning baselines) the first time it is asked
+/// for, and the suffix tree the first time the Cole method is requested.
+/// An index opened from disk therefore serves the FM-backed methods
+/// without ever paying the O(n·occ) text reconstruction.
 #[derive(Debug)]
 pub struct KMismatchIndex {
-    text: Vec<u8>,
+    text: OnceLock<Vec<u8>>,
+    /// Target length in bases (== `fm.len() - 1`).
+    len: usize,
     fm: FmIndex,
     suffix_tree: OnceLock<SuffixTree>,
 }
@@ -147,7 +152,8 @@ impl KMismatchIndex {
         rev.push(0);
         let fm = FmIndex::new_recorded(&rev, config, recorder);
         KMismatchIndex {
-            text,
+            len: text.len(),
+            text: OnceLock::from(text),
             fm,
             suffix_tree: OnceLock::new(),
         }
@@ -173,25 +179,54 @@ impl KMismatchIndex {
             fm.reconstruct_text() == rev
         });
         KMismatchIndex {
-            text,
+            len: text.len(),
+            text: OnceLock::from(text),
             fm,
             suffix_tree: OnceLock::new(),
         }
     }
 
-    /// The indexed target (encoded, sentinel-free).
+    /// Assemble from a loaded FM-index alone. The forward text is *not*
+    /// reconstructed here — the FM-backed methods (`Bwt`, `AlgorithmA`,
+    /// k-errors) never need it, so an index served straight from disk
+    /// (or from an mmap) skips the O(n·occ) LF-walk entirely. The first
+    /// call that does need the text ([`Self::text`], the scanning
+    /// baselines, Cole, SeedFilter) pays it once, lazily.
+    pub fn from_fm(fm: FmIndex) -> Self {
+        assert!(!fm.is_empty(), "an index always covers the sentinel");
+        KMismatchIndex {
+            len: fm.len() - 1,
+            text: OnceLock::new(),
+            fm,
+            suffix_tree: OnceLock::new(),
+        }
+    }
+
+    /// The indexed target (encoded, sentinel-free), reconstructing it
+    /// from the FM-index on first use if the index was opened from disk.
     pub fn text(&self) -> &[u8] {
-        &self.text
+        self.text.get_or_init(|| {
+            let mut rev = self.fm.reconstruct_text();
+            rev.pop(); // sentinel
+            rev.reverse();
+            rev
+        })
     }
 
     /// Target length in bases.
     pub fn len(&self) -> usize {
-        self.text.len()
+        self.len
     }
 
     /// True for an empty target.
     pub fn is_empty(&self) -> bool {
-        self.text.is_empty()
+        self.len == 0
+    }
+
+    /// True when the forward text has already been materialised (either
+    /// the index was built from text, or something reconstructed it).
+    pub fn text_is_materialized(&self) -> bool {
+        self.text.get().is_some()
     }
 
     /// The underlying reverse-text FM-index.
@@ -202,7 +237,7 @@ impl KMismatchIndex {
     /// The forward suffix tree, building it on first use.
     pub fn suffix_tree(&self) -> &SuffixTree {
         self.suffix_tree.get_or_init(|| {
-            let mut t = self.text.clone();
+            let mut t = self.text().to_vec();
             t.push(0);
             SuffixTree::new(t, SIGMA)
         })
@@ -245,15 +280,15 @@ impl KMismatchIndex {
         let cost_start = CostSnapshot::now();
         let mut result = match method {
             Method::Naive => SearchResult {
-                occurrences: naive::find_k_mismatch(&self.text, pattern, k),
+                occurrences: naive::find_k_mismatch(self.text(), pattern, k),
                 stats: SearchStats::default(),
             },
             Method::Kangaroo => SearchResult {
-                occurrences: kangaroo::find_k_mismatch(&self.text, pattern, k),
+                occurrences: kangaroo::find_k_mismatch(self.text(), pattern, k),
                 stats: SearchStats::default(),
             },
             Method::Amir => SearchResult {
-                occurrences: amir::find_k_mismatch(&self.text, pattern, k),
+                occurrences: amir::find_k_mismatch(self.text(), pattern, k),
                 stats: SearchStats::default(),
             },
             Method::Cole => {
@@ -262,19 +297,19 @@ impl KMismatchIndex {
                 SearchResult { occurrences, stats }
             }
             Method::Bwt { use_phi } => {
-                let mut st = STreeSearch::new(&self.fm, self.text.len());
+                let mut st = STreeSearch::new(&self.fm, self.len);
                 st.use_phi = use_phi;
                 let (occurrences, stats) = st.search_recorded(pattern, k, recorder);
                 SearchResult { occurrences, stats }
             }
             Method::AlgorithmA { reuse } => {
-                let mut alg = AlgorithmA::new(&self.fm, self.text.len());
+                let mut alg = AlgorithmA::new(&self.fm, self.len);
                 alg.reuse = reuse;
                 let (occurrences, stats) = alg.search_recorded(pattern, k, recorder);
                 SearchResult { occurrences, stats }
             }
             Method::SeedFilter => {
-                let sf = SeedFilterSearch::new(&self.fm, &self.text);
+                let sf = SeedFilterSearch::new(&self.fm, self.text());
                 let (occurrences, stats) = sf.search(pattern, k);
                 stats.record_into(recorder);
                 SearchResult { occurrences, stats }
@@ -359,13 +394,13 @@ impl KMismatchIndex {
                 }
             }
             Method::Bwt { use_phi } => {
-                let mut st = STreeSearch::new(&self.fm, self.text.len());
+                let mut st = STreeSearch::new(&self.fm, self.len);
                 st.use_phi = use_phi;
                 st.search_deadline_recorded(pattern, k, token, recorder)
                     .map(|(occurrences, stats)| SearchResult { occurrences, stats })
             }
             Method::AlgorithmA { reuse } => {
-                let mut alg = AlgorithmA::new(&self.fm, self.text.len());
+                let mut alg = AlgorithmA::new(&self.fm, self.len);
                 alg.reuse = reuse;
                 alg.search_deadline_recorded(pattern, k, token, recorder)
                     .map(|(occurrences, stats)| SearchResult { occurrences, stats })
@@ -374,7 +409,7 @@ impl KMismatchIndex {
                 if token.is_expired() {
                     Outcome::Truncated(self.truncated_at_entry(recorder))
                 } else {
-                    let sf = SeedFilterSearch::new(&self.fm, &self.text);
+                    let sf = SeedFilterSearch::new(&self.fm, self.text());
                     let (occurrences, stats) = sf.search(pattern, k);
                     stats.record_into(recorder);
                     Outcome::Complete(SearchResult { occurrences, stats })
@@ -429,11 +464,12 @@ impl KMismatchIndex {
         recorder: &R,
         scan: impl Fn(&[u8], &[u8], usize) -> Vec<Occurrence>,
     ) -> Outcome<SearchResult> {
-        let n = self.text.len();
+        let text = self.text();
+        let n = text.len();
         let m = pattern.len();
         if m == 0 || m > n {
             return Outcome::Complete(SearchResult {
-                occurrences: scan(&self.text, pattern, k),
+                occurrences: scan(text, pattern, k),
                 stats: SearchStats::default(),
             });
         }
@@ -450,7 +486,7 @@ impl KMismatchIndex {
                 break;
             }
             let hi = (c + Self::SCAN_CHUNK - 1).min(last_start);
-            for o in scan(&self.text[c..hi + m], pattern, k) {
+            for o in scan(&text[c..hi + m], pattern, k) {
                 occurrences.push(Occurrence {
                     position: o.position + c,
                     mismatches: o.mismatches,
@@ -489,7 +525,7 @@ impl KMismatchIndex {
     ) -> (Vec<crate::k_errors::EditOccurrence>, SearchStats) {
         let cost_start = CostSnapshot::now();
         let (occurrences, mut stats) =
-            crate::k_errors::KErrorsSearch::new(&self.fm, self.text.len()).search(pattern, k);
+            crate::k_errors::KErrorsSearch::new(&self.fm, self.len).search(pattern, k);
         attribute_costs(&mut stats, &cost_start, &NoopRecorder);
         (occurrences, stats)
     }
@@ -821,5 +857,32 @@ mod tests {
         let a = idx.suffix_tree() as *const _;
         let b = idx.suffix_tree() as *const _;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_fm_defers_text_until_a_scanner_needs_it() {
+        let built = KMismatchIndex::from_ascii(b"acagacagattacaacagtt").unwrap();
+        let mut bytes = Vec::new();
+        built.fm().save(&mut bytes).unwrap();
+        let fm = kmm_bwt::FmIndex::load(&bytes[..]).unwrap();
+        let idx = KMismatchIndex::from_fm(fm);
+        assert_eq!(idx.len(), built.len());
+        assert!(!idx.text_is_materialized());
+        // FM-backed methods never touch the forward text.
+        let pat = kmm_dna::encode(b"acag").unwrap();
+        for method in [Method::ALGORITHM_A, Method::Bwt { use_phi: true }] {
+            assert_eq!(
+                idx.search(&pat, 1, method).occurrences,
+                built.search(&pat, 1, method).occurrences
+            );
+        }
+        assert!(!idx.text_is_materialized());
+        // A scanning method reconstructs it once, and answers match.
+        assert_eq!(
+            idx.search(&pat, 1, Method::Naive).occurrences,
+            built.search(&pat, 1, Method::Naive).occurrences
+        );
+        assert!(idx.text_is_materialized());
+        assert_eq!(idx.text(), built.text());
     }
 }

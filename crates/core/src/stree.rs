@@ -244,6 +244,15 @@ impl<'a> STreeSearch<'a> {
         stats.rank_extensions += 1;
         stats.occ_fused += 1;
         let children = self.fm.extend_all(iv);
+        // Hint the next level's rank blocks into cache while this level
+        // does its per-child bookkeeping; the descent below re-extends
+        // each surviving child, and its boundary blocks are exactly what
+        // these advisory prefetches pull in.
+        for child in &children {
+            if !child.is_empty() {
+                self.fm.prefetch_interval(*child);
+            }
+        }
         let mut any_child = false;
         for y in 1..=BASES as u8 {
             let child = children[(y - 1) as usize];

@@ -193,10 +193,20 @@ pub enum Counter {
     /// Bytes of the loaded index's sampled suffix array (gauge, set at
     /// load) — completes the per-structure byte attribution.
     SampledSaBytes,
+    /// Bytes of the index file pulled through `read(2)` at load (gauge,
+    /// set at load; 0 for a zero-copy mmap open).
+    IndexLoadIoBytes,
+    /// Bytes of the index file mapped into the address space at load
+    /// (gauge, set at load; 0 for a buffered-read open).
+    IndexLoadMappedBytes,
+    /// How the index got into memory: 1 = buffered read (full checksum
+    /// verification), 2 = mmap (zero-copy, table-only verification).
+    /// Gauge, set at load.
+    IndexLoadMode,
 }
 
 impl Counter {
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 30;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -225,6 +235,9 @@ impl Counter {
         Counter::RankPayloadBytes,
         Counter::RankOverheadBytes,
         Counter::SampledSaBytes,
+        Counter::IndexLoadIoBytes,
+        Counter::IndexLoadMappedBytes,
+        Counter::IndexLoadMode,
     ];
 
     pub fn name(self) -> &'static str {
@@ -256,6 +269,9 @@ impl Counter {
             Counter::RankPayloadBytes => "index.rankall_payload_bytes",
             Counter::RankOverheadBytes => "index.rankall_block_overhead_bytes",
             Counter::SampledSaBytes => "index.sampled_sa_bytes",
+            Counter::IndexLoadIoBytes => "index.load.io_bytes",
+            Counter::IndexLoadMappedBytes => "index.load.bytes_mapped",
+            Counter::IndexLoadMode => "index.load.mode",
         }
     }
 

@@ -115,18 +115,51 @@ http_post /shutdown "" | grep -q "200 OK"
 wait "$serve_pid"
 grep -q "served" "$tmp/serve.log"
 
-echo "== occbench smoke: BENCH_occ.json with occ and occ_all rows =="
+echo "== occbench smoke: BENCH_occ.json with occ, occ_all and kernel rows =="
 target/release/experiments occbench --scale 0.02 --out-dir "$tmp/bench" \
     > "$tmp/occbench.txt"
 grep -q "fused speedup" "$tmp/occbench.txt"
+grep -q "dispatched kernel" "$tmp/occbench.txt"
 test -s "$tmp/bench/BENCH_occ.json"
 python3 -c "
 import json, sys
 doc = json.load(open('$tmp/bench/BENCH_occ.json'))
 assert doc['schema'] == 'kmm-bench/v1', doc['schema']
 methods = {r['method'] for r in doc['records']}
-assert methods == {'occ', 'occ_all'}, methods
-" || { echo "verify: BENCH_occ.json missing occ/occ_all rows" >&2; exit 1; }
+assert {'occ', 'occ_all'} <= methods, methods
+# The SIMD-vs-scalar sweep lands one pair per checkpoint rate.
+for rate in (64, 256, 1024):
+    assert f'occ_all_scalar@r{rate}' in methods, methods
+    assert f'occ_all_simd@r{rate}' in methods, methods
+" || { echo "verify: BENCH_occ.json missing occ/occ_all/kernel rows" >&2; exit 1; }
+
+echo "== SIMD beats scalar at wide checkpoint rates (kmm bench diff) =="
+# Split the kernel sweep into a scalar doc and a simd doc with matching
+# record keys, then let the timing gate decide: if the SIMD kernel is
+# not at least as fast as forced-scalar at rate 1024, the diff fails.
+# Only meaningful when the dispatcher actually picked a vector kernel.
+if grep -q "dispatched kernel: avx2" "$tmp/occbench.txt"; then
+    python3 -c "
+import json
+doc = json.load(open('$tmp/bench/BENCH_occ.json'))
+def pick(suffix):
+    out = dict(doc)
+    out['records'] = [
+        {**r, 'method': 'occ_all_kernel@r1024'}
+        for r in doc['records'] if r['method'] == f'occ_all_{suffix}@r1024'
+    ]
+    assert out['records'], f'no occ_all_{suffix}@r1024 row'
+    return out
+json.dump(pick('scalar'), open('$tmp/bench/occ-scalar.json', 'w'))
+json.dump(pick('simd'), open('$tmp/bench/occ-simd.json', 'w'))
+"
+    "$kmm" bench diff "$tmp/bench/occ-scalar.json" "$tmp/bench/occ-simd.json" \
+        --fail-on-time-regress 0 2> "$tmp/diff-simd.txt" \
+        || { echo "verify: SIMD kernel slower than scalar at rate 1024" >&2
+             cat "$tmp/diff-simd.txt" >&2; exit 1; }
+else
+    echo "  (no AVX2 on this machine; kernel timing gate skipped)"
+fi
 
 echo "== parallel index determinism at widths 1 and 8 =="
 # The interleaved-block rank build must stay byte-identical at any
@@ -230,6 +263,96 @@ if "$kmm" bench diff "$tmp/base-a/BENCH_baseline.json" \
 fi
 grep -q "REGRESSION" "$tmp/diff-inject.txt"
 grep -q "index.rank_overhead_bytes" "$tmp/diff-inject.txt"
+
+echo "== SIMD/scalar bit-identity: KMM_NO_SIMD=1 changes nothing =="
+# The scalar fallback must produce the same hits and the same
+# deterministic counters as the dispatched kernel, bit for bit.
+KMM_NO_SIMD=1 "$kmm" search --index "$tmp/ref.idx" --pattern "$pattern" -k 2 \
+    > "$tmp/hits-nosimd.tsv" 2>/dev/null
+cmp "$tmp/hits.tsv" "$tmp/hits-nosimd.tsv"
+KMM_NO_SIMD=1 target/release/experiments baseline --out-dir "$tmp/base-nosimd" > /dev/null
+"$kmm" bench diff "$tmp/base-a/BENCH_baseline.json" \
+    "$tmp/base-nosimd/BENCH_baseline.json" \
+    --assert-identical 2> "$tmp/diff-nosimd.txt"
+grep -q "deterministic counters: identical" "$tmp/diff-nosimd.txt"
+
+echo "== kmm serve --mmap: zero-copy open, same answers =="
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --mmap --port-file "$tmp/port-mmap" 2> "$tmp/serve-mmap.log" &
+mmap_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-mmap" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-mmap" ] || { echo "verify: mmap serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-mmap")
+# The cold-start log line names the load mode; on linux it is mmap with
+# zero read bytes, and /stats.json carries index.load.mode = 2.
+grep -q "index opened via" "$tmp/serve-mmap.log"
+resp=$(http_get /stats.json)
+echo "$resp" | grep -q '"index.load.mode": 2'
+echo "$resp" | grep -q '"index.load.io_bytes": 0'
+# Searches against the mapped index match the CLI (read-path) hits.
+http_post /search "{\"pattern\": \"$pattern\", \"k\": 2}" > "$tmp/http-mmap.json"
+mmap_positions=$(grep -o '"position": [0-9]*' "$tmp/http-mmap.json" \
+    | grep -o '[0-9]*' | sort -n | tr '\n' ',')
+if [ "$cli_positions" != "$mmap_positions" ]; then
+    echo "verify: --mmap /search ($mmap_positions) != CLI search ($cli_positions)" >&2
+    exit 1
+fi
+resp=$(http_post /shutdown "")
+echo "$resp" | grep -q "200 OK"
+wait "$mmap_pid"
+
+echo "== index upgrade + corruption handling =="
+# Upgrading a current-format index is a clean no-op.
+"$kmm" index upgrade --index "$tmp/ref.idx" 2> "$tmp/upgrade.txt"
+grep -q "nothing to do" "$tmp/upgrade.txt"
+# A flipped byte in the section table is a typed error on both the read
+# path and the mmap path — never a panic or garbage results.
+cp "$tmp/ref.idx" "$tmp/ref-corrupt.idx"
+python3 -c "
+with open('$tmp/ref-corrupt.idx', 'r+b') as f:
+    f.seek(17)
+    b = f.read(1)
+    f.seek(17)
+    f.write(bytes([b[0] ^ 0xff]))
+"
+if "$kmm" search --index "$tmp/ref-corrupt.idx" --pattern "$pattern" 2> "$tmp/corrupt.txt"; then
+    echo "verify: corrupt index was not rejected (read path)" >&2; exit 1
+fi
+grep -Eiq "corrupt|malformed|magic|version" "$tmp/corrupt.txt"
+if timeout 30 "$kmm" serve --index "$tmp/ref-corrupt.idx" --mmap --addr 127.0.0.1:0 \
+    2> "$tmp/corrupt-mmap.txt"; then
+    echo "verify: corrupt index was not rejected (mmap path)" >&2; exit 1
+fi
+grep -Eiq "corrupt|malformed|magic|version" "$tmp/corrupt-mmap.txt"
+# Corruption under an armed failpoint still reports the injected fault
+# first — the failpoint layer sits in front of the open.
+if KMM_FAILPOINTS='index.load.io=err' "$kmm" search --index "$tmp/ref-corrupt.idx" \
+    --pattern "$pattern" 2> "$tmp/corrupt-fp.txt"; then
+    echo "verify: corrupt index + failpoint did not fail" >&2; exit 1
+fi
+grep -q "injected fault" "$tmp/corrupt-fp.txt"
+
+echo "== coldstart artifact: mmap does zero startup I/O =="
+target/release/experiments coldstart --scale 0.02 --out-dir "$tmp/bench" \
+    > "$tmp/coldstart.txt"
+test -s "$tmp/bench/BENCH_coldstart.json"
+python3 -c "
+import json
+doc = json.load(open('$tmp/bench/BENCH_coldstart.json'))
+assert doc['schema'] == 'kmm-bench/v1', doc['schema']
+reads = [r for r in doc['records'] if r['method'] == 'open_read']
+maps = [r for r in doc['records'] if r['method'] == 'open_mmap']
+assert reads and maps, doc['records']
+for r in reads:
+    assert r['stats']['load_io_bytes'] == r['stats']['load_file_bytes'] > 0, r
+for r in maps:
+    if r['stats']['load_borrowed'] == 1:
+        assert r['stats']['load_io_bytes'] == 0, r
+        assert r['stats']['load_bytes_mapped'] == r['stats']['load_file_bytes'], r
+" || { echo "verify: BENCH_coldstart.json byte counters are wrong" >&2; exit 1; }
 
 echo "== event log + memory accounting smoke test =="
 # --log-json writes structured JSON lines; --quiet silences stderr events.

@@ -30,6 +30,7 @@ commands:
   generate  --genome <rat|zebrafish|rat-chr1|celegans|cmerolae>
             [--scale F] -o <out.fa>
   index     --reference <ref.fa> -o <out.idx> [--threads N]
+  index upgrade --index <old.idx> [-o <out.idx>]
   simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
   map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
             [--both-strands true] [--threads N] [--timeout-ms T] [--stats]
@@ -42,6 +43,7 @@ commands:
   serve     --index <ref.idx> [--addr HOST:PORT] [--threads N] [-k K]
             [--method M] [--slowest K] [--port-file <path>]
             [--timeout-ms T] [--max-body-bytes B] [--failpoints SPEC]
+            [--mmap]
   bench diff <baseline.json> <candidate.json> [--fail-on-regress PCT]
             [--fail-on-time-regress PCT] [--assert-identical]
 
@@ -74,6 +76,16 @@ GET /healthz, /metrics (Prometheus), /stats.json, /slow.json,
 127.0.0.1:0 (ephemeral port; use --port-file to discover it). When all
 workers are busy and the handoff queue is full, new connections get an
 immediate 429 + Retry-After; bodies over --max-body-bytes get 413.
+--mmap opens the index zero-copy: startup is O(1) in the index size
+(section-table verified, payloads faulted in on demand) instead of
+reading and checksumming the whole file up front.
+
+index upgrade rewrites a legacy v2 index file as the current v3
+container (atomically, in place unless -o is given); a rebuild from the
+reference is never needed.
+
+kmm search/map/serve read only v3 index files; v2 files fail with a
+pointer to 'kmm index upgrade'.
 
 --failpoints SPEC (or the KMM_FAILPOINTS env var) arms deterministic
 fault-injection sites, e.g. 'serve.handler.err=1in10.err' or
@@ -90,11 +102,12 @@ default: timing is machine-dependent); --assert-identical fails on any
 deterministic delta at all (the repeat-run check).";
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical"];
+const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical", "mmap"];
 
 /// Per-command accepted flags (after `-j` canonicalises to `threads`).
 const GENERATE_FLAGS: &[&str] = &["genome", "scale", "o"];
 const INDEX_FLAGS: &[&str] = &["reference", "o", "threads"];
+const INDEX_UPGRADE_FLAGS: &[&str] = &["index", "o"];
 const SIMULATE_FLAGS: &[&str] = &["reference", "reads", "len", "seed", "o"];
 const MAP_FLAGS: &[&str] = &[
     "index",
@@ -133,6 +146,7 @@ const SERVE_FLAGS: &[&str] = &[
     "timeout-ms",
     "max-body-bytes",
     "failpoints",
+    "mmap",
 ];
 const BENCH_DIFF_FLAGS: &[&str] = &[
     "fail-on-regress",
@@ -370,6 +384,14 @@ fn run() -> Result<String, CliError> {
             cli::generate(genome, scale, &out_path(&args)?)
         }
         "index" => {
+            // `kmm index upgrade` converts a legacy v2 file to the v3
+            // container without rebuilding from the reference.
+            if rest.first().map(String::as_str) == Some("upgrade") {
+                let args = Args::parse(&rest[1..], INDEX_UPGRADE_FLAGS)?;
+                let input = PathBuf::from(args.require("index")?);
+                let out = args.get("o").map(PathBuf::from);
+                return cli::index_upgrade(&input, out.as_deref());
+            }
             let args = Args::parse(rest, INDEX_FLAGS)?;
             cli::index(
                 &PathBuf::from(args.require("reference")?),
@@ -449,6 +471,7 @@ fn run() -> Result<String, CliError> {
                     "max-body-bytes",
                     bwt_kmismatch::serve::DEFAULT_MAX_BODY_BYTES,
                 )?,
+                prefer_mmap: args.get("mmap").is_some(),
             };
             bwt_kmismatch::serve::run(&PathBuf::from(args.require("index")?), config)
         }

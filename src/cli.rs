@@ -7,7 +7,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use kmm_bwt::{FmBuildConfig, FmIndex};
+use kmm_bwt::{FmBuildConfig, FmIndex, OpenStats};
 use kmm_core::{KMismatchIndex, Method};
 use kmm_dna::genome::ReferenceGenome;
 use kmm_dna::{fasta, fastq};
@@ -210,7 +210,10 @@ pub fn atomic_save(
     Ok(())
 }
 
-/// Load a saved index, recovering the forward text from the BWT.
+/// Load a saved index. The forward text is *not* reconstructed here —
+/// [`KMismatchIndex`] materialises it lazily if a scanning method needs
+/// it, so the FM-backed serving paths start in time independent of the
+/// O(n·occ) LF-walk.
 pub fn load_index(path: &Path) -> CliResult<KMismatchIndex> {
     load_index_recorded(path, &NoopRecorder)
 }
@@ -218,23 +221,69 @@ pub fn load_index(path: &Path) -> CliResult<KMismatchIndex> {
 /// [`load_index`] with telemetry: deserialisation is timed as the
 /// `index.load` phase.
 pub fn load_index_recorded<R: Recorder>(path: &Path, recorder: &R) -> CliResult<KMismatchIndex> {
+    open_index_recorded(path, false, recorder).map(|(idx, _)| idx)
+}
+
+/// Open a saved index, optionally zero-copy, returning the deterministic
+/// [`OpenStats`] alongside. With `prefer_mmap` the file is mapped
+/// read-only and the index borrows the mapping (O(1) in the index size,
+/// table-verified); otherwise it is read with full checksum verification.
+/// Either way the `index.load.*` gauges land on `recorder`.
+pub fn open_index_recorded<R: Recorder>(
+    path: &Path,
+    prefer_mmap: bool,
+    recorder: &R,
+) -> CliResult<(KMismatchIndex, OpenStats)> {
     let _load = phase_scope(MemPhase::Load);
     // Failpoint: `index.load.io=err` makes every load fail the way a
     // vanished/unreadable file would.
     kmm_faults::io_gate("index.load.io")
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
-    let fm = FmIndex::load_recorded(BufReader::new(File::open(path)?), recorder)
-        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    let (fm, stats) = {
+        let _span = recorder.span(kmm_telemetry::Phase::IndexLoad);
+        FmIndex::open_path(path, prefer_mmap)
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?
+    };
     // Footprint gauges for `--stats`: the rank structure's packed-text
-    // payload vs its interleaved checkpoint overhead vs the SA samples.
+    // payload vs its interleaved checkpoint overhead vs the SA samples,
+    // plus how the bytes got here (read vs mmap).
     recorder.add(Counter::RankPayloadBytes, fm.rank_payload_bytes() as u64);
     recorder.add(Counter::RankOverheadBytes, fm.rank_overhead_bytes() as u64);
     recorder.add(Counter::SampledSaBytes, fm.sampled_sa_bytes() as u64);
-    // The index stores reverse(text) + $; invert and flip to recover text.
-    let mut rev = fm.reconstruct_text();
-    rev.pop(); // sentinel
-    rev.reverse();
-    Ok(KMismatchIndex::from_parts(rev, fm))
+    recorder.add(Counter::IndexLoadIoBytes, stats.io_bytes);
+    recorder.add(Counter::IndexLoadMappedBytes, stats.bytes_mapped);
+    recorder.add(Counter::IndexLoadMode, stats.mode.as_counter());
+    Ok((KMismatchIndex::from_fm(fm), stats))
+}
+
+/// `kmm index upgrade`: convert a legacy v2 index file to the current
+/// v3 container in place (or to `--out`). The conversion is a pure
+/// re-serialisation — no rebuild — and goes through [`atomic_save`], so
+/// a crash mid-upgrade leaves the original file intact.
+pub fn index_upgrade(path: &Path, out: Option<&Path>) -> CliResult<String> {
+    let file = File::open(path).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    let fm = match FmIndex::load_legacy_v2(BufReader::new(file)) {
+        Ok(fm) => fm,
+        Err(kmm_bwt::SerializeError::BadVersion { found, .. })
+            if found == FmIndex::FORMAT_VERSION =>
+        {
+            return Ok(format!(
+                "{} is already a v{found} index; nothing to do",
+                path.display()
+            ));
+        }
+        Err(e) => return Err(CliError(format!("{}: {e}", path.display()))),
+    };
+    let target = out.unwrap_or(path);
+    atomic_save(target, |w| fm.save(w).map_err(std::io::Error::other))?;
+    Ok(format!(
+        "upgraded {} (v{}) -> {} (v{}, {} bp)",
+        path.display(),
+        FmIndex::LEGACY_FORMAT_VERSION,
+        target.display(),
+        FmIndex::FORMAT_VERSION,
+        fm.len() - 1,
+    ))
 }
 
 /// Telemetry options for `kmm map` / `kmm search` (`--stats`,
@@ -767,6 +816,62 @@ mod tests {
             assert_eq!(
                 loaded.search(&probe, k, Method::ALGORITHM_A).occurrences,
                 fresh.search(&probe, k, Method::ALGORITHM_A).occurrences
+            );
+        }
+    }
+
+    #[test]
+    fn upgrade_subcommand_converts_v2_files() {
+        let fa = tmp("upgrade.fa");
+        let idxf = tmp("upgrade.idx");
+        let v2f = tmp("upgrade-v2.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf, 2).unwrap();
+        let idx = load_index(&idxf).unwrap();
+
+        // Write the same index in the legacy v2 stream format; current
+        // readers must refuse it with the upgrade hint.
+        let mut w = std::io::BufWriter::new(File::create(&v2f).unwrap());
+        idx.fm().save_legacy_v2(&mut w).unwrap();
+        drop(w);
+        let refused = load_index(&v2f).unwrap_err();
+        assert!(refused.0.contains("kmm index upgrade"), "{refused}");
+
+        // In-place upgrade makes it loadable again, with equal answers.
+        let summary = index_upgrade(&v2f, None).unwrap();
+        assert!(summary.contains("upgraded"), "{summary}");
+        let upgraded = load_index(&v2f).unwrap();
+        let probe = idx.text()[40..100].to_vec();
+        assert_eq!(
+            upgraded.search(&probe, 2, Method::ALGORITHM_A).occurrences,
+            idx.search(&probe, 2, Method::ALGORITHM_A).occurrences
+        );
+
+        // Upgrading a current-format file is a no-op, not an error.
+        let again = index_upgrade(&v2f, None).unwrap();
+        assert!(again.contains("nothing to do"), "{again}");
+    }
+
+    #[test]
+    fn mmap_open_matches_read_open() {
+        let fa = tmp("mmapopen.fa");
+        let idxf = tmp("mmapopen.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf, 2).unwrap();
+
+        let (read_idx, read_stats) = open_index_recorded(&idxf, false, &NoopRecorder).unwrap();
+        let (mmap_idx, mmap_stats) = open_index_recorded(&idxf, true, &NoopRecorder).unwrap();
+        assert_eq!(read_stats.io_bytes, read_stats.file_bytes);
+        assert_eq!(read_stats.bytes_mapped, 0);
+        if mmap_idx.fm().is_borrowed() {
+            assert_eq!(mmap_stats.io_bytes, 0);
+            assert_eq!(mmap_stats.bytes_mapped, mmap_stats.file_bytes);
+        }
+        let probe = read_idx.text()[100..160].to_vec();
+        for k in [0usize, 2] {
+            assert_eq!(
+                mmap_idx.search(&probe, k, Method::ALGORITHM_A).occurrences,
+                read_idx.search(&probe, k, Method::ALGORITHM_A).occurrences
             );
         }
     }

@@ -52,10 +52,10 @@ use kmm_core::{
     CancelToken, KMismatchIndex, MapOutcome, MapperConfig, Method, Outcome, ReadMapper, Strand,
 };
 use kmm_par::ThreadPool;
-use kmm_telemetry::alloc::{mem_stats, phase_scope, MemPhase};
+use kmm_telemetry::alloc::{fmt_bytes, mem_stats, phase_scope, MemPhase};
 use kmm_telemetry::{
-    chrome_trace_json, events, prometheus_mem_text, slow_queries_json, Counter, Json, Recorder,
-    SlidingWindow, TraceConfig, TraceRecorder,
+    chrome_trace_json, events, prometheus_mem_text, slow_queries_json, Counter, Json, NoopRecorder,
+    Recorder, SlidingWindow, TraceConfig, TraceRecorder,
 };
 
 use crate::cli::{self, CliError, CliResult};
@@ -88,6 +88,12 @@ pub struct ServeConfig {
     /// Reject request bodies whose declared `Content-Length` exceeds
     /// this, with a `413` sent before reading the body.
     pub max_body_bytes: usize,
+    /// Open the index zero-copy (`mmap`) instead of reading it into
+    /// memory. Startup cost becomes O(1) in the index size: the v3
+    /// section table is verified, the payloads are borrowed from the
+    /// mapping and faulted in on demand. Falls back to the read path if
+    /// the platform cannot map the file.
+    pub prefer_mmap: bool,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +108,7 @@ impl Default for ServeConfig {
             port_file: None,
             timeout_ms: None,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            prefer_mmap: false,
         }
     }
 }
@@ -327,7 +334,7 @@ impl Server {
     pub fn start(index: KMismatchIndex, config: ServeConfig) -> CliResult<Server> {
         let listener = bind(&config)?;
         let addr = listener.local_addr()?;
-        let thread = std::thread::spawn(move || serve_on(listener, index, config));
+        let thread = std::thread::spawn(move || serve_on(listener, index, config, None));
         Ok(Server { addr, thread })
     }
 
@@ -348,7 +355,30 @@ impl Server {
 /// `kmm serve`: load the index at `index_path` and serve it on the
 /// calling thread until a `POST /shutdown` arrives. Returns the summary.
 pub fn run(index_path: &std::path::Path, config: ServeConfig) -> CliResult<String> {
-    let index = cli::load_index(index_path)?;
+    let load_start = Instant::now();
+    let (index, open) = cli::open_index_recorded(index_path, config.prefer_mmap, &NoopRecorder)?;
+    let cold_start = load_start.elapsed();
+    // Cold-start line: with `--mmap` the load is O(1) in the index size
+    // (io_bytes = 0, the file is borrowed), so this duration stays flat
+    // as the index grows; the read path scales with file_bytes.
+    events::info(
+        "serve",
+        format!(
+            "kmm serve: index opened via {} in {:.1}ms ({} file, {} read, {} mapped)",
+            open.mode.name(),
+            cold_start.as_secs_f64() * 1e3,
+            fmt_bytes(open.file_bytes),
+            fmt_bytes(open.io_bytes),
+            fmt_bytes(open.bytes_mapped),
+        ),
+        &[
+            ("load_mode", open.mode.name().to_string()),
+            ("load_us", cold_start.as_micros().to_string()),
+            ("file_bytes", open.file_bytes.to_string()),
+            ("io_bytes", open.io_bytes.to_string()),
+            ("bytes_mapped", open.bytes_mapped.to_string()),
+        ],
+    );
     let listener = bind(&config)?;
     let addr = listener.local_addr()?;
     events::info(
@@ -365,7 +395,7 @@ pub fn run(index_path: &std::path::Path, config: ServeConfig) -> CliResult<Strin
             ("indexed_bp", index.len().to_string()),
         ],
     );
-    Ok(serve_on(listener, index, config))
+    Ok(serve_on(listener, index, config, Some(open)))
 }
 
 fn bind(config: &ServeConfig) -> CliResult<TcpListener> {
@@ -379,10 +409,27 @@ fn bind(config: &ServeConfig) -> CliResult<TcpListener> {
 }
 
 /// The accept/dispatch loop; returns the shutdown summary.
-fn serve_on(listener: TcpListener, index: KMismatchIndex, config: ServeConfig) -> String {
+fn serve_on(
+    listener: TcpListener,
+    index: KMismatchIndex,
+    config: ServeConfig,
+    open: Option<kmm_bwt::OpenStats>,
+) -> String {
     let _serve = phase_scope(MemPhase::Serve);
     let threads = config.threads.max(1);
     let state = ServerState::new(index, config);
+    // Surface how the index got here on `/metrics` and `/stats.json`:
+    // `index.load.mode` is 1 (read) or 2 (mmap), and exactly one of
+    // io_bytes / bytes_mapped is non-zero.
+    if let Some(open) = open {
+        state.recorder.add(Counter::IndexLoadIoBytes, open.io_bytes);
+        state
+            .recorder
+            .add(Counter::IndexLoadMappedBytes, open.bytes_mapped);
+        state
+            .recorder
+            .add(Counter::IndexLoadMode, open.mode.as_counter());
+    }
     listener
         .set_nonblocking(true)
         .expect("cannot poll the listener");

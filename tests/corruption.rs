@@ -1,10 +1,13 @@
-//! Corruption-matrix tests for the saved index format: flip one byte in
-//! each region of a real serialized index (magic, version, C array,
-//! payload, length prefixes, checksum) and assert the load fails with
-//! the matching [`SerializeError`] variant — never a panic, and never a
-//! runaway allocation from a corrupt length prefix.
+//! Corruption-matrix tests for the v3 container format: flip one byte
+//! in each region of a real serialized index (magic, version, section
+//! table, section payloads, padding) and assert the load fails with the
+//! matching [`SerializeError`] variant — never a panic, and never a
+//! runaway allocation from a corrupt table entry. The same matrix runs
+//! against the zero-copy `open_path` so the borrowed path is typed-safe
+//! too.
 
-use bwt_kmismatch::bwt::{FmIndex, SerializeError};
+use bwt_kmismatch::bwt::serialize::TABLE_ENTRY_BYTES;
+use bwt_kmismatch::bwt::{FmIndex, SectionTable, SerializeError};
 use bwt_kmismatch::dna::genome::{markov, MarkovConfig};
 
 /// A real serialized index, as `kmm index` would write it.
@@ -18,6 +21,19 @@ fn saved_index() -> Vec<u8> {
 
 fn load(bytes: &[u8]) -> Result<FmIndex, SerializeError> {
     FmIndex::load(bytes)
+}
+
+/// Byte ranges of the image that are covered by a checksum: the header
+/// plus table (its own FNV) and each section payload (per-entry FNV).
+/// Alignment padding between them is deliberately uncovered.
+fn covered_ranges(buf: &[u8]) -> Vec<(usize, usize)> {
+    let table = SectionTable::parse(buf, FmIndex::MAGIC).expect("clean image parses");
+    let table_end = 16 + table.entries.len() * TABLE_ENTRY_BYTES;
+    let mut ranges = vec![(0usize, table_end + 8)];
+    for e in &table.entries {
+        ranges.push((e.offset, e.offset + e.len));
+    }
+    ranges
 }
 
 #[test]
@@ -43,13 +59,16 @@ fn flipped_magic_is_bad_magic() {
 #[test]
 fn flipped_version_is_bad_version() {
     let buf = saved_index();
-    // Bytes 8..12 hold the little-endian format version.
+    // Bytes 8..12 hold the little-endian format version; the version
+    // gate fires before the header checksum so old files get the
+    // migration hint, not a corruption report.
     for off in 8..12 {
         let mut bad = buf.clone();
         bad[off] ^= 0x10;
         match load(&bad) {
-            Err(SerializeError::BadVersion { found, expected }) => {
-                assert_ne!(found, expected, "offset {off}");
+            Err(SerializeError::BadVersion { found, supported }) => {
+                assert_ne!(found, FmIndex::FORMAT_VERSION, "offset {off}");
+                assert_eq!(supported, FmIndex::SUPPORTED_VERSIONS);
             }
             other => panic!(
                 "offset {off}: expected BadVersion, got {other:?}",
@@ -60,34 +79,44 @@ fn flipped_version_is_bad_version() {
 }
 
 #[test]
-fn flipped_checksum_is_corrupt() {
+fn flipped_table_bytes_are_typed_errors() {
     let buf = saved_index();
-    // The trailing 8 bytes are the FNV checksum of everything before.
-    for off in buf.len() - 8..buf.len() {
+    let table_end = {
+        let table = SectionTable::parse(&buf, FmIndex::MAGIC).unwrap();
+        16 + table.entries.len() * TABLE_ENTRY_BYTES
+    };
+    // Section count, every table entry field, and the header checksum
+    // itself: a flip anywhere in [12, table_end + 8) must be caught by
+    // the header FNV or by structural validation — as a typed error in
+    // both the read path and the zero-copy (no payload checksum) path.
+    for off in 12..table_end + 8 {
         let mut bad = buf.clone();
         bad[off] ^= 0x01;
-        assert!(
-            matches!(load(&bad), Err(SerializeError::Corrupt)),
-            "offset {off} should trip the checksum"
-        );
+        match load(&bad) {
+            Err(SerializeError::Corrupt | SerializeError::Malformed(_)) => {}
+            Err(other) => panic!("offset {off}: unexpected variant {other}"),
+            Ok(_) => panic!("offset {off}: corrupt table loaded cleanly"),
+        }
     }
 }
 
 #[test]
 fn flipped_payload_never_loads_cleanly() {
     let buf = saved_index();
-    // A single flipped bit anywhere in the payload (between the header
-    // and the checksum) must surface as *some* error: usually Corrupt
-    // (checksum catches it), sometimes Io/Malformed when the flip lands
-    // in a length prefix and the stream runs dry first. Never Ok, never
-    // a panic.
+    // A single flipped bit anywhere inside a checksummed section must
+    // surface as Corrupt (the per-section FNV) or Malformed (when the
+    // flip lands in metadata that fails a structural check first).
+    // Never Ok, never a panic.
+    let ranges = covered_ranges(&buf);
     let mut checked = 0usize;
-    for off in (12..buf.len() - 8).step_by(97) {
+    for off in (12..buf.len()).step_by(97) {
+        if !ranges.iter().any(|&(a, b)| off >= a && off < b) {
+            continue; // padding: exercised separately below
+        }
         let mut bad = buf.clone();
         bad[off] ^= 0x01;
         match load(&bad) {
-            Err(SerializeError::Corrupt | SerializeError::Io(_) | SerializeError::Malformed(_)) => {
-            }
+            Err(SerializeError::Corrupt | SerializeError::Malformed(_)) => {}
             Err(other) => panic!("offset {off}: unexpected variant {other}"),
             Ok(_) => panic!("offset {off}: corrupt index loaded cleanly"),
         }
@@ -97,19 +126,37 @@ fn flipped_payload_never_loads_cleanly() {
 }
 
 #[test]
-fn corrupt_length_prefix_fails_without_huge_allocation() {
+fn padding_bytes_are_not_load_bearing() {
     let buf = saved_index();
-    // The first vector length prefix sits right after the 36-byte header
-    // (magic 8 + version 4 + C array 24). Setting its high bytes claims
-    // a multi-billion-element vector; the loader must fail when the
-    // stream runs dry (or via the sanity cap) without committing the
-    // claimed capacity up front.
-    for high_byte in [39usize, 40, 41, 42] {
+    // Alignment padding sits outside every checksum on purpose (it
+    // carries no data). Flipping it must not change any answer.
+    let ranges = covered_ranges(&buf);
+    let clean = load(&buf).unwrap();
+    let mut padded = buf.clone();
+    let mut flipped = 0usize;
+    for off in 12..padded.len() {
+        if !ranges.iter().any(|&(a, b)| off >= a && off < b) {
+            padded[off] ^= 0xff;
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0, "v3 images always contain alignment padding");
+    let loaded = load(&padded).expect("padding flips must not fail the load");
+    assert_eq!(loaded.reconstruct_text(), clean.reconstruct_text());
+}
+
+#[test]
+fn hostile_table_entries_fail_without_huge_allocation() {
+    let buf = saved_index();
+    // The first table entry starts at byte 16 (id, reserved, offset,
+    // len, checksum). Blowing up its length field claims a section of
+    // billions of bytes; the loader must fail on the header checksum or
+    // the bounds check without committing the claimed capacity.
+    for high_byte in [36usize, 37, 38, 39] {
         let mut bad = buf.clone();
         bad[high_byte] = 0xff;
         match load(&bad) {
-            Err(SerializeError::Io(_) | SerializeError::Malformed(_) | SerializeError::Corrupt) => {
-            }
+            Err(SerializeError::Malformed(_) | SerializeError::Corrupt) => {}
             Err(other) => panic!("byte {high_byte}: unexpected variant {other}"),
             Ok(_) => panic!("byte {high_byte}: absurd length accepted"),
         }
@@ -119,9 +166,43 @@ fn corrupt_length_prefix_fails_without_huge_allocation() {
 #[test]
 fn truncated_file_is_an_error_everywhere() {
     let buf = saved_index();
-    // Cut the file at a spread of points, including mid-header.
-    for cut in [0usize, 5, 11, 20, 36, buf.len() / 2, buf.len() - 1] {
+    // Cut the file at a spread of points, including mid-header,
+    // mid-table, and mid-section.
+    for cut in [0usize, 5, 11, 20, 36, 100, buf.len() / 2, buf.len() - 1] {
         let bad = &buf[..cut];
         assert!(load(bad).is_err(), "truncation at {cut} loaded cleanly");
     }
+}
+
+#[test]
+fn borrowed_open_rejects_table_corruption() {
+    // The mmap path skips payload checksums, but the section table is
+    // still fully validated: magic, version, header FNV, alignment and
+    // bounds. Flips across the whole header region must fail typed when
+    // opened zero-copy from a real file.
+    let buf = saved_index();
+    let dir = std::env::temp_dir().join(format!("kmm-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.v3");
+    let table_end = {
+        let table = SectionTable::parse(&buf, FmIndex::MAGIC).unwrap();
+        16 + table.entries.len() * TABLE_ENTRY_BYTES
+    };
+    for off in (0..table_end + 8).step_by(7) {
+        let mut bad = buf.clone();
+        bad[off] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        match FmIndex::open_path(&path, true) {
+            Err(
+                SerializeError::BadMagic
+                | SerializeError::BadVersion { .. }
+                | SerializeError::Corrupt
+                | SerializeError::Malformed(_),
+            ) => {}
+            Err(other) => panic!("offset {off}: unexpected variant {other}"),
+            Ok(_) => panic!("offset {off}: corrupt header mapped cleanly"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
 }

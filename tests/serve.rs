@@ -490,3 +490,98 @@ fn metrics_expose_idle_endpoints_and_memory_families() {
     post(addr, "/shutdown", "");
     server.join();
 }
+
+/// `kmm serve --mmap` end to end: the daemon opens the index zero-copy,
+/// reports `index.load.mode = 2` (mmap) on `/stats.json`, and answers
+/// searches identically to the in-memory path.
+#[test]
+fn serve_run_with_mmap_reports_load_mode_and_answers_match() {
+    event_log_path();
+    let idx = test_index();
+    let dir = std::env::temp_dir().join(format!("kmm-serve-mmap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let idx_path = dir.join("serve.idx");
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&idx_path).unwrap());
+    idx.fm().save(&mut w).unwrap();
+    drop(w);
+    let port_file = dir.join("serve.port");
+    let _ = std::fs::remove_file(&port_file);
+
+    let config = ServeConfig {
+        prefer_mmap: true,
+        port_file: Some(port_file.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = {
+        let idx_path = idx_path.clone();
+        std::thread::spawn(move || bwt_kmismatch::serve::run(&idx_path, config))
+    };
+    // `run` writes the ephemeral port once bound.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let port: u16 = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(port) = text.trim().parse() {
+                break port;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "port file never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+
+    let (status, stats) = get(addr, "/stats.json");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&stats).expect("stats json");
+    let counters = doc.get("counters").expect("counters object");
+    // On linux/x86_64 the map succeeds and mode is 2 (mmap) with zero
+    // read bytes; a platform without mmap support falls back to 1 (read).
+    let mode = counters
+        .get("index.load.mode")
+        .and_then(Json::as_u64)
+        .expect("index.load.mode counter");
+    if mode == 2 {
+        assert_eq!(
+            counters.get("index.load.io_bytes").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert!(
+            counters
+                .get("index.load.bytes_mapped")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+    } else {
+        assert_eq!(mode, 1, "mode must be read (1) or mmap (2)");
+    }
+
+    let pattern = probe(&idx, 400);
+    let body = format!("{{\"pattern\": \"{pattern}\", \"k\": 1}}");
+    let (status, response) = post(addr, "/search", &body);
+    assert_eq!(status, 200, "{response}");
+    let doc = Json::parse(&response).unwrap();
+    let served: Vec<u64> = doc
+        .get("occurrences")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|o| o.get("position").and_then(Json::as_u64))
+        .collect();
+    let direct: Vec<u64> = idx
+        .search(
+            &bwt_kmismatch::dna::encode(pattern.as_bytes()).unwrap(),
+            1,
+            Method::ALGORITHM_A,
+        )
+        .occurrences
+        .iter()
+        .map(|o| o.position as u64)
+        .collect();
+    assert_eq!(served, direct);
+
+    post(addr, "/shutdown", "");
+    handle.join().unwrap().unwrap();
+}
