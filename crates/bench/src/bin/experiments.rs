@@ -16,7 +16,9 @@
 //!             plus the SIMD-vs-scalar occ kernel sweep across rates
 //!   coldstart index open time, read vs mmap -> BENCH_coldstart.json
 //!   baseline  fixed regression-gate workload -> BENCH_baseline.json
-//!   all       everything above (except coldstart and baseline)
+//!   explain   depth-profile attribution, A(.) vs BWT at k = 1..3
+//!             -> BENCH_explain.json (per-depth pruned counts, gated)
+//!   all       everything above (except coldstart, baseline, explain)
 //! ```
 //!
 //! `--scale` scales every genome relative to the 1:100 sizes of DESIGN.md
@@ -35,9 +37,10 @@
 use std::path::PathBuf;
 
 use kmm_bench::{
-    fmt_secs, format_table, run_baseline, run_coldstart, run_method, run_occbench,
+    fmt_secs, format_table, run_baseline, run_coldstart, run_explain, run_method, run_occbench,
     run_occbench_kernels, simulate_reads, write_baseline_json, write_bench_json,
-    write_coldstart_json, write_par_scaling_json, BenchRecord, ParScalingRecord, Workload,
+    write_coldstart_json, write_explain_json, write_par_scaling_json, BenchRecord,
+    ParScalingRecord, Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
@@ -92,7 +95,7 @@ fn main() {
             }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|explain|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -114,6 +117,7 @@ fn main() {
         "occbench" => artifacts.push(("occ", occbench(&opts))),
         "coldstart" => coldstart(&opts),
         "baseline" => baseline(&opts),
+        "explain" => explain(&opts),
         "all" => {
             table1(&opts);
             let mut fig11 = fig11a(&opts);
@@ -206,6 +210,72 @@ fn baseline(opts: &Opts) {
     if let Some(dir) = &opts.out_dir {
         let path = write_baseline_json(dir, &records, &attribution)
             .unwrap_or_else(|e| panic!("writing BENCH_baseline.json: {e}"));
+        eprintln!("wrote {} ({} records)", path.display(), records.len());
+    }
+}
+
+/// The EXPLAIN depth-profile workload: Algorithm A against the S-tree
+/// baseline at k = 1..3 on the regression-gate corpus, with per-depth
+/// pruned counts. Deterministic end to end — `BENCH_explain.json` is
+/// gated by `kmm bench diff` in `scripts/verify.sh`.
+fn explain(opts: &Opts) {
+    println!("\n== Explain: depth-profile attribution, A(.) vs BWT  (C. merolae stand-in, k = 1..3) ==\n");
+    let records = run_explain(&[1, 2, 3]);
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let get = |key: &str| {
+                r.stats
+                    .iter()
+                    .find(|(n, _)| n == key)
+                    .map_or(0, |&(_, v)| v)
+            };
+            let expanded: u64 = r
+                .stats
+                .iter()
+                .filter(|(n, _)| n.ends_with(".expanded"))
+                .map(|&(_, v)| v)
+                .sum();
+            let pruned = |suffix: &str| -> u64 {
+                r.stats
+                    .iter()
+                    .filter(|(n, _)| n.ends_with(suffix))
+                    .map(|&(_, v)| v)
+                    .sum()
+            };
+            vec![
+                r.method.clone(),
+                r.k.to_string(),
+                fmt_secs(r.seconds),
+                r.occurrences.to_string(),
+                expanded.to_string(),
+                pruned(".pruned_empty_interval").to_string(),
+                pruned(".pruned_budget").to_string(),
+                pruned(".pruned_cutoff").to_string(),
+                get("rank_blocks_touched").to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "method",
+                "k",
+                "time",
+                "occ",
+                "expanded",
+                "pr.empty",
+                "pr.budget",
+                "pr.cutoff",
+                "rank blocks"
+            ],
+            &rows
+        )
+    );
+    if let Some(dir) = &opts.out_dir {
+        let path = write_explain_json(dir, &records)
+            .unwrap_or_else(|e| panic!("writing BENCH_explain.json: {e}"));
         eprintln!("wrote {} ({} records)", path.display(), records.len());
     }
 }

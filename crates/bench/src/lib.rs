@@ -680,6 +680,142 @@ pub fn write_baseline_json(
     Ok(path)
 }
 
+/// The experiment name of the EXPLAIN depth-profile workload (and thus
+/// its artifact, `BENCH_explain.json`).
+pub const EXPLAIN_EXPERIMENT: &str = "explain";
+
+/// One aggregated EXPLAIN measurement: a method's deterministic
+/// counters plus its depth profile (nodes expanded and branches pruned
+/// per DFS depth, split by cause), accumulated over a read batch.
+///
+/// The depth profile lands under `stats` as flat `dNN.*` keys
+/// (`d03.expanded`, `d03.pruned_budget`, ...) so `kmm bench diff` gates
+/// per-depth pruning behaviour exactly like any other deterministic
+/// counter: a regression that moves prunes to deeper levels — more work
+/// before each kill — fails the gate even when totals barely move.
+#[derive(Debug, Clone)]
+pub struct ExplainBenchRecord {
+    /// Method label as in the paper's legends.
+    pub method: String,
+    /// Text (genome) length in bp.
+    pub n: usize,
+    /// Pattern (read) length in bp.
+    pub m: usize,
+    /// Mismatch budget.
+    pub k: usize,
+    /// Wall-clock seconds over the explained batch (informational).
+    pub seconds: f64,
+    /// Total occurrences reported.
+    pub occurrences: u64,
+    /// Deterministic counters: accumulated `SearchStats` pairs followed
+    /// by the flattened depth rows.
+    pub stats: Vec<(String, u64)>,
+}
+
+impl ExplainBenchRecord {
+    /// Serialise in the `BENCH_*.json` record shape.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("method", Json::Str(self.method.clone())),
+            ("n", Json::UInt(self.n as u64)),
+            ("m", Json::UInt(self.m as u64)),
+            ("k", Json::UInt(self.k as u64)),
+            ("seconds", Json::Float(self.seconds)),
+            ("occurrences", Json::UInt(self.occurrences)),
+            (
+                "stats",
+                Json::Obj(
+                    self.stats
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Run the EXPLAIN depth-profile workload: the regression-gate corpus
+/// (C. merolae stand-in, fixed seeds) explained read by read, Algorithm
+/// A against the S-tree baseline, at every `k` in `ks`.
+///
+/// Everything except `seconds` is a pure function of the corpus — the
+/// explain engine's recorder never reads a clock — so the artifact
+/// diffs bit-identically against itself and `scripts/verify.sh` gates
+/// it with the same budget as `BENCH_baseline.json`.
+pub fn run_explain(ks: &[usize]) -> Vec<ExplainBenchRecord> {
+    use kmm_telemetry::PruneCause;
+    let workload = Workload::paper(ReferenceGenome::CMerolae, 0.05, 10, 50);
+    let index = KMismatchIndex::new(workload.genome.clone());
+    let methods = [Method::Bwt { use_phi: true }, Method::ALGORITHM_A];
+    let mut out = Vec::new();
+    for &k in ks {
+        for &method in &methods {
+            let start = Instant::now();
+            let mut occurrences = 0u64;
+            let mut counters: Vec<(String, u64)> = Vec::new();
+            // depth -> [expanded, pruned by each cause].
+            let mut depths: Vec<[u64; 1 + PruneCause::COUNT]> = Vec::new();
+            for read in &workload.reads {
+                let report = index.explain(read, k, &[method]);
+                let cost = &report.methods[0];
+                occurrences += cost.occurrences;
+                for &(name, v) in &cost.counters {
+                    match counters.iter_mut().find(|(n, _)| n == name) {
+                        Some((_, total)) => *total += v,
+                        None => counters.push((name.to_string(), v)),
+                    }
+                }
+                for (d, row) in cost.depths.iter().enumerate() {
+                    if depths.len() <= d {
+                        depths.resize(d + 1, [0; 1 + PruneCause::COUNT]);
+                    }
+                    depths[d][0] += row.expanded;
+                    for cause in PruneCause::ALL {
+                        depths[d][1 + cause.index()] += row.pruned[cause.index()];
+                    }
+                }
+            }
+            let mut stats = counters;
+            for (d, row) in depths.iter().enumerate() {
+                stats.push((format!("d{d:02}.expanded"), row[0]));
+                for cause in PruneCause::ALL {
+                    stats.push((
+                        format!("d{d:02}.pruned_{}", cause.name()),
+                        row[1 + cause.index()],
+                    ));
+                }
+            }
+            out.push(ExplainBenchRecord {
+                method: method.label().to_string(),
+                n: workload.genome.len(),
+                m: 50,
+                k,
+                seconds: start.elapsed().as_secs_f64(),
+                occurrences,
+                stats,
+            });
+        }
+    }
+    out
+}
+
+/// Write `BENCH_explain.json` into `dir` and return its path.
+pub fn write_explain_json(dir: &Path, records: &[ExplainBenchRecord]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{EXPLAIN_EXPERIMENT}.json"));
+    let doc = Json::obj([
+        ("schema", Json::Str(BENCH_SCHEMA.to_string())),
+        ("experiment", Json::Str(EXPLAIN_EXPERIMENT.to_string())),
+        (
+            "records",
+            Json::Arr(records.iter().map(ExplainBenchRecord::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&path, doc.to_pretty())?;
+    Ok(path)
+}
+
 /// The experiment name of the serve cold-start workload (and thus its
 /// artifact, `BENCH_coldstart.json`).
 pub const COLDSTART_EXPERIMENT: &str = "coldstart";
@@ -1206,6 +1342,83 @@ mod tests {
             .get("rank_blocks_touched")
             .and_then(Json::as_u64)
             .is_some());
+    }
+
+    #[test]
+    fn explain_bench_is_deterministic_and_gateable() {
+        let a = run_explain(&[1]);
+        let b = run_explain(&[1]);
+        // BWT and Algorithm A, one record each.
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].method, "BWT");
+        assert_eq!(a[1].method, "A(.)");
+        // Both methods see the same matches on the same corpus.
+        assert_eq!(a[0].occurrences, a[1].occurrences);
+        // The depth profile is present and flattened under dNN.* keys.
+        for rec in &a {
+            assert!(
+                rec.stats.iter().any(|(n, _)| n == "d01.expanded"),
+                "{}: no depth rows in {:?}",
+                rec.method,
+                rec.stats.iter().map(|(n, _)| n).collect::<Vec<_>>()
+            );
+            assert!(rec
+                .stats
+                .iter()
+                .any(|(n, v)| n.ends_with(".pruned_budget") && *v > 0));
+            // The depth identity the explain engine pins: summed
+            // expansions match the visited-node counter (Algorithm A's
+            // virtual root expands once per read outside the counter).
+            let expanded: u64 = rec
+                .stats
+                .iter()
+                .filter(|(n, _)| n.ends_with(".expanded"))
+                .map(|&(_, v)| v)
+                .sum();
+            let visited = rec
+                .stats
+                .iter()
+                .find(|(n, _)| n == "nodes_visited")
+                .map(|&(_, v)| v)
+                .unwrap();
+            let reads = 10;
+            assert!(
+                expanded == visited || expanded == visited + reads,
+                "{}: expanded {expanded} vs visited {visited}",
+                rec.method
+            );
+        }
+        // Bit-identical across runs, and the artifact gates cleanly.
+        let dir = std::env::temp_dir().join("kmm-bench-explain-json");
+        let doc_a = {
+            let path = write_explain_json(&dir, &a).unwrap();
+            assert_eq!(
+                path.file_name().unwrap().to_str().unwrap(),
+                "BENCH_explain.json"
+            );
+            Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap()
+        };
+        let doc_b = {
+            let path = write_explain_json(&dir, &b).unwrap();
+            Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap()
+        };
+        let report = diff::diff_documents(
+            &doc_a,
+            &doc_b,
+            &diff::DiffOptions {
+                assert_identical: true,
+                fail_on_regress: Some(15.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!report.failed(), "{report}");
+        // Every depth row contributes gated counters.
+        assert!(
+            report.counters_compared > 40,
+            "{}",
+            report.counters_compared
+        );
     }
 
     #[test]

@@ -1063,7 +1063,9 @@ mod tests {
         fm.prefetch_interval(fm.whole());
         fm.prefetch_interval(Interval::empty());
         let delta = CostSnapshot::now().delta(&before);
+        // No rank work — but the advisory hints themselves are counted.
         assert_eq!(delta.get(CostKind::RankBlocks), 0);
         assert_eq!(delta.get(CostKind::RankBytes), 0);
+        assert!(delta.get(CostKind::PrefetchIssued) > 0);
     }
 }

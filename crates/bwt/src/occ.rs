@@ -337,16 +337,21 @@ impl RankAll {
             CostKind::RankBytes,
             Self::scan_bytes(hi % self.block_span),
         );
+        cost::bump(CostKind::OccPairFused, 1);
         (self.block_counts_upto(lo), self.block_counts_upto(hi))
     }
 
-    /// Hint the block holding position `i` into cache without counting
-    /// anything (and without touching the cost counters — a prefetch is
-    /// a latency hint, not a rank lookup). Out-of-range positions are
-    /// ignored, so callers can pass tentative LF targets freely.
+    /// Hint the block holding position `i` into cache. A prefetch is a
+    /// latency hint, not a rank lookup, so it leaves `RankBlocks` /
+    /// `RankBytes` untouched — but the *issue count* is a deterministic
+    /// function of the search path (counted before any kernel dispatch,
+    /// so `KMM_NO_SIMD` cannot change it) and feeds the EXPLAIN
+    /// engine's `prefetch_issued` attribution. Out-of-range positions
+    /// are ignored, so callers can pass tentative LF targets freely.
     #[inline]
     pub fn prefetch(&self, i: usize) {
         if i < self.len {
+            cost::bump(CostKind::PrefetchIssued, 1);
             let base = i / self.block_span * self.block_words;
             simd::prefetch_read(self.blocks[base..].as_ptr() as *const u8);
         }
@@ -669,21 +674,39 @@ mod tests {
         let before = CostSnapshot::now();
         let pair = r.occ_all_pair(130, 140);
         let pair_blocks = blocks_since(&before);
+        let fused = CostSnapshot::now()
+            .delta(&before)
+            .get(CostKind::OccPairFused);
         let before = CostSnapshot::now();
         let split = (r.occ_all(130), r.occ_all(140));
         let split_blocks = blocks_since(&before);
         assert_eq!(pair, split);
         assert_eq!(pair_blocks, 1);
         assert_eq!(split_blocks, 2);
-        // Cross-block boundaries still cost two.
+        // The shared-visit win is itself a deterministic counter.
+        assert_eq!(fused, 1);
+        // Cross-block boundaries still cost two and fuse nothing.
         let before = CostSnapshot::now();
         let _ = r.occ_all_pair(10, 1000);
         assert_eq!(blocks_since(&before), 2);
-        // Prefetch is free on the deterministic counters.
+        assert_eq!(
+            CostSnapshot::now()
+                .delta(&before)
+                .get(CostKind::OccPairFused),
+            0
+        );
+        // Prefetch is free on the rank counters but its issue count is
+        // tracked (in-range targets only).
         let before = CostSnapshot::now();
         r.prefetch(130);
         r.prefetch(usize::MAX);
         assert_eq!(blocks_since(&before), 0);
+        assert_eq!(
+            CostSnapshot::now()
+                .delta(&before)
+                .get(CostKind::PrefetchIssued),
+            1
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use kmm_bwt::{FmIndex, Interval};
 use kmm_classic::Occurrence;
 use kmm_dna::BASES;
-use kmm_telemetry::{Hist, NoopRecorder, Phase, Recorder};
+use kmm_telemetry::{Hist, NoopRecorder, Phase, PruneCause, Recorder};
 
 use crate::cancel::{CancelToken, Gate, Outcome};
 use crate::derive::DerivationAudit;
@@ -223,6 +223,9 @@ impl<'a> AlgorithmA<'a> {
             // empty blocks are skipped before any per-child work.
             q.stats.rank_extensions += 1;
             q.stats.occ_fused += 1;
+            if recorder.wants_depths() {
+                recorder.depth_expand(0);
+            }
             let roots = q.fm.extend_all(q.fm.whole());
             // Advisory: warm each F-block child's boundary rank blocks
             // before the walks below extend them.
@@ -237,10 +240,16 @@ impl<'a> AlgorithmA<'a> {
                 }
                 let iv = roots[(y - 1) as usize];
                 if iv.is_empty() {
+                    if recorder.wants_depths() {
+                        recorder.depth_prune(1, PruneCause::EmptyInterval);
+                    }
                     continue;
                 }
                 let is_match = y == pattern[0];
                 if !is_match && k == 0 {
+                    if recorder.wants_depths() {
+                        recorder.depth_prune(1, PruneCause::Budget);
+                    }
                     continue;
                 }
                 let cost = usize::from(!is_match);
@@ -406,6 +415,9 @@ impl<'q, R: Recorder> Query<'q, R> {
             return;
         }
         self.stats.nodes_visited += 1;
+        if self.recorder.wants_depths() {
+            self.recorder.depth_expand(p + 1);
+        }
         let m = self.pattern.len();
         if p + 1 == m {
             self.stats.leaves += 1;
@@ -462,10 +474,20 @@ impl<'q, R: Recorder> Query<'q, R> {
         for y in 1..=BASES as u8 {
             let slot = self.tree.child(node, y);
             if slot == ABSENT {
+                // Counted at consideration time (even when the ABSENT
+                // verdict came from the memoised slot, not a fresh rank
+                // sweep), so a re-entered shared subtree contributes the
+                // same depth profile as the baseline's re-exploration.
+                if self.recorder.wants_depths() {
+                    self.recorder.depth_prune(p + 2, PruneCause::EmptyInterval);
+                }
                 continue;
             }
             let cost = usize::from(y != self.pattern[next]);
             if mism + cost > self.k {
+                if self.recorder.wants_depths() {
+                    self.recorder.depth_prune(p + 2, PruneCause::Budget);
+                }
                 continue;
             }
             walked_any = true;
@@ -496,6 +518,9 @@ impl<'q, R: Recorder> Query<'q, R> {
         let m = self.pattern.len();
         loop {
             self.stats.nodes_visited += 1;
+            if self.recorder.wants_depths() {
+                self.recorder.depth_expand(p + 1);
+            }
             if p + 1 == m {
                 self.stats.leaves += 1;
                 self.recorder.observe(Hist::IntervalWidth, 1);
@@ -510,6 +535,9 @@ impl<'q, R: Recorder> Query<'q, R> {
                 self.recorder.observe(Hist::IntervalWidth, 1);
                 self.recorder
                     .observe(Hist::TerminationDepth, (p + 1) as u64);
+                if self.recorder.wants_depths() {
+                    self.recorder.depth_prune(p + 2, PruneCause::EmptyInterval);
+                }
                 return;
             }
             mism += usize::from(sym != self.pattern[p + 1]);
@@ -518,6 +546,9 @@ impl<'q, R: Recorder> Query<'q, R> {
                 self.recorder.observe(Hist::IntervalWidth, 1);
                 self.recorder
                     .observe(Hist::TerminationDepth, (p + 1) as u64);
+                if self.recorder.wants_depths() {
+                    self.recorder.depth_prune(p + 2, PruneCause::Budget);
+                }
                 return;
             }
             self.stats.rank_extensions += 1;

@@ -12,6 +12,7 @@
 
 use kmm_bwt::{FmIndex, Interval};
 use kmm_dna::BASES;
+use kmm_telemetry::{NoopRecorder, PruneCause, Recorder};
 
 use crate::stats::SearchStats;
 
@@ -58,6 +59,19 @@ impl<'a> KErrorsSearch<'a> {
     /// `pattern`, as `(position, length, distance)` triples sorted by
     /// position, length.
     pub fn search(&self, pattern: &[u8], k: usize) -> (Vec<EditOccurrence>, SearchStats) {
+        self.search_recorded(pattern, k, &NoopRecorder)
+    }
+
+    /// [`Self::search`] with telemetry: depth-profile hooks fire on a
+    /// recorder with `wants_depths() == true` (node expansions plus
+    /// pruned children split by cause), so the k-errors walk is
+    /// EXPLAIN-able like the k-mismatch methods.
+    pub fn search_recorded<R: Recorder>(
+        &self,
+        pattern: &[u8],
+        k: usize,
+        recorder: &R,
+    ) -> (Vec<EditOccurrence>, SearchStats) {
         let mut stats = SearchStats::default();
         let m = pattern.len();
         let mut out = Vec::new();
@@ -86,6 +100,7 @@ impl<'a> KErrorsSearch<'a> {
             &mut arena,
             &mut out,
             &mut stats,
+            recorder,
         );
         out.sort_unstable();
         stats.occurrences = out.len() as u64;
@@ -93,7 +108,7 @@ impl<'a> KErrorsSearch<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn dfs(
+    fn dfs<R: Recorder>(
         &self,
         iv: Interval,
         depth: usize,
@@ -102,15 +117,25 @@ impl<'a> KErrorsSearch<'a> {
         arena: &mut RowArena,
         out: &mut Vec<EditOccurrence>,
         stats: &mut SearchStats,
+        recorder: &R,
     ) {
         stats.nodes_visited += 1;
+        if recorder.wants_depths() {
+            recorder.depth_expand(depth);
+        }
         let m = pattern.len();
         // Depth bound: any match within distance k has length <= m + k.
         if depth == m + k {
             stats.leaves += 1;
+            if recorder.wants_depths() {
+                recorder.depth_prune(depth, PruneCause::Cutoff);
+            }
             return;
         }
         if iv.is_empty() {
+            if recorder.wants_depths() {
+                recorder.depth_prune(depth, PruneCause::EmptyInterval);
+            }
             return;
         }
         // One fused rank sweep resolves all four children; empty ones are
@@ -130,6 +155,9 @@ impl<'a> KErrorsSearch<'a> {
         for y in 1..=BASES as u8 {
             let child = children[(y - 1) as usize];
             if child.is_empty() {
+                if recorder.wants_depths() {
+                    recorder.depth_prune(depth + 1, PruneCause::EmptyInterval);
+                }
                 continue;
             }
             // Fill the child's DP row into the arena slot for depth + 1;
@@ -155,6 +183,11 @@ impl<'a> KErrorsSearch<'a> {
                 (alive, next[m])
             };
             if !alive {
+                // The whole DP row exceeds k: the child dies on the
+                // mismatch/edit budget, not on an empty interval.
+                if recorder.wants_depths() {
+                    recorder.depth_prune(depth + 1, PruneCause::Budget);
+                }
                 continue;
             }
             any_child = true;
@@ -171,7 +204,7 @@ impl<'a> KErrorsSearch<'a> {
                     });
                 }
             }
-            self.dfs(child, depth + 1, pattern, k, arena, out, stats);
+            self.dfs(child, depth + 1, pattern, k, arena, out, stats, recorder);
         }
         if !any_child {
             stats.leaves += 1;

@@ -10,8 +10,12 @@ use kmm_classic::{amir, kangaroo, naive, Occurrence};
 use kmm_dna::SIGMA;
 use kmm_par::ThreadPool;
 use kmm_suffix::SuffixTree;
+use kmm_telemetry::alloc::{mem_stats, phase_scope, MemPhase};
 use kmm_telemetry::cost::{CostKind, CostSnapshot};
-use kmm_telemetry::{Counter, Hist, NoopRecorder, Phase, Recorder, TraceRecorder};
+use kmm_telemetry::{
+    Counter, ExplainRecorder, ExplainReport, HeapDelta, Hist, MethodCost, NoopRecorder, Phase,
+    Recorder, TraceRecorder,
+};
 
 use crate::algorithm_a::AlgorithmA;
 use crate::cancel::{CancelToken, Gate, Outcome};
@@ -89,6 +93,8 @@ fn attribute_costs<R: Recorder>(stats: &mut SearchStats, before: &CostSnapshot, 
     stats.rarray_probes = delta.get(CostKind::RarrayProbes);
     stats.mtree_nodes_built = delta.get(CostKind::MtreeBuilt);
     stats.mtree_nodes_reused = delta.get(CostKind::MtreeReused);
+    stats.occ_pair_fused = delta.get(CostKind::OccPairFused);
+    stats.prefetch_issued = delta.get(CostKind::PrefetchIssued);
     if recorder.enabled() {
         for kind in CostKind::ALL {
             let d = delta.get(kind);
@@ -328,6 +334,45 @@ impl KMismatchIndex {
             recorder.span_end(Phase::SearchQuery);
         }
         result
+    }
+
+    /// EXPLAIN one query: run it once per method with an
+    /// [`ExplainRecorder`] armed and deterministic-cost brackets around
+    /// each run, returning the per-method attribution
+    /// ([`kmm_telemetry::explain`]).
+    ///
+    /// The methods run **serially in the given order** whatever the
+    /// caller's thread budget: every field of the report except the heap
+    /// ledger is a pure function of (index, pattern, k, method), and the
+    /// serial order makes the lazy first-touch charges (text
+    /// reconstruction, suffix tree) land on the same method every time —
+    /// so the rendered report is byte-identical across runs, thread
+    /// widths, and SIMD kernel choices. The verdict compares
+    /// deterministic work counters only, never wall-clock.
+    pub fn explain(&self, pattern: &[u8], k: usize, methods: &[Method]) -> ExplainReport {
+        let mut report = ExplainReport {
+            pattern: String::from_utf8(kmm_dna::decode(pattern)).unwrap_or_default(),
+            m: pattern.len(),
+            k,
+            methods: Vec::with_capacity(methods.len()),
+        };
+        for &method in methods {
+            let recorder = ExplainRecorder::new();
+            let mem_before = mem_stats();
+            let result = {
+                let _mem = phase_scope(MemPhase::Search);
+                self.search_recorded(pattern, k, method, &recorder)
+            };
+            let mem_after = mem_stats();
+            report.methods.push(MethodCost {
+                label: method.label().to_string(),
+                occurrences: result.occurrences.len() as u64,
+                counters: result.stats.as_pairs().to_vec(),
+                depths: recorder.take(),
+                heap: HeapDelta::between(&mem_before, &mem_after),
+            });
+        }
+        report
     }
 
     /// [`Self::search`] under a cancellation/deadline token: see
@@ -849,6 +894,63 @@ mod tests {
     #[should_panic(expected = "sentinel-free")]
     fn rejects_sentinel_in_target() {
         KMismatchIndex::new(vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn explain_attributes_costs_per_method() {
+        let idx = KMismatchIndex::from_ascii(b"acagaca").unwrap();
+        let r = kmm_dna::encode(b"tcaca").unwrap();
+        let methods = [
+            Method::Bwt { use_phi: true },
+            Method::ALGORITHM_A,
+            Method::Naive,
+        ];
+        let report = idx.explain(&r, 2, &methods);
+        assert_eq!(report.pattern, "tcaca");
+        assert_eq!((report.m, report.k), (5, 2));
+        assert_eq!(report.methods.len(), 3);
+        // All methods agree on the answer (the paper's Fig. 3 example).
+        for m in &report.methods {
+            assert_eq!(m.occurrences, 2, "{}", m.label);
+        }
+        // Tree methods carry depth profiles; the scanner carries none.
+        let bwt = &report.methods[0];
+        assert!(bwt.work_units() > 0);
+        assert!(!bwt.depths.is_empty());
+        // Expansions exist at depth 0 (virtual root) through depth m.
+        assert!(bwt.depths[0].expanded > 0 || bwt.depths[1].expanded > 0);
+        let naive = &report.methods[2];
+        assert_eq!(naive.work_units(), 0);
+        assert!(naive.depths.iter().all(|d| d.is_empty()));
+        // Verdict picks an instrumented method, never the scanner.
+        let v = report.verdict().expect("instrumented methods present");
+        assert_ne!(v.winner, "Naive");
+    }
+
+    #[test]
+    fn explain_is_deterministic_across_runs() {
+        let idx = KMismatchIndex::from_ascii(b"acagacagattacaacagttacagacag").unwrap();
+        let r = kmm_dna::encode(b"acagtt").unwrap();
+        let methods = [Method::Bwt { use_phi: true }, Method::ALGORITHM_A];
+        let a = idx.explain(&r, 2, &methods).to_json().to_pretty();
+        let b = idx.explain(&r, 2, &methods).to_json().to_pretty();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_depth_profile_matches_node_counts() {
+        // Sum of expansions across depths equals nodes_visited + the
+        // virtual-root expansion for Algorithm A (the root sweep is not a
+        // node the stats count), and exactly nodes_visited for the S-tree.
+        let idx = KMismatchIndex::from_ascii(b"acagacagattacaacagtt").unwrap();
+        let r = kmm_dna::encode(b"agatt").unwrap();
+        let report = idx.explain(&r, 1, &[Method::Bwt { use_phi: true }, Method::ALGORITHM_A]);
+        let bwt = &report.methods[0];
+        let expanded: u64 = bwt.depths.iter().map(|d| d.expanded).sum();
+        assert_eq!(expanded, bwt.counter("nodes_visited"));
+        let a = &report.methods[1];
+        let expanded: u64 = a.depths.iter().map(|d| d.expanded).sum();
+        assert_eq!(expanded, a.counter("nodes_visited") + 1);
     }
 
     #[test]

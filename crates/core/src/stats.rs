@@ -60,6 +60,13 @@ pub struct SearchStats {
     /// Deterministic cost: pair-table hits that shared an existing
     /// mismatching-tree node instead of building one.
     pub mtree_nodes_reused: u64,
+    /// Deterministic cost: `occ_all_pair` calls answered with a single
+    /// shared block visit (both interval boundaries in one interleaved
+    /// block) instead of two independent `occ_all` sweeps.
+    pub occ_pair_fused: u64,
+    /// Deterministic cost: advisory rank-block prefetch hints issued
+    /// for in-range LF targets ahead of backward extensions.
+    pub prefetch_issued: u64,
 }
 
 impl SearchStats {
@@ -86,6 +93,8 @@ impl SearchStats {
             rarray_probes,
             mtree_nodes_built,
             mtree_nodes_reused,
+            occ_pair_fused,
+            prefetch_issued,
         } = *other;
         self.leaves += leaves;
         self.nodes_visited += nodes_visited;
@@ -104,11 +113,13 @@ impl SearchStats {
         self.rarray_probes += rarray_probes;
         self.mtree_nodes_built += mtree_nodes_built;
         self.mtree_nodes_reused += mtree_nodes_reused;
+        self.occ_pair_fused += occ_pair_fused;
+        self.prefetch_issued += prefetch_issued;
     }
 
     /// Every field as a `(canonical_name, value)` pair, in declaration
     /// order. The names are the stable keys used by the JSON emitters.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 17] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 19] {
         let SearchStats {
             leaves,
             nodes_visited,
@@ -127,6 +138,8 @@ impl SearchStats {
             rarray_probes,
             mtree_nodes_built,
             mtree_nodes_reused,
+            occ_pair_fused,
+            prefetch_issued,
         } = *self;
         [
             ("leaves", leaves),
@@ -146,6 +159,8 @@ impl SearchStats {
             ("rarray_probes", rarray_probes),
             ("mtree_nodes_built", mtree_nodes_built),
             ("mtree_nodes_reused", mtree_nodes_reused),
+            ("occ_pair_fused", occ_pair_fused),
+            ("prefetch_issued", prefetch_issued),
         ]
     }
 
@@ -169,6 +184,8 @@ impl SearchStats {
             rarray_probes,
             mtree_nodes_built,
             mtree_nodes_reused,
+            occ_pair_fused,
+            prefetch_issued,
         } = *self;
         recorder.add(Counter::Leaves, leaves);
         recorder.add(Counter::NodesVisited, nodes_visited);
@@ -187,6 +204,8 @@ impl SearchStats {
         recorder.add(Counter::RarrayProbes, rarray_probes);
         recorder.add(Counter::MtreeNodesBuilt, mtree_nodes_built);
         recorder.add(Counter::MtreeNodesReused, mtree_nodes_reused);
+        recorder.add(Counter::OccPairFused, occ_pair_fused);
+        recorder.add(Counter::PrefetchIssued, prefetch_issued);
     }
 
     /// Fraction of extension work answered by reuse instead of live
@@ -222,13 +241,15 @@ impl std::fmt::Display for SearchStats {
             rarray_probes,
             mtree_nodes_built,
             mtree_nodes_reused,
+            occ_pair_fused,
+            prefetch_issued,
         } = *self;
         write!(
             f,
             "n'(leaves)={} visited={} materialized={} rank_ext={} reuse={} merges={} \
              resumes={} occ={} phi_prunes={} timeouts={} occ_fused={} alloc_reused={} \
              rank_blocks={} rank_bytes={} rarray_probes={} mtree_built={} mtree_reused={} \
-             reuse_ratio={:.3}",
+             occ_pair_fused={} prefetch={} reuse_ratio={:.3}",
             leaves,
             nodes_visited,
             nodes_materialized,
@@ -246,6 +267,8 @@ impl std::fmt::Display for SearchStats {
             rarray_probes,
             mtree_nodes_built,
             mtree_nodes_reused,
+            occ_pair_fused,
+            prefetch_issued,
             self.reuse_ratio(),
         )
     }
@@ -293,6 +316,8 @@ mod tests {
             "rarray_probes=",
             "mtree_built=",
             "mtree_reused=",
+            "occ_pair_fused=",
+            "prefetch=",
             "reuse_ratio=",
         ] {
             assert!(s.contains(field), "missing {field} in {s}");
@@ -319,16 +344,18 @@ mod tests {
             rarray_probes: 15,
             mtree_nodes_built: 16,
             mtree_nodes_reused: 17,
+            occ_pair_fused: 18,
+            prefetch_issued: 19,
         };
         let pairs = stats.as_pairs();
         let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
         assert_eq!(
             values,
-            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19]
         );
         let mut names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
         names.dedup();
-        assert_eq!(names.len(), 17, "duplicate field names in as_pairs");
+        assert_eq!(names.len(), 19, "duplicate field names in as_pairs");
     }
 
     #[test]

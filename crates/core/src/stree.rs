@@ -14,7 +14,7 @@
 use kmm_bwt::{FmIndex, Interval};
 use kmm_classic::Occurrence;
 use kmm_dna::BASES;
-use kmm_telemetry::{Hist, NoopRecorder, Phase, Recorder};
+use kmm_telemetry::{Hist, NoopRecorder, Phase, PruneCause, Recorder};
 
 use crate::cancel::{CancelToken, Gate, Outcome};
 use crate::phi::phi_table;
@@ -174,6 +174,9 @@ impl<'a> STreeSearch<'a> {
             let mut row = iv.lo;
             loop {
                 stats.nodes_visited += 1;
+                if recorder.wants_depths() {
+                    recorder.depth_expand(j);
+                }
                 if j == m {
                     stats.leaves += 1;
                     recorder.observe(Hist::IntervalWidth, 1);
@@ -194,6 +197,9 @@ impl<'a> STreeSearch<'a> {
                         stats.leaves += 1;
                         recorder.observe(Hist::IntervalWidth, 1);
                         recorder.observe(Hist::TerminationDepth, j as u64);
+                        if recorder.wants_depths() {
+                            recorder.depth_prune(j, PruneCause::Cutoff);
+                        }
                         return;
                     }
                 }
@@ -202,6 +208,9 @@ impl<'a> STreeSearch<'a> {
                     stats.leaves += 1;
                     recorder.observe(Hist::IntervalWidth, 1);
                     recorder.observe(Hist::TerminationDepth, j as u64);
+                    if recorder.wants_depths() {
+                        recorder.depth_prune(j + 1, PruneCause::EmptyInterval);
+                    }
                     return;
                 }
                 mism += usize::from(sym != pattern[j]);
@@ -209,6 +218,9 @@ impl<'a> STreeSearch<'a> {
                     stats.leaves += 1;
                     recorder.observe(Hist::IntervalWidth, 1);
                     recorder.observe(Hist::TerminationDepth, j as u64);
+                    if recorder.wants_depths() {
+                        recorder.depth_prune(j + 1, PruneCause::Budget);
+                    }
                     return;
                 }
                 stats.rank_extensions += 1;
@@ -218,6 +230,9 @@ impl<'a> STreeSearch<'a> {
         }
 
         stats.nodes_visited += 1;
+        if recorder.wants_depths() {
+            recorder.depth_expand(j);
+        }
         if j == m {
             stats.leaves += 1;
             recorder.observe(Hist::IntervalWidth, iv.len() as u64);
@@ -234,6 +249,9 @@ impl<'a> STreeSearch<'a> {
                 stats.leaves += 1;
                 recorder.observe(Hist::IntervalWidth, iv.len() as u64);
                 recorder.observe(Hist::TerminationDepth, j as u64);
+                if recorder.wants_depths() {
+                    recorder.depth_prune(j, PruneCause::Cutoff);
+                }
                 return;
             }
         }
@@ -257,10 +275,16 @@ impl<'a> STreeSearch<'a> {
         for y in 1..=BASES as u8 {
             let child = children[(y - 1) as usize];
             if child.is_empty() {
+                if recorder.wants_depths() {
+                    recorder.depth_prune(j + 1, PruneCause::EmptyInterval);
+                }
                 continue;
             }
             let is_match = y == pattern[j];
             if !is_match && mism == k {
+                if recorder.wants_depths() {
+                    recorder.depth_prune(j + 1, PruneCause::Budget);
+                }
                 continue;
             }
             any_child = true;

@@ -37,16 +37,26 @@ pub enum CostKind {
     /// Mismatching-tree node hits answered by the pair table instead of
     /// materialising a new node.
     MtreeReused,
+    /// `occ_all_pair` calls resolved with a single shared block visit
+    /// because both interval boundaries fell in the same interleaved
+    /// block — the fusion win over two independent `occ_all` sweeps.
+    OccPairFused,
+    /// Advisory rank-block prefetch hints issued for in-range LF
+    /// targets. A pure function of the search path (issued before any
+    /// kernel dispatch), so it stays deterministic under `KMM_NO_SIMD`.
+    PrefetchIssued,
 }
 
 impl CostKind {
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
     pub const ALL: [CostKind; CostKind::COUNT] = [
         CostKind::RankBlocks,
         CostKind::RankBytes,
         CostKind::RarrayProbes,
         CostKind::MtreeBuilt,
         CostKind::MtreeReused,
+        CostKind::OccPairFused,
+        CostKind::PrefetchIssued,
     ];
 
     /// Stable dotted name (matches the `search.*` counter family).
@@ -62,6 +72,8 @@ impl CostKind {
             CostKind::RarrayProbes => Counter::RarrayProbes,
             CostKind::MtreeBuilt => Counter::MtreeNodesBuilt,
             CostKind::MtreeReused => Counter::MtreeNodesReused,
+            CostKind::OccPairFused => Counter::OccPairFused,
+            CostKind::PrefetchIssued => Counter::PrefetchIssued,
         }
     }
 
@@ -74,6 +86,8 @@ impl CostKind {
 thread_local! {
     static COSTS: [Cell<u64>; CostKind::COUNT] = const {
         [
+            Cell::new(0),
+            Cell::new(0),
             Cell::new(0),
             Cell::new(0),
             Cell::new(0),

@@ -148,6 +148,19 @@ pub struct HistogramSnapshot {
     pub max: u64,
 }
 
+/// Normalise a quantile argument: clamp to [0,1], treating NaN as 0.
+/// `f64::clamp` propagates NaN, which downstream turns every bucket-rank
+/// comparison false and silently extrapolates to `max` — the opposite of
+/// clamping.
+#[inline]
+fn clamp_q(q: f64) -> f64 {
+    if q.is_nan() {
+        0.0
+    } else {
+        q.clamp(0.0, 1.0)
+    }
+}
+
 impl HistogramSnapshot {
     pub fn empty() -> Self {
         HistogramSnapshot {
@@ -174,7 +187,7 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let rank = ((clamp_q(q) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -197,7 +210,7 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let rank = clamp_q(q) * self.count as f64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -358,6 +371,24 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.percentile(0.0), 0.0);
         assert_eq!(s.percentile(1.0), u64::MAX as f64);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_and_nan_q() {
+        // 1 in bucket 1, 1000 in bucket 10: the extremes differ, so a
+        // wrong lane (extrapolating to max) is visible.
+        let h = Histogram::new();
+        h.observe(1);
+        h.observe(1000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(-0.1), s.percentile(0.0));
+        assert_eq!(s.percentile(-0.1), 1.0);
+        assert_eq!(s.percentile(1.5), s.percentile(1.0));
+        assert_eq!(s.percentile(1.5), 1000.0);
+        // NaN must clamp (to the low end), not fall through to max.
+        assert_eq!(s.percentile(f64::NAN), s.percentile(0.0));
+        assert_eq!(s.quantile(f64::NAN), s.quantile(0.0));
+        assert_eq!(HistogramSnapshot::empty().percentile(f64::NAN), 0.0);
     }
 
     #[test]

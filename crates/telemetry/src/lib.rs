@@ -32,6 +32,7 @@
 pub mod alloc;
 pub mod cost;
 pub mod events;
+pub mod explain;
 mod histogram;
 pub mod json;
 mod prometheus;
@@ -43,13 +44,16 @@ mod window;
 pub use alloc::{mem_stats, CountingAlloc, MemPhase, MemStats};
 pub use cost::{CostKind, CostSnapshot};
 pub use events::{EventLog, LogEvent, LogLevel};
+pub use explain::{
+    DepthRow, ExplainRecorder, ExplainReport, HeapDelta, MethodCost, Verdict, EXPLAIN_SCHEMA,
+};
 pub use histogram::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use json::{Json, JsonError};
 pub use prometheus::{prometheus_mem_text, prometheus_text};
 pub use recorder::{
-    Counter, Hist, MetricsRecorder, NoopRecorder, Phase, PhaseSpan, Recorder, Stage,
+    Counter, Hist, MetricsRecorder, NoopRecorder, Phase, PhaseSpan, PruneCause, Recorder, Stage,
 };
 pub use snapshot::{CounterSnapshot, MetricsSnapshot, PhaseSnapshot, SCHEMA};
 pub use trace::{

@@ -203,10 +203,17 @@ pub enum Counter {
     /// verification), 2 = mmap (zero-copy, table-only verification).
     /// Gauge, set at load.
     IndexLoadMode,
+    /// Deterministic cost: `occ_all_pair` calls answered with a single
+    /// shared block visit (lo and hi boundary landed in the same
+    /// interleaved block) instead of two independent `occ_all` sweeps.
+    OccPairFused,
+    /// Deterministic cost: advisory rank-block prefetch hints issued
+    /// ahead of backward extensions (LF-target warming).
+    PrefetchIssued,
 }
 
 impl Counter {
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 32;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -238,6 +245,8 @@ impl Counter {
         Counter::IndexLoadIoBytes,
         Counter::IndexLoadMappedBytes,
         Counter::IndexLoadMode,
+        Counter::OccPairFused,
+        Counter::PrefetchIssued,
     ];
 
     pub fn name(self) -> &'static str {
@@ -272,6 +281,8 @@ impl Counter {
             Counter::IndexLoadIoBytes => "index.load.io_bytes",
             Counter::IndexLoadMappedBytes => "index.load.bytes_mapped",
             Counter::IndexLoadMode => "index.load.mode",
+            Counter::OccPairFused => "search.occ_pair_fused",
+            Counter::PrefetchIssued => "search.prefetch_issued",
         }
     }
 
@@ -310,6 +321,48 @@ impl Hist {
 
     fn index(self) -> usize {
         Hist::ALL.iter().position(|&h| h == self).unwrap()
+    }
+}
+
+/// Why a DFS branch was abandoned, for depth-profile attribution.
+///
+/// The three causes partition every non-leaf termination of the
+/// k-mismatch / k-errors walks: the extension does not exist in the
+/// text (`EmptyInterval`), it exists but would exceed the mismatch /
+/// edit budget (`Budget`), or a precomputed table proved the remainder
+/// unmatchable — the S-tree's φ heuristic or a whole DP row above `k`
+/// (`Cutoff`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneCause {
+    /// The child interval is empty: the extended substring is absent.
+    EmptyInterval,
+    /// Taking the branch would push mismatches / edits past `k`.
+    Budget,
+    /// A lookahead table (φ, mismatch-array / DP-row bound) killed the
+    /// branch before its children were considered.
+    Cutoff,
+}
+
+impl PruneCause {
+    pub const COUNT: usize = 3;
+    pub const ALL: [PruneCause; PruneCause::COUNT] = [
+        PruneCause::EmptyInterval,
+        PruneCause::Budget,
+        PruneCause::Cutoff,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PruneCause::EmptyInterval => "empty_interval",
+            PruneCause::Budget => "budget",
+            PruneCause::Cutoff => "cutoff",
+        }
+    }
+
+    /// Position of this cause in [`PruneCause::ALL`] — the index into
+    /// [`crate::DepthRow::pruned`].
+    pub fn index(self) -> usize {
+        self as usize
     }
 }
 
@@ -385,6 +438,24 @@ pub trait Recorder {
     /// parallel batch. The default discards the bundle.
     #[inline]
     fn absorb_traces(&self, _bundle: TraceBundle) {}
+
+    /// Whether this recorder collects per-depth expansion/prune rows.
+    /// Hot loops guard [`Recorder::depth_expand`] / [`Recorder::depth_prune`]
+    /// call sites with this, so metrics-only and no-op recorders pay
+    /// nothing for depth attribution.
+    #[inline]
+    fn wants_depths(&self) -> bool {
+        false
+    }
+
+    /// A node at `depth` (pattern symbols consumed so far) was expanded.
+    #[inline]
+    fn depth_expand(&self, _depth: usize) {}
+
+    /// A branch toward `depth` was abandoned for `cause` without
+    /// expanding its subtree.
+    #[inline]
+    fn depth_prune(&self, _depth: usize, _cause: PruneCause) {}
 
     /// Open a scoped timer for `phase`; time is credited when the
     /// returned guard drops.
@@ -564,6 +635,13 @@ mod tests {
         for (i, h) in Hist::ALL.iter().enumerate() {
             assert_eq!(h.index(), i);
         }
+        for (i, p) in PruneCause::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let mut names: Vec<&str> = PruneCause::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PruneCause::COUNT);
     }
 
     #[test]

@@ -195,6 +195,11 @@ impl FlightRecorder {
         self.len() == 0
     }
 
+    /// Maximum number of slow-query entries retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Offer a completed trace; it is cloned in only if it ranks among
     /// the K slowest seen so far.
     pub fn offer(&self, trace: &QueryTrace) {

@@ -70,6 +70,32 @@ grep -q "slowest" "$tmp/summary-trace.txt"
 grep -q '"traceEvents"' "$tmp/nested/dir/trace.json"
 grep -q '"ph": "X"' "$tmp/nested/dir/trace.json"
 
+echo "== kmm explain smoke test (depth-profile attribution) =="
+"$kmm" explain --index "$tmp/ref.idx" --pattern "$pattern" -k 2 \
+    > "$tmp/explain.txt" 2>/dev/null
+grep -q "EXPLAIN pattern=" "$tmp/explain.txt"
+grep -q "verdict:" "$tmp/explain.txt"
+"$kmm" explain --index "$tmp/ref.idx" --pattern "$pattern" -k 2 --json \
+    > "$tmp/explain.json" 2>/dev/null
+python3 -c "
+import json
+doc = json.load(open('$tmp/explain.json'))
+assert doc['schema'] == 'kmm-explain/v1', doc['schema']
+assert doc['verdict'] and doc['verdict']['winner'], doc.get('verdict')
+assert all(m['work_units'] > 0 for m in doc['methods']), doc['methods']
+# Uninstrumented text scanners (Amir) report no depth rows; the
+# tree-walkers must, and their rows must sum to real expansions.
+profiled = [m for m in doc['methods'] if m['depths']]
+assert profiled, 'no method produced a depth profile'
+for m in profiled:
+    assert sum(d['expanded'] for d in m['depths']) > 0, m['method']
+" || { echo "verify: explain JSON report is malformed" >&2; exit 1; }
+# The verdict reads counters, never clocks: rerunning at a different
+# thread width must reproduce the document byte for byte.
+"$kmm" explain --index "$tmp/ref.idx" --pattern "$pattern" -k 2 --json \
+    --threads 8 > "$tmp/explain-t8.json" 2>/dev/null
+cmp "$tmp/explain.json" "$tmp/explain-t8.json"
+
 echo "== kmm serve smoke test =="
 # Start the daemon on an ephemeral port, discover it via --port-file.
 "$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
@@ -100,6 +126,18 @@ http_get /healthz | grep -q "200 OK"
 metrics=$(http_get /metrics)
 echo "$metrics" | grep -q "^# TYPE "
 echo "$metrics" | grep -q "kmm_http_requests_total"
+# ...including the flight-recorder and sliding-window gauges.
+echo "$metrics" | grep -q "kmm_flight_recorder_capacity"
+echo "$metrics" | grep -q "kmm_http_window_samples"
+# The live dashboard is one self-contained HTML document.
+dash=$(http_get /dashboard)
+echo "$dash" | grep -q "200 OK"
+echo "$dash" | grep -q "<!DOCTYPE html>"
+# POST /explain serves the same kmm-explain/v1 report as the CLI.
+http_post /explain "{\"pattern\": \"$pattern\", \"k\": 2}" > "$tmp/http-explain.json"
+grep -q "kmm-explain/v1" "$tmp/http-explain.json"
+grep -q '"work_units"' "$tmp/http-explain.json"
+grep -q '"pruned_budget"' "$tmp/http-explain.json"
 # POST /search reports the same positions as the CLI search path.
 http_post /search "{\"pattern\": \"$pattern\", \"k\": 2}" > "$tmp/http-search.json"
 grep -q '"occurrences"' "$tmp/http-search.json"
@@ -264,6 +302,26 @@ fi
 grep -q "REGRESSION" "$tmp/diff-inject.txt"
 grep -q "index.rank_overhead_bytes" "$tmp/diff-inject.txt"
 
+echo "== explain depth-profile gate (BENCH_explain.json) =="
+# The explain experiment re-derives the committed per-depth pruning
+# profile; kmm bench diff then gates every dNN.* counter like any other.
+target/release/experiments explain --out-dir "$tmp/bench" > "$tmp/explain-bench.txt"
+grep -q "pr.budget" "$tmp/explain-bench.txt"
+test -s "$tmp/bench/BENCH_explain.json"
+python3 -c "
+import json
+doc = json.load(open('$tmp/bench/BENCH_explain.json'))
+assert doc['schema'] == 'kmm-bench/v1', doc['schema']
+assert {r['method'] for r in doc['records']} == {'BWT', 'A(.)'}, doc['records']
+assert sorted({r['k'] for r in doc['records']}) == [1, 2, 3]
+for r in doc['records']:
+    assert any(s.endswith('.expanded') for s in r['stats']), r['method']
+    assert any('.pruned_' in s for s in r['stats']), r['method']
+" || { echo "verify: BENCH_explain.json records are wrong" >&2; exit 1; }
+"$kmm" bench diff BENCH_explain.json "$tmp/bench/BENCH_explain.json" \
+    --fail-on-regress 15 2> "$tmp/diff-explain.txt"
+grep -q "PASS" "$tmp/diff-explain.txt"
+
 echo "== SIMD/scalar bit-identity: KMM_NO_SIMD=1 changes nothing =="
 # The scalar fallback must produce the same hits and the same
 # deterministic counters as the dispatched kernel, bit for bit.
@@ -384,9 +442,12 @@ req_id=$(echo "$resp" | grep -o '"request_id": "req-[0-9]*"' | grep -o 'req-[0-9
 resp=$(http_post /shutdown "")
 echo "$resp" | grep -q "200 OK"
 wait "$events_pid"
-# ...and the same id appears on the access-log line for that request.
+# ...and the same id appears on the access-log line for that request,
+# tagged with the handler outcome (ok / error / shed / truncated).
 grep -q '"target":"serve.access"' "$tmp/serve-events.jsonl"
+grep '"target":"serve.access"' "$tmp/serve-events.jsonl" | grep -q '"outcome":"ok"'
 grep "$req_id" "$tmp/serve-events.jsonl" | grep -q '"status":"400"'
+grep "$req_id" "$tmp/serve-events.jsonl" | grep -q '"outcome":"error"'
 grep -q "listening" "$tmp/serve-events.jsonl"
 grep -q "shutdown" "$tmp/serve-events.jsonl"
 

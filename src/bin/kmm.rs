@@ -40,6 +40,8 @@ commands:
             [--method M] [--threads N] [--timeout-ms T] [--stats]
             [--stats-json <out.json>] [--trace-out <trace.json>]
             [--slowest K]
+  explain   --index <ref.idx> --pattern <DNA> [-k K]
+            [--method M] [--method M ...] [--json] [--threads N]
   serve     --index <ref.idx> [--addr HOST:PORT] [--threads N] [-k K]
             [--method M] [--slowest K] [--port-file <path>]
             [--timeout-ms T] [--max-body-bytes B] [--failpoints SPEC]
@@ -65,6 +67,14 @@ snapshot as JSON. --trace-out records per-query spans and writes a
 Chrome trace-event JSON (open in Perfetto / chrome://tracing);
 --slowest K prints the K slowest queries from the flight recorder.
 
+explain runs one query once per method with per-depth cost attribution
+armed and prints a query-plan-style comparison: deterministic counters
+(rank blocks, nodes, prunes by cause), a per-depth expansion profile,
+heap deltas, and a winner verdict computed from work counters — never
+wall-clock, so the output is byte-identical across thread counts and
+SIMD kernels. Without --method it compares the paper's four methods;
+repeat --method to pick a custom set. --json emits kmm-explain/v1 JSON.
+
 --timeout-ms T gives each query/read a cooperative deadline: work past
 the budget stops at the next poll point and returns the verified partial
 results, flagged as truncated (CLI summaries count them; serve answers
@@ -72,7 +82,8 @@ results, flagged as truncated (CLI summaries count them; serve answers
 
 serve starts a blocking HTTP/1.1 daemon over a loaded index with
 GET /healthz, /metrics (Prometheus), /stats.json, /slow.json,
-/trace.json and POST /search, /map, /shutdown. --addr defaults to
+/trace.json, /dashboard (self-contained live HTML dashboard) and
+POST /search, /map, /explain, /shutdown. --addr defaults to
 127.0.0.1:0 (ephemeral port; use --port-file to discover it). When all
 workers are busy and the handoff queue is full, new connections get an
 immediate 429 + Retry-After; bodies over --max-body-bytes get 413.
@@ -102,7 +113,7 @@ default: timing is machine-dependent); --assert-identical fails on any
 deterministic delta at all (the repeat-run check).";
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical", "mmap"];
+const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical", "mmap", "json"];
 
 /// Per-command accepted flags (after `-j` canonicalises to `threads`).
 const GENERATE_FLAGS: &[&str] = &["genome", "scale", "o"];
@@ -134,6 +145,7 @@ const SEARCH_FLAGS: &[&str] = &[
     "trace-out",
     "slowest",
 ];
+const EXPLAIN_FLAGS: &[&str] = &["index", "pattern", "k", "method", "json", "threads"];
 const SERVE_FLAGS: &[&str] = &[
     "index",
     "addr",
@@ -447,6 +459,31 @@ fn run() -> Result<String, CliError> {
                 args.threads()?,
                 timeout(&args)?,
                 &stats,
+                &mut stdout,
+            )
+        }
+        "explain" => {
+            let args = Args::parse(rest, EXPLAIN_FLAGS)?;
+            // Accepted for interface symmetry with search/map; the
+            // explain engine always runs its methods serially so the
+            // report is identical at any requested width.
+            let _ = args.threads()?;
+            let names = args.get_all("method");
+            let methods = if names.is_empty() {
+                bwt_kmismatch::Method::PAPER_SET.to_vec()
+            } else {
+                names
+                    .iter()
+                    .map(|n| cli::parse_method(n))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            let mut stdout = std::io::stdout().lock();
+            cli::explain_query(
+                &PathBuf::from(args.require("index")?),
+                args.require("pattern")?,
+                args.parsed("k", 3usize)?,
+                &methods,
+                args.get("json").is_some(),
                 &mut stdout,
             )
         }

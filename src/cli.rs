@@ -730,6 +730,50 @@ fn search_patterns_with<R: Recorder + Sync>(
     Ok(summary)
 }
 
+/// `kmm explain`: run one query once per method with an explain
+/// recorder armed and print the query-plan-style cost comparison
+/// (or the `kmm-explain/v1` JSON document with `json == true`).
+///
+/// The methods run serially whatever `--threads` says, and the verdict
+/// is derived from deterministic work counters only — the printed
+/// report is byte-identical across thread widths, SIMD kernels, and
+/// machine load (pinned by `tests/explain.rs`).
+pub fn explain_query(
+    index_path: &Path,
+    pattern_ascii: &str,
+    k: usize,
+    methods: &[Method],
+    json: bool,
+    out: &mut dyn Write,
+) -> CliResult<String> {
+    if methods.is_empty() {
+        return err("at least one --method is required");
+    }
+    let idx = load_index(index_path)?;
+    let pattern = kmm_dna::encode(pattern_ascii.as_bytes())
+        .map_err(|e| CliError(format!("bad pattern: {e}")))?;
+    if pattern.is_empty() {
+        return err("--pattern must be non-empty");
+    }
+    let report = idx.explain(&pattern, k, methods);
+    if json {
+        writeln!(out, "{}", report.to_json().to_pretty().trim_end())?;
+    } else {
+        write!(out, "{}", report.render_table())?;
+    }
+    Ok(match report.verdict() {
+        Some(v) => format!(
+            "explained {} method(s) at k={k}; winner: {}",
+            report.methods.len(),
+            v.winner
+        ),
+        None => format!(
+            "explained {} method(s) at k={k}; no instrumented method compared",
+            report.methods.len()
+        ),
+    })
+}
+
 /// `kmm bench diff`: compare two BENCH_*.json documents on timing and
 /// deterministic counters. Returns the rendered report; when the gate
 /// trips (regression beyond budget, or any delta under
@@ -1075,6 +1119,42 @@ mod tests {
             let key = format!("search.{name}");
             assert!(counters.get(&key).is_some(), "missing counter {key}");
         }
+    }
+
+    #[test]
+    fn explain_renders_table_and_json() {
+        use kmm_telemetry::Json;
+        let fa = tmp("explain.fa");
+        let idxf = tmp("explain.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        index(&fa, &idxf, 2).unwrap();
+        let genome = load_fasta_single(&fa).unwrap();
+        let probe = kmm_dna::decode_string(&genome[120..160]);
+        let methods = [Method::Bwt { use_phi: true }, Method::ALGORITHM_A];
+
+        let mut table = Vec::new();
+        let summary = explain_query(&idxf, &probe, 2, &methods, false, &mut table).unwrap();
+        assert!(summary.contains("winner:"), "{summary}");
+        let table = String::from_utf8(table).unwrap();
+        assert!(table.contains("EXPLAIN pattern="), "{table}");
+        assert!(table.contains("depth profile"), "{table}");
+        assert!(table.contains("verdict:"), "{table}");
+
+        let mut json = Vec::new();
+        explain_query(&idxf, &probe, 2, &methods, true, &mut json).unwrap();
+        let doc = Json::parse(std::str::from_utf8(&json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(kmm_telemetry::EXPLAIN_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("methods").and_then(Json::as_array).map(|m| m.len()),
+            Some(2)
+        );
+
+        // Bad inputs are CLI errors, not panics.
+        assert!(explain_query(&idxf, "QQ", 1, &methods, false, &mut Vec::new()).is_err());
+        assert!(explain_query(&idxf, &probe, 1, &[], false, &mut Vec::new()).is_err());
     }
 
     #[test]

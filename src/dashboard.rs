@@ -1,0 +1,292 @@
+//! The `/dashboard` page: one self-contained HTML document, no external
+//! assets, no build step. Everything it shows comes from endpoints the
+//! daemon already serves — `/stats.json` (counters + histograms, polled
+//! for QPS and latency percentiles), `/slow.json` (the flight recorder's
+//! slowest queries), and `POST /explain` (on-demand per-method cost
+//! attribution with a depth-profile chart).
+//!
+//! Keeping the page a single `const` string means the dashboard
+//! version-locks to the binary: the fields its JavaScript reads are the
+//! fields this build emits, and `curl /dashboard > dash.html` produces a
+//! file that keeps working against the same server.
+
+/// The complete dashboard document. Served verbatim with
+/// `Content-Type: text/html`.
+pub const HTML: &str = r##"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>kmm dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+         background: #14171c; color: #d7dde4; margin: 0; padding: 16px 20px; }
+  h1 { font-size: 16px; margin: 0 0 4px; color: #e8eef5; }
+  h2 { font-size: 13px; margin: 18px 0 6px; color: #9fb3c8; text-transform: uppercase;
+       letter-spacing: .08em; }
+  .sub { color: #6b7a8c; margin-bottom: 14px; }
+  .cards { display: flex; flex-wrap: wrap; gap: 10px; }
+  .card { background: #1b2027; border: 1px solid #2a313b; border-radius: 6px;
+          padding: 8px 14px; min-width: 110px; }
+  .card .v { font-size: 20px; color: #7cc4ff; }
+  .card .l { color: #8494a7; font-size: 11px; }
+  table { border-collapse: collapse; width: 100%; max-width: 900px; }
+  th, td { text-align: left; padding: 3px 10px 3px 0; border-bottom: 1px solid #232a33; }
+  th { color: #8494a7; font-weight: normal; }
+  td.num, th.num { text-align: right; }
+  .bar { fill: #4f9cd9; }
+  .bar.win { fill: #67c587; }
+  .seg-exp { fill: #4f9cd9; }
+  .seg-empty { fill: #8b95a3; }
+  .seg-budget { fill: #d9a14f; }
+  .seg-cutoff { fill: #c56767; }
+  svg text { fill: #b8c4d2; font: 10px ui-monospace, monospace; }
+  input, button { font: inherit; background: #10141a; color: #d7dde4;
+                  border: 1px solid #2a313b; border-radius: 4px; padding: 4px 8px; }
+  button { cursor: pointer; background: #233043; }
+  .err { color: #e08585; }
+  .verdict { color: #67c587; margin: 6px 0; }
+  .legend span { margin-right: 14px; }
+  .sw { display: inline-block; width: 9px; height: 9px; margin-right: 4px;
+        border-radius: 2px; vertical-align: -1px; }
+</style>
+</head>
+<body>
+<h1>kmm dashboard</h1>
+<div class="sub">live view of this serving process &mdash; polls /stats.json and /slow.json every 2s</div>
+
+<div class="cards">
+  <div class="card"><div class="v" id="qps">&ndash;</div><div class="l">search+map QPS</div></div>
+  <div class="card"><div class="v" id="reqs">&ndash;</div><div class="l">requests total</div></div>
+  <div class="card"><div class="v" id="errs">&ndash;</div><div class="l">errors total</div></div>
+  <div class="card"><div class="v" id="shed">&ndash;</div><div class="l">shed (429)</div></div>
+  <div class="card"><div class="v" id="p50">&ndash;</div><div class="l">search p50</div></div>
+  <div class="card"><div class="v" id="p95">&ndash;</div><div class="l">search p95</div></div>
+  <div class="card"><div class="v" id="p99">&ndash;</div><div class="l">search p99</div></div>
+</div>
+
+<h2>slowest queries (flight recorder)</h2>
+<table id="slow"><thead><tr><th>label</th><th class="num">duration</th></tr></thead>
+<tbody></tbody></table>
+
+<h2>explain a query</h2>
+<div>
+  pattern <input id="xp" size="32" value="ACGTACGT" spellcheck="false">
+  k <input id="xk" size="2" value="2">
+  <button id="xgo">explain</button>
+  <span id="xerr" class="err"></span>
+</div>
+<div id="xout"></div>
+
+<script>
+"use strict";
+var prevServed = null, prevT = null;
+
+function fmtNs(ns) {
+  if (!isFinite(ns) || ns <= 0) return "0";
+  if (ns < 1e3) return ns.toFixed(0) + "ns";
+  if (ns < 1e6) return (ns / 1e3).toFixed(1) + "us";
+  if (ns < 1e9) return (ns / 1e6).toFixed(2) + "ms";
+  return (ns / 1e9).toFixed(2) + "s";
+}
+
+function getJson(url, cb) {
+  var x = new XMLHttpRequest();
+  x.open("GET", url);
+  x.onload = function () { if (x.status === 200) cb(JSON.parse(x.responseText)); };
+  x.send();
+}
+
+function pollStats() {
+  getJson("/stats.json", function (s) {
+    var c = s.counters || {};
+    var served = (c["serve.requests"] || 0);
+    var now = Date.now();
+    if (prevServed !== null && now > prevT) {
+      var qps = (served - prevServed) * 1000 / (now - prevT);
+      document.getElementById("qps").textContent = qps.toFixed(1);
+    }
+    prevServed = served; prevT = now;
+    document.getElementById("reqs").textContent = served;
+    document.getElementById("errs").textContent = c["serve.errors"] || 0;
+    document.getElementById("shed").textContent = c["serve.shed"] || 0;
+    var h = (s.histograms || {})["search.latency_ns"];
+    document.getElementById("p50").textContent = h ? fmtNs(h.p50) : "&ndash;";
+    document.getElementById("p95").textContent = h ? fmtNs(h.p95) : "&ndash;";
+    document.getElementById("p99").textContent = h ? fmtNs(h.p99) : "&ndash;";
+  });
+}
+
+function pollSlow() {
+  getJson("/slow.json", function (s) {
+    var body = document.querySelector("#slow tbody");
+    body.textContent = "";
+    (s.slowest || []).forEach(function (q) {
+      var tr = document.createElement("tr");
+      var a = document.createElement("td"); a.textContent = q.label || "(unlabelled)";
+      var b = document.createElement("td"); b.className = "num";
+      b.textContent = fmtNs(q.dur_ns);
+      tr.appendChild(a); tr.appendChild(b); body.appendChild(tr);
+    });
+  });
+}
+
+function svgEl(tag, attrs) {
+  var e = document.createElementNS("http://www.w3.org/2000/svg", tag);
+  for (var k in attrs) e.setAttribute(k, attrs[k]);
+  return e;
+}
+
+// Horizontal work_units bar per method; the verdict winner is green.
+function workChart(methods, winner) {
+  var w = 640, rowH = 22, pad = 150;
+  var svg = svgEl("svg", { width: w, height: methods.length * rowH + 4 });
+  var max = 1;
+  methods.forEach(function (m) { if (m.work_units > max) max = m.work_units; });
+  methods.forEach(function (m, i) {
+    var y = i * rowH + 2;
+    var t = svgEl("text", { x: 0, y: y + 13 });
+    t.textContent = m.method;
+    svg.appendChild(t);
+    var bw = Math.max(1, (w - pad - 80) * m.work_units / max);
+    var r = svgEl("rect", { x: pad, y: y + 3, width: bw, height: rowH - 8 });
+    r.setAttribute("class", m.method === winner ? "bar win" : "bar");
+    svg.appendChild(r);
+    var v = svgEl("text", { x: pad + bw + 6, y: y + 13 });
+    v.textContent = m.work_units + " wu";
+    svg.appendChild(v);
+  });
+  return svg;
+}
+
+// Per-depth stacked bars: expanded nodes plus pruned children by cause.
+function depthChart(m) {
+  var depths = m.depths || [];
+  if (!depths.length) {
+    var d = document.createElement("div");
+    d.textContent = m.method + ": no depth profile (uninstrumented method)";
+    return d;
+  }
+  var w = 640, h = 110, padB = 16, padL = 34;
+  var max = 1;
+  depths.forEach(function (d) {
+    var tot = d.expanded + d.pruned_empty_interval + d.pruned_budget + d.pruned_cutoff;
+    if (tot > max) max = tot;
+  });
+  var svg = svgEl("svg", { width: w, height: h });
+  var bw = Math.max(2, Math.floor((w - padL) / depths.length) - 2);
+  depths.forEach(function (d, i) {
+    var x = padL + i * (bw + 2);
+    var y = h - padB;
+    [["seg-exp", d.expanded], ["seg-empty", d.pruned_empty_interval],
+     ["seg-budget", d.pruned_budget], ["seg-cutoff", d.pruned_cutoff]]
+      .forEach(function (seg) {
+        var sh = (h - padB - 4) * seg[1] / max;
+        if (sh > 0) {
+          y -= sh;
+          var r = svgEl("rect", { x: x, y: y, width: bw, height: sh });
+          r.setAttribute("class", seg[0]);
+          svg.appendChild(r);
+        }
+      });
+    if (depths.length <= 40 || i % 5 === 0) {
+      var t = svgEl("text", { x: x, y: h - 3 });
+      t.textContent = d.depth;
+      svg.appendChild(t);
+    }
+  });
+  var label = svgEl("text", { x: 0, y: 12 });
+  label.textContent = m.method;
+  svg.appendChild(label);
+  return svg;
+}
+
+document.getElementById("xgo").onclick = function () {
+  var pattern = document.getElementById("xp").value.trim();
+  var k = parseInt(document.getElementById("xk").value, 10) || 0;
+  var errEl = document.getElementById("xerr");
+  errEl.textContent = "";
+  var x = new XMLHttpRequest();
+  x.open("POST", "/explain");
+  x.setRequestHeader("Content-Type", "application/json");
+  x.onload = function () {
+    var out = document.getElementById("xout");
+    out.textContent = "";
+    if (x.status !== 200) {
+      try { errEl.textContent = JSON.parse(x.responseText).error; }
+      catch (e) { errEl.textContent = "explain failed: " + x.status; }
+      return;
+    }
+    var rep = JSON.parse(x.responseText);
+    if (rep.verdict) {
+      var v = document.createElement("div");
+      v.className = "verdict";
+      v.textContent = "verdict: " + rep.verdict.winner + " — " + rep.verdict.why;
+      out.appendChild(v);
+    }
+    out.appendChild(workChart(rep.methods, rep.verdict ? rep.verdict.winner : null));
+    var legend = document.createElement("div");
+    legend.className = "legend";
+    [["seg-exp", "expanded"], ["seg-empty", "pruned: empty interval"],
+     ["seg-budget", "pruned: budget"], ["seg-cutoff", "pruned: φ cutoff"]]
+      .forEach(function (p) {
+        var s = document.createElement("span");
+        var sw = document.createElement("span");
+        sw.className = "sw";
+        sw.style.background = { "seg-exp": "#4f9cd9", "seg-empty": "#8b95a3",
+                                "seg-budget": "#d9a14f", "seg-cutoff": "#c56767" }[p[0]];
+        s.appendChild(sw);
+        s.appendChild(document.createTextNode(p[1]));
+        legend.appendChild(s);
+      });
+    out.appendChild(legend);
+    rep.methods.forEach(function (m) { out.appendChild(depthChart(m)); });
+  };
+  x.send(JSON.stringify({ pattern: pattern, k: k }));
+};
+
+pollStats(); pollSlow();
+setInterval(pollStats, 2000);
+setInterval(pollSlow, 2000);
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::HTML;
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        // No external fetches: everything the page needs ships inline.
+        // (The only URL allowed is the SVG XML namespace, which is an
+        // identifier, not a fetch.)
+        for forbidden in ["https://", "<link", "<script src", "src=", "@import", "cdn"] {
+            assert!(
+                !HTML.contains(forbidden),
+                "dashboard references an external asset via {forbidden:?}"
+            );
+        }
+        let urls = HTML.matches("http://").count();
+        let ns = HTML.matches("http://www.w3.org/2000/svg").count();
+        assert_eq!(urls, ns, "dashboard contains a non-namespace http:// URL");
+        assert!(HTML.starts_with("<!DOCTYPE html>"));
+        // The page consumes exactly the endpoints the daemon serves.
+        for endpoint in ["/stats.json", "/slow.json", "/explain"] {
+            assert!(HTML.contains(endpoint), "dashboard never polls {endpoint}");
+        }
+        // Fields it reads must match what those endpoints emit.
+        for field in [
+            "serve.requests",
+            "search.latency_ns",
+            "slowest",
+            "work_units",
+            "pruned_empty_interval",
+            "pruned_budget",
+            "pruned_cutoff",
+        ] {
+            assert!(HTML.contains(field), "dashboard missing field {field}");
+        }
+    }
+}

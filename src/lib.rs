@@ -32,6 +32,7 @@
 //! ```
 
 pub mod cli;
+pub mod dashboard;
 pub mod serve;
 
 pub use kmm_bwt as bwt;

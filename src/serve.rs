@@ -21,6 +21,8 @@
 //! | `/trace.json` | GET | Chrome trace-event JSON of retained query traces |
 //! | `/search` | POST | `{"pattern": "ACGT..", "k"?, "method"?}` → occurrence list |
 //! | `/map` | POST | `{"read": "ACGT..", "k"?, "both_strands"?}` → alignment list |
+//! | `/explain` | POST | `{"pattern": "ACGT..", "k"?, "methods"?: ["a", "bwt", ..]}` → `kmm-explain/v1` cost report |
+//! | `/dashboard` | GET | self-contained HTML dashboard polling `/stats.json`, `/slow.json`, `/explain` |
 //! | `/shutdown` | POST | stop accepting, drain, exit |
 //!
 //! `POST /search` runs the exact [`KMismatchIndex::search_recorded`]
@@ -193,7 +195,7 @@ impl EndpointStats {
 }
 
 /// Routes with dedicated accounting; anything else lands in `other`.
-const ROUTES: [&str; 8] = [
+const ROUTES: [&str; 10] = [
     "/healthz",
     "/metrics",
     "/stats.json",
@@ -201,6 +203,8 @@ const ROUTES: [&str; 8] = [
     "/trace.json",
     "/search",
     "/map",
+    "/explain",
+    "/dashboard",
     "/shutdown",
 ];
 
@@ -497,6 +501,19 @@ fn serve_on(
 fn shed_connection(mut stream: TcpStream, state: &ServerState) {
     state.recorder.add(Counter::ServeShed, 1);
     state.other.record(0, true);
+    // Shed connections never reach `handle_connection`, so they get
+    // their own access-log line here — with the same outcome field the
+    // per-request log carries, a 429 is grep-able alongside 504s.
+    let req_id = next_request_id();
+    events::warn(
+        "serve.access",
+        "connection shed -> 429",
+        &[
+            ("request_id", req_id),
+            ("status", "429".to_string()),
+            ("outcome", "shed".to_string()),
+        ],
+    );
     if stream.set_nonblocking(false).is_err()
         || stream
             .set_write_timeout(Some(Duration::from_millis(250)))
@@ -550,6 +567,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, worker: usize) 
                 &[
                     ("request_id", req_id),
                     ("status", response.status.to_string()),
+                    ("outcome", "error".to_string()),
                 ],
             );
             let _ = write_response(&mut stream, &response);
@@ -578,10 +596,20 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, worker: usize) 
     // JSON error body carries, so client-side and server-side views of a
     // failure can be joined.
     let message = format!("{} {} -> {}", request.method, request.path, response.status);
+    // `outcome` classifies the handler result beyond the bare status
+    // code: a 504 body still carries verified partial results
+    // ("truncated"), a 429 was refused before any handler ran ("shed").
+    let outcome = match response.status {
+        504 => "truncated",
+        429 => "shed",
+        s if s >= 400 => "error",
+        _ => "ok",
+    };
     let fields = [
         ("request_id", req_id),
         ("status", response.status.to_string()),
         ("duration_us", elapsed.as_micros().to_string()),
+        ("outcome", outcome.to_string()),
     ];
     if is_error {
         events::warn("serve.access", message, &fields);
@@ -737,13 +765,20 @@ fn route(state: &ServerState, request: &Request, worker: usize, req_id: &str) ->
             Response::json(200, &slow_queries_json(&state.recorder.flight().slowest()))
         }
         ("GET", "/trace.json") => Response::json(200, &chrome_trace_json(&state.recorder.traces())),
+        ("GET", "/dashboard") => Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: crate::dashboard::HTML.as_bytes().to_vec(),
+            retry_after: None,
+        },
         ("POST", "/search") => handle_search(state, &request.body, worker, req_id),
         ("POST", "/map") => handle_map(state, &request.body, worker, req_id),
+        ("POST", "/explain") => handle_explain(state, &request.body, req_id),
         ("POST", "/shutdown") => {
             state.stop.store(true, Ordering::Relaxed);
             Response::text(200, "shutting down\n")
         }
-        ("GET", "/search" | "/map" | "/shutdown") => {
+        ("GET", "/search" | "/map" | "/explain" | "/shutdown") => {
             Response::text(405, "use POST for this endpoint\n")
         }
         _ => Response::text(404, format!("no route for {}\n", request.path)),
@@ -783,11 +818,17 @@ fn render_metrics(state: &ServerState) -> String {
     out.push_str("# TYPE kmm_http_window_errors gauge\n");
     out.push_str("# HELP kmm_http_latency_ns Latency percentiles over the trailing one-minute window (0 when idle).\n");
     out.push_str("# TYPE kmm_http_latency_ns gauge\n");
+    out.push_str("# HELP kmm_http_window_samples Latency samples currently held in the sliding window histogram.\n");
+    out.push_str("# TYPE kmm_http_window_samples gauge\n");
     for e in state.endpoints.iter().chain(std::iter::once(&state.other)) {
         let w = e.window.summary();
         out.push_str(&format!(
             "kmm_http_window_requests{{endpoint=\"{}\"}} {}\n",
             e.route, w.count
+        ));
+        out.push_str(&format!(
+            "kmm_http_window_samples{{endpoint=\"{}\"}} {}\n",
+            e.route, w.hist.count
         ));
         out.push_str(&format!(
             "kmm_http_window_errors{{endpoint=\"{}\"}} {}\n",
@@ -803,6 +844,23 @@ fn render_metrics(state: &ServerState) -> String {
             ));
         }
     }
+    // Flight-recorder occupancy: how full the slowest-K ring is. When
+    // occupancy == capacity, `/slow.json` is evicting — every new slow
+    // query displaces a retained one.
+    let flight = state.recorder.flight();
+    out.push_str(
+        "# HELP kmm_flight_recorder_occupancy Query traces currently retained by the flight recorder.\n",
+    );
+    out.push_str("# TYPE kmm_flight_recorder_occupancy gauge\n");
+    out.push_str(&format!("kmm_flight_recorder_occupancy {}\n", flight.len()));
+    out.push_str(
+        "# HELP kmm_flight_recorder_capacity Flight recorder capacity (the K of slowest-K).\n",
+    );
+    out.push_str("# TYPE kmm_flight_recorder_capacity gauge\n");
+    out.push_str(&format!(
+        "kmm_flight_recorder_capacity {}\n",
+        flight.capacity()
+    ));
     out.push_str(&prometheus_mem_text(&mem_stats()));
     out
 }
@@ -903,6 +961,59 @@ fn handle_search(state: &ServerState, body: &[u8], worker: usize, req_id: &str) 
             ("occurrences", Json::Arr(occurrences)),
         ]),
     )
+}
+
+/// `POST /explain`: the CLI's EXPLAIN engine over the served index.
+/// Body: `{"pattern": "ACGT..", "k"?, "methods"?: ["a", "bwt", ...]}`.
+/// Without `"methods"` the comparison set is BWT vs Algorithm A — the
+/// two always-resident methods — so a default explain never triggers a
+/// lazy suffix-tree build on a large served index. The report is the
+/// same deterministic `kmm-explain/v1` document `kmm explain --json`
+/// prints; the query runs serially on the handling worker and is not
+/// recorded into the flight recorder (its recorder never reads a
+/// clock, by design).
+fn handle_explain(state: &ServerState, body: &[u8], req_id: &str) -> Response {
+    let doc = match body_json(body) {
+        Ok(d) => d,
+        Err(msg) => return error_response(400, msg, req_id),
+    };
+    let Some(pattern) = doc.get("pattern").and_then(Json::as_str) else {
+        return error_response(400, "missing \"pattern\"", req_id);
+    };
+    let k = doc
+        .get("k")
+        .and_then(Json::as_u64)
+        .map_or(state.config.k, |v| v as usize);
+    let methods: Vec<Method> = match doc.get("methods") {
+        None => vec![Method::Bwt { use_phi: true }, Method::ALGORITHM_A],
+        Some(list) => {
+            let Some(names) = list.as_array() else {
+                return error_response(400, "\"methods\" must be an array of names", req_id);
+            };
+            let mut parsed = Vec::with_capacity(names.len());
+            for name in names {
+                let Some(name) = name.as_str() else {
+                    return error_response(400, "\"methods\" must be an array of names", req_id);
+                };
+                match cli::parse_method(name) {
+                    Ok(m) => parsed.push(m),
+                    Err(e) => return error_response(400, e.to_string(), req_id),
+                }
+            }
+            if parsed.is_empty() {
+                return error_response(400, "\"methods\" must not be empty", req_id);
+            }
+            parsed
+        }
+    };
+    let encoded = match kmm_dna::encode(pattern.as_bytes()) {
+        Ok(p) => p,
+        Err(e) => return error_response(400, format!("bad pattern: {e}"), req_id),
+    };
+    if encoded.is_empty() {
+        return error_response(400, "\"pattern\" must be non-empty", req_id);
+    }
+    Response::json(200, &state.index.explain(&encoded, k, &methods).to_json())
 }
 
 fn handle_map(state: &ServerState, body: &[u8], worker: usize, req_id: &str) -> Response {

@@ -1,0 +1,254 @@
+//! EXPLAIN determinism, end to end: the `kmm explain` CLI must print
+//! byte-identical output across thread widths and SIMD kernels (its
+//! verdict comes from deterministic counters, never wall-clock), arming
+//! the explain recorder must not perturb search results, and the serve
+//! surface (`POST /explain`, `GET /dashboard`) must work over real
+//! sockets.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use bwt_kmismatch::dna::genome::{markov, MarkovConfig, ReferenceGenome};
+use bwt_kmismatch::serve::{ServeConfig, Server};
+use bwt_kmismatch::telemetry::events::{self, EventLog};
+use bwt_kmismatch::telemetry::{ExplainRecorder, Json, LogLevel};
+use bwt_kmismatch::{cli, KMismatchIndex, Method};
+
+/// One saved CMerolae index (plus a probe pattern read from its genome),
+/// shared by every CLI subprocess test in this binary.
+fn cli_fixture() -> &'static (PathBuf, String) {
+    static FIXTURE: OnceLock<(PathBuf, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("kmm-explain-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("ref.fa");
+        let idx = dir.join("ref.idx");
+        cli::generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        cli::index(&fa, &idx, 2).unwrap();
+        // cli::generate writes generate_scaled(scale) verbatim, so the
+        // same call reproduces the indexed text for probe extraction.
+        let genome = ReferenceGenome::CMerolae.generate_scaled(0.02);
+        let probe = bwt_kmismatch::dna::decode_string(&genome[200..250]);
+        (idx, probe)
+    })
+}
+
+/// Run the real `kmm` binary and return its stdout.
+fn kmm(args: &[&str], envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_kmm"));
+    cmd.args(args).arg("--quiet");
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    let out = cmd.output().expect("spawn kmm");
+    assert!(
+        out.status.success(),
+        "kmm {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn explain_json_is_byte_identical_across_threads_and_simd() {
+    let (idx, probe) = cli_fixture();
+    let idx = idx.to_str().unwrap();
+    let base_args = [
+        "explain",
+        "--index",
+        idx,
+        "--pattern",
+        probe,
+        "-k",
+        "2",
+        "--json",
+    ];
+    let with = |extra: &[&str], envs: &[(&str, &str)]| {
+        let mut args: Vec<&str> = base_args.to_vec();
+        args.extend_from_slice(extra);
+        kmm(&args, envs)
+    };
+    let reference = with(&["--threads", "1"], &[]);
+    // The report parses and carries the explain schema.
+    let doc = Json::parse(&reference).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("kmm-explain/v1")
+    );
+    assert!(doc.get("verdict").is_some());
+    // Thread width must not move a byte: explain runs methods serially
+    // and its verdict never reads a clock.
+    assert_eq!(reference, with(&["--threads", "8"], &[]));
+    // Neither must the occ kernel: SIMD and scalar tallies are
+    // bit-identical, and nothing else in the report can see the kernel.
+    assert_eq!(
+        reference,
+        with(&["--threads", "1"], &[("KMM_NO_SIMD", "1")])
+    );
+    // The human table is deterministic too.
+    let table = kmm(
+        &["explain", "--index", idx, "--pattern", probe, "-k", "2"],
+        &[],
+    );
+    assert!(table.contains("EXPLAIN pattern="), "{table}");
+    assert!(table.contains("verdict:"), "{table}");
+    assert_eq!(
+        table,
+        kmm(
+            &[
+                "explain",
+                "--index",
+                idx,
+                "--pattern",
+                probe,
+                "-k",
+                "2",
+                "--threads",
+                "4"
+            ],
+            &[]
+        )
+    );
+}
+
+#[test]
+fn arming_explain_does_not_perturb_search_results() {
+    let genome = markov(6_000, &MarkovConfig::default(), 47);
+    let index = KMismatchIndex::new(genome.clone());
+    let pattern = genome[1_500..1_560].to_vec();
+    for k in [0usize, 1, 3] {
+        for method in [
+            Method::Bwt { use_phi: true },
+            Method::ALGORITHM_A,
+            Method::Kangaroo,
+        ] {
+            let plain = index.search(&pattern, k, method);
+            let armed = index.search_recorded(&pattern, k, method, &ExplainRecorder::new());
+            assert_eq!(
+                armed.occurrences,
+                plain.occurrences,
+                "k={k} {}: occurrence lists diverged under explain",
+                method.label()
+            );
+            assert_eq!(
+                armed.stats,
+                plain.stats,
+                "k={k} {}: counters diverged under explain",
+                method.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_report_agrees_with_plain_search() {
+    let genome = markov(6_000, &MarkovConfig::default(), 47);
+    let index = KMismatchIndex::new(genome.clone());
+    let pattern = genome[2_000..2_050].to_vec();
+    let methods = [Method::Bwt { use_phi: true }, Method::ALGORITHM_A];
+    let report = index.explain(&pattern, 2, &methods);
+    assert_eq!(report.methods.len(), 2);
+    for (cost, &method) in report.methods.iter().zip(&methods) {
+        let plain = index.search(&pattern, 2, method);
+        assert_eq!(cost.occurrences, plain.occurrences.len() as u64);
+    }
+}
+
+/// Minimal blocking HTTP/1.1 client returning (status, headers, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("header terminator");
+    (status, head.to_string(), payload.to_string())
+}
+
+#[test]
+fn serve_explain_and_dashboard_end_to_end() {
+    // Keep server threads off the harness stderr.
+    events::init_global(EventLog::new(LogLevel::Warn).quiet());
+    let genome = markov(8_000, &MarkovConfig::default(), 31);
+    let pattern = bwt_kmismatch::dna::decode_string(&genome[3_000..3_040]);
+    let index = KMismatchIndex::new(genome);
+    let server = Server::start(index, ServeConfig::default()).expect("server start");
+    let addr = server.addr();
+
+    // The dashboard is one self-contained HTML document.
+    let (status, head, body) = http(addr, "GET", "/dashboard", "");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/html"), "{head}");
+    assert!(body.starts_with("<!DOCTYPE html>"), "not HTML: {body:.60}");
+    for endpoint in ["/stats.json", "/slow.json", "/explain"] {
+        assert!(body.contains(endpoint), "dashboard never uses {endpoint}");
+    }
+
+    // POST /explain with the default method set (BWT vs Algorithm A).
+    let req = format!("{{\"pattern\": \"{pattern}\", \"k\": 2}}");
+    let (status, _, body) = http(addr, "POST", "/explain", &req);
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("kmm-explain/v1")
+    );
+    let methods = doc.get("methods").and_then(Json::as_array).unwrap();
+    assert_eq!(methods.len(), 2);
+    for m in methods {
+        assert!(m.get("work_units").and_then(Json::as_u64).unwrap() > 0);
+        assert!(!m.get("depths").and_then(Json::as_array).unwrap().is_empty());
+    }
+
+    // An explicit methods list is honoured.
+    let req = format!("{{\"pattern\": \"{pattern}\", \"k\": 1, \"methods\": [\"a\"]}}");
+    let (status, _, body) = http(addr, "POST", "/explain", &req);
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    let methods = doc.get("methods").and_then(Json::as_array).unwrap();
+    assert_eq!(methods.len(), 1);
+    assert_eq!(
+        methods[0].get("method").and_then(Json::as_str),
+        Some("A(.)")
+    );
+
+    // Bad requests are 400s with a request id, and GET is a 405.
+    let (status, _, body) = http(addr, "POST", "/explain", "{\"k\": 2}");
+    assert_eq!(status, 400);
+    assert!(body.contains("pattern"), "{body}");
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/explain",
+        "{\"pattern\": \"ACGT\", \"methods\": []}",
+    );
+    assert_eq!(status, 400, "{body}");
+    let (status, _, _) = http(addr, "GET", "/explain", "");
+    assert_eq!(status, 405);
+
+    // The same explain request twice is byte-identical over the wire.
+    let req = format!("{{\"pattern\": \"{pattern}\", \"k\": 2}}");
+    let (_, _, first) = http(addr, "POST", "/explain", &req);
+    let (_, _, second) = http(addr, "POST", "/explain", &req);
+    assert_eq!(first, second);
+
+    let (status, _, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join();
+}
