@@ -18,7 +18,11 @@
 //!   baseline  fixed regression-gate workload -> BENCH_baseline.json
 //!   explain   depth-profile attribution, A(.) vs BWT at k = 1..3
 //!             -> BENCH_explain.json (per-depth pruned counts, gated)
-//!   all       everything above (except coldstart, baseline, explain)
+//!   servesoak drive a live `kmm serve` daemon over TCP: keep-alive
+//!             reuse, per-tenant 429s, connection-cap sheds
+//!             -> BENCH_serve.json (structural counters, gated)
+//!   all       everything above (except coldstart, baseline, explain,
+//!             servesoak)
 //! ```
 //!
 //! `--scale` scales every genome relative to the 1:100 sizes of DESIGN.md
@@ -38,9 +42,9 @@ use std::path::PathBuf;
 
 use kmm_bench::{
     fmt_secs, format_table, run_baseline, run_coldstart, run_explain, run_method, run_occbench,
-    run_occbench_kernels, simulate_reads, write_baseline_json, write_bench_json,
-    write_coldstart_json, write_explain_json, write_par_scaling_json, BenchRecord,
-    ParScalingRecord, Workload,
+    run_occbench_kernels, run_servesoak, simulate_reads, write_baseline_json, write_bench_json,
+    write_coldstart_json, write_explain_json, write_par_scaling_json, write_serve_json,
+    BenchRecord, ParScalingRecord, Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
@@ -95,7 +99,7 @@ fn main() {
             }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|explain|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|explain|servesoak|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -118,6 +122,7 @@ fn main() {
         "coldstart" => coldstart(&opts),
         "baseline" => baseline(&opts),
         "explain" => explain(&opts),
+        "servesoak" => servesoak(&opts),
         "all" => {
             table1(&opts);
             let mut fig11 = fig11a(&opts);
@@ -276,6 +281,58 @@ fn explain(opts: &Opts) {
     if let Some(dir) = &opts.out_dir {
         let path = write_explain_json(dir, &records)
             .unwrap_or_else(|e| panic!("writing BENCH_explain.json: {e}"));
+        eprintln!("wrote {} ({} records)", path.display(), records.len());
+    }
+}
+
+/// Serving soak: spawn the sibling `kmm` binary (same target dir as
+/// this one; override with `KMM_BIN`), drive its event-loop front end
+/// through the keep-alive, tenant-shed, and connection-cap phases, and
+/// record the structural admission counters. Everything gated is an
+/// exact function of the request sequence — `BENCH_serve.json` diffs
+/// bit-identically against itself.
+fn servesoak(opts: &Opts) {
+    println!("\n== Serve soak: event-loop admission control over live TCP ==\n");
+    let kmm = match std::env::var_os("KMM_BIN") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let exe = std::env::current_exe().expect("current_exe");
+            exe.parent().expect("exe dir").join("kmm")
+        }
+    };
+    if !kmm.is_file() {
+        panic!(
+            "kmm binary not found at {} (build it with `cargo build --release` \
+             or point KMM_BIN at it)",
+            kmm.display()
+        );
+    }
+    let records = run_servesoak(&kmm).unwrap_or_else(|e| panic!("servesoak: {e}"));
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            let stats = r
+                .stats
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            vec![
+                r.phase.clone(),
+                r.conns.to_string(),
+                r.reqs.to_string(),
+                fmt_secs(r.seconds),
+                stats,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["phase", "conns", "reqs/conn", "time", "counters"], &rows)
+    );
+    if let Some(dir) = &opts.out_dir {
+        let path = write_serve_json(dir, &records)
+            .unwrap_or_else(|e| panic!("writing BENCH_serve.json: {e}"));
         eprintln!("wrote {} ({} records)", path.display(), records.len());
     }
 }

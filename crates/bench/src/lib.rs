@@ -7,6 +7,9 @@
 //! this crate.
 
 pub mod diff;
+pub mod soak;
+
+pub use soak::{run_servesoak, write_serve_json, ServeSoakRecord, SERVE_EXPERIMENT};
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;

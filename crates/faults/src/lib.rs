@@ -31,6 +31,20 @@
 //!
 //! Multiple specs may be joined with `;`. `site=off` disarms one site.
 //!
+//! ## Registered sites
+//!
+//! Sites exist by being checked; the suite currently exercises:
+//!
+//! | site | where it fires |
+//! |---|---|
+//! | `index.load.io` | index deserialisation I/O |
+//! | `index.save.io` | index serialisation I/O |
+//! | `pool.worker.panic` | worker entry, before the request handler |
+//! | `serve.handler.slow` | HTTP route entry (the sleep action stalls the handler) |
+//! | `serve.handler.err` | HTTP route entry (err → 500, panic → isolation path) |
+//! | `serve.conn.stall` | connection accept: the connection is admitted but never read, so the idle-timeout eviction (408, `serve.shed_stall`) fires deterministically — a synthetic slow-loris |
+//! | `serve.conn.reset` | connection accept: the connection is dropped on the floor, simulating an abrupt client reset |
+//!
 //! ## Cost when disarmed
 //!
 //! One relaxed load of a global [`AtomicBool`] that is `false` unless

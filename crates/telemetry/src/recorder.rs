@@ -210,10 +210,24 @@ pub enum Counter {
     /// Deterministic cost: advisory rank-block prefetch hints issued
     /// ahead of backward extensions (LF-target warming).
     PrefetchIssued,
+    /// Connections accepted by `kmm serve` (the open-connection gauge is
+    /// `conns_opened - conns_closed`).
+    ServeConnsOpened,
+    /// Connections closed by `kmm serve`, for any reason.
+    ServeConnsClosed,
+    /// Keep-alive reuses: requests after the first on one connection.
+    ServeKeepaliveReuses,
+    /// Requests shed with 429 by the per-tenant token bucket.
+    ServeShedTenant,
+    /// Connections evicted for lack of progress (slow-loris defense:
+    /// idle keep-alive or a stalled header/body never completing).
+    ServeShedStall,
+    /// Connections refused because `--max-conns` was reached.
+    ServeShedConns,
 }
 
 impl Counter {
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 38;
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Queries,
         Counter::Leaves,
@@ -247,6 +261,12 @@ impl Counter {
         Counter::IndexLoadMode,
         Counter::OccPairFused,
         Counter::PrefetchIssued,
+        Counter::ServeConnsOpened,
+        Counter::ServeConnsClosed,
+        Counter::ServeKeepaliveReuses,
+        Counter::ServeShedTenant,
+        Counter::ServeShedStall,
+        Counter::ServeShedConns,
     ];
 
     pub fn name(self) -> &'static str {
@@ -283,6 +303,12 @@ impl Counter {
             Counter::IndexLoadMode => "index.load.mode",
             Counter::OccPairFused => "search.occ_pair_fused",
             Counter::PrefetchIssued => "search.prefetch_issued",
+            Counter::ServeConnsOpened => "serve.conns_opened",
+            Counter::ServeConnsClosed => "serve.conns_closed",
+            Counter::ServeKeepaliveReuses => "serve.keepalive_reuses",
+            Counter::ServeShedTenant => "serve.shed_tenant",
+            Counter::ServeShedStall => "serve.shed_stall",
+            Counter::ServeShedConns => "serve.shed_conns",
         }
     }
 

@@ -235,7 +235,7 @@ impl FlightRecorder {
 /// Span bookkeeping for the recorder's single collection lane. A
 /// `TraceRecorder` is owned by one logical worker at a time (parallel
 /// batches shard per worker), so this mutex is effectively uncontended.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct TraceState {
     /// Ids of currently open spans, outermost first.
     stack: Vec<u32>,
@@ -248,6 +248,20 @@ struct TraceState {
     label: String,
     /// Label queued for the next root (annotate before span_begin).
     pending_label: String,
+}
+
+// Written out by hand: the std `Default` derive only covers arrays up
+// to 32 elements, and `counters` tracks every `Counter` variant.
+impl Default for TraceState {
+    fn default() -> Self {
+        TraceState {
+            stack: Vec::new(),
+            spans: Vec::new(),
+            counters: [0; Counter::COUNT],
+            label: String::new(),
+            pending_label: String::new(),
+        }
+    }
 }
 
 /// A [`Recorder`] collecting metrics *and* per-query span traces.
@@ -666,20 +680,30 @@ mod tests {
             max_traces: 10,
             flight_capacity: 2,
         });
-        let mk_shard = |thread: u32, durations: &[u64]| {
+        let mk_shard = |thread: u32, queries: usize| {
             let shard = TraceRecorder::shard(Some(parent.epoch), thread, true);
-            for &d in durations {
+            for _ in 0..queries {
                 let _root = shard.span(Phase::SearchQuery);
-                spin(d);
             }
             shard
         };
-        let a = mk_shard(1, &[10, 100_000, 20]);
-        let b = mk_shard(2, &[200_000, 5]);
+        // Pin root durations after draining: measured wall time would
+        // make the flight ranking depend on scheduler preemption.
+        let pin = |mut bundle: TraceBundle, durs: &[u64]| {
+            assert_eq!(bundle.traces.len(), durs.len());
+            for (trace, &dur) in bundle.traces.iter_mut().zip(durs) {
+                trace.dur_ns = dur;
+                trace.spans[0].dur_ns = dur;
+            }
+            bundle.slowest = bundle.traces.clone();
+            bundle
+        };
+        let a = mk_shard(1, 3);
+        let b = mk_shard(2, 2);
         parent.absorb(&a.snapshot());
         parent.absorb(&b.snapshot());
-        parent.absorb_traces(a.drain());
-        parent.absorb_traces(b.drain());
+        parent.absorb_traces(pin(a.drain(), &[10, 100_000, 20]));
+        parent.absorb_traces(pin(b.drain(), &[200_000, 5]));
         assert_eq!(parent.traces().len(), 5);
         assert_eq!(parent.snapshot().phase(Phase::SearchQuery).entries, 5);
         let slowest = parent.flight().slowest();

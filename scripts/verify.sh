@@ -451,4 +451,97 @@ grep "$req_id" "$tmp/serve-events.jsonl" | grep -q '"outcome":"error"'
 grep -q "listening" "$tmp/serve-events.jsonl"
 grep -q "shutdown" "$tmp/serve-events.jsonl"
 
+echo "== keep-alive smoke: two requests, one socket =="
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --port-file "$tmp/port-ka" 2> "$tmp/serve-ka.log" &
+ka_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-ka" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-ka" ] || { echo "verify: keep-alive serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-ka")
+# Two pipelined requests in one write; HTTP/1.1 defaults to keep-alive,
+# the second carries Connection: close so the read drains to EOF.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'GET /healthz HTTP/1.1\r\nHost: v\r\n\r\nGET /healthz HTTP/1.1\r\nHost: v\r\nConnection: close\r\n\r\n' >&3
+ka_resp=$(cat <&3)
+exec 3<&- 3>&-
+[ "$(echo "$ka_resp" | grep -c "200 OK")" = 2 ] \
+    || { echo "verify: keep-alive socket did not serve both requests" >&2; exit 1; }
+echo "$ka_resp" | grep -q "Connection: keep-alive"
+echo "$ka_resp" | grep -q "Connection: close"
+resp=$(http_get /metrics)
+echo "$resp" | grep -Eq '^kmm_serve_keepalive_reuses_total [1-9]'
+
+echo "== slow-loris eviction: half a header draws a 408 =="
+# Same daemon, but the loris needs a tight idle window; restart with one.
+resp=$(http_post /shutdown "")
+echo "$resp" | grep -q "200 OK"
+wait "$ka_pid"
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --idle-timeout-ms 300 --port-file "$tmp/port-loris" 2> "$tmp/serve-loris.log" &
+loris_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-loris" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-loris" ] || { echo "verify: loris serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-loris")
+# Send half a request line and stop: the idle deadline must evict the
+# connection with a 408 instead of holding the slot forever.
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'GET /hea' >&3
+loris_resp=$(cat <&3)
+exec 3<&- 3>&-
+echo "$loris_resp" | grep -q "408 Request Timeout"
+echo "$loris_resp" | grep -q "Connection: close"
+resp=$(http_get /metrics)
+echo "$resp" | grep -Eq '^kmm_serve_shed_stall_total [1-9]'
+resp=$(http_post /shutdown "")
+echo "$resp" | grep -q "200 OK"
+wait "$loris_pid"
+
+echo "== per-tenant admission: --tenant-rate 1 meters each tenant =="
+"$kmm" serve --index "$tmp/ref.idx" --addr 127.0.0.1:0 --threads 2 -k 2 \
+    --tenant-rate 1 --port-file "$tmp/port-tenant" 2> "$tmp/serve-tenant.log" &
+tenant_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmp/port-tenant" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/port-tenant" ] || { echo "verify: tenant serve never wrote its port file" >&2; exit 1; }
+port=$(cat "$tmp/port-tenant")
+http_tenant() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'GET /healthz HTTP/1.1\r\nHost: v\r\nX-Kmm-Tenant: %s\r\nConnection: close\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+# alice's bucket holds one token: first request lands, the immediate
+# second draws 429 + Retry-After without closing her out for good.
+resp=$(http_tenant alice)
+echo "$resp" | grep -q "200 OK"
+resp=$(http_tenant alice)
+echo "$resp" | grep -q "429 Too Many Requests"
+echo "$resp" | grep -q "Retry-After:"
+# bob is a different bucket and sails through...
+resp=$(http_tenant bob)
+echo "$resp" | grep -q "200 OK"
+# ...and the control plane is exempt from admission entirely.
+resp=$(http_post /shutdown "")
+echo "$resp" | grep -q "200 OK"
+wait "$tenant_pid"
+grep -q "served" "$tmp/serve-tenant.log"
+
+echo "== servesoak gate (BENCH_serve.json) =="
+# The soak re-derives the committed admission counters over live TCP;
+# every gated value is a pure function of the request sequence.
+target/release/experiments servesoak --out-dir "$tmp/bench" > "$tmp/servesoak.txt"
+grep -q "keepalive" "$tmp/servesoak.txt"
+test -s "$tmp/bench/BENCH_serve.json"
+"$kmm" bench diff BENCH_serve.json "$tmp/bench/BENCH_serve.json" \
+    --fail-on-regress 15 2> "$tmp/diff-serve.txt"
+grep -q "PASS" "$tmp/diff-serve.txt"
+
 echo "verify: OK"

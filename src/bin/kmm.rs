@@ -45,7 +45,8 @@ commands:
   serve     --index <ref.idx> [--addr HOST:PORT] [--threads N] [-k K]
             [--method M] [--slowest K] [--port-file <path>]
             [--timeout-ms T] [--max-body-bytes B] [--failpoints SPEC]
-            [--mmap]
+            [--mmap] [--keep-alive N] [--idle-timeout-ms T]
+            [--tenant-rate N] [--max-conns N]
   bench diff <baseline.json> <candidate.json> [--fail-on-regress PCT]
             [--fail-on-time-regress PCT] [--assert-identical]
 
@@ -80,13 +81,20 @@ the budget stops at the next poll point and returns the verified partial
 results, flagged as truncated (CLI summaries count them; serve answers
 504 with 'truncated': true). Without it, results are exhaustive.
 
-serve starts a blocking HTTP/1.1 daemon over a loaded index with
+serve starts an event-loop HTTP/1.1 daemon over a loaded index with
 GET /healthz, /metrics (Prometheus), /stats.json, /slow.json,
 /trace.json, /dashboard (self-contained live HTML dashboard) and
 POST /search, /map, /explain, /shutdown. --addr defaults to
-127.0.0.1:0 (ephemeral port; use --port-file to discover it). When all
-workers are busy and the handoff queue is full, new connections get an
-immediate 429 + Retry-After; bodies over --max-body-bytes get 413.
+127.0.0.1:0 (ephemeral port; use --port-file to discover it).
+Connections are keep-alive (up to --keep-alive requests each, default
+100; 0 closes after every response) and evicted with a 408 after
+--idle-timeout-ms without progress (slow-loris defense, default 5000).
+--tenant-rate N admits N requests/second per X-Kmm-Tenant header value
+(token bucket, burst N; 0 = unlimited); over-rate requests get 429 +
+Retry-After, as do requests arriving while the worker queue is full
+and connections past --max-conns (default 1024). A queue at half
+capacity clamps request deadlines to 250 ms so overload degrades into
+fast truncation. Bodies over --max-body-bytes get 413.
 --mmap opens the index zero-copy: startup is O(1) in the index size
 (section-table verified, payloads faulted in on demand) instead of
 reading and checksumming the whole file up front.
@@ -102,7 +110,9 @@ pointer to 'kmm index upgrade'.
 fault-injection sites, e.g. 'serve.handler.err=1in10.err' or
 'index.load.io=after2.err;serve.handler.slow=sleep50'. Sites:
 index.load.io, index.save.io, pool.worker.panic, serve.handler.slow,
-serve.handler.err. Testing only; disarmed sites cost one atomic load.
+serve.handler.err, serve.conn.stall (accepted connection is never
+read, so the idle eviction fires), serve.conn.reset (connection is
+dropped at accept). Testing only; disarmed sites cost one atomic load.
 
 bench diff compares two BENCH_*.json artifacts (see the experiments
 binary) on wall-clock timing and on the deterministic cost counters.
@@ -159,6 +169,10 @@ const SERVE_FLAGS: &[&str] = &[
     "max-body-bytes",
     "failpoints",
     "mmap",
+    "keep-alive",
+    "idle-timeout-ms",
+    "tenant-rate",
+    "max-conns",
 ];
 const BENCH_DIFF_FLAGS: &[&str] = &[
     "fail-on-regress",
@@ -509,6 +523,16 @@ fn run() -> Result<String, CliError> {
                     bwt_kmismatch::serve::DEFAULT_MAX_BODY_BYTES,
                 )?,
                 prefer_mmap: args.get("mmap").is_some(),
+                keep_alive_requests: args.parsed(
+                    "keep-alive",
+                    bwt_kmismatch::serve::DEFAULT_KEEP_ALIVE_REQUESTS,
+                )?,
+                idle_timeout_ms: args.parsed(
+                    "idle-timeout-ms",
+                    bwt_kmismatch::serve::DEFAULT_IDLE_TIMEOUT_MS,
+                )?,
+                tenant_rate: args.parsed("tenant-rate", 0u64)?,
+                max_conns: args.parsed("max-conns", bwt_kmismatch::serve::DEFAULT_MAX_CONNS)?,
             };
             bwt_kmismatch::serve::run(&PathBuf::from(args.require("index")?), config)
         }

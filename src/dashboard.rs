@@ -65,6 +65,17 @@ pub const HTML: &str = r##"<!DOCTYPE html>
   <div class="card"><div class="v" id="p99">&ndash;</div><div class="l">search p99</div></div>
 </div>
 
+<h2>connections</h2>
+<div class="cards">
+  <div class="card"><div class="v" id="copen">&ndash;</div><div class="l">open now</div></div>
+  <div class="card"><div class="v" id="copened">&ndash;</div><div class="l">opened total</div></div>
+  <div class="card"><div class="v" id="creuse">&ndash;</div><div class="l">keep-alive reuses</div></div>
+  <div class="card"><div class="v" id="shedq">&ndash;</div><div class="l">shed: queue full</div></div>
+  <div class="card"><div class="v" id="shedt">&ndash;</div><div class="l">shed: tenant rate</div></div>
+  <div class="card"><div class="v" id="sheds">&ndash;</div><div class="l">shed: slow loris</div></div>
+  <div class="card"><div class="v" id="shedc">&ndash;</div><div class="l">shed: conn cap</div></div>
+</div>
+
 <h2>slowest queries (flight recorder)</h2>
 <table id="slow"><thead><tr><th>label</th><th class="num">duration</th></tr></thead>
 <tbody></tbody></table>
@@ -110,6 +121,14 @@ function pollStats() {
     document.getElementById("reqs").textContent = served;
     document.getElementById("errs").textContent = c["serve.errors"] || 0;
     document.getElementById("shed").textContent = c["serve.shed"] || 0;
+    var opened = c["serve.conns_opened"] || 0, closed = c["serve.conns_closed"] || 0;
+    document.getElementById("copen").textContent = Math.max(0, opened - closed);
+    document.getElementById("copened").textContent = opened;
+    document.getElementById("creuse").textContent = c["serve.keepalive_reuses"] || 0;
+    document.getElementById("shedq").textContent = c["serve.shed"] || 0;
+    document.getElementById("shedt").textContent = c["serve.shed_tenant"] || 0;
+    document.getElementById("sheds").textContent = c["serve.shed_stall"] || 0;
+    document.getElementById("shedc").textContent = c["serve.shed_conns"] || 0;
     var h = (s.histograms || {})["search.latency_ns"];
     document.getElementById("p50").textContent = h ? fmtNs(h.p50) : "&ndash;";
     document.getElementById("p95").textContent = h ? fmtNs(h.p95) : "&ndash;";
@@ -279,6 +298,12 @@ mod tests {
         // Fields it reads must match what those endpoints emit.
         for field in [
             "serve.requests",
+            "serve.conns_opened",
+            "serve.conns_closed",
+            "serve.keepalive_reuses",
+            "serve.shed_tenant",
+            "serve.shed_stall",
+            "serve.shed_conns",
             "search.latency_ns",
             "slowest",
             "work_units",

@@ -33,6 +33,7 @@
 
 pub mod cli;
 pub mod dashboard;
+pub mod poll;
 pub mod serve;
 
 pub use kmm_bwt as bwt;

@@ -585,3 +585,277 @@ fn serve_run_with_mmap_reports_load_mode_and_answers_match() {
     post(addr, "/shutdown", "");
     handle.join().unwrap().unwrap();
 }
+
+/// Read exactly one `Content-Length`-framed response off a keep-alive
+/// stream (the `http` helper reads to EOF, which keep-alive never hits).
+/// `carry` holds bytes past the end of this response — the server may
+/// coalesce pipelined responses into one write, so anything after the
+/// framed body belongs to the NEXT response and must survive this call.
+fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> (u16, String, String) {
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response headers");
+        assert!(n > 0, "EOF before response headers");
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&carry[..header_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            if name.eq_ignore_ascii_case("content-length") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .expect("content-length header");
+    let total = header_end + 4 + content_length;
+    while carry.len() < total {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "EOF mid response body");
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&carry[header_end + 4..total]).to_string();
+    carry.drain(..total);
+    (status, head, body)
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_socket() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    // No Connection header: HTTP/1.1 defaults to keep-alive.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut carry = Vec::new();
+    let (status, head, body) = read_one_response(&mut stream, &mut carry);
+    assert_eq!((status, body.as_str()), (200, "ok\n"), "{head}");
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+
+    // Second request on the very same socket.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, body) = read_one_response(&mut stream, &mut carry);
+    assert_eq!((status, body.as_str()), (200, "ok\n"), "{head}");
+    assert!(head.contains("Connection: close"), "{head}");
+    // The close is real: the stream reaches EOF.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+
+    let (_, metrics) = get(addr, "/metrics");
+    let reuses: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("kmm_serve_keepalive_reuses_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("kmm_serve_keepalive_reuses_total series");
+    assert!(reuses >= 1, "no keep-alive reuse counted:\n{metrics}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (server, idx) = start(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let pattern = probe(&idx, 700);
+    let search = format!("{{\"pattern\": \"{pattern}\", \"k\": 1}}");
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    // Three requests in a single write; the last one closes.
+    let burst = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+         POST /search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{search}\
+         GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        search.len()
+    );
+    stream.write_all(burst.as_bytes()).unwrap();
+
+    let mut carry = Vec::new();
+    let (s1, _, b1) = read_one_response(&mut stream, &mut carry);
+    let (s2, _, b2) = read_one_response(&mut stream, &mut carry);
+    let (s3, _, b3) = read_one_response(&mut stream, &mut carry);
+    assert_eq!((s1, b1.as_str()), (200, "ok\n"));
+    assert_eq!(s2, 200, "{b2}");
+    let doc = Json::parse(&b2).unwrap();
+    let encoded = bwt_kmismatch::dna::encode(pattern.as_bytes()).unwrap();
+    let want = idx.search(&encoded, 1, Method::ALGORITHM_A);
+    assert_eq!(
+        doc.get("count").and_then(Json::as_u64),
+        Some(want.occurrences.len() as u64),
+        "pipelined /search diverged"
+    );
+    assert_eq!((s3, b3.as_str()), (200, "ok\n"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after the closing response");
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn tenant_rate_limit_sheds_with_429() {
+    let (server, _idx) = start(ServeConfig {
+        tenant_rate: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let as_tenant = |name: &str| {
+        raw(
+            addr,
+            &format!(
+                "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Kmm-Tenant: {name}\r\nConnection: close\r\n\r\n"
+            ),
+        )
+    };
+
+    // Burst of 3 as alice inside one second: the bucket holds 1 token
+    // (burst = rate = 1), so at least one request must be shed.
+    let alice: Vec<u16> = (0..3).map(|_| as_tenant("alice").0).collect();
+    assert_eq!(alice[0], 200, "first request must be admitted: {alice:?}");
+    assert!(
+        alice.iter().any(|&s| s == 429),
+        "burst of 3 at rate 1 never shed: {alice:?}"
+    );
+    // bob has his own bucket: admitted regardless of alice's burst.
+    assert_eq!(as_tenant("bob").0, 200);
+
+    let (_, metrics) = get(addr, "/metrics");
+    let shed: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("kmm_serve_shed_tenant_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("kmm_serve_shed_tenant_total series");
+    assert!(shed >= 1, "tenant shed not counted:\n{metrics}");
+
+    // /shutdown is control-plane: exempt from admission.
+    assert_eq!(post(addr, "/shutdown", "").0, 200);
+    server.join();
+}
+
+#[test]
+fn slow_loris_connection_is_evicted_with_408() {
+    let (server, _idx) = start(ServeConfig {
+        idle_timeout_ms: 150,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Half a request line, then silence: the idle deadline must evict.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(b"GET /healthz HTT").unwrap();
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("eviction notice");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .unwrap();
+    assert_eq!(status, 408, "{response}");
+
+    let (_, metrics) = get(addr, "/metrics");
+    let stalls: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("kmm_serve_shed_stall_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .expect("kmm_serve_shed_stall_total series");
+    assert!(stalls >= 1, "stall eviction not counted:\n{metrics}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
+fn connections_past_max_conns_get_429_without_being_read() {
+    let (server, _idx) = start(ServeConfig {
+        max_conns: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Two connections hold the cap without sending anything.
+    let mut a = TcpStream::connect(addr).unwrap();
+    a.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let _b = TcpStream::connect(addr).unwrap();
+    // Give the event loop a beat to accept both.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The third is refused before it sends a byte.
+    let mut c = TcpStream::connect(addr).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    let mut refusal = String::new();
+    c.read_to_string(&mut refusal).expect("refusal response");
+    assert!(refusal.starts_with("HTTP/1.1 429"), "{refusal}");
+    assert!(refusal.contains("Retry-After:"), "{refusal}");
+
+    // Connection `a` was admitted: it still works, and can shut down.
+    a.write_all(
+        b"POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let mut response = String::new();
+    a.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    server.join();
+}
+
+/// The connection/shed series are emitted from startup (zeros included):
+/// a dashboard or alert never sees a disappearing series.
+#[test]
+fn serve_connection_counters_are_emitted_at_zero_from_startup() {
+    let (server, _idx) = start(ServeConfig::default());
+    let addr = server.addr();
+
+    // The very first request: every serve series already exists.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for series in [
+        "kmm_serve_keepalive_reuses_total 0",
+        "kmm_serve_shed_tenant_total 0",
+        "kmm_serve_shed_stall_total 0",
+        "kmm_serve_shed_conns_total 0",
+        "kmm_serve_shed_total 0",
+        // This request's own connection is the one open connection.
+        "kmm_serve_open_connections 1",
+        "kmm_serve_conns_opened_total 1",
+    ] {
+        assert!(metrics.contains(series), "missing '{series}':\n{metrics}");
+    }
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
