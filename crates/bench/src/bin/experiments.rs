@@ -16,6 +16,8 @@
 //!             plus the SIMD-vs-scalar occ kernel sweep across rates
 //!   coldstart index open time, read vs mmap -> BENCH_coldstart.json
 //!   baseline  fixed regression-gate workload -> BENCH_baseline.json
+//!   bidir     bidirectional scheme search vs A(.) and plain backward
+//!             search at k = 1..3 -> BENCH_bidir.json (gated)
 //!   explain   depth-profile attribution, A(.) vs BWT at k = 1..3
 //!             -> BENCH_explain.json (per-depth pruned counts, gated)
 //!   servesoak drive a live `kmm serve` daemon over TCP: keep-alive
@@ -41,10 +43,10 @@
 use std::path::PathBuf;
 
 use kmm_bench::{
-    fmt_secs, format_table, run_baseline, run_coldstart, run_explain, run_method, run_occbench,
-    run_occbench_kernels, run_servesoak, simulate_reads, write_baseline_json, write_bench_json,
-    write_coldstart_json, write_explain_json, write_par_scaling_json, write_serve_json,
-    BenchRecord, ParScalingRecord, Workload,
+    fmt_secs, format_table, run_baseline, run_bidir, run_coldstart, run_explain, run_method,
+    run_occbench, run_occbench_kernels, run_servesoak, simulate_reads, write_baseline_json,
+    write_bench_json, write_bidir_json, write_coldstart_json, write_explain_json,
+    write_par_scaling_json, write_serve_json, BenchRecord, ParScalingRecord, Workload,
 };
 use kmm_bwt::FmBuildConfig;
 use kmm_core::{KMismatchIndex, Method};
@@ -99,7 +101,7 @@ fn main() {
             }
             "--out-dir" => opts.out_dir = Some(PathBuf::from(it.next().expect("--out-dir DIR"))),
             "--help" | "-h" => {
-                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|explain|servesoak|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
+                println!("usage: experiments [table1|fig11a|fig11b|table2|fig12|ablation|parscale|occbench|coldstart|baseline|bidir|explain|servesoak|all] [--scale F] [--reads N] [--read-len L] [--threads N] [--out-dir DIR]");
                 return;
             }
             c if !c.starts_with('-') => command = c.to_string(),
@@ -121,6 +123,7 @@ fn main() {
         "occbench" => artifacts.push(("occ", occbench(&opts))),
         "coldstart" => coldstart(&opts),
         "baseline" => baseline(&opts),
+        "bidir" => bidir(&opts),
         "explain" => explain(&opts),
         "servesoak" => servesoak(&opts),
         "all" => {
@@ -215,6 +218,71 @@ fn baseline(opts: &Opts) {
     if let Some(dir) = &opts.out_dir {
         let path = write_baseline_json(dir, &records, &attribution)
             .unwrap_or_else(|e| panic!("writing BENCH_baseline.json: {e}"));
+        eprintln!("wrote {} ({} records)", path.display(), records.len());
+    }
+}
+
+/// The bidirectional head-to-head sweep: A(.), plain backward search
+/// (BWT) and the scheme-driven bidirectional search at k = 1..3 on the
+/// regression-gate corpus. The win criterion is deterministic — fewer
+/// rank blocks and tree nodes at k >= 2, never wall-clock — so the
+/// committed `BENCH_bidir.json` is gated by `kmm bench diff` in
+/// `scripts/verify.sh` exactly like the baseline artifact.
+fn bidir(opts: &Opts) {
+    println!("\n== Bidir: scheme search vs A(.) vs backward search  (C. merolae stand-in, k = 1..3) ==\n");
+    let (records, attribution) = run_bidir();
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.k.to_string(),
+                r.method.to_string(),
+                fmt_secs(r.seconds),
+                r.occurrences.to_string(),
+                r.stats.rank_blocks_touched.to_string(),
+                r.stats.nodes_visited.to_string(),
+                r.stats.rank_extensions.to_string(),
+                r.stats.leaves.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "k",
+                "method",
+                "time",
+                "occ",
+                "rank blocks",
+                "nodes",
+                "extensions",
+                "leaves"
+            ],
+            &rows
+        )
+    );
+    for k in [2usize, 3] {
+        let pick = |label: &str| {
+            records
+                .iter()
+                .find(|r| r.k == k && r.method == label)
+                .expect("sweep covers every method at every k")
+        };
+        let (bd, a, bwt) = (pick("Bidir"), pick("A(.)"), pick("BWT"));
+        println!(
+            "k={k}: Bidir rank blocks {} vs A(.) {} / BWT {}; nodes {} vs {} / {}",
+            bd.stats.rank_blocks_touched,
+            a.stats.rank_blocks_touched,
+            bwt.stats.rank_blocks_touched,
+            bd.stats.nodes_visited,
+            a.stats.nodes_visited,
+            bwt.stats.nodes_visited,
+        );
+    }
+    if let Some(dir) = &opts.out_dir {
+        let path = write_bidir_json(dir, &records, &attribution)
+            .unwrap_or_else(|e| panic!("writing BENCH_bidir.json: {e}"));
         eprintln!("wrote {} ({} records)", path.display(), records.len());
     }
 }

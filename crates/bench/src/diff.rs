@@ -111,6 +111,18 @@ impl DiffReport {
     pub fn failed(&self) -> bool {
         !self.regressions.is_empty()
     }
+
+    /// The sorted, deduplicated names of every deterministic counter
+    /// that changed. A failed `--assert-identical` run over hundreds of
+    /// records can produce a wall of per-record mismatch lines; this is
+    /// the compact signature of *which counters* moved, printed with
+    /// the verdict so the offender set is readable at a glance.
+    pub fn offending_counters(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.changed.iter().map(|d| d.name.clone()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
 }
 
 impl fmt::Display for DiffReport {
@@ -170,6 +182,13 @@ impl fmt::Display for DiffReport {
         if self.regressions.is_empty() {
             writeln!(f, "PASS")?;
         } else {
+            if !self.changed.is_empty() {
+                writeln!(
+                    f,
+                    "offending counters: {}",
+                    self.offending_counters().join(", ")
+                )?;
+            }
             writeln!(f, "FAIL ({} regressions)", self.regressions.len())?;
         }
         Ok(())
@@ -631,6 +650,59 @@ mod tests {
         .unwrap();
         assert_eq!(report.records_compared, 2);
         assert!(!report.failed(), "{report}");
+    }
+
+    #[test]
+    fn assert_identical_failure_lists_every_offending_counter_once() {
+        // Two records, each differing on the same two counters: the
+        // per-record mismatch lines repeat, but the offender summary
+        // names each counter exactly once.
+        let mut a1 = record("A(.)", 2, 100, 0.5);
+        let mut a2 = record("BWT", 2, 90, 0.5);
+        a1.stats.nodes_visited = 10;
+        a2.stats.nodes_visited = 20;
+        let mut b1 = a1.clone();
+        let mut b2 = a2.clone();
+        b1.stats.rank_blocks_touched += 1;
+        b1.stats.nodes_visited += 3;
+        b2.stats.rank_blocks_touched += 2;
+        b2.stats.nodes_visited += 4;
+        let a = bench_document_with_index("baseline", &[a1, a2], None);
+        let b = bench_document_with_index("baseline", &[b1, b2], None);
+        let report = diff_documents(
+            &a,
+            &b,
+            &DiffOptions {
+                assert_identical: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.failed());
+        assert_eq!(report.regressions.len(), 4, "{report}");
+        assert_eq!(
+            report.offending_counters(),
+            vec![
+                "nodes_visited".to_string(),
+                "rank_blocks_touched".to_string()
+            ]
+        );
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("offending counters: nodes_visited, rank_blocks_touched"),
+            "{rendered}"
+        );
+        // A passing report stays quiet about offenders.
+        let pass = diff_documents(
+            &a,
+            &a,
+            &DiffOptions {
+                assert_identical: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!pass.to_string().contains("offending"), "{pass}");
     }
 
     #[test]

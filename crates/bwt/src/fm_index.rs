@@ -341,10 +341,47 @@ impl FmIndex {
         self.ssa.heap_bytes()
     }
 
+    /// The rankall checkpoint rate the index was built (or loaded) with
+    /// — what a matching mirror structure should use.
+    pub fn rank_rate(&self) -> usize {
+        self.l.rate()
+    }
+
     /// Serialize the whole index as a v3 section-tabled container:
     /// magic, version, checksummed offset table, then each structure as
     /// a 64-byte-aligned little-endian section loadable by reference.
     pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.save_impl(writer, None)
+    }
+
+    /// [`Self::save`] plus the bidirectional mirror rank structure as
+    /// two extra optional sections ([`Self::SEC_MIRROR_META`],
+    /// [`Self::SEC_MIRROR_RANK`]). The format version is unchanged:
+    /// readers that predate the mirror sections ignore the unknown ids,
+    /// and [`Self::load_with_mirror`] on a file written by plain
+    /// [`Self::save`] reports the mirror as absent. The mirror must
+    /// cover the same text (same length and symbol multiset — it is the
+    /// rankall of the reversed text's BWT, see `crate::bi`), so no
+    /// per-mirror totals are stored.
+    pub fn save_with_mirror<W: std::io::Write>(
+        &self,
+        mirror: &RankAll,
+        writer: W,
+    ) -> std::io::Result<()> {
+        assert_eq!(
+            mirror.len(),
+            self.l.len(),
+            "mirror must cover the same text"
+        );
+        debug_assert!((0..SIGMA as u8).all(|sym| mirror.count(sym) == self.l.count(sym)));
+        self.save_impl(writer, Some(mirror))
+    }
+
+    fn save_impl<W: std::io::Write>(
+        &self,
+        writer: W,
+        mirror: Option<&RankAll>,
+    ) -> std::io::Result<()> {
         let mut meta = Vec::with_capacity(Self::META_BYTES);
         for v in [
             self.l.len() as u64,
@@ -357,31 +394,38 @@ impl FmIndex {
         for sym in 0..SIGMA as u8 {
             meta.extend_from_slice(&self.l.count(sym).to_le_bytes());
         }
-        crate::serialize::write_container(
-            writer,
-            Self::MAGIC,
-            Self::FORMAT_VERSION,
-            &[
-                (Self::SEC_META, SectionPayload::Bytes(&meta)),
-                (Self::SEC_CTAB, SectionPayload::U32s(&self.c)),
-                (
-                    Self::SEC_RANK_BLOCKS,
-                    SectionPayload::U64s(self.l.block_words_raw()),
-                ),
-                (
-                    Self::SEC_SSA_MARKS,
-                    SectionPayload::U64s(self.ssa.mark_words_raw()),
-                ),
-                (
-                    Self::SEC_SSA_PREFIX,
-                    SectionPayload::U32s(self.ssa.prefix_raw()),
-                ),
-                (
-                    Self::SEC_SSA_SAMPLES,
-                    SectionPayload::U32s(self.ssa.samples_raw()),
-                ),
-            ],
-        )
+        let mut sections = vec![
+            (Self::SEC_META, SectionPayload::Bytes(&meta)),
+            (Self::SEC_CTAB, SectionPayload::U32s(&self.c)),
+            (
+                Self::SEC_RANK_BLOCKS,
+                SectionPayload::U64s(self.l.block_words_raw()),
+            ),
+            (
+                Self::SEC_SSA_MARKS,
+                SectionPayload::U64s(self.ssa.mark_words_raw()),
+            ),
+            (
+                Self::SEC_SSA_PREFIX,
+                SectionPayload::U32s(self.ssa.prefix_raw()),
+            ),
+            (
+                Self::SEC_SSA_SAMPLES,
+                SectionPayload::U32s(self.ssa.samples_raw()),
+            ),
+        ];
+        let mut mirror_meta = Vec::with_capacity(Self::MIRROR_META_BYTES);
+        if let Some(m) = mirror {
+            for v in [m.rate() as u64, m.dollar_pos() as u64] {
+                mirror_meta.extend_from_slice(&v.to_le_bytes());
+            }
+            sections.push((Self::SEC_MIRROR_META, SectionPayload::Bytes(&mirror_meta)));
+            sections.push((
+                Self::SEC_MIRROR_RANK,
+                SectionPayload::U64s(m.block_words_raw()),
+            ));
+        }
+        crate::serialize::write_container(writer, Self::MAGIC, Self::FORMAT_VERSION, &sections)
     }
 
     /// Serialize in the legacy v2 stream format (magic, version, raw
@@ -415,12 +459,23 @@ impl FmIndex {
     /// that image in place (no per-structure copies).
     pub fn load<R: std::io::Read>(mut reader: R) -> Result<Self, SerializeError> {
         let base = Arc::new(IndexBytes::from_reader(&mut reader)?);
+        Ok(Self::from_image(base, true)?.0)
+    }
+
+    /// [`Self::load`], additionally recovering the bidirectional mirror
+    /// rank structure when the container carries the optional mirror
+    /// sections (files written by [`Self::save_with_mirror`]). Plain
+    /// [`Self::save`] files load fine with `None`.
+    pub fn load_with_mirror<R: std::io::Read>(
+        mut reader: R,
+    ) -> Result<(Self, Option<RankAll>), SerializeError> {
+        let base = Arc::new(IndexBytes::from_reader(&mut reader)?);
         Self::from_image(base, true)
     }
 
     /// Load a v3 index from an in-memory image, verifying checksums.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SerializeError> {
-        Self::from_image(Arc::new(IndexBytes::from_bytes(bytes)), true)
+        Ok(Self::from_image(Arc::new(IndexBytes::from_bytes(bytes)), true)?.0)
     }
 
     /// Open an index file, preferring a zero-copy `mmap` when asked.
@@ -438,14 +493,27 @@ impl FmIndex {
         path: &std::path::Path,
         prefer_mmap: bool,
     ) -> Result<(Self, OpenStats), SerializeError> {
+        let (fm, _, stats) = Self::open_path_with_mirror(path, prefer_mmap)?;
+        Ok((fm, stats))
+    }
+
+    /// [`Self::open_path`], additionally recovering the bidirectional
+    /// mirror rank structure when the file carries the optional mirror
+    /// sections. The mirror borrows the same image/mapping as the
+    /// primary, so a zero-copy open stays O(1).
+    pub fn open_path_with_mirror(
+        path: &std::path::Path,
+        prefer_mmap: bool,
+    ) -> Result<(Self, Option<RankAll>, OpenStats), SerializeError> {
         let file = std::fs::File::open(path)?;
         if prefer_mmap {
             if let Ok(region) = MmapRegion::map_file(&file) {
                 let base = Arc::new(IndexBytes::Mapped(region));
                 let total = base.len() as u64;
-                let fm = Self::from_image(base, false)?;
+                let (fm, mirror) = Self::from_image(base, false)?;
                 return Ok((
                     fm,
+                    mirror,
                     OpenStats {
                         mode: LoadMode::Mapped,
                         file_bytes: total,
@@ -458,9 +526,10 @@ impl FmIndex {
         let mut reader = std::io::BufReader::new(file);
         let base = Arc::new(IndexBytes::from_reader(&mut reader)?);
         let total = base.len() as u64;
-        let fm = Self::from_image(base, true)?;
+        let (fm, mirror) = Self::from_image(base, true)?;
         Ok((
             fm,
+            mirror,
             OpenStats {
                 mode: LoadMode::Read,
                 file_bytes: total,
@@ -479,7 +548,10 @@ impl FmIndex {
     /// checksums but instead validates the SA rank directory against
     /// the mark bitmap (mmap path) so no well-typed access can loop or
     /// panic on a structurally sane file.
-    fn from_image(base: Arc<IndexBytes>, verify_checksums: bool) -> Result<Self, SerializeError> {
+    fn from_image(
+        base: Arc<IndexBytes>,
+        verify_checksums: bool,
+    ) -> Result<(Self, Option<RankAll>), SerializeError> {
         let bytes = base.as_bytes();
         if bytes.len() < 8 || bytes[..8] != Self::MAGIC[..] {
             return Err(SerializeError::BadMagic);
@@ -564,7 +636,34 @@ impl FmIndex {
             !verify_checksums,
         )?;
         debug_assert_eq!(ssa.marked_len(), n);
-        Ok(FmIndex { l, c, ssa })
+        // Optional bidirectional mirror sections: absence means the
+        // file predates (or was saved without) bidirectional support —
+        // the version-gating mechanism for this feature.
+        let mirror = match (
+            table.find(Self::SEC_MIRROR_META),
+            table.find(Self::SEC_MIRROR_RANK),
+        ) {
+            (Some(mmeta), Some(mrank)) => {
+                if mmeta.len != Self::MIRROR_META_BYTES {
+                    return Err(SerializeError::Malformed("mirror meta section"));
+                }
+                let mm = mmeta.bytes(bytes);
+                let mread = |off: usize| u64::from_le_bytes(mm[off..off + 8].try_into().unwrap());
+                let mirror_rate = mread(0) as usize;
+                let mirror_dollar = mread(8) as usize;
+                // The mirror covers the same text, so it shares the
+                // primary's length and symbol totals.
+                Some(RankAll::from_store(
+                    u64_store(mrank)?,
+                    mirror_rate,
+                    mirror_dollar,
+                    n,
+                    totals,
+                )?)
+            }
+            _ => None,
+        };
+        Ok((FmIndex { l, c, ssa }, mirror))
     }
 
     /// Load a legacy v2 stream (the pre-container format). This is the
@@ -630,10 +729,19 @@ impl FmIndex {
     pub const SEC_SSA_PREFIX: u32 = 5;
     /// Sampled-SA retained-values section id.
     pub const SEC_SSA_SAMPLES: u32 = 6;
+    /// Optional bidirectional-mirror metadata section id (two `u64`
+    /// scalars: mirror rank rate, mirror sentinel row). Present only in
+    /// files written by [`Self::save_with_mirror`].
+    pub const SEC_MIRROR_META: u32 = 7;
+    /// Optional bidirectional-mirror interleaved rank-block words
+    /// section id.
+    pub const SEC_MIRROR_RANK: u32 = 8;
     /// Fixed byte length of the META section: four `u64` scalars
     /// (length, rank rate, sentinel row, SA rate) plus `σ` `u32` symbol
     /// totals.
     pub const META_BYTES: usize = 4 * 8 + SIGMA * 4;
+    /// Fixed byte length of the optional mirror meta section.
+    pub const MIRROR_META_BYTES: usize = 2 * 8;
 
     /// Reconstruct the indexed text (sentinel included) by LF-walking.
     /// O(n · occ); used by tests and the index explorer example.
@@ -843,6 +951,86 @@ mod tests {
                 fm.locate(fm.backward_search(&pat))
             );
         }
+    }
+
+    #[test]
+    fn save_with_mirror_roundtrips_and_plain_files_load_without() {
+        let ascii = b"gattacagattacaacgtacgt";
+        let text = kmm_dna::encode_text(ascii).unwrap();
+        let mut rev: Vec<u8> = text[..text.len() - 1].to_vec();
+        rev.reverse();
+        rev.push(0);
+        let fm = FmIndex::new(&rev, FmBuildConfig::default());
+        let mirror = crate::bi::build_mirror(&text, 64, 1).unwrap();
+
+        let mut buf = Vec::new();
+        fm.save_with_mirror(&mirror, &mut buf).unwrap();
+        let (loaded, loaded_mirror) = FmIndex::load_with_mirror(&buf[..]).unwrap();
+        let loaded_mirror = loaded_mirror.expect("mirror sections present");
+        assert_eq!(loaded.reconstruct_text(), rev);
+        assert_eq!(loaded_mirror.len(), mirror.len());
+        assert_eq!(loaded_mirror.rate(), mirror.rate());
+        assert_eq!(loaded_mirror.dollar_pos(), mirror.dollar_pos());
+        for i in 0..=mirror.len() {
+            assert_eq!(loaded_mirror.occ_all(i), mirror.occ_all(i), "i={i}");
+        }
+        // The loaded pair answers bidirectional extensions identically.
+        let bi = crate::bi::BiFmIndex::new(&fm, &mirror);
+        let bi2 = crate::bi::BiFmIndex::new(&loaded, &loaded_mirror);
+        let pat = kmm_dna::encode(b"atta").unwrap();
+        let mut a = bi.whole();
+        let mut b = bi2.whole();
+        for (i, &z) in pat.iter().enumerate() {
+            if i % 2 == 0 {
+                a = bi.extend_right(a, z);
+                b = bi2.extend_right(b, z);
+            } else {
+                a = bi.extend_left(a, z);
+                b = bi2.extend_left(b, z);
+            }
+            assert_eq!(a, b);
+        }
+
+        // A plain save has no mirror; load_with_mirror reports None and
+        // plain load still works on mirror-carrying files.
+        let mut plain = Vec::new();
+        fm.save(&mut plain).unwrap();
+        let (_, none) = FmIndex::load_with_mirror(&plain[..]).unwrap();
+        assert!(none.is_none());
+        let legacy_reader = FmIndex::load(&buf[..]).unwrap();
+        assert_eq!(legacy_reader.reconstruct_text(), rev);
+        // Mirror payload corruption is caught by the section checksums.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(FmIndex::load_with_mirror(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn open_path_with_mirror_mmap_and_read_agree() {
+        let ascii = b"ctagctagcatgcatacgtacgt";
+        let text = kmm_dna::encode_text(ascii).unwrap();
+        let mut rev: Vec<u8> = text[..text.len() - 1].to_vec();
+        rev.reverse();
+        rev.push(0);
+        let fm = FmIndex::new(&rev, FmBuildConfig::default());
+        let mirror = crate::bi::build_mirror(&text, 64, 1).unwrap();
+        let dir = std::env::temp_dir().join(format!("kmm-fm-bidir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.v3");
+        let mut buf = Vec::new();
+        fm.save_with_mirror(&mirror, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        for prefer_mmap in [false, true] {
+            let (loaded, m, _) = FmIndex::open_path_with_mirror(&path, prefer_mmap).unwrap();
+            let m = m.expect("mirror sections present");
+            assert_eq!(loaded.reconstruct_text(), rev);
+            for i in 0..=mirror.len() {
+                assert_eq!(m.occ_all(i), mirror.occ_all(i), "mmap={prefer_mmap} i={i}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `<x, [α, β]>` pair abstraction, and an FM-index offering backward
 //! search and sampled-SA `locate`.
 
+pub mod bi;
 pub mod bwt;
 pub mod fm_index;
 pub mod interval;
@@ -16,6 +17,7 @@ pub mod sampled_sa;
 pub mod serialize;
 pub mod simd;
 
+pub use bi::{build_mirror, BiFmIndex, BiInterval};
 pub use bwt::{bwt, bwt_from_sa, bwt_from_sa_with, inverse_bwt};
 pub use fm_index::{FmBuildConfig, FmIndex, LoadMode, OpenStats};
 pub use interval::{Interval, Pair};

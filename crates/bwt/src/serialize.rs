@@ -463,10 +463,15 @@ impl SectionTable {
 
     /// The entry for section `id`, or a typed "missing section" error.
     pub fn section(&self, id: u32) -> Result<&SectionEntry, SerializeError> {
-        self.entries
-            .iter()
-            .find(|e| e.id == id)
+        self.find(id)
             .ok_or(SerializeError::Malformed("missing section"))
+    }
+
+    /// The entry for section `id` if present. Optional sections (ids
+    /// appended after a format was first shipped) are probed with this
+    /// so their absence reads as "feature unavailable", not corruption.
+    pub fn find(&self, id: u32) -> Option<&SectionEntry> {
+        self.entries.iter().find(|e| e.id == id)
     }
 }
 

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod algorithm_a;
+pub mod bidir;
 pub mod cancel;
 pub mod cole;
 pub mod derive;
@@ -39,6 +40,7 @@ pub mod stats;
 pub mod stree;
 
 pub use algorithm_a::{AlgorithmA, BatchSearcher};
+pub use bidir::{BidirSearch, Scheme, SchemeSearch};
 pub use cancel::{CancelToken, Outcome};
 pub use cole::ColeSearch;
 pub use derive::{derive_path, mi_creation, DerivationAudit, StoredPath};

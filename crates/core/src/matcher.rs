@@ -5,7 +5,7 @@
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use kmm_bwt::{FmBuildConfig, FmIndex};
+use kmm_bwt::{FmBuildConfig, FmIndex, RankAll};
 use kmm_classic::{amir, kangaroo, naive, Occurrence};
 use kmm_dna::SIGMA;
 use kmm_par::ThreadPool;
@@ -18,6 +18,7 @@ use kmm_telemetry::{
 };
 
 use crate::algorithm_a::AlgorithmA;
+use crate::bidir::BidirSearch;
 use crate::cancel::{CancelToken, Gate, Outcome};
 use crate::cole::ColeSearch;
 use crate::seed_filter::SeedFilterSearch;
@@ -48,6 +49,10 @@ pub enum Method {
     /// Pigeonhole seed-and-filter over the FM-index (modern-aligner
     /// baseline; not in the paper's comparison set).
     SeedFilter,
+    /// Bidirectional FM-index with partition search schemes (Kianfar et
+    /// al.): errors are forced late in each extension order, pruning
+    /// the search tree before intervals widen.
+    Bidirectional,
 }
 
 impl Method {
@@ -75,6 +80,7 @@ impl Method {
             Method::AlgorithmA { reuse: true } => "A(.)",
             Method::AlgorithmA { reuse: false } => "A(no-reuse)",
             Method::SeedFilter => "SeedFilter",
+            Method::Bidirectional => "Bidir",
         }
     }
 }
@@ -129,6 +135,10 @@ pub struct KMismatchIndex {
     len: usize,
     fm: FmIndex,
     suffix_tree: OnceLock<SuffixTree>,
+    /// Mirror rank structure over `BWT(text + $)` for the bidirectional
+    /// method: loaded from disk alongside the FM-index, or built on
+    /// first bidirectional search.
+    mirror: OnceLock<RankAll>,
 }
 
 impl KMismatchIndex {
@@ -162,6 +172,7 @@ impl KMismatchIndex {
             text: OnceLock::from(text),
             fm,
             suffix_tree: OnceLock::new(),
+            mirror: OnceLock::new(),
         }
     }
 
@@ -189,6 +200,7 @@ impl KMismatchIndex {
             text: OnceLock::from(text),
             fm,
             suffix_tree: OnceLock::new(),
+            mirror: OnceLock::new(),
         }
     }
 
@@ -199,12 +211,26 @@ impl KMismatchIndex {
     /// call that does need the text ([`Self::text`], the scanning
     /// baselines, Cole, SeedFilter) pays it once, lazily.
     pub fn from_fm(fm: FmIndex) -> Self {
+        Self::from_fm_with_mirror(fm, None)
+    }
+
+    /// [`Self::from_fm`] plus an optional pre-built mirror rank
+    /// structure (the extra sections of a `--bidir` index file), making
+    /// the bidirectional method available without any rebuild.
+    pub fn from_fm_with_mirror(fm: FmIndex, mirror: Option<RankAll>) -> Self {
         assert!(!fm.is_empty(), "an index always covers the sentinel");
+        if let Some(m) = &mirror {
+            assert_eq!(m.len(), fm.len(), "mirror/index length mismatch");
+        }
         KMismatchIndex {
             len: fm.len() - 1,
             text: OnceLock::new(),
             fm,
             suffix_tree: OnceLock::new(),
+            mirror: match mirror {
+                Some(m) => OnceLock::from(m),
+                None => OnceLock::new(),
+            },
         }
     }
 
@@ -247,6 +273,31 @@ impl KMismatchIndex {
             t.push(0);
             SuffixTree::new(t, SIGMA)
         })
+    }
+
+    /// The mirror rank structure for bidirectional search, building it
+    /// from the (possibly reconstructed) forward text on first use with
+    /// the primary's checkpoint rate.
+    pub fn mirror(&self) -> &RankAll {
+        self.mirror.get_or_init(|| {
+            let mut t = self.text().to_vec();
+            t.push(0);
+            kmm_bwt::build_mirror(&t, self.fm.rank_rate(), 1)
+                .expect("text already fit in the primary index")
+        })
+    }
+
+    /// True when the mirror is already resident (loaded from a `--bidir`
+    /// index file or built by an earlier bidirectional search) — the
+    /// serving layer's gate for advertising `Method::Bidirectional`.
+    pub fn has_mirror(&self) -> bool {
+        self.mirror.get().is_some()
+    }
+
+    /// Heap bytes of the resident mirror rank structure, if any (for
+    /// per-structure memory itemisation).
+    pub fn mirror_heap_bytes(&self) -> Option<usize> {
+        self.mirror.get().map(|m| m.heap_bytes())
     }
 
     /// Answer a query with the chosen method. All methods return identical
@@ -318,6 +369,11 @@ impl KMismatchIndex {
                 let sf = SeedFilterSearch::new(&self.fm, self.text());
                 let (occurrences, stats) = sf.search(pattern, k);
                 stats.record_into(recorder);
+                SearchResult { occurrences, stats }
+            }
+            Method::Bidirectional => {
+                let bd = BidirSearch::new(&self.fm, self.mirror(), self.len);
+                let (occurrences, stats) = bd.search_recorded(pattern, k, recorder);
                 SearchResult { occurrences, stats }
             }
         };
@@ -459,6 +515,11 @@ impl KMismatchIndex {
                     stats.record_into(recorder);
                     Outcome::Complete(SearchResult { occurrences, stats })
                 }
+            }
+            Method::Bidirectional => {
+                let bd = BidirSearch::new(&self.fm, self.mirror(), self.len);
+                bd.search_deadline_recorded(pattern, k, token, recorder)
+                    .map(|(occurrences, stats)| SearchResult { occurrences, stats })
             }
         };
         let outcome = outcome.map(|mut sr| {
@@ -647,6 +708,10 @@ impl KMismatchIndex {
             // having every worker block on the OnceLock initialiser.
             self.suffix_tree();
         }
+        if matches!(method, Method::Bidirectional) {
+            // Likewise for the lazily built mirror rank structure.
+            self.mirror();
+        }
         let shard_metrics = recorder.enabled();
         let tracing = recorder.wants_spans();
         let epoch = recorder.trace_epoch();
@@ -764,6 +829,9 @@ impl KMismatchIndex {
         if matches!(method, Method::Cole) {
             self.suffix_tree();
         }
+        if matches!(method, Method::Bidirectional) {
+            self.mirror();
+        }
         let shard_metrics = recorder.enabled();
         let tracing = recorder.wants_spans();
         let epoch = recorder.trace_epoch();
@@ -814,7 +882,7 @@ impl KMismatchIndex {
 mod tests {
     use super::*;
 
-    const METHODS: [Method; 8] = [
+    const METHODS: [Method; 9] = [
         Method::Naive,
         Method::Kangaroo,
         Method::Amir,
@@ -823,6 +891,7 @@ mod tests {
         Method::Bwt { use_phi: false },
         Method::ALGORITHM_A,
         Method::SeedFilter,
+        Method::Bidirectional,
     ];
 
     #[test]
@@ -951,6 +1020,40 @@ mod tests {
         let a = &report.methods[1];
         let expanded: u64 = a.depths.iter().map(|d| d.expanded).sum();
         assert_eq!(expanded, a.counter("nodes_visited") + 1);
+    }
+
+    #[test]
+    fn mirror_is_lazy_and_reported_once_built() {
+        let idx = KMismatchIndex::from_ascii(b"acagacagattacaacagtt").unwrap();
+        assert!(!idx.has_mirror());
+        assert_eq!(idx.mirror_heap_bytes(), None);
+        let r = kmm_dna::encode(b"acagat").unwrap();
+        let want = idx.search(&r, 2, Method::Naive).occurrences;
+        assert_eq!(idx.search(&r, 2, Method::Bidirectional).occurrences, want);
+        assert!(idx.has_mirror());
+        assert!(idx.mirror_heap_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn from_fm_with_mirror_serves_bidirectional_without_text() {
+        let built = KMismatchIndex::from_ascii(b"acagacagattacaacagtt").unwrap();
+        built.mirror();
+        let mut bytes = Vec::new();
+        built
+            .fm()
+            .save_with_mirror(built.mirror(), &mut bytes)
+            .unwrap();
+        let (fm, mirror) = kmm_bwt::FmIndex::load_with_mirror(&bytes[..]).unwrap();
+        let idx = KMismatchIndex::from_fm_with_mirror(fm, mirror);
+        assert!(idx.has_mirror());
+        assert!(!idx.text_is_materialized());
+        let pat = kmm_dna::encode(b"acagat").unwrap();
+        assert_eq!(
+            idx.search(&pat, 2, Method::Bidirectional).occurrences,
+            built.search(&pat, 2, Method::Bidirectional).occurrences
+        );
+        // Bidirectional search through a loaded mirror needs no text.
+        assert!(!idx.text_is_materialized());
     }
 
     #[test]

@@ -544,4 +544,55 @@ test -s "$tmp/bench/BENCH_serve.json"
     --fail-on-regress 15 2> "$tmp/diff-serve.txt"
 grep -q "PASS" "$tmp/diff-serve.txt"
 
+echo "== bidir cross-method smoke: a, bwt and bidir agree bit for bit =="
+# A --bidir index carries the reverse-BWT mirror as optional v3 sections;
+# scheme-driven bidirectional search over it must reproduce the
+# unidirectional hits byte for byte.
+"$kmm" index --reference "$tmp/ref.fa" -o "$tmp/ref-bd.idx" --bidir \
+    2> "$tmp/index-bd.txt"
+grep -q "reverse-index" "$tmp/index-bd.txt"
+for m in a bwt bidir; do
+    "$kmm" search --index "$tmp/ref-bd.idx" --pattern "$pattern" -k 2 \
+        --method "$m" > "$tmp/hits-$m.tsv" 2>/dev/null
+done
+cmp "$tmp/hits-a.tsv" "$tmp/hits-bwt.tsv"
+cmp "$tmp/hits-a.tsv" "$tmp/hits-bidir.tsv"
+cmp "$tmp/hits.tsv" "$tmp/hits-bidir.tsv"
+# Without --method, explain over a mirrored index adds the Bidir row;
+# over the plain index it must not (the mirror is opt-in).
+"$kmm" explain --index "$tmp/ref-bd.idx" --pattern "$pattern" -k 2 \
+    > "$tmp/explain-bd.txt" 2>/dev/null
+grep -q "Bidir" "$tmp/explain-bd.txt"
+if grep -q "Bidir" "$tmp/explain.txt"; then
+    echo "verify: plain index explain unexpectedly ran Bidir" >&2; exit 1
+fi
+
+echo "== bidir bench gate (BENCH_bidir.json) =="
+# Two identical sweeps must agree bit-for-bit on every deterministic
+# counter, and the fresh run must stay within budget of the committed
+# artifact — including the headline rank-block / node-count wins.
+target/release/experiments bidir --out-dir "$tmp/bidir-a" > "$tmp/bidirbench.txt"
+grep -q "Bidir rank blocks" "$tmp/bidirbench.txt"
+target/release/experiments bidir --out-dir "$tmp/bidir-b" > /dev/null
+"$kmm" bench diff "$tmp/bidir-a/BENCH_bidir.json" "$tmp/bidir-b/BENCH_bidir.json" \
+    --assert-identical 2> "$tmp/diff-bidir-repeat.txt"
+grep -q "deterministic counters: identical" "$tmp/diff-bidir-repeat.txt"
+"$kmm" bench diff BENCH_bidir.json "$tmp/bidir-a/BENCH_bidir.json" \
+    --fail-on-regress 15 2> "$tmp/diff-bidir.txt"
+grep -q "PASS" "$tmp/diff-bidir.txt"
+
+echo "== bidir planted regression: pigeonhole schemes must trip the gate =="
+# KMM_BIDIR_PIGEONHOLE=1 swaps the optimum search schemes for the naive
+# pigeonhole partition; the extra tree nodes it visits must blow the
+# nodes_visited budget against the committed artifact.
+KMM_BIDIR_PIGEONHOLE=1 target/release/experiments bidir \
+    --out-dir "$tmp/bidir-pigeon" > /dev/null
+if "$kmm" bench diff BENCH_bidir.json "$tmp/bidir-pigeon/BENCH_bidir.json" \
+    --fail-on-regress 5 2> "$tmp/diff-pigeon.txt"; then
+    echo "verify: pigeonhole scheme regression was not caught" >&2; exit 1
+fi
+grep -q "REGRESSION" "$tmp/diff-pigeon.txt"
+grep "nodes_visited" "$tmp/diff-pigeon.txt" | grep -q "REGRESSION"
+grep -q "offending counters:" "$tmp/diff-pigeon.txt"
+
 echo "verify: OK"

@@ -29,7 +29,7 @@ usage: kmm <command> [options]
 commands:
   generate  --genome <rat|zebrafish|rat-chr1|celegans|cmerolae>
             [--scale F] -o <out.fa>
-  index     --reference <ref.fa> -o <out.idx> [--threads N]
+  index     --reference <ref.fa> -o <out.idx> [--threads N] [--bidir]
   index upgrade --index <old.idx> [-o <out.idx>]
   simulate  --reference <ref.fa> [--reads N] [--len L] [--seed S] -o <out.fq>
   map       --index <ref.idx> --reads <reads.fq> [-k K] [--method M]
@@ -55,8 +55,15 @@ global options (any command):
   --quiet                               suppress stderr event lines
   --log-json <path>                     append events as JSON lines to a file
 
-methods: a (Algorithm A, default) | bwt | bwt-nophi | amir | cole |
-         kangaroo | naive | seed
+methods: a (Algorithm A, default) | bwt | bwt-nophi | bidir | amir |
+         cole | kangaroo | naive | seed
+
+--bidir additionally builds the reverse-BWT mirror rank structure and
+stores it in the same v3 index file as optional sections (readable by
+older kmm builds, which ignore them). An index with the mirror serves
+--method bidir — bidirectional search driven by optimum search schemes
+— without reconstructing the text; without it, bidir searches rebuild
+the mirror in memory on first use.
 
 --threads N (or -j N) sets the worker count for index construction and
 batch map/search; it defaults to the machine's available parallelism.
@@ -73,8 +80,9 @@ armed and prints a query-plan-style comparison: deterministic counters
 (rank blocks, nodes, prunes by cause), a per-depth expansion profile,
 heap deltas, and a winner verdict computed from work counters — never
 wall-clock, so the output is byte-identical across thread counts and
-SIMD kernels. Without --method it compares the paper's four methods;
-repeat --method to pick a custom set. --json emits kmm-explain/v1 JSON.
+SIMD kernels. Without --method it compares the paper's four methods —
+plus bidir when the index file carries the reverse-BWT mirror; repeat
+--method to pick a custom set. --json emits kmm-explain/v1 JSON.
 
 --timeout-ms T gives each query/read a cooperative deadline: work past
 the budget stops at the next poll point and returns the verified partial
@@ -123,11 +131,11 @@ default: timing is machine-dependent); --assert-identical fails on any
 deterministic delta at all (the repeat-run check).";
 
 /// Flags that take no value; their presence means `true`.
-const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical", "mmap", "json"];
+const BOOLEAN_FLAGS: &[&str] = &["stats", "assert-identical", "mmap", "json", "bidir"];
 
 /// Per-command accepted flags (after `-j` canonicalises to `threads`).
 const GENERATE_FLAGS: &[&str] = &["genome", "scale", "o"];
-const INDEX_FLAGS: &[&str] = &["reference", "o", "threads"];
+const INDEX_FLAGS: &[&str] = &["reference", "o", "threads", "bidir"];
 const INDEX_UPGRADE_FLAGS: &[&str] = &["index", "o"];
 const SIMULATE_FLAGS: &[&str] = &["reference", "reads", "len", "seed", "o"];
 const MAP_FLAGS: &[&str] = &[
@@ -419,10 +427,11 @@ fn run() -> Result<String, CliError> {
                 return cli::index_upgrade(&input, out.as_deref());
             }
             let args = Args::parse(rest, INDEX_FLAGS)?;
-            cli::index(
+            cli::index_opts(
                 &PathBuf::from(args.require("reference")?),
                 &out_path(&args)?,
                 args.threads()?,
+                args.get("bidir").is_some(),
             )
         }
         "simulate" => {
@@ -482,15 +491,14 @@ fn run() -> Result<String, CliError> {
             // explain engine always runs its methods serially so the
             // report is identical at any requested width.
             let _ = args.threads()?;
+            // An empty list selects the library's default comparison
+            // set (the paper's four, plus bidir when the index carries
+            // the reverse BWT) — the choice needs the loaded index.
             let names = args.get_all("method");
-            let methods = if names.is_empty() {
-                bwt_kmismatch::Method::PAPER_SET.to_vec()
-            } else {
-                names
-                    .iter()
-                    .map(|n| cli::parse_method(n))
-                    .collect::<Result<Vec<_>, _>>()?
-            };
+            let methods = names
+                .iter()
+                .map(|n| cli::parse_method(n))
+                .collect::<Result<Vec<_>, _>>()?;
             let mut stdout = std::io::stdout().lock();
             cli::explain_query(
                 &PathBuf::from(args.require("index")?),

@@ -50,13 +50,14 @@ pub fn parse_method(name: &str) -> CliResult<Method> {
         "a-noreuse" => Ok(Method::AlgorithmA { reuse: false }),
         "bwt" => Ok(Method::Bwt { use_phi: true }),
         "bwt-nophi" => Ok(Method::Bwt { use_phi: false }),
+        "bidir" | "bidirectional" => Ok(Method::Bidirectional),
         "amir" => Ok(Method::Amir),
         "cole" => Ok(Method::Cole),
         "kangaroo" => Ok(Method::Kangaroo),
         "naive" => Ok(Method::Naive),
         "seed" | "seed-filter" => Ok(Method::SeedFilter),
         other => err(format!(
-            "unknown method '{other}' (expected a|bwt|bwt-nophi|amir|cole|kangaroo|naive|seed)"
+            "unknown method '{other}' (expected a|bwt|bwt-nophi|bidir|amir|cole|kangaroo|naive|seed)"
         )),
     }
 }
@@ -146,24 +147,49 @@ pub fn simulate(
 /// boundary filtering should use `kmm_core::MultiIndex` directly (the
 /// saved index format holds a single text).
 pub fn index(reference: &Path, out: &Path, threads: usize) -> CliResult<String> {
+    index_opts(reference, out, threads, false)
+}
+
+/// [`index`] with the `--bidir` option: additionally build the mirror
+/// (forward-text) rank structure and serialise it into the same v3
+/// container as optional sections, so a loaded index can serve
+/// [`Method::Bidirectional`] without reconstructing the text.
+pub fn index_opts(reference: &Path, out: &Path, threads: usize, bidir: bool) -> CliResult<String> {
     let genome = load_fasta_single(reference)?;
     let idx = {
         let _build = phase_scope(MemPhase::Build);
-        KMismatchIndex::with_config(
+        let idx = KMismatchIndex::with_config(
             genome,
             FmBuildConfig::default().with_threads(threads.max(1)),
-        )
+        );
+        if bidir {
+            // Materialise the mirror inside the Build phase so the heap
+            // accounting attributes its checkpoints to index construction.
+            idx.mirror();
+        }
+        idx
     };
-    atomic_save(out, |w| idx.fm().save(w).map_err(std::io::Error::other))?;
+    atomic_save(out, |w| {
+        match bidir {
+            true => idx.fm().save_with_mirror(idx.mirror(), w),
+            false => idx.fm().save(w),
+        }
+        .map_err(std::io::Error::other)
+    })?;
+    let mirror_bytes = if bidir { idx.mirror_heap_bytes() } else { None };
     let mut summary = format!(
         "indexed {} bp -> {} ({} bytes of rank/SA structures: \
-         {} packed text + {} block checkpoints + {} SA samples)",
+         {} packed text + {} block checkpoints + {} SA samples{})",
         idx.len(),
         out.display(),
-        idx.fm().heap_bytes(),
+        idx.fm().heap_bytes() + mirror_bytes.unwrap_or(0),
         idx.fm().rank_payload_bytes(),
         idx.fm().rank_overhead_bytes(),
         idx.fm().sampled_sa_bytes(),
+        match mirror_bytes {
+            Some(b) => format!(" + {b} reverse-index rank structure"),
+            None => String::new(),
+        },
     );
     let mem = mem_stats();
     if mem.enabled {
@@ -239,9 +265,9 @@ pub fn open_index_recorded<R: Recorder>(
     // vanished/unreadable file would.
     kmm_faults::io_gate("index.load.io")
         .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
-    let (fm, stats) = {
+    let (fm, mirror, stats) = {
         let _span = recorder.span(kmm_telemetry::Phase::IndexLoad);
-        FmIndex::open_path(path, prefer_mmap)
+        FmIndex::open_path_with_mirror(path, prefer_mmap)
             .map_err(|e| CliError(format!("{}: {e}", path.display())))?
     };
     // Footprint gauges for `--stats`: the rank structure's packed-text
@@ -253,7 +279,7 @@ pub fn open_index_recorded<R: Recorder>(
     recorder.add(Counter::IndexLoadIoBytes, stats.io_bytes);
     recorder.add(Counter::IndexLoadMappedBytes, stats.bytes_mapped);
     recorder.add(Counter::IndexLoadMode, stats.mode.as_counter());
-    Ok((KMismatchIndex::from_fm(fm), stats))
+    Ok((KMismatchIndex::from_fm_with_mirror(fm, mirror), stats))
 }
 
 /// `kmm index upgrade`: convert a legacy v2 index file to the current
@@ -746,16 +772,27 @@ pub fn explain_query(
     json: bool,
     out: &mut dyn Write,
 ) -> CliResult<String> {
-    if methods.is_empty() {
-        return err("at least one --method is required");
-    }
     let idx = load_index(index_path)?;
+    // An empty method list means "the default comparison set": the
+    // paper's four methods, plus the bidirectional scheme search when
+    // the index file carries the reverse-BWT mirror sections (without
+    // them, bidir would first have to rebuild the mirror from the
+    // reconstructed text — not a fair cost comparison).
+    let methods: Vec<Method> = if methods.is_empty() {
+        let mut set = Method::PAPER_SET.to_vec();
+        if idx.has_mirror() {
+            set.push(Method::Bidirectional);
+        }
+        set
+    } else {
+        methods.to_vec()
+    };
     let pattern = kmm_dna::encode(pattern_ascii.as_bytes())
         .map_err(|e| CliError(format!("bad pattern: {e}")))?;
     if pattern.is_empty() {
         return err("--pattern must be non-empty");
     }
-    let report = idx.explain(&pattern, k, methods);
+    let report = idx.explain(&pattern, k, &methods);
     if json {
         writeln!(out, "{}", report.to_json().to_pretty().trim_end())?;
     } else {
@@ -862,6 +899,42 @@ mod tests {
                 fresh.search(&probe, k, Method::ALGORITHM_A).occurrences
             );
         }
+    }
+
+    #[test]
+    fn bidir_index_roundtrips_and_serves_scheme_search() {
+        let fa = tmp("bidir.fa");
+        let idxf = tmp("bidir.idx");
+        generate(ReferenceGenome::CMerolae, 0.02, &fa).unwrap();
+        let summary = index_opts(&fa, &idxf, 2, true).unwrap();
+        assert!(summary.contains("reverse-index"), "{summary}");
+
+        // The loaded index carries the mirror (no text reconstruction
+        // needed) and bidirectional answers match Algorithm A.
+        let loaded = load_index(&idxf).unwrap();
+        assert!(loaded.has_mirror());
+        let genome = load_fasta_single(&fa).unwrap();
+        let probe = genome[100..160].to_vec();
+        for k in [0usize, 2] {
+            assert_eq!(
+                loaded.search(&probe, k, Method::Bidirectional).occurrences,
+                loaded.search(&probe, k, Method::ALGORITHM_A).occurrences
+            );
+        }
+
+        // With the mirror on disk, the default explain set grows to
+        // include the bidirectional method.
+        let mut out = Vec::new();
+        let probe_ascii = kmm_dna::decode_string(&probe);
+        let summary = explain_query(&idxf, &probe_ascii, 2, &[], false, &mut out).unwrap();
+        assert!(
+            summary.contains(&format!(
+                "explained {} method(s)",
+                Method::PAPER_SET.len() + 1
+            )),
+            "{summary}"
+        );
+        assert!(String::from_utf8(out).unwrap().contains("Bidir"));
     }
 
     #[test]
@@ -1154,7 +1227,16 @@ mod tests {
 
         // Bad inputs are CLI errors, not panics.
         assert!(explain_query(&idxf, "QQ", 1, &methods, false, &mut Vec::new()).is_err());
-        assert!(explain_query(&idxf, &probe, 1, &[], false, &mut Vec::new()).is_err());
+
+        // An empty method list falls back to the paper set; without
+        // mirror sections in the index the default excludes bidir.
+        let mut dflt = Vec::new();
+        let summary = explain_query(&idxf, &probe, 1, &[], false, &mut dflt).unwrap();
+        assert!(
+            summary.contains(&format!("explained {} method(s)", Method::PAPER_SET.len())),
+            "{summary}"
+        );
+        assert!(!String::from_utf8(dflt).unwrap().contains("Bidir"));
     }
 
     #[test]

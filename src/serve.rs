@@ -1894,8 +1894,10 @@ fn handle_search(
 /// `POST /explain`: the CLI's EXPLAIN engine over the served index.
 /// Body: `{"pattern": "ACGT..", "k"?, "methods"?: ["a", "bwt", ...]}`.
 /// Without `"methods"` the comparison set is BWT vs Algorithm A — the
-/// two always-resident methods — so a default explain never triggers a
-/// lazy suffix-tree build on a large served index. The report is the
+/// two always-resident methods — plus the bidirectional scheme search
+/// when the served index file carries the reverse-BWT mirror; a
+/// default explain never triggers a lazy suffix-tree or mirror build
+/// on a large served index. The report is the
 /// same deterministic `kmm-explain/v1` document `kmm explain --json`
 /// prints; the query runs serially on the handling worker and is not
 /// recorded into the flight recorder (its recorder never reads a
@@ -1913,7 +1915,13 @@ fn handle_explain(state: &ServerState, body: &[u8], req_id: &str) -> Response {
         .and_then(Json::as_u64)
         .map_or(state.config.k, |v| v as usize);
     let methods: Vec<Method> = match doc.get("methods") {
-        None => vec![Method::Bwt { use_phi: true }, Method::ALGORITHM_A],
+        None => {
+            let mut set = vec![Method::Bwt { use_phi: true }, Method::ALGORITHM_A];
+            if state.index.has_mirror() {
+                set.push(Method::Bidirectional);
+            }
+            set
+        }
         Some(list) => {
             let Some(names) = list.as_array() else {
                 return error_response(400, "\"methods\" must be an array of names", req_id);

@@ -6,7 +6,7 @@
 use bwt_kmismatch::{KMismatchIndex, Method, Occurrence};
 use rand::{Rng, SeedableRng};
 
-const ALL_METHODS: [Method; 9] = [
+const ALL_METHODS: [Method; 10] = [
     Method::Naive,
     Method::Kangaroo,
     Method::Amir,
@@ -16,6 +16,7 @@ const ALL_METHODS: [Method; 9] = [
     Method::AlgorithmA { reuse: true },
     Method::AlgorithmA { reuse: false },
     Method::SeedFilter,
+    Method::Bidirectional,
 ];
 
 fn assert_all_agree(text: &[u8], pattern: &[u8], k: usize) -> Vec<Occurrence> {
@@ -130,6 +131,46 @@ fn k_larger_than_or_equal_to_pattern() {
     assert_eq!(occ.len(), text.len() - 1);
     // k > m behaves the same.
     assert_all_agree(&text, &pattern, 5);
+}
+
+#[test]
+fn bidirectional_is_bit_identical_across_methods_and_thread_widths() {
+    // The tentpole invariant: bidirectional scheme search returns the
+    // byte-identical occurrence lists of A(.) and the S-tree at every
+    // budget, and parallel batches at widths {1, 8} match the serial
+    // run exactly.
+    let genome = kmm_dna::genome::markov(20_000, &kmm_dna::genome::MarkovConfig::default(), 17);
+    let index = KMismatchIndex::new(genome.clone());
+    let reads = kmm_dna::paper_reads(&genome, 12, 30, 2);
+    let patterns: Vec<Vec<u8>> = reads.into_iter().map(|r| r.seq).collect();
+    for k in 0..=3usize {
+        let (serial, _) = index.search_batch(
+            patterns.iter().map(|p| p.as_slice()),
+            k,
+            Method::Bidirectional,
+        );
+        for (p, hits) in patterns.iter().zip(&serial) {
+            assert_eq!(
+                &index
+                    .search(p, k, Method::AlgorithmA { reuse: true })
+                    .occurrences,
+                hits,
+                "A(.) disagrees at k={k}"
+            );
+            assert_eq!(
+                &index
+                    .search(p, k, Method::Bwt { use_phi: true })
+                    .occurrences,
+                hits,
+                "S-tree disagrees at k={k}"
+            );
+        }
+        for threads in [1usize, 8] {
+            let pool = kmm_par::ThreadPool::new(threads);
+            let (par, _) = index.search_batch_par(&patterns, k, Method::Bidirectional, &pool);
+            assert_eq!(par, serial, "threads={threads} k={k}");
+        }
+    }
 }
 
 #[test]

@@ -162,6 +162,49 @@ fn post_search_matches_direct_index_search() {
 }
 
 #[test]
+fn bidir_search_and_explain_default_over_mirrored_index() {
+    event_log_path();
+    let idx = test_index();
+    let served = test_index();
+    // Materialise the reverse-BWT mirror up front, as an index loaded
+    // from a `kmm index --bidir` file would arrive.
+    served.mirror();
+    let server = Server::start(served, ServeConfig::default()).expect("server start");
+    let addr = server.addr();
+
+    // POST /search accepts method=bidir and matches the library.
+    let pattern = probe(&idx, 700);
+    let body = format!("{{\"pattern\": \"{pattern}\", \"k\": 2, \"method\": \"bidir\"}}");
+    let (status, response) = post(addr, "/search", &body);
+    assert_eq!(status, 200, "{response}");
+    let doc = Json::parse(&response).unwrap();
+    let encoded = bwt_kmismatch::dna::encode(pattern.as_bytes()).unwrap();
+    let want = idx.search(&encoded, 2, Method::Bidirectional);
+    assert_eq!(
+        doc.get("count").and_then(Json::as_u64),
+        Some(want.occurrences.len() as u64)
+    );
+
+    // With the mirror resident, the default /explain comparison set
+    // grows to include the bidirectional method.
+    let body = format!("{{\"pattern\": \"{pattern}\", \"k\": 2}}");
+    let (status, response) = post(addr, "/explain", &body);
+    assert_eq!(status, 200, "{response}");
+    let doc = Json::parse(&response).unwrap();
+    let labels: Vec<String> = doc
+        .get("methods")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|m| m.get("method").and_then(Json::as_str).unwrap().to_string())
+        .collect();
+    assert!(labels.iter().any(|l| l == "Bidir"), "{labels:?}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+}
+
+#[test]
 fn post_map_returns_alignments() {
     let (server, idx) = start(ServeConfig::default());
     let addr = server.addr();
